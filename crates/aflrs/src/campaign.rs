@@ -1,0 +1,275 @@
+//! The campaign driver: one "trial" of the paper's evaluation.
+//!
+//! Runs a coverage-guided loop against any execution mechanism until a
+//! simulated-cycle budget is exhausted, recording throughput, coverage
+//! growth, and deduplicated crashes with discovery times.
+
+use std::collections::HashMap;
+
+use closurex::executor::{ExecStatus, Executor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vmos::cov::VirginMap;
+use vmos::CrashKind;
+
+use crate::mutate;
+use crate::queue::{Queue, QueueEntry};
+use crate::stats::{CampaignResult, CrashRecord};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Cycle budget (the "24 hours" analog).
+    pub budget_cycles: u64,
+    /// RNG seed (one per trial).
+    pub seed: u64,
+    /// Run AFL's deterministic stage on fresh queue entries.
+    pub deterministic_stage: bool,
+    /// Stop early after this many deduplicated crashes (0 = never).
+    pub stop_after_crashes: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            budget_cycles: 200_000_000,
+            seed: 1,
+            deterministic_stage: true,
+            stop_after_crashes: 0,
+        }
+    }
+}
+
+/// Mutable campaign state, threaded through every execution.
+struct Driver<'e> {
+    executor: &'e mut dyn Executor,
+    queue: Queue,
+    virgin: VirginMap,
+    clock: u64,
+    execs: u64,
+    hangs: u64,
+    mgmt_cycles: u64,
+    exec_cycles: u64,
+    crash_sites: HashMap<(CrashKind, String, u32), usize>,
+    crashes: Vec<CrashRecord>,
+}
+
+impl Driver<'_> {
+    /// Execute one input, fold its results into the campaign state, and
+    /// enqueue it if it produced new coverage.
+    fn run_one(&mut self, input: &[u8]) {
+        let out = self.executor.run(input);
+        self.execs += 1;
+        self.clock += out.total_cycles();
+        self.mgmt_cycles += out.mgmt_cycles;
+        self.exec_cycles += out.exec_cycles;
+        match &out.status {
+            ExecStatus::Crash(c) => {
+                let key = c.site_key();
+                if let Some(&idx) = self.crash_sites.get(&key) {
+                    self.crashes[idx].hits += 1;
+                } else {
+                    self.crash_sites.insert(key, self.crashes.len());
+                    self.crashes.push(CrashRecord {
+                        crash: c.clone(),
+                        found_at_cycles: self.clock,
+                        input: input.to_vec(),
+                        hits: 1,
+                    });
+                }
+            }
+            ExecStatus::Hang => self.hangs += 1,
+            ExecStatus::Exit(_) => {}
+        }
+        // Crashes and hangs are saved in their own buckets (AFL's
+        // crashes/ and hangs/ dirs); only clean coverage-increasing
+        // inputs become queue seeds.
+        let clean = matches!(out.status, ExecStatus::Exit(_));
+        if self.virgin.merge(self.executor.coverage()) && clean {
+            self.queue.push(QueueEntry {
+                data: input.to_vec(),
+                exec_cycles: out.total_cycles(),
+                found_at: self.clock,
+                det_done: false,
+            });
+        }
+    }
+
+    fn exhausted(&self, cfg: &CampaignConfig) -> bool {
+        self.clock >= cfg.budget_cycles
+            || (cfg.stop_after_crashes > 0 && self.crashes.len() >= cfg.stop_after_crashes)
+    }
+}
+
+/// Run one campaign trial. See module docs.
+pub fn run_campaign(
+    executor: &mut dyn Executor,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut d = Driver {
+        executor,
+        queue: Queue::new(),
+        virgin: VirginMap::new(),
+        clock: 0,
+        execs: 0,
+        hangs: 0,
+        mgmt_cycles: 0,
+        exec_cycles: 0,
+        crash_sites: HashMap::new(),
+        crashes: Vec::new(),
+    };
+
+    for s in seeds {
+        d.run_one(s);
+    }
+    if d.queue.is_empty() {
+        // Guarantee a mutation base even if no seed added coverage.
+        d.queue.push(QueueEntry {
+            data: seeds.first().cloned().unwrap_or_else(|| vec![0]),
+            exec_cycles: 1,
+            found_at: 0,
+            det_done: true,
+        });
+    }
+
+    while !d.exhausted(cfg) {
+        let idx = d.queue.next_index().expect("queue never empty");
+
+        // Deterministic stage, once per entry.
+        if cfg.deterministic_stage && !d.queue.get(idx).expect("idx valid").det_done {
+            d.queue.get_mut(idx).expect("idx valid").det_done = true;
+            let base = d.queue.get(idx).expect("idx valid").data.clone();
+            for m in mutate::deterministic(&base) {
+                if d.exhausted(cfg) {
+                    break;
+                }
+                d.run_one(&m);
+            }
+            continue;
+        }
+
+        // Havoc stage.
+        let base = d.queue.get(idx).expect("idx valid").data.clone();
+        for _ in 0..32 {
+            if d.exhausted(cfg) {
+                break;
+            }
+            let other = if d.queue.len() > 1 && rng.gen_bool(0.2) {
+                let j = rng.gen_range(0..d.queue.len());
+                Some(d.queue.get(j).expect("j valid").data.clone())
+            } else {
+                None
+            };
+            let mutant = mutate::havoc(&base, other.as_deref(), &mut rng);
+            d.run_one(&mutant);
+        }
+    }
+
+    CampaignResult {
+        executor: d.executor.name().to_string(),
+        execs: d.execs,
+        clock_cycles: d.clock,
+        edges_found: d.virgin.edges_found(),
+        crashes: d.crashes,
+        queue_len: d.queue.len(),
+        hangs: d.hangs,
+        mgmt_cycles: d.mgmt_cycles,
+        exec_cycles: d.exec_cycles,
+        queue_inputs: d.queue.inputs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use closurex::forkserver::ForkServerExecutor;
+    use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+
+    const TARGET: &str = r#"
+        global total;
+        fn main() {
+            var f = fopen("/fuzz/input", 0);
+            if (f == 0) { exit(1); }
+            var buf[32];
+            var n = fread(buf, 1, 32, f);
+            fclose(f);
+            if (n < 4) { exit(2); }
+            if (load8(buf) == 'F') {
+                if (load8(buf + 1) == 'U') {
+                    if (load8(buf + 2) == 'Z') {
+                        if (load8(buf + 3) == 'Z') {
+                            return load64(0); // planted crash
+                        }
+                        return 3;
+                    }
+                    return 2;
+                }
+                return 1;
+            }
+            total = total + n;
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn campaign_finds_planted_magic_crash() {
+        let m = minic::compile("t", TARGET).unwrap();
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let cfg = CampaignConfig {
+            budget_cycles: 80_000_000,
+            seed: 11,
+            deterministic_stage: true,
+            stop_after_crashes: 1,
+        };
+        let res = run_campaign(&mut ex, &[b"FAAA".to_vec()], &cfg);
+        assert!(
+            !res.crashes.is_empty(),
+            "magic-byte crash should be found: edges={} execs={}",
+            res.edges_found,
+            res.execs
+        );
+        assert_eq!(res.crashes[0].crash.kind, vmos::CrashKind::NullPtrDeref);
+        assert!(res.queue_len >= 2, "coverage ladder must grow the queue");
+    }
+
+    #[test]
+    fn closurex_outruns_forkserver_on_same_budget() {
+        let m = minic::compile("t", TARGET).unwrap();
+        let budget = 40_000_000;
+        let cfg = |seed| CampaignConfig {
+            budget_cycles: budget,
+            seed,
+            deterministic_stage: false,
+            stop_after_crashes: 0,
+        };
+        let mut cx = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let r_cx = run_campaign(&mut cx, &[b"AAAA".to_vec()], &cfg(5));
+        let mut fk = ForkServerExecutor::new(&m).unwrap();
+        let r_fk = run_campaign(&mut fk, &[b"AAAA".to_vec()], &cfg(5));
+        assert!(
+            r_cx.execs > r_fk.execs * 2,
+            "closurex {} execs vs forkserver {} execs",
+            r_cx.execs,
+            r_fk.execs
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_campaigns() {
+        let m = minic::compile("t", TARGET).unwrap();
+        let cfg = CampaignConfig {
+            budget_cycles: 10_000_000,
+            seed: 99,
+            deterministic_stage: true,
+            stop_after_crashes: 0,
+        };
+        let mut a = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let ra = run_campaign(&mut a, &[b"seed".to_vec()], &cfg);
+        let mut b = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let rb = run_campaign(&mut b, &[b"seed".to_vec()], &cfg);
+        assert_eq!(ra.execs, rb.execs);
+        assert_eq!(ra.edges_found, rb.edges_found);
+    }
+}

@@ -1,0 +1,33 @@
+//! # aflrs — the coverage-guided fuzzer
+//!
+//! An AFL++-style fuzzer over the `closurex` execution mechanisms:
+//!
+//! * a seed [`queue`] grown by coverage feedback (`has_new_bits` over a
+//!   bucketed virgin map, exactly AFL's algorithm),
+//! * a [`mutate`] stage with deterministic bitflip/arith/interesting passes
+//!   and stacked havoc + splice,
+//! * a [`campaign`] driver that runs against any
+//!   [`closurex::executor::Executor`] under a simulated-cycle budget —
+//!   the evaluation's "24 hour trial" analog,
+//! * [`stats`] with crash deduplication and time-to-bug records, and the
+//!   [`mwu`] Mann-Whitney U test the paper reports ρ-values with.
+//!
+//! Both the ClosureX and AFL++-baseline campaigns share this exact code, so
+//! measured differences come from the execution mechanism alone — the
+//! paper's controlled-comparison setup (§5.3).
+
+pub mod campaign;
+pub mod mutate;
+pub mod mwu;
+pub mod queue;
+pub mod stats;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use stats::{CampaignResult, CrashRecord};
+
+/// Simulated cycles per simulated second (used to convert campaign clocks
+/// into the paper's seconds / 24-hour framing).
+pub const CYCLES_PER_SECOND: u64 = 20_000_000;
+
+/// Cycles in a simulated 24-hour trial.
+pub const CYCLES_PER_DAY: u64 = CYCLES_PER_SECOND * 86_400;

@@ -1,0 +1,196 @@
+//! Input mutation: AFL's deterministic passes and stacked havoc.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Interesting values AFL plants (8/16/32-bit classics).
+pub const INTERESTING: [i64; 17] = [
+    -128, -1, 0, 1, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000, 1024, 4096, 32767,
+];
+
+/// Maximum input length the mutator will grow to.
+pub const MAX_LEN: usize = 4096;
+
+/// Deterministic-stage mutants of `input`: walking bitflips, byte flips,
+/// small arithmetic, interesting-value overwrites. Capped for large inputs
+/// the way AFL effectively caps via its effector map.
+pub fn deterministic(input: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let n = input.len().min(64);
+    for i in 0..n {
+        for bit in 0..8 {
+            let mut m = input.to_vec();
+            m[i] ^= 1 << bit;
+            out.push(m);
+        }
+        let mut m = input.to_vec();
+        m[i] ^= 0xFF;
+        out.push(m);
+        for delta in [1i16, -1, 7, -7, 35, -35] {
+            let mut m = input.to_vec();
+            m[i] = (i16::from(m[i]) + delta) as u8;
+            out.push(m);
+        }
+        for v in INTERESTING {
+            let mut m = input.to_vec();
+            m[i] = v as u8;
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// One stacked-havoc mutant (1–8 random operations), possibly splicing
+/// with `other`.
+pub fn havoc(input: &[u8], other: Option<&[u8]>, rng: &mut SmallRng) -> Vec<u8> {
+    let mut data = input.to_vec();
+    if data.is_empty() {
+        data.push(0);
+    }
+    let ops = 1 + rng.gen_range(0..8);
+    for _ in 0..ops {
+        if data.is_empty() {
+            // A delete op may have emptied the buffer mid-stack.
+            data.push(0);
+        }
+        let choice = rng.gen_range(0..10);
+        match choice {
+            0 => {
+                // flip a random bit
+                let i = rng.gen_range(0..data.len());
+                data[i] ^= 1 << rng.gen_range(0..8);
+            }
+            1 => {
+                // random byte
+                let i = rng.gen_range(0..data.len());
+                data[i] = rng.gen();
+            }
+            2 => {
+                // arithmetic on a byte
+                let i = rng.gen_range(0..data.len());
+                let d = rng.gen_range(1..=35i16);
+                let d = if rng.gen() { d } else { -d };
+                data[i] = (i16::from(data[i]) + d) as u8;
+            }
+            3 => {
+                // interesting value, 1/2/4-byte wide
+                let v = INTERESTING[rng.gen_range(0..INTERESTING.len())];
+                let width = [1usize, 2, 4][rng.gen_range(0..3)];
+                if data.len() >= width {
+                    let i = rng.gen_range(0..=data.len() - width);
+                    let bytes = v.to_le_bytes();
+                    data[i..i + width].copy_from_slice(&bytes[..width]);
+                }
+            }
+            4 => {
+                // delete a range
+                if data.len() > 1 {
+                    let start = rng.gen_range(0..data.len());
+                    let len = rng.gen_range(1..=(data.len() - start).min(16));
+                    data.drain(start..start + len);
+                }
+            }
+            5 => {
+                // duplicate/insert a range
+                if data.len() < MAX_LEN && !data.is_empty() {
+                    let start = rng.gen_range(0..data.len());
+                    let len = rng.gen_range(1..=(data.len() - start).min(16));
+                    let chunk: Vec<u8> = data[start..start + len].to_vec();
+                    let at = rng.gen_range(0..=data.len());
+                    for (k, b) in chunk.into_iter().enumerate() {
+                        data.insert(at + k, b);
+                    }
+                }
+            }
+            6 => {
+                // insert random bytes
+                if data.len() < MAX_LEN {
+                    let at = rng.gen_range(0..=data.len());
+                    let len = rng.gen_range(1..=8);
+                    for _ in 0..len {
+                        data.insert(at, rng.gen());
+                    }
+                }
+            }
+            7 => {
+                // overwrite a range with one byte
+                let i = rng.gen_range(0..data.len());
+                let len = rng.gen_range(1..=(data.len() - i).min(8));
+                let b = rng.gen();
+                for x in &mut data[i..i + len] {
+                    *x = b;
+                }
+            }
+            8 => {
+                // splice with another queue entry
+                if let Some(o) = other {
+                    if !o.is_empty() {
+                        let cut_a = rng.gen_range(0..=data.len());
+                        let cut_b = rng.gen_range(0..o.len());
+                        data.truncate(cut_a);
+                        data.extend_from_slice(&o[cut_b..]);
+                    }
+                }
+            }
+            _ => {
+                // swap two bytes
+                if data.len() >= 2 {
+                    let i = rng.gen_range(0..data.len());
+                    let j = rng.gen_range(0..data.len());
+                    data.swap(i, j);
+                }
+            }
+        }
+    }
+    data.truncate(MAX_LEN);
+    if data.is_empty() {
+        data.push(0);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_stage_covers_bitflips() {
+        let muts = deterministic(&[0x00, 0xFF]);
+        // every single-bit flip of byte 0 present
+        for bit in 0..8u8 {
+            assert!(muts.iter().any(|m| m[0] == 1 << bit && m[1] == 0xFF));
+        }
+        // the stage explores 0xFF byte-flips too
+        assert!(muts.iter().any(|m| m == &[0xFF, 0xFF]));
+    }
+
+    #[test]
+    fn havoc_is_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let x = havoc(b"hello world", Some(b"splice me"), &mut a);
+        let y = havoc(b"hello world", Some(b"splice me"), &mut b);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn havoc_never_produces_empty_or_oversized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let base = vec![7u8; 100];
+        for _ in 0..500 {
+            let m = havoc(&base, Some(&[1, 2, 3]), &mut rng);
+            assert!(!m.is_empty());
+            assert!(m.len() <= MAX_LEN);
+        }
+    }
+
+    #[test]
+    fn havoc_explores_varied_lengths() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = vec![0u8; 32];
+        let lens: std::collections::HashSet<usize> =
+            (0..200).map(|_| havoc(&base, None, &mut rng).len()).collect();
+        assert!(lens.len() > 5, "length diversity expected, got {lens:?}");
+    }
+}

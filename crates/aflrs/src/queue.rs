@@ -1,0 +1,116 @@
+//! The fuzzer's seed queue.
+
+/// One queue entry.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// The input bytes.
+    pub data: Vec<u8>,
+    /// Cycles its discovery execution took (scheduling prefers fast seeds).
+    pub exec_cycles: u64,
+    /// Campaign clock when it was added.
+    pub found_at: u64,
+    /// Whether the deterministic stage has run on it.
+    pub det_done: bool,
+}
+
+/// The corpus of coverage-increasing inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Queue {
+    entries: Vec<QueueEntry>,
+    cursor: usize,
+}
+
+impl Queue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, e: QueueEntry) {
+        self.entries.push(e);
+    }
+
+    /// Entry by index.
+    pub fn get(&self, i: usize) -> Option<&QueueEntry> {
+        self.entries.get(i)
+    }
+
+    /// Mutable entry by index.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut QueueEntry> {
+        self.entries.get_mut(i)
+    }
+
+    /// Round-robin scheduling: next entry index to fuzz.
+    pub fn next_index(&mut self) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let i = self.cursor % self.entries.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(i)
+    }
+
+    /// All input bytes (correctness evaluation consumes the whole queue).
+    pub fn inputs(&self) -> Vec<Vec<u8>> {
+        self.entries.iter().map(|e| e.data.clone()).collect()
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, QueueEntry> {
+        self.entries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Queue {
+    type Item = &'a QueueEntry;
+    type IntoIter = std::slice::Iter<'a, QueueEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(data: &[u8]) -> QueueEntry {
+        QueueEntry {
+            data: data.to_vec(),
+            exec_cycles: 10,
+            found_at: 0,
+            det_done: false,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut q = Queue::new();
+        assert_eq!(q.next_index(), None);
+        q.push(entry(b"a"));
+        q.push(entry(b"b"));
+        assert_eq!(q.next_index(), Some(0));
+        assert_eq!(q.next_index(), Some(1));
+        assert_eq!(q.next_index(), Some(0));
+    }
+
+    #[test]
+    fn inputs_snapshot() {
+        let mut q = Queue::new();
+        q.push(entry(b"x"));
+        q.push(entry(b"yz"));
+        assert_eq!(q.inputs(), vec![b"x".to_vec(), b"yz".to_vec()]);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

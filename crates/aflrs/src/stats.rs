@@ -1,0 +1,131 @@
+//! Campaign results: throughput, coverage, and deduplicated crash records.
+
+use serde::{Deserialize, Serialize};
+use vmos::Crash;
+
+use crate::CYCLES_PER_SECOND;
+
+/// First discovery of a deduplicated crash site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashRecord {
+    /// The crash (kind + site).
+    pub crash: Crash,
+    /// Campaign clock (cycles) at first discovery.
+    pub found_at_cycles: u64,
+    /// The triggering input.
+    pub input: Vec<u8>,
+    /// How many times this site was hit during the campaign.
+    pub hits: u64,
+}
+
+impl CrashRecord {
+    /// Discovery time in simulated seconds (the paper's Table 7 unit).
+    pub fn found_at_seconds(&self) -> u64 {
+        self.found_at_cycles / CYCLES_PER_SECOND
+    }
+}
+
+/// Everything a finished campaign reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Executor name ("closurex", "afl-forkserver", …).
+    pub executor: String,
+    /// Test cases executed.
+    pub execs: u64,
+    /// Final campaign clock in cycles.
+    pub clock_cycles: u64,
+    /// Distinct bucketed edges discovered.
+    pub edges_found: usize,
+    /// Deduplicated crashes, in discovery order.
+    pub crashes: Vec<CrashRecord>,
+    /// Final queue size.
+    pub queue_len: usize,
+    /// Hangs observed.
+    pub hangs: u64,
+    /// Cycles spent in process management / restoration.
+    pub mgmt_cycles: u64,
+    /// Cycles spent executing target code.
+    pub exec_cycles: u64,
+    /// The final queue inputs (fed to the correctness evaluation).
+    pub queue_inputs: Vec<Vec<u8>>,
+}
+
+impl CampaignResult {
+    /// Executions per simulated second.
+    pub fn execs_per_second(&self) -> f64 {
+        if self.clock_cycles == 0 {
+            return 0.0;
+        }
+        self.execs as f64 * CYCLES_PER_SECOND as f64 / self.clock_cycles as f64
+    }
+
+    /// Fraction of the budget spent on management overhead.
+    pub fn mgmt_fraction(&self) -> f64 {
+        let total = self.mgmt_cycles + self.exec_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.mgmt_cycles as f64 / total as f64
+    }
+
+    /// Crashes that are resource-exhaustion false positives.
+    pub fn false_crashes(&self) -> usize {
+        self.crashes
+            .iter()
+            .filter(|c| c.crash.kind.is_resource_exhaustion())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmos::CrashKind;
+
+    #[test]
+    fn rates_and_fractions() {
+        let r = CampaignResult {
+            executor: "x".into(),
+            execs: 1000,
+            clock_cycles: CYCLES_PER_SECOND * 10,
+            edges_found: 5,
+            crashes: vec![],
+            queue_len: 3,
+            hangs: 0,
+            mgmt_cycles: 25,
+            exec_cycles: 75,
+            queue_inputs: vec![],
+        };
+        assert!((r.execs_per_second() - 100.0).abs() < 1e-9);
+        assert!((r.mgmt_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_crash_counting() {
+        let mk = |kind| CrashRecord {
+            crash: Crash {
+                kind,
+                function: "f".into(),
+                block: 0,
+                detail: String::new(),
+            },
+            found_at_cycles: CYCLES_PER_SECOND * 3,
+            input: vec![],
+            hits: 1,
+        };
+        let r = CampaignResult {
+            executor: "x".into(),
+            execs: 0,
+            clock_cycles: 0,
+            edges_found: 0,
+            crashes: vec![mk(CrashKind::NullPtrDeref), mk(CrashKind::FdExhaustion)],
+            queue_len: 0,
+            hangs: 0,
+            mgmt_cycles: 0,
+            exec_cycles: 0,
+            queue_inputs: vec![],
+        };
+        assert_eq!(r.false_crashes(), 1);
+        assert_eq!(r.crashes[0].found_at_seconds(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks: per-test-case cost of each execution
+//! mechanism (the continuum figure, measured in host time).
+
+use bench::Mechanism;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let t = targets::by_name("giftext").unwrap();
+    let seed = (t.seeds)()[0].clone();
+    let mut g = c.benchmark_group("per_testcase_by_mechanism");
+    for m in [
+        Mechanism::Fresh,
+        Mechanism::ForkServer,
+        Mechanism::NaivePersistent,
+        Mechanism::ClosureX,
+    ] {
+        g.bench_function(m.name(), |b| {
+            let mut ex = m.executor(t);
+            b.iter(|| ex.run(&seed));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mechanisms
+}
+criterion_main!(benches);

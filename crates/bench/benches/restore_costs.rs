@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks: ClosureX restore cost scaling — the
+//! fine-grain-restore half of the paper's performance argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use closurex::executor::Executor;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor, RestoreStrategy};
+
+fn leaky_target(chunks: usize) -> fir::Module {
+    let src = format!(
+        r#"
+        global table[4096];
+        fn main() {{
+            var i = 0;
+            while (i < {chunks}) {{
+                var p = malloc(32);
+                store8(p, i & 255);
+                i = i + 1;
+            }}
+            store64(table, i);
+            return 0;
+        }}
+    "#
+    );
+    minic::compile("leaky", &src).expect("compiles")
+}
+
+fn bench_chunk_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap_sweep_by_leaked_chunks");
+    for chunks in [1usize, 8, 64, 256] {
+        let module = leaky_target(chunks);
+        g.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, _| {
+            let mut ex = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+            b.iter(|| ex.run(b"x"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_global_restore_strategies(c: &mut Criterion) {
+    let module = targets::by_name("freetype").unwrap().module();
+    let seed = (targets::by_name("freetype").unwrap().seeds)()[0].clone();
+    let mut g = c.benchmark_group("global_restore_strategy");
+    for (name, strat) in [
+        ("full_section", RestoreStrategy::FullSection),
+        ("dirty_only", RestoreStrategy::DirtyOnly),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = ClosureXConfig {
+                restore_strategy: strat,
+                ..ClosureXConfig::default()
+            };
+            let mut ex = ClosureXExecutor::new(&module, cfg).unwrap();
+            b.iter(|| ex.run(&seed));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_chunk_sweep, bench_global_restore_strategies
+}
+criterion_main!(benches);

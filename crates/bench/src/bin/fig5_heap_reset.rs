@@ -1,0 +1,38 @@
+//! Regenerates **Figure 5**: the ClosureX heap resetting procedure — the
+//! chunk map before, during, and after a test-case execution.
+
+use closurex::executor::Executor;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+
+fn main() {
+    // A target that leaks: libbpf leaks str_buf/sym_buf on some paths.
+    let src = r#"
+        fn main() {
+            var a = malloc(100);    // leaked
+            var b = malloc(200);    // freed properly
+            var c = malloc(50);     // leaked
+            store8(a, 1); store8(b, 2); store8(c, 3);
+            free(b);
+            return 0;
+        }
+    "#;
+    let module = minic::compile("leaky", src).expect("compiles");
+    let mut ex = ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("instrument");
+    println!("Figure 5: ClosureX heap resetting procedure\n");
+    println!(
+        "A) before execution: chunk map empty, heap live = {} bytes",
+        ex.process().expect("live").heap.live_bytes()
+    );
+    let out = ex.run(b"x");
+    let rs = ex.last_restore();
+    println!("B) during execution: 3 mallocs tracked, 1 freed by the target (map holds 2)");
+    println!(
+        "C) after execution: harness swept {} leaked chunks; heap live = {} bytes",
+        rs.leaked_chunks,
+        ex.process().expect("live").heap.live_bytes()
+    );
+    assert_eq!(rs.leaked_chunks, 2);
+    assert_eq!(ex.process().expect("live").heap.live_bytes(), 0);
+    println!("\nper-iteration restore cost: {} cycles (exec was {} cycles)", rs.cycles, out.exec_cycles);
+    println!("After 1000 iterations the naive loop would hold ~150 KB of leaks; ClosureX holds 0.");
+}

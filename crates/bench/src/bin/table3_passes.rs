@@ -1,0 +1,17 @@
+//! Regenerates **Table 3**: the ClosureX passes and their functionality,
+//! straight from the registered pipeline (not hard-coded prose).
+
+fn main() {
+    let pm = passes::pipelines::closurex_pipeline();
+    println!("Table 3: CLOSUREX passes\n");
+    let rows: Vec<Vec<String>> = passes::pipelines::table3()
+        .into_iter()
+        .map(|(name, what)| vec![name.to_string(), what.to_string()])
+        .collect();
+    print!(
+        "{}",
+        bench::markdown_table(&["CLOSUREX Pass", "Functionality"], &rows)
+    );
+    println!("\nRegistered pipeline order: {:?}", pm.pass_names());
+    println!("(CoveragePass is shared with the AFL++ baseline build.)");
+}

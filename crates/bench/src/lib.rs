@@ -1,0 +1,189 @@
+//! # bench — experiment harnesses
+//!
+//! Shared machinery for the table/figure regenerator binaries (see
+//! `DESIGN.md` §4 for the experiment index). Every binary prints a
+//! markdown table shaped like the paper's and writes a JSON record under
+//! `results/`.
+//!
+//! Scale note: the paper runs 5×24h Azure trials per configuration; this
+//! reproduction runs 5 simulated-cycle-budget trials per configuration
+//! (default 20M cycles ≈ 1 simulated second, configurable via the
+//! `CLOSUREX_BUDGET` environment variable). Absolute counts are therefore
+//! smaller; the paper's *shape* — who wins, by what factor, where
+//! significance lands — is what the harness reproduces.
+
+use aflrs::mwu::mann_whitney_u;
+use aflrs::{run_campaign, CampaignConfig, CampaignResult};
+use closurex::executor::Executor;
+use closurex::forkserver::ForkServerExecutor;
+use closurex::fresh::FreshProcessExecutor;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+use closurex::naive::NaivePersistentExecutor;
+use serde::Serialize;
+use targets::TargetSpec;
+
+/// Number of trials per configuration (the paper's 5).
+pub const TRIALS: u64 = 5;
+
+/// Default per-trial cycle budget.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Which execution mechanism a trial uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Spawn + exec per test case.
+    Fresh,
+    /// AFL++ forkserver baseline.
+    ForkServer,
+    /// Persistent loop with no restoration.
+    NaivePersistent,
+    /// ClosureX.
+    ClosureX,
+}
+
+impl Mechanism {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Fresh => "fresh-process",
+            Mechanism::ForkServer => "AFL++ (forkserver)",
+            Mechanism::NaivePersistent => "naive-persistent",
+            Mechanism::ClosureX => "ClosureX",
+        }
+    }
+
+    /// Build the executor for a target.
+    ///
+    /// # Panics
+    /// Panics if instrumentation fails (bundled targets always pass).
+    pub fn executor(self, target: &TargetSpec) -> Box<dyn Executor> {
+        let module = target.module();
+        match self {
+            Mechanism::Fresh => Box::new(FreshProcessExecutor::new(&module).expect("instrument")),
+            Mechanism::ForkServer => {
+                Box::new(ForkServerExecutor::new(&module).expect("instrument"))
+            }
+            Mechanism::NaivePersistent => {
+                Box::new(NaivePersistentExecutor::new(&module).expect("instrument"))
+            }
+            Mechanism::ClosureX => Box::new(
+                ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("instrument"),
+            ),
+        }
+    }
+}
+
+/// Per-trial budget: `CLOSUREX_BUDGET` env var or [`DEFAULT_BUDGET`].
+pub fn budget() -> u64 {
+    std::env::var("CLOSUREX_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BUDGET)
+}
+
+/// Run [`TRIALS`] campaigns of `mechanism` on `target`.
+pub fn run_trials(target: &TargetSpec, mechanism: Mechanism, budget: u64) -> Vec<CampaignResult> {
+    (0..TRIALS)
+        .map(|trial| {
+            let mut ex = mechanism.executor(target);
+            let cfg = CampaignConfig {
+                budget_cycles: budget,
+                seed: 0xC0FFEE + trial * 7919,
+                deterministic_stage: true,
+                stop_after_crashes: 0,
+            };
+            run_campaign(ex.as_mut(), &(target.seeds)(), &cfg)
+        })
+        .collect()
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Two-sided Mann-Whitney p for two result samples under `metric`.
+pub fn p_value(
+    a: &[CampaignResult],
+    b: &[CampaignResult],
+    metric: impl Fn(&CampaignResult) -> f64,
+) -> f64 {
+    let xa: Vec<f64> = a.iter().map(&metric).collect();
+    let xb: Vec<f64> = b.iter().map(&metric).collect();
+    mann_whitney_u(&xa, &xb)
+}
+
+/// Total CFG edges of a target (denominator of the coverage percentage).
+pub fn total_cfg_edges(target: &TargetSpec) -> usize {
+    let module = target.module();
+    module
+        .functions
+        .iter()
+        .map(|f| fir::cfg::edges(f).len().max(1))
+        .sum()
+}
+
+/// Write a JSON report under `results/`.
+pub fn write_report<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, json);
+        eprintln!("(wrote {})", path.display());
+    }
+}
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("| {} |\n", headers.join(" | ")));
+    s.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for r in rows {
+        s.push_str(&format!("| {} |\n", r.join(" | ")));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanisms_build_for_every_target() {
+        for t in targets::all().into_iter().take(2) {
+            for m in [
+                Mechanism::Fresh,
+                Mechanism::ForkServer,
+                Mechanism::NaivePersistent,
+                Mechanism::ClosureX,
+            ] {
+                let mut ex = m.executor(t);
+                let out = ex.run(&(t.seeds)()[0]);
+                assert!(out.total_cycles() > 0, "{} on {}", m.name(), t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let s = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn cfg_edge_totals_positive() {
+        for t in targets::all() {
+            assert!(total_cfg_edges(t) > 10, "{}", t.name);
+        }
+    }
+}

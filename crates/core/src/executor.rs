@@ -1,0 +1,82 @@
+//! The execution-mechanism interface shared by all four mechanisms on the
+//! paper's state-restoration continuum.
+
+use vmos::{CovMap, Crash};
+
+/// Default per-test-case instruction budget (hang detection).
+pub const DEFAULT_FUEL: u64 = 3_000_000;
+
+/// How a test-case execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// Clean completion with an exit code (normal return or `exit()`).
+    Exit(i32),
+    /// The target crashed.
+    Crash(Crash),
+    /// The target exceeded its fuel budget.
+    Hang,
+}
+
+impl ExecStatus {
+    /// The crash, if any.
+    pub fn crash(&self) -> Option<&Crash> {
+        match self {
+            ExecStatus::Crash(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Result + cost accounting for one test-case execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Final status.
+    pub status: ExecStatus,
+    /// Cycles spent executing target code.
+    pub exec_cycles: u64,
+    /// Cycles spent on process management or state restoration — the
+    /// quantity the paper's mechanisms differ in.
+    pub mgmt_cycles: u64,
+    /// Instructions retired by the target.
+    pub insts: u64,
+}
+
+impl ExecOutcome {
+    /// Total cycles charged for this test case.
+    pub fn total_cycles(&self) -> u64 {
+        self.exec_cycles + self.mgmt_cycles
+    }
+}
+
+/// A fuzzing execution mechanism: give it a test case, get an outcome and
+/// per-run coverage.
+pub trait Executor {
+    /// Mechanism name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Execute one test case.
+    fn run(&mut self, input: &[u8]) -> ExecOutcome;
+
+    /// Coverage collected by the most recent [`Executor::run`].
+    fn coverage(&self) -> &CovMap;
+
+    /// The per-test-case fuel budget.
+    fn fuel(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_totals() {
+        let o = ExecOutcome {
+            status: ExecStatus::Exit(0),
+            exec_cycles: 100,
+            mgmt_cycles: 40,
+            insts: 90,
+        };
+        assert_eq!(o.total_cycles(), 140);
+        assert!(o.status.crash().is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Forkserver execution: the AFL++ baseline.
+//!
+//! The binary is loaded **once**; the forkserver parent pauses at `main`.
+//! Each test case costs one `fork(2)` (page-table duplication +
+//! copy-on-write), one control-pipe round trip, and one child teardown.
+//! This is the fastest *correct* conventional mechanism and the baseline
+//! ClosureX is compared against throughout the paper's evaluation.
+
+use fir::Module;
+use passes::pipelines::baseline_pipeline;
+use passes::PassError;
+use vmos::fs::FUZZ_INPUT_PATH;
+use vmos::{CallResult, CovMap, HostCtx, Machine, Os, Process};
+
+use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ForkServerExecutor {
+    os: Os,
+    module: Module,
+    parent: Process,
+    cov: CovMap,
+    fuel: u64,
+    /// One-time cost of bringing the forkserver up (binary load).
+    setup_cycles: u64,
+}
+
+impl ForkServerExecutor {
+    /// Instrument with coverage only, load the forkserver parent.
+    ///
+    /// # Errors
+    /// Propagates pass failures.
+    pub fn new(module: &Module) -> Result<Self, PassError> {
+        let mut m = module.clone();
+        baseline_pipeline().run(&mut m)?;
+        let mut os = Os::new();
+        let (parent, setup_cycles) = os.spawn(&m);
+        Ok(ForkServerExecutor {
+            os,
+            module: m,
+            parent,
+            cov: CovMap::new(),
+            fuel: DEFAULT_FUEL,
+            setup_cycles,
+        })
+    }
+
+    /// Override the fuel budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// One-time forkserver bring-up cost.
+    pub fn setup_cycles(&self) -> u64 {
+        self.setup_cycles
+    }
+}
+
+impl Executor for ForkServerExecutor {
+    fn name(&self) -> &'static str {
+        "afl-forkserver"
+    }
+
+    fn run(&mut self, input: &[u8]) -> ExecOutcome {
+        self.cov.clear();
+        self.os.fs.write_file(FUZZ_INPUT_PATH, input.to_vec());
+        let (mut child, fork_cycles) = self.os.fork(&self.parent);
+        child.cov_state.reset();
+        let machine = Machine::new(&self.module);
+        let out = {
+            let mut ctx = HostCtx::new(&mut self.os, &mut self.cov);
+            machine.call(&mut child, &mut ctx, "main", &[0, 0], self.fuel)
+        };
+        let pipe_cycles = self.os.cost.forkserver_pipe;
+        self.os.mgmt_cycles += pipe_cycles;
+        // Teardown also charges the CoW faults this child took while
+        // dirtying shared pages.
+        let teardown_cycles = self.os.teardown(child);
+        let status = match out.result {
+            CallResult::Return(v) => ExecStatus::Exit(v as i32),
+            CallResult::Exited(c) | CallResult::ExitHooked(c) => ExecStatus::Exit(c),
+            CallResult::Crashed(c) => ExecStatus::Crash(c),
+            CallResult::OutOfFuel => ExecStatus::Hang,
+        };
+        ExecOutcome {
+            status,
+            exec_cycles: out.cycles,
+            mgmt_cycles: fork_cycles + pipe_cycles + teardown_cycles,
+            insts: out.insts,
+        }
+    }
+
+    fn coverage(&self) -> &CovMap {
+        &self.cov
+    }
+
+    fn fuel(&self) -> u64 {
+        self.fuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fresh::FreshProcessExecutor;
+
+    fn module(src: &str) -> Module {
+        minic::compile("t", src).unwrap()
+    }
+
+    const STATEFUL: &str = r#"
+        global count;
+        fn main() {
+            count = count + 1;
+            return count;
+        }
+    "#;
+
+    #[test]
+    fn children_are_isolated_from_each_other() {
+        let m = module(STATEFUL);
+        let mut ex = ForkServerExecutor::new(&m).unwrap();
+        for _ in 0..4 {
+            assert_eq!(ex.run(b"x").status, ExecStatus::Exit(1));
+        }
+    }
+
+    #[test]
+    fn parent_is_never_dirtied() {
+        let m = module(STATEFUL);
+        let mut ex = ForkServerExecutor::new(&m).unwrap();
+        let g = ex.parent.globals.addr_of_name("count").unwrap();
+        ex.run(b"x");
+        assert_eq!(ex.parent.mem.read_uint(g, 8), 0);
+    }
+
+    #[test]
+    fn cheaper_than_fresh_process() {
+        let m = module(STATEFUL);
+        let mut fresh = FreshProcessExecutor::new(&m).unwrap();
+        let mut fork = ForkServerExecutor::new(&m).unwrap();
+        let f = fresh.run(b"x");
+        let k = fork.run(b"x");
+        assert!(
+            k.mgmt_cycles < f.mgmt_cycles,
+            "fork {} must beat spawn {}",
+            k.mgmt_cycles,
+            f.mgmt_cycles
+        );
+        assert_eq!(f.exec_cycles, k.exec_cycles, "same target work");
+    }
+
+    #[test]
+    fn crash_in_child_does_not_poison_parent() {
+        let m = module(
+            r#"
+            fn main() {
+                var f = fopen("/fuzz/input", 0);
+                if (f == 0) { exit(1); }
+                var buf[4];
+                fread(buf, 1, 4, f);
+                fclose(f);
+                if (load8(buf) == 'X') { return load64(0); }
+                return 0;
+            }
+        "#,
+        );
+        let mut ex = ForkServerExecutor::new(&m).unwrap();
+        let crash = ex.run(b"X");
+        assert!(crash.status.crash().is_some());
+        let ok = ex.run(b"A");
+        assert_eq!(ok.status, ExecStatus::Exit(0));
+    }
+}

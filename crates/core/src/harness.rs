@@ -1,0 +1,583 @@
+//! The ClosureX harness: a persistent loop with fine-grain state
+//! restoration (paper §4, Listing 1).
+//!
+//! Per iteration the harness:
+//!
+//! 1. waits for the fuzzer's next test case (here: the input argument),
+//! 2. arms the abnormal-exit restore point (the `setjmp` of Listing 1 —
+//!    realized as the interpreter's `ExitHooked` unwind, installed by the
+//!    `ExitPass`),
+//! 3. calls `target_main`,
+//! 4. restores state: the **stack** is already unwound (normal return or
+//!    hook), then leaked **heap** chunks are swept via the chunk map
+//!    (Fig. 5), the **global** section is restored from its snapshot
+//!    (Fig. 4), and stray **file handles** are closed — with
+//!    initialization-phase handles rewound instead of reopened.
+//!
+//! Construction applies the full ClosureX pass pipeline; no fuzzer or
+//! target modification is needed, mirroring the paper's AFL++ integration.
+
+use fir::{Module, Section};
+use passes::pipelines::closurex_pipeline;
+use passes::{PassError, PassReport, TARGET_MAIN};
+use vmos::fs::FUZZ_INPUT_PATH;
+use vmos::{CallResult, CovMap, HostCtx, Machine, Os, Process};
+
+use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
+
+/// Which global-restore implementation to use (ablation target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestoreStrategy {
+    /// Copy the whole `closure_global_section` back (the paper's design).
+    #[default]
+    FullSection,
+    /// Scan for dirty bytes and rewrite only those (cheaper restore for
+    /// sparse writers, pays a scan).
+    DirtyOnly,
+}
+
+/// Harness configuration, including the ablation toggles DESIGN.md lists.
+#[derive(Debug, Clone)]
+pub struct ClosureXConfig {
+    /// Per-test-case instruction budget.
+    pub fuel: u64,
+    /// Run one warm-up iteration at boot and snapshot *after* it, hoisting
+    /// input-independent initialization out of the loop (the paper's
+    /// deferred-initialization future-work feature).
+    pub deferred_init: bool,
+    /// Input for the warm-up iteration.
+    pub warmup_input: Vec<u8>,
+    /// Global-restore strategy.
+    pub restore_strategy: RestoreStrategy,
+    /// Sweep leaked heap chunks (ablation toggle).
+    pub heap_sweep: bool,
+    /// Restore the global section (ablation toggle).
+    pub global_restore: bool,
+    /// Close stray file handles (ablation toggle).
+    pub fd_sweep: bool,
+    /// Rewind init-phase handles instead of closing them.
+    pub init_fd_rewind: bool,
+}
+
+impl Default for ClosureXConfig {
+    fn default() -> Self {
+        ClosureXConfig {
+            fuel: DEFAULT_FUEL,
+            deferred_init: false,
+            warmup_input: Vec::new(),
+            restore_strategy: RestoreStrategy::FullSection,
+            heap_sweep: true,
+            global_restore: true,
+            fd_sweep: true,
+            init_fd_rewind: true,
+        }
+    }
+}
+
+/// Per-iteration restoration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Bytes written back into the global section.
+    pub global_bytes: u64,
+    /// Leaked chunks freed by the sweep.
+    pub leaked_chunks: u64,
+    /// Stray handles closed.
+    pub stray_fds: u64,
+    /// Init-phase handles rewound.
+    pub init_rewinds: u64,
+    /// Total restore cycles charged.
+    pub cycles: u64,
+}
+
+/// The ClosureX execution mechanism. See module docs.
+#[derive(Debug)]
+pub struct ClosureXExecutor {
+    os: Os,
+    module: Module,
+    proc: Option<Process>,
+    /// Ground-truth snapshot of `closure_global_section`.
+    snapshot: Vec<u8>,
+    /// `(addr, size)` of the section (the CLOSURE_GLOBAL_SECTION_* analog).
+    section: Option<(u64, u64)>,
+    cov: CovMap,
+    cfg: ClosureXConfig,
+    pass_reports: Vec<PassReport>,
+    last_restore: RestoreStats,
+    baseline_heap_bytes: u64,
+    respawns: u64,
+    /// Pristine post-boot process image. After a crash kills the
+    /// persistent process, recovery is a `fork` of this template (the
+    /// AFL++-forkserver integration the paper uses), not a full re-exec.
+    template: Option<Process>,
+}
+
+impl ClosureXExecutor {
+    /// Apply the ClosureX pipeline to `module` and boot the harness
+    /// process.
+    ///
+    /// # Errors
+    /// Propagates pass failures (e.g. no `main` in the target).
+    pub fn new(module: &Module, cfg: ClosureXConfig) -> Result<Self, PassError> {
+        let mut m = module.clone();
+        let pass_reports = closurex_pipeline().run(&mut m)?;
+        let mut ex = ClosureXExecutor {
+            os: Os::new(),
+            module: m,
+            proc: None,
+            snapshot: Vec::new(),
+            section: None,
+            cov: CovMap::new(),
+            cfg,
+            pass_reports,
+            last_restore: RestoreStats::default(),
+            baseline_heap_bytes: 0,
+            respawns: 0,
+            template: None,
+        };
+        ex.boot();
+        Ok(ex)
+    }
+
+    /// Boot (or re-boot after a crash): spawn, optionally run deferred
+    /// init, and take the ground-truth global snapshot.
+    fn boot(&mut self) {
+        let (mut p, _) = self.os.spawn(&self.module);
+        p.rt.enabled = true;
+        if self.cfg.deferred_init {
+            // Warm-up iteration: initialization-time allocations and file
+            // handles are exempt from the per-iteration sweep.
+            p.rt.in_init_phase = true;
+            self.os
+                .fs
+                .write_file(FUZZ_INPUT_PATH, self.cfg.warmup_input.clone());
+            let machine = Machine::new(&self.module);
+            let mut warm_cov = CovMap::new();
+            let mut ctx = HostCtx::new(&mut self.os, &mut warm_cov);
+            let _ = machine.call(&mut p, &mut ctx, TARGET_MAIN, &[0, 0], self.cfg.fuel);
+            p.rt.in_init_phase = false;
+            p.rt.chunk_map.clear();
+            p.rt.open_files.clear();
+            // Leave init-phase handles the way every iteration will find
+            // them: rewound to the start.
+            let init_handles: Vec<u64> = p.rt.init_files.clone();
+            for h in init_handles {
+                if let Some(f) = p.fds.get_mut(h) {
+                    f.pos = 0;
+                }
+            }
+        }
+        self.section = p.globals.section_range(Section::ClosureGlobal);
+        self.snapshot = match self.section {
+            Some((addr, size)) => p.read_bytes(addr, size as usize),
+            None => Vec::new(),
+        };
+        self.baseline_heap_bytes = p.heap.live_bytes();
+        self.template = Some(p.clone());
+        self.proc = Some(p);
+    }
+
+    /// Recover after a crash/hang: fork the pristine template (the
+    /// forkserver-style restart AFL++ performs for a dead persistent
+    /// child). Returns the cycles charged.
+    fn respawn_from_template(&mut self) -> u64 {
+        let template = self.template.as_ref().expect("booted");
+        let (child, cycles) = self.os.fork(template);
+        self.proc = Some(child);
+        self.respawns += 1;
+        cycles
+    }
+
+    /// Pass reports from instrumentation (Table 3 evidence).
+    pub fn pass_reports(&self) -> &[PassReport] {
+        &self.pass_reports
+    }
+
+    /// Restore statistics of the most recent iteration.
+    pub fn last_restore(&self) -> RestoreStats {
+        self.last_restore
+    }
+
+    /// `(addr, size)` of `closure_global_section`.
+    pub fn section(&self) -> Option<(u64, u64)> {
+        self.section
+    }
+
+    /// The live harness process (inspection in tests).
+    pub fn process(&self) -> Option<&Process> {
+        self.proc.as_ref()
+    }
+
+    /// Times the process was re-booted after a crash or hang.
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Run one test case, optionally capturing a path trace and the global
+    /// section contents *after* execution but *before* restoration — the
+    /// capture point the correctness evaluation (§6.1.4) compares against
+    /// fresh-process ground truth.
+    pub fn run_captured(
+        &mut self,
+        input: &[u8],
+        mut trace: Option<&mut Vec<u16>>,
+        capture_globals: bool,
+    ) -> (ExecOutcome, Option<Vec<u8>>) {
+        self.cov.clear();
+        self.os.fs.write_file(FUZZ_INPUT_PATH, input.to_vec());
+        let mut mgmt = self.os.cost.persistent_loop;
+        if self.proc.is_none() {
+            mgmt += self.respawn_from_template();
+        }
+        let p = self.proc.as_mut().expect("booted");
+        p.cov_state.reset();
+        let machine = Machine::new(&self.module);
+        let out = {
+            let mut ctx = match trace.as_deref_mut() {
+                Some(t) => HostCtx::with_trace(&mut self.os, &mut self.cov, t),
+                None => HostCtx::new(&mut self.os, &mut self.cov),
+            };
+            machine.call(p, &mut ctx, TARGET_MAIN, &[0, 0], self.cfg.fuel)
+        };
+        let captured = if capture_globals {
+            self.section
+                .map(|(addr, size)| self.proc.as_ref().expect("live").read_bytes(addr, size as usize))
+        } else {
+            None
+        };
+        let (status, kill) = match out.result {
+            CallResult::Return(v) => (ExecStatus::Exit(v as i32), false),
+            CallResult::ExitHooked(c) => (ExecStatus::Exit(c), false),
+            // `exit` inside host-library code is deliberately not hooked
+            // (paper §4.1): it still terminates the process.
+            CallResult::Exited(c) => (ExecStatus::Exit(c), true),
+            CallResult::Crashed(c) => (ExecStatus::Crash(c), true),
+            CallResult::OutOfFuel => (ExecStatus::Hang, true),
+        };
+        if kill {
+            let dead = self.proc.take().expect("was live");
+            mgmt += self.os.teardown(dead);
+        } else {
+            mgmt += self.restore();
+        }
+        (
+            ExecOutcome {
+                status,
+                exec_cycles: out.cycles,
+                mgmt_cycles: mgmt,
+                insts: out.insts,
+            },
+            captured,
+        )
+    }
+
+    /// End-of-iteration fine-grain state restoration. Returns cycles
+    /// charged.
+    fn restore(&mut self) -> u64 {
+        let p = self.proc.as_mut().expect("live process");
+        let cost = &self.os.cost;
+        let mut stats = RestoreStats::default();
+
+        // 1. Heap: free everything still in the chunk map (Fig. 5 step C).
+        //    Sorted order keeps the allocator deterministic run-to-run.
+        if self.cfg.heap_sweep {
+            let mut leaked: Vec<u64> = p.rt.chunk_map.keys().copied().collect();
+            leaked.sort_unstable();
+            for ptr in leaked {
+                // The chunk map only holds live chunks, so free cannot fail.
+                p.heap.free(ptr).expect("chunk map tracks live chunks");
+                stats.leaked_chunks += 1;
+            }
+        }
+        p.rt.chunk_map.clear();
+
+        // 2. Globals: restore the snapshot (Fig. 4).
+        if self.cfg.global_restore {
+            if let Some((addr, size)) = self.section {
+                match self.cfg.restore_strategy {
+                    RestoreStrategy::FullSection => {
+                        p.write_bytes(addr, &self.snapshot);
+                        stats.global_bytes = size;
+                    }
+                    RestoreStrategy::DirtyOnly => {
+                        let current = p.read_bytes(addr, size as usize);
+                        let mut dirty = 0u64;
+                        for (i, (cur, orig)) in
+                            current.iter().zip(self.snapshot.iter()).enumerate()
+                        {
+                            if cur != orig {
+                                p.write_bytes(addr + i as u64, &[*orig]);
+                                dirty += 1;
+                            }
+                        }
+                        // Scan cost: treat 64 scanned bytes as 1 restored.
+                        stats.global_bytes = dirty + size / 64;
+                    }
+                }
+            }
+        }
+
+        // 3. Files: close strays, rewind init handles.
+        if self.cfg.fd_sweep {
+            let strays: Vec<u64> = p.rt.open_files.drain(..).collect();
+            for h in strays {
+                if p.fds.close(h).is_ok() {
+                    stats.stray_fds += 1;
+                }
+            }
+            if self.cfg.init_fd_rewind {
+                let init_handles: Vec<u64> = p.rt.init_files.clone();
+                for h in init_handles {
+                    if let Some(f) = p.fds.get_mut(h) {
+                        f.pos = 0;
+                        stats.init_rewinds += 1;
+                    }
+                }
+            }
+        } else {
+            p.rt.open_files.clear();
+        }
+
+        stats.cycles = cost.restore(
+            stats.global_bytes,
+            stats.leaked_chunks,
+            stats.stray_fds,
+            stats.init_rewinds,
+        );
+        self.os.mgmt_cycles += stats.cycles;
+        self.last_restore = stats;
+        stats.cycles
+    }
+}
+
+impl Executor for ClosureXExecutor {
+    fn name(&self) -> &'static str {
+        "closurex"
+    }
+
+    fn run(&mut self, input: &[u8]) -> ExecOutcome {
+        self.run_captured(input, None, false).0
+    }
+
+    fn coverage(&self) -> &CovMap {
+        &self.cov
+    }
+
+    fn fuel(&self) -> u64 {
+        self.cfg.fuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forkserver::ForkServerExecutor;
+    use crate::naive::NaivePersistentExecutor;
+
+    fn module(src: &str) -> Module {
+        minic::compile("t", src).unwrap()
+    }
+
+    const STATEFUL: &str = r#"
+        global count;
+        fn main() {
+            count = count + 1;
+            return count;
+        }
+    "#;
+
+    #[test]
+    fn globals_restored_between_iterations() {
+        let m = module(STATEFUL);
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        for _ in 0..5 {
+            assert_eq!(ex.run(b"x").status, ExecStatus::Exit(1), "always fresh");
+        }
+        assert!(ex.last_restore().global_bytes > 0);
+    }
+
+    #[test]
+    fn heap_leaks_swept() {
+        let m = module(
+            r#"
+            fn main() {
+                var a = malloc(100);
+                var b = malloc(200);
+                store8(a, 1);
+                free(b);
+                return 0;
+            }
+        "#,
+        );
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        for _ in 0..10 {
+            ex.run(b"x");
+            assert_eq!(ex.last_restore().leaked_chunks, 1, "a leaks, b doesn't");
+        }
+        assert_eq!(
+            ex.process().unwrap().heap.live_bytes(),
+            0,
+            "heap clean after sweep"
+        );
+    }
+
+    #[test]
+    fn exit_is_hooked_not_fatal() {
+        let m = module("fn main() { exit(3); }");
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(ex.run(b"x").status, ExecStatus::Exit(3));
+        }
+        assert_eq!(ex.respawns(), 0, "exit() must not kill the process");
+    }
+
+    #[test]
+    fn fds_swept() {
+        let m = module(
+            r#"
+            fn main() {
+                var f = fopen("/fuzz/input", 0);
+                var buf[4];
+                fread(buf, 1, 4, f);
+                return 0;
+            }
+        "#,
+        );
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        for _ in 0..100 {
+            let out = ex.run(b"data");
+            assert_eq!(out.status, ExecStatus::Exit(0), "no fd exhaustion ever");
+            assert_eq!(ex.last_restore().stray_fds, 1);
+        }
+        assert_eq!(ex.process().unwrap().fds.open_count(), 0);
+    }
+
+    #[test]
+    fn crash_forces_reboot_and_recovery() {
+        let m = module(
+            r#"
+            fn main() {
+                var f = fopen("/fuzz/input", 0);
+                if (f == 0) { exit(1); }
+                var buf[4];
+                fread(buf, 1, 4, f);
+                fclose(f);
+                if (load8(buf) == 'X') { return load64(0); }
+                return 0;
+            }
+        "#,
+        );
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        assert!(ex.run(b"X").status.crash().is_some());
+        assert_eq!(ex.run(b"A").status, ExecStatus::Exit(0), "recovered");
+        assert_eq!(ex.respawns(), 1, "recovery forked the template once");
+    }
+
+    #[test]
+    fn restore_is_cheaper_than_fork() {
+        let m = module(STATEFUL);
+        let mut cx = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let mut fk = ForkServerExecutor::new(&m).unwrap();
+        let c = cx.run(b"x");
+        let f = fk.run(b"x");
+        assert!(
+            c.mgmt_cycles < f.mgmt_cycles,
+            "closurex restore {} must beat fork {}",
+            c.mgmt_cycles,
+            f.mgmt_cycles
+        );
+    }
+
+    #[test]
+    fn matches_naive_persistent_within_restore_cost() {
+        let m = module(STATEFUL);
+        let mut cx = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let mut np = NaivePersistentExecutor::new(&m).unwrap();
+        let c = cx.run(b"x");
+        let n = np.run(b"x");
+        // Near-persistent performance: ClosureX pays only the fine-grain
+        // restore over the naive loop.
+        assert!(c.mgmt_cycles < n.mgmt_cycles + c.mgmt_cycles / 2 + 2000);
+    }
+
+    #[test]
+    fn deferred_init_hoists_initialization() {
+        let m = module(
+            r#"
+            global init_done;
+            global expensive;
+            fn init() {
+                var i = 0;
+                while (i < 1000) { expensive = expensive + i; i = i + 1; }
+            }
+            fn main() {
+                if (init_done == 0) { init(); init_done = 1; }
+                return expensive > 0;
+            }
+        "#,
+        );
+        let mut plain = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let mut deferred = ClosureXExecutor::new(
+            &m,
+            ClosureXConfig {
+                deferred_init: true,
+                ..ClosureXConfig::default()
+            },
+        )
+        .unwrap();
+        let p = plain.run(b"x");
+        let d = deferred.run(b"x");
+        assert_eq!(p.status, d.status, "same observable behavior");
+        assert!(
+            d.insts * 3 < p.insts,
+            "init loop must be hoisted: deferred={} plain={}",
+            d.insts,
+            p.insts
+        );
+    }
+
+    #[test]
+    fn ablation_disabling_global_restore_leaks_state() {
+        let m = module(STATEFUL);
+        let cfg = ClosureXConfig {
+            global_restore: false,
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        assert_eq!(ex.run(b"x").status, ExecStatus::Exit(1));
+        assert_eq!(
+            ex.run(b"x").status,
+            ExecStatus::Exit(2),
+            "without GlobalPass restore, ClosureX degrades to naive persistent"
+        );
+    }
+
+    #[test]
+    fn init_fd_rewind_keeps_handle_usable() {
+        // Deferred init opens the input once; each iteration reads it from
+        // a rewound handle rather than reopening.
+        let m = module(
+            r#"
+            global fh;
+            fn main() {
+                if (fh == 0) { fh = fopen("/fuzz/input", 0); }
+                if (fh == 0) { exit(1); }
+                var buf[4];
+                var n = fread(buf, 1, 4, fh);
+                return n;
+            }
+        "#,
+        );
+        let cfg = ClosureXConfig {
+            deferred_init: true,
+            warmup_input: b"warm".to_vec(),
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        for _ in 0..5 {
+            let out = ex.run(b"abcd");
+            assert_eq!(out.status, ExecStatus::Exit(4), "rewound handle re-reads");
+            assert_eq!(ex.last_restore().init_rewinds, 1);
+            assert_eq!(ex.last_restore().stray_fds, 0);
+        }
+    }
+}

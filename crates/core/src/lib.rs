@@ -1,0 +1,57 @@
+//! # closurex — correct persistent fuzzing via fine-grain state restoration
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! harness + compiler-pass combination that lets an entire fuzzing campaign
+//! run inside **one process** (persistent-fuzzing throughput) while every
+//! test case observes **fresh-process-equivalent state** (correctness).
+//!
+//! The pieces:
+//!
+//! * [`executor::Executor`] — the common interface over the paper's
+//!   execution-mechanism continuum;
+//! * [`fresh::FreshProcessExecutor`] — spawn + exec per test case (slowest,
+//!   trivially correct);
+//! * [`forkserver::ForkServerExecutor`] — the AFL++ baseline: fork-per-test
+//!   with copy-on-write (fastest *correct* conventional mechanism);
+//! * [`naive::NaivePersistentExecutor`] — loop-in-one-process with **no**
+//!   restoration: fastest, and semantically inconsistent (the paper's §3
+//!   motivation);
+//! * [`harness::ClosureXExecutor`] — the contribution: persistent loop with
+//!   heap sweep, global-section restore, fd sweep/rewind, and exit hooking;
+//! * [`correctness`] — the §6.1.4 methodology: dataflow and control-flow
+//!   equivalence against fresh-process ground truth, with non-determinism
+//!   masking.
+//!
+//! ```
+//! use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+//! use closurex::executor::Executor;
+//!
+//! let src = r#"
+//!     global count;
+//!     fn main() {
+//!         count = count + 1;          // stale-state hazard
+//!         if (count > 1) { exit(9); } // only fires if state leaks across runs
+//!         return 0;
+//!     }
+//! "#;
+//! let module = minic::compile("demo", src).unwrap();
+//! let mut ex = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+//! for _ in 0..5 {
+//!     let out = ex.run(b"x");
+//!     // ClosureX restores `count` between runs: exit(9) can never fire.
+//!     assert_eq!(out.status, closurex::executor::ExecStatus::Exit(0));
+//! }
+//! ```
+
+pub mod correctness;
+pub mod executor;
+pub mod forkserver;
+pub mod fresh;
+pub mod harness;
+pub mod naive;
+
+#[cfg(test)]
+mod proptests;
+
+pub use executor::{ExecOutcome, ExecStatus, Executor};
+pub use harness::{ClosureXConfig, ClosureXExecutor, RestoreStats, RestoreStrategy};

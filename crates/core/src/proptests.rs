@@ -1,0 +1,133 @@
+//! Property-based tests of the harness's central invariant: for *any*
+//! target generated from a family of stateful parser templates and *any*
+//! input sequence, every ClosureX iteration behaves exactly like the first
+//! one — state never leaks between test cases.
+
+use proptest::prelude::*;
+
+use crate::executor::{ExecStatus, Executor};
+use crate::forkserver::ForkServerExecutor;
+use crate::harness::{ClosureXConfig, ClosureXExecutor};
+
+/// A small family of targets parameterized over constants, each mixing
+/// globals, heap, and file handles.
+fn target_source(bump: u8, leak_bytes: u16, threshold: u8) -> String {
+    format!(
+        r#"
+        global total;
+        global last;
+        global table[64];
+        fn main() {{
+            var f = fopen("/fuzz/input", 0);
+            if (f == 0) {{ exit(1); }}
+            var buf[32];
+            var n = fread(buf, 1, 32, f);
+            var scratch = malloc({leak_bytes});
+            store8(scratch, 1);
+            var i = 0;
+            while (i < n) {{
+                var b = load8(buf + i);
+                total = total + {bump};
+                last = b;
+                store8(table + (b % 64), b);
+                i = i + 1;
+            }}
+            if (n > 0 && last > {threshold}) {{
+                fclose(f);
+                return total;
+            }}
+            // handle f and scratch both leak on this path
+            return total;
+        }}
+    "#
+    )
+}
+
+fn inputs() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replay determinism: interleaving arbitrary other inputs never
+    /// changes what a given input does under ClosureX, and the result
+    /// always equals the forkserver's (fresh-semantics) result.
+    #[test]
+    fn closurex_matches_fresh_semantics_under_any_interleaving(
+        bump in 1u8..5,
+        leak in 1u16..512,
+        threshold in 0u8..255,
+        seq in inputs(),
+        probe in prop::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let src = target_source(bump, leak, threshold);
+        let module = minic::compile("prop", &src).expect("template compiles");
+
+        // Ground truth from the (correct, isolated) forkserver.
+        let mut fk = ForkServerExecutor::new(&module).expect("instrument");
+        let truth = fk.run(&probe).status;
+
+        let mut cx = ClosureXExecutor::new(&module, ClosureXConfig::default())
+            .expect("instrument");
+        // Heavy interleaving: pollute, probe, pollute differently, probe.
+        for s in &seq {
+            let _ = cx.run(s);
+        }
+        let first = cx.run(&probe).status;
+        for s in seq.iter().rev() {
+            let _ = cx.run(s);
+            let _ = cx.run(s);
+        }
+        let second = cx.run(&probe).status;
+
+        prop_assert_eq!(&first, &truth, "ClosureX must match fresh semantics");
+        prop_assert_eq!(&second, &truth, "and must be replay-deterministic");
+    }
+
+    /// Resource hygiene: after any run sequence, the harness process holds
+    /// zero live heap bytes and zero open descriptors.
+    #[test]
+    fn restoration_leaves_no_residue(
+        leak in 1u16..2048,
+        seq in inputs(),
+    ) {
+        let src = target_source(1, leak, 255); // threshold 255 → always leaks f
+        let module = minic::compile("prop", &src).expect("template compiles");
+        let mut cx = ClosureXExecutor::new(&module, ClosureXConfig::default())
+            .expect("instrument");
+        for s in &seq {
+            let out = cx.run(s);
+            prop_assert!(
+                matches!(out.status, ExecStatus::Exit(_)),
+                "template has no bugs: {:?}",
+                out.status
+            );
+            let p = cx.process().expect("alive");
+            prop_assert_eq!(p.heap.live_bytes(), 0, "heap swept every iteration");
+            prop_assert_eq!(p.fds.open_count(), 0, "fds swept every iteration");
+        }
+    }
+
+    /// The restore cost only depends on what the test case dirtied — it is
+    /// bounded and does not creep as the campaign ages.
+    #[test]
+    fn restore_cost_does_not_creep(seq in inputs()) {
+        let src = target_source(2, 64, 10);
+        let module = minic::compile("prop", &src).expect("template compiles");
+        let mut cx = ClosureXExecutor::new(&module, ClosureXConfig::default())
+            .expect("instrument");
+        let mut costs = Vec::new();
+        for _ in 0..3 {
+            for s in &seq {
+                let _ = cx.run(s);
+                costs.push(cx.last_restore().cycles);
+            }
+        }
+        let min = costs.iter().min().expect("non-empty");
+        let max = costs.iter().max().expect("non-empty");
+        // Identical per-input work across rounds → identical cost per
+        // input; across inputs the spread is bounded by one chunk + one fd.
+        prop_assert!(max - min <= 200, "restore cost crept: min={min} max={max}");
+    }
+}

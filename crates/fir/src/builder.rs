@@ -1,0 +1,385 @@
+//! Ergonomic construction of FIR modules and functions.
+//!
+//! ```
+//! use fir::builder::ModuleBuilder;
+//! use fir::Operand;
+//!
+//! let mut mb = ModuleBuilder::new("m");
+//! let g = mb.global(fir::Global::zeroed("counter", 8));
+//! let mut f = mb.function("bump");
+//! let addr = f.addr_of(g);
+//! let v = f.load64(Operand::Reg(addr));
+//! let v2 = f.add(Operand::Reg(v), Operand::Imm(1));
+//! f.store64(Operand::Reg(addr), Operand::Reg(v2));
+//! f.ret(None);
+//! f.finish();
+//! let m = mb.finish();
+//! assert!(fir::verify::verify_module(&m).is_ok());
+//! ```
+
+use crate::global::{Global, GlobalId};
+use crate::inst::{BinOp, BlockId, CmpPred, Inst, Operand, Reg, Terminator, Width};
+use crate::module::{Block, Function, FunctionId, Module};
+
+/// Builds a [`Module`] incrementally.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start a new module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Add a global variable.
+    pub fn global(&mut self, g: Global) -> GlobalId {
+        self.module.push_global(g)
+    }
+
+    /// Begin a function with no parameters.
+    pub fn function(&mut self, name: impl Into<String>) -> FunctionBuilder<'_> {
+        self.function_with_params(name, 0)
+    }
+
+    /// Begin a function with `num_params` parameters (bound to `%0..`).
+    pub fn function_with_params(
+        &mut self,
+        name: impl Into<String>,
+        num_params: u32,
+    ) -> FunctionBuilder<'_> {
+        FunctionBuilder::new(&mut self.module, name.into(), num_params)
+    }
+
+    /// Finish and return the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+
+    /// Access the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Builds one [`Function`]; finalize with [`FunctionBuilder::finish`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: Function,
+    cur: BlockId,
+    next_reg: u32,
+    finished_current: bool,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn new(module: &'m mut Module, name: String, num_params: u32) -> Self {
+        let func = Function {
+            name,
+            num_params,
+            num_regs: num_params,
+            blocks: vec![Block::placeholder()],
+        };
+        FunctionBuilder {
+            module,
+            func,
+            cur: BlockId(0),
+            next_reg: num_params,
+            finished_current: false,
+        }
+    }
+
+    /// Register bound to parameter `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_params`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.func.num_params, "param {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Create a new (empty) block and return its id. Does not switch to it.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(Block::placeholder());
+        BlockId(self.func.blocks.len() as u32 - 1)
+    }
+
+    /// Switch the insertion point to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+        self.finished_current = false;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// True if the current block already has its terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.finished_current
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(
+            !self.finished_current,
+            "block {} already terminated",
+            self.cur
+        );
+        self.func.blocks[self.cur.0 as usize].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(
+            !self.finished_current,
+            "block {} already terminated",
+            self.cur
+        );
+        self.func.blocks[self.cur.0 as usize].term = term;
+        self.finished_current = true;
+    }
+
+    // ---- instructions -------------------------------------------------
+
+    /// `dst = value`
+    pub fn const_i64(&mut self, value: i64) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, src: Operand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Mov { dst, src });
+        dst
+    }
+
+    /// Move into an existing register (for loop-carried variables).
+    pub fn mov_to(&mut self, dst: Reg, src: Operand) {
+        self.push(Inst::Mov { dst, src });
+    }
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Bin { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// `add`
+    pub fn add(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `sub`
+    pub fn sub(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `mul`
+    pub fn mul(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Comparison producing 0/1.
+    pub fn cmp(&mut self, pred: CmpPred, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Cmp {
+            pred,
+            dst,
+            lhs,
+            rhs,
+        });
+        dst
+    }
+
+    /// `dst = cond ? a : b`
+    pub fn select(&mut self, cond: Operand, if_true: Operand, if_false: Operand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        });
+        dst
+    }
+
+    /// Typed load.
+    pub fn load(&mut self, addr: Operand, width: Width) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Load { dst, addr, width });
+        dst
+    }
+
+    /// 8-bit load (zero-extended).
+    pub fn load8(&mut self, addr: Operand) -> Reg {
+        self.load(addr, Width::W8)
+    }
+
+    /// 64-bit load.
+    pub fn load64(&mut self, addr: Operand) -> Reg {
+        self.load(addr, Width::W64)
+    }
+
+    /// Typed store.
+    pub fn store(&mut self, addr: Operand, value: Operand, width: Width) {
+        self.push(Inst::Store { addr, value, width });
+    }
+
+    /// 8-bit store.
+    pub fn store8(&mut self, addr: Operand, value: Operand) {
+        self.store(addr, value, Width::W8);
+    }
+
+    /// 64-bit store.
+    pub fn store64(&mut self, addr: Operand, value: Operand) {
+        self.store(addr, value, Width::W64);
+    }
+
+    /// Materialize a global's address.
+    pub fn addr_of(&mut self, global: GlobalId) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::AddrOf { dst, global });
+        dst
+    }
+
+    /// Reserve `size` bytes of stack in the current frame.
+    pub fn alloca(&mut self, size: u32) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Alloca { dst, size });
+        dst
+    }
+
+    /// Call returning a value.
+    pub fn call(&mut self, callee: impl Into<String>, args: Vec<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Call {
+            dst: Some(dst),
+            callee: callee.into(),
+            args,
+        });
+        dst
+    }
+
+    /// Call discarding any return value.
+    pub fn call_void(&mut self, callee: impl Into<String>, args: Vec<Operand>) {
+        self.push(Inst::Call {
+            dst: None,
+            callee: callee.into(),
+            args,
+        });
+    }
+
+    // ---- terminators ---------------------------------------------------
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br(target));
+    }
+
+    /// Conditional branch on `cond != 0`.
+    pub fn cond_br(&mut self, cond: Operand, if_true: BlockId, if_false: BlockId) {
+        self.terminate(Terminator::CondBr {
+            cond,
+            if_true,
+            if_false,
+        });
+    }
+
+    /// Switch.
+    pub fn switch(&mut self, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId) {
+        self.terminate(Terminator::Switch {
+            value,
+            cases,
+            default,
+        });
+    }
+
+    /// Mark the current block unreachable.
+    pub fn unreachable(&mut self) {
+        self.terminate(Terminator::Unreachable);
+    }
+
+    /// Finish the function and add it to the module.
+    ///
+    /// # Panics
+    /// Panics if a function with the same name already exists.
+    pub fn finish(mut self) -> FunctionId {
+        self.func.num_regs = self.next_reg.max(self.func.num_params);
+        self.module.push_function(self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn builds_loop_function() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("sum_to_n", 1);
+        let n = f.param(0);
+        let acc = f.const_i64(0);
+        let i = f.const_i64(0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.br(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpPred::SLt, Operand::Reg(i), Operand::Reg(n));
+        f.cond_br(Operand::Reg(c), body, exit);
+        f.switch_to(body);
+        let acc2 = f.add(Operand::Reg(acc), Operand::Reg(i));
+        f.mov_to(acc, Operand::Reg(acc2));
+        let i2 = f.add(Operand::Reg(i), Operand::Imm(1));
+        f.mov_to(i, Operand::Reg(i2));
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(Operand::Reg(acc)));
+        f.finish();
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+        assert_eq!(m.function("sum_to_n").unwrap().blocks.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn cannot_append_after_terminator() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        f.ret(None);
+        f.const_i64(1);
+    }
+
+    #[test]
+    fn num_regs_tracks_fresh_registers() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("f", 2);
+        assert_eq!(f.param(0), Reg(0));
+        assert_eq!(f.param(1), Reg(1));
+        let r = f.const_i64(5);
+        assert_eq!(r, Reg(2));
+        f.ret(Some(Operand::Reg(r)));
+        f.finish();
+        let m = mb.finish();
+        assert_eq!(m.function("f").unwrap().num_regs, 3);
+    }
+}

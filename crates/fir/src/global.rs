@@ -1,0 +1,169 @@
+//! Global variables and ELF-like section placement.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a global within its [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@g{}", self.0)
+    }
+}
+
+/// The section a global is placed in when the module is loaded.
+///
+/// The ClosureX `GlobalPass` moves every *writable* global into
+/// [`Section::ClosureGlobal`] so the harness can snapshot and restore exactly
+/// the mutable global footprint of the target (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Section {
+    /// Initialized writable data (`.data`).
+    Data,
+    /// Read-only data (`.rodata`). Writes crash the process.
+    Rodata,
+    /// Zero-initialized writable data (`.bss`).
+    Bss,
+    /// `closure_global_section` — the snapshot/restore region created by the
+    /// ClosureX `GlobalPass`.
+    ClosureGlobal,
+}
+
+impl Section {
+    /// Linker-style section name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Section::Data => ".data",
+            Section::Rodata => ".rodata",
+            Section::Bss => ".bss",
+            Section::ClosureGlobal => "closure_global_section",
+        }
+    }
+
+    /// Parse a linker-style section name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            ".data" => Section::Data,
+            ".rodata" => Section::Rodata,
+            ".bss" => Section::Bss,
+            "closure_global_section" => Section::ClosureGlobal,
+            _ => return None,
+        })
+    }
+
+    /// Whether stores into this section are legal.
+    pub fn writable(self) -> bool {
+        !matches!(self, Section::Rodata)
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A module-level global variable: a named, sized, byte-initialized region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name, unique within the module.
+    pub name: String,
+    /// Section placement.
+    pub section: Section,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Initializer bytes; shorter than `size` means the tail is
+    /// zero-initialized (BSS-style).
+    pub init: Vec<u8>,
+    /// Whether the frontend declared this global `const`.
+    ///
+    /// This is the bit the `GlobalPass` inspects (the analog of LLVM's
+    /// `GlobalVariable::isConstant`).
+    pub is_const: bool,
+}
+
+impl Global {
+    /// Create a zero-initialized writable global (a `.bss` resident).
+    pub fn zeroed(name: impl Into<String>, size: u64) -> Self {
+        Global {
+            name: name.into(),
+            section: Section::Bss,
+            size,
+            init: Vec::new(),
+            is_const: false,
+        }
+    }
+
+    /// Create an initialized writable global (a `.data` resident).
+    pub fn with_init(name: impl Into<String>, init: Vec<u8>) -> Self {
+        Global {
+            name: name.into(),
+            section: Section::Data,
+            size: init.len() as u64,
+            init,
+            is_const: false,
+        }
+    }
+
+    /// Create a constant global (a `.rodata` resident).
+    pub fn constant(name: impl Into<String>, init: Vec<u8>) -> Self {
+        Global {
+            name: name.into(),
+            section: Section::Rodata,
+            size: init.len() as u64,
+            init,
+            is_const: true,
+        }
+    }
+
+    /// Materialized initial image: `init` padded with zeros to `size`.
+    pub fn image(&self) -> Vec<u8> {
+        let mut v = self.init.clone();
+        v.resize(self.size as usize, 0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_names_roundtrip() {
+        for s in [
+            Section::Data,
+            Section::Rodata,
+            Section::Bss,
+            Section::ClosureGlobal,
+        ] {
+            assert_eq!(Section::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Section::from_name(".text"), None);
+    }
+
+    #[test]
+    fn writability() {
+        assert!(Section::Data.writable());
+        assert!(Section::Bss.writable());
+        assert!(Section::ClosureGlobal.writable());
+        assert!(!Section::Rodata.writable());
+    }
+
+    #[test]
+    fn global_image_pads_with_zeros() {
+        let mut g = Global::with_init("x", vec![1, 2, 3]);
+        g.size = 8;
+        assert_eq!(g.image(), vec![1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn constructors_set_sections() {
+        assert_eq!(Global::zeroed("a", 8).section, Section::Bss);
+        assert_eq!(Global::with_init("b", vec![0]).section, Section::Data);
+        let c = Global::constant("c", vec![1]);
+        assert_eq!(c.section, Section::Rodata);
+        assert!(c.is_const);
+    }
+}

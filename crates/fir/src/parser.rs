@@ -1,0 +1,498 @@
+//! Parser for the textual FIR format emitted by [`crate::printer`].
+//!
+//! The printer/parser pair gives FIR a stable on-disk form and lets tests
+//! assert exact round-trips, the way LLVM's `.ll` format does.
+
+use std::fmt;
+
+use crate::global::{Global, Section};
+use crate::inst::{BinOp, BlockId, CmpPred, Inst, Operand, Reg, Terminator, Width};
+use crate::module::{Block, Function, Module};
+
+/// A parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a textual module.
+///
+/// # Errors
+/// Returns a [`ParseError`] pointing at the first malformed line.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut module = Module::new("");
+    let mut lines = text.lines().enumerate().peekable();
+
+    while let Some((ln0, raw)) = lines.next() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module ") {
+            module.name = rest.trim().trim_matches('"').to_string();
+        } else if let Some(rest) = line.strip_prefix("global @") {
+            module.globals.push(parse_global(ln, rest)?);
+        } else if let Some(rest) = line.strip_prefix("fn @") {
+            let mut func = parse_fn_header(ln, rest)?;
+            parse_fn_body(&mut lines, &mut func, &module)?;
+            module.functions.push(func);
+        } else {
+            return Err(perr(ln, format!("unexpected line: {line}")));
+        }
+    }
+    Ok(module)
+}
+
+fn parse_global(ln: usize, rest: &str) -> Result<Global, ParseError> {
+    // NAME : SIZE bytes, section SEC[, const][, init = [hex..]]
+    let (name, rest) = rest
+        .split_once(" : ")
+        .ok_or_else(|| perr(ln, "global missing ' : '"))?;
+    let mut size = None;
+    let mut section = None;
+    let mut is_const = false;
+    let mut init = Vec::new();
+    // split on ", " but keep the init blob intact
+    let (head, init_part) = match rest.split_once(", init = [") {
+        Some((h, tail)) => (h, Some(tail)),
+        None => (rest, None),
+    };
+    for part in head.split(", ") {
+        let part = part.trim();
+        if let Some(sz) = part.strip_suffix(" bytes") {
+            size = Some(
+                sz.trim()
+                    .parse::<u64>()
+                    .map_err(|_| perr(ln, format!("bad size {sz}")))?,
+            );
+        } else if let Some(sec) = part.strip_prefix("section ") {
+            section = Some(
+                Section::from_name(sec.trim())
+                    .ok_or_else(|| perr(ln, format!("unknown section {sec}")))?,
+            );
+        } else if part == "const" {
+            is_const = true;
+        } else if !part.is_empty() {
+            return Err(perr(ln, format!("unknown global attribute '{part}'")));
+        }
+    }
+    if let Some(tail) = init_part {
+        let blob = tail
+            .strip_suffix(']')
+            .ok_or_else(|| perr(ln, "unterminated init blob"))?;
+        for b in blob.split_whitespace() {
+            init.push(
+                u8::from_str_radix(b, 16).map_err(|_| perr(ln, format!("bad init byte {b}")))?,
+            );
+        }
+    }
+    Ok(Global {
+        name: name.trim().to_string(),
+        section: section.ok_or_else(|| perr(ln, "global missing section"))?,
+        size: size.ok_or_else(|| perr(ln, "global missing size"))?,
+        init,
+        is_const,
+    })
+}
+
+fn parse_fn_header(ln: usize, rest: &str) -> Result<Function, ParseError> {
+    // NAME(NPARAMS) regs=N {
+    let (name, rest) = rest
+        .split_once('(')
+        .ok_or_else(|| perr(ln, "fn missing '('"))?;
+    let (nparams, rest) = rest
+        .split_once(')')
+        .ok_or_else(|| perr(ln, "fn missing ')'"))?;
+    let rest = rest.trim();
+    let regs = rest
+        .strip_prefix("regs=")
+        .and_then(|r| r.strip_suffix('{'))
+        .ok_or_else(|| perr(ln, "fn missing regs=N {"))?;
+    Ok(Function {
+        name: name.trim().to_string(),
+        num_params: nparams
+            .trim()
+            .parse()
+            .map_err(|_| perr(ln, "bad param count"))?,
+        num_regs: regs
+            .trim()
+            .parse()
+            .map_err(|_| perr(ln, "bad reg count"))?,
+        blocks: Vec::new(),
+    })
+}
+
+fn parse_fn_body<'a, I>(
+    lines: &mut std::iter::Peekable<I>,
+    func: &mut Function,
+    module: &Module,
+) -> Result<(), ParseError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let mut cur: Option<Block> = None;
+    for (ln0, raw) in lines.by_ref() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "}" {
+            if let Some(b) = cur.take() {
+                func.blocks.push(b);
+            }
+            return Ok(());
+        }
+        if let Some(lbl) = line.strip_suffix(':') {
+            if !lbl.starts_with("bb") {
+                return Err(perr(ln, format!("bad block label {lbl}")));
+            }
+            if let Some(b) = cur.take() {
+                func.blocks.push(b);
+            }
+            cur = Some(Block::placeholder());
+            continue;
+        }
+        let block = cur
+            .as_mut()
+            .ok_or_else(|| perr(ln, "instruction before first block label"))?;
+        if let Some(term) = try_parse_term(ln, line)? {
+            block.term = term;
+        } else {
+            block.insts.push(parse_inst(ln, line, module)?);
+        }
+    }
+    Err(perr(0, "unterminated function body (missing '}')"))
+}
+
+fn parse_operand(ln: usize, s: &str) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    if let Some(r) = s.strip_prefix('%') {
+        Ok(Operand::Reg(Reg(
+            r.parse().map_err(|_| perr(ln, format!("bad reg {s}")))?
+        )))
+    } else {
+        Ok(Operand::Imm(
+            s.parse().map_err(|_| perr(ln, format!("bad imm {s}")))?,
+        ))
+    }
+}
+
+fn parse_reg(ln: usize, s: &str) -> Result<Reg, ParseError> {
+    match parse_operand(ln, s)? {
+        Operand::Reg(r) => Ok(r),
+        Operand::Imm(_) => Err(perr(ln, format!("expected register, got {s}"))),
+    }
+}
+
+fn parse_block_id(ln: usize, s: &str) -> Result<BlockId, ParseError> {
+    s.trim()
+        .strip_prefix("bb")
+        .and_then(|n| n.parse().ok())
+        .map(BlockId)
+        .ok_or_else(|| perr(ln, format!("bad block id {s}")))
+}
+
+fn parse_width(ln: usize, s: &str) -> Result<Width, ParseError> {
+    match s.trim() {
+        "i8" => Ok(Width::W8),
+        "i16" => Ok(Width::W16),
+        "i32" => Ok(Width::W32),
+        "i64" => Ok(Width::W64),
+        other => Err(perr(ln, format!("bad width {other}"))),
+    }
+}
+
+fn try_parse_term(ln: usize, line: &str) -> Result<Option<Terminator>, ParseError> {
+    if line == "ret" {
+        return Ok(Some(Terminator::Ret(None)));
+    }
+    if let Some(v) = line.strip_prefix("ret ") {
+        return Ok(Some(Terminator::Ret(Some(parse_operand(ln, v)?))));
+    }
+    if let Some(b) = line.strip_prefix("br ") {
+        return Ok(Some(Terminator::Br(parse_block_id(ln, b)?)));
+    }
+    if let Some(rest) = line.strip_prefix("condbr ") {
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() != 3 {
+            return Err(perr(ln, "condbr needs cond, bbT, bbF"));
+        }
+        return Ok(Some(Terminator::CondBr {
+            cond: parse_operand(ln, parts[0])?,
+            if_true: parse_block_id(ln, parts[1])?,
+            if_false: parse_block_id(ln, parts[2])?,
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("switch ") {
+        let (value, rest) = rest
+            .split_once('[')
+            .ok_or_else(|| perr(ln, "switch missing '['"))?;
+        let (cases_str, rest) = rest
+            .split_once(']')
+            .ok_or_else(|| perr(ln, "switch missing ']'"))?;
+        let default = rest
+            .trim()
+            .strip_prefix("default ")
+            .ok_or_else(|| perr(ln, "switch missing default"))?;
+        let mut cases = Vec::new();
+        for c in cases_str.split(',') {
+            let c = c.trim();
+            if c.is_empty() {
+                continue;
+            }
+            let (v, b) = c
+                .split_once("->")
+                .ok_or_else(|| perr(ln, "switch case missing '->'"))?;
+            cases.push((
+                v.trim()
+                    .parse::<i64>()
+                    .map_err(|_| perr(ln, "bad case value"))?,
+                parse_block_id(ln, b)?,
+            ));
+        }
+        return Ok(Some(Terminator::Switch {
+            value: parse_operand(ln, value)?,
+            cases,
+            default: parse_block_id(ln, default)?,
+        }));
+    }
+    if line == "unreachable" {
+        return Ok(Some(Terminator::Unreachable));
+    }
+    Ok(None)
+}
+
+fn parse_call(ln: usize, dst: Option<Reg>, rest: &str) -> Result<Inst, ParseError> {
+    // @callee(arg, arg, ...)
+    let rest = rest
+        .trim()
+        .strip_prefix('@')
+        .ok_or_else(|| perr(ln, "call missing @callee"))?;
+    let (callee, rest) = rest
+        .split_once('(')
+        .ok_or_else(|| perr(ln, "call missing '('"))?;
+    let args_str = rest
+        .strip_suffix(')')
+        .ok_or_else(|| perr(ln, "call missing ')'"))?;
+    let mut args = Vec::new();
+    for a in args_str.split(',') {
+        let a = a.trim();
+        if a.is_empty() {
+            continue;
+        }
+        args.push(parse_operand(ln, a)?);
+    }
+    Ok(Inst::Call {
+        dst,
+        callee: callee.trim().to_string(),
+        args,
+    })
+}
+
+fn parse_inst(ln: usize, line: &str, module: &Module) -> Result<Inst, ParseError> {
+    // store / bare call have no "dst ="
+    if let Some(rest) = line.strip_prefix("store ") {
+        let (width, rest) = rest
+            .trim()
+            .split_once(' ')
+            .ok_or_else(|| perr(ln, "store missing width"))?;
+        let (value, addr) = rest
+            .split_once(", [")
+            .ok_or_else(|| perr(ln, "store missing ', ['"))?;
+        let addr = addr
+            .strip_suffix(']')
+            .ok_or_else(|| perr(ln, "store missing ']'"))?;
+        return Ok(Inst::Store {
+            addr: parse_operand(ln, addr)?,
+            value: parse_operand(ln, value)?,
+            width: parse_width(ln, width)?,
+        });
+    }
+    if let Some(rest) = line.strip_prefix("call ") {
+        return parse_call(ln, None, rest);
+    }
+    let (dst, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| perr(ln, format!("unrecognized instruction: {line}")))?;
+    let dst = parse_reg(ln, dst)?;
+    let rhs = rhs.trim();
+    if let Some(v) = rhs.strip_prefix("const ") {
+        return Ok(Inst::Const {
+            dst,
+            value: v.trim().parse().map_err(|_| perr(ln, "bad const"))?,
+        });
+    }
+    if let Some(v) = rhs.strip_prefix("mov ") {
+        return Ok(Inst::Mov {
+            dst,
+            src: parse_operand(ln, v)?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("cmp ") {
+        let (pred, rest) = rest
+            .trim()
+            .split_once(' ')
+            .ok_or_else(|| perr(ln, "cmp missing predicate"))?;
+        let pred =
+            CmpPred::from_mnemonic(pred).ok_or_else(|| perr(ln, format!("bad pred {pred}")))?;
+        let (lhs, rhs_op) = rest
+            .split_once(',')
+            .ok_or_else(|| perr(ln, "cmp missing ','"))?;
+        return Ok(Inst::Cmp {
+            pred,
+            dst,
+            lhs: parse_operand(ln, lhs)?,
+            rhs: parse_operand(ln, rhs_op)?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("select ") {
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() != 3 {
+            return Err(perr(ln, "select needs 3 operands"));
+        }
+        return Ok(Inst::Select {
+            dst,
+            cond: parse_operand(ln, parts[0])?,
+            if_true: parse_operand(ln, parts[1])?,
+            if_false: parse_operand(ln, parts[2])?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let (width, rest) = rest
+            .split_once(", [")
+            .ok_or_else(|| perr(ln, "load missing ', ['"))?;
+        let addr = rest
+            .strip_suffix(']')
+            .ok_or_else(|| perr(ln, "load missing ']'"))?;
+        return Ok(Inst::Load {
+            dst,
+            addr: parse_operand(ln, addr)?,
+            width: parse_width(ln, width)?,
+        });
+    }
+    if let Some(name) = rhs.strip_prefix("addrof @") {
+        let gid = module
+            .global_id(name.trim())
+            .ok_or_else(|| perr(ln, format!("addrof of unknown global {name}")))?;
+        return Ok(Inst::AddrOf { dst, global: gid });
+    }
+    if let Some(sz) = rhs.strip_prefix("alloca ") {
+        return Ok(Inst::Alloca {
+            dst,
+            size: sz.trim().parse().map_err(|_| perr(ln, "bad alloca size"))?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("call ") {
+        return parse_call(ln, Some(dst), rest);
+    }
+    // binary op: "<mnemonic> lhs, rhs"
+    if let Some((mn, rest)) = rhs.split_once(' ') {
+        if let Some(op) = BinOp::from_mnemonic(mn) {
+            let (lhs, rhs_op) = rest
+                .split_once(',')
+                .ok_or_else(|| perr(ln, "binop missing ','"))?;
+            return Ok(Inst::Bin {
+                op,
+                dst,
+                lhs: parse_operand(ln, lhs)?,
+                rhs: parse_operand(ln, rhs_op)?,
+            });
+        }
+    }
+    Err(perr(ln, format!("unrecognized instruction: {line}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::printer::print_module;
+
+    #[test]
+    fn roundtrip_simple_module() {
+        let mut mb = ModuleBuilder::new("rt");
+        let g = mb.global(Global::constant("magic", vec![1, 2, 3]));
+        let w = mb.global(Global::zeroed("state", 16));
+        let mut f = mb.function_with_params("main", 1);
+        let a = f.addr_of(g);
+        let v = f.load8(Operand::Reg(a));
+        let s = f.add(Operand::Reg(v), Operand::Imm(-3));
+        let wa = f.addr_of(w);
+        f.store64(Operand::Reg(wa), Operand::Reg(s));
+        let exit_bb = f.new_block();
+        let ok_bb = f.new_block();
+        let c = f.cmp(CmpPred::SGt, Operand::Reg(s), Operand::Imm(10));
+        f.cond_br(Operand::Reg(c), exit_bb, ok_bb);
+        f.switch_to(exit_bb);
+        f.call_void("exit", vec![Operand::Imm(2)]);
+        f.unreachable();
+        f.switch_to(ok_bb);
+        let m2 = f.call("helper", vec![Operand::Reg(s), Operand::Imm(7)]);
+        f.ret(Some(Operand::Reg(m2)));
+        f.finish();
+        let mut h = mb.function_with_params("helper", 2);
+        let t = h.select(
+            Operand::Reg(h.param(0)),
+            Operand::Reg(h.param(1)),
+            Operand::Imm(0),
+        );
+        h.ret(Some(Operand::Reg(t)));
+        h.finish();
+        let m = mb.finish();
+
+        let text = print_module(&m);
+        let parsed = parse_module(&text).expect("parses");
+        assert_eq!(m, parsed, "print→parse must round-trip");
+    }
+
+    #[test]
+    fn roundtrip_switch() {
+        let mut mb = ModuleBuilder::new("sw");
+        let mut f = mb.function_with_params("dispatch", 1);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let d = f.new_block();
+        let p = f.param(0);
+        f.switch(Operand::Reg(p), vec![(1, b1), (2, b2)], d);
+        for b in [b1, b2, d] {
+            f.switch_to(b);
+            f.ret(Some(Operand::Imm(0)));
+        }
+        f.finish();
+        let m = mb.finish();
+        let parsed = parse_module(&print_module(&m)).unwrap();
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let text = "module \"x\"\nglobal @g 8 bytes\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_module("hello world").is_err());
+    }
+}

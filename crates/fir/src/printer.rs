@@ -1,0 +1,181 @@
+//! Textual FIR printer. The [`crate::parser`] round-trips this format.
+//!
+//! Format sketch:
+//!
+//! ```text
+//! module "gif"
+//! global @frame_count : 8 bytes, section .bss
+//! global @magic : 4 bytes, section .rodata, const, init = [47 49 46 38]
+//! fn @main(0) regs=12 {
+//! bb0:
+//!   %0 = const 42
+//!   %1 = add %0, 1
+//!   %2 = call @malloc(%1)
+//!   store i64 %1, [%2]
+//!   ret %1
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::inst::{Inst, Operand, Terminator};
+use crate::module::{Function, Module};
+
+/// Render a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module \"{}\"", m.name);
+    for g in &m.globals {
+        let _ = write!(
+            s,
+            "global @{} : {} bytes, section {}",
+            g.name, g.size, g.section
+        );
+        if g.is_const {
+            let _ = write!(s, ", const");
+        }
+        if !g.init.is_empty() {
+            let _ = write!(s, ", init = [");
+            for (i, b) in g.init.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(s, " ");
+                }
+                let _ = write!(s, "{b:02x}");
+            }
+            let _ = write!(s, "]");
+        }
+        let _ = writeln!(s);
+    }
+    for f in &m.functions {
+        print_function(&mut s, m, f);
+    }
+    s
+}
+
+fn print_function(s: &mut String, m: &Module, f: &Function) {
+    let _ = writeln!(s, "fn @{}({}) regs={} {{", f.name, f.num_params, f.num_regs);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "bb{bi}:");
+        for inst in &b.insts {
+            let _ = writeln!(s, "  {}", print_inst(m, inst));
+        }
+        let _ = writeln!(s, "  {}", print_term(&b.term));
+    }
+    let _ = writeln!(s, "}}");
+}
+
+fn print_inst(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Const { dst, value } => format!("{dst} = const {value}"),
+        Inst::Mov { dst, src } => format!("{dst} = mov {src}"),
+        Inst::Bin { op, dst, lhs, rhs } => {
+            format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+        }
+        Inst::Cmp {
+            pred,
+            dst,
+            lhs,
+            rhs,
+        } => format!("{dst} = cmp {} {lhs}, {rhs}", pred.mnemonic()),
+        Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => format!("{dst} = select {cond}, {if_true}, {if_false}"),
+        Inst::Load { dst, addr, width } => format!("{dst} = load {width}, [{addr}]"),
+        Inst::Store { addr, value, width } => format!("store {width} {value}, [{addr}]"),
+        Inst::AddrOf { dst, global } => {
+            let name = m
+                .globals
+                .get(global.0 as usize)
+                .map(|g| g.name.as_str())
+                .unwrap_or("?");
+            format!("{dst} = addrof @{name}")
+        }
+        Inst::Alloca { dst, size } => format!("{dst} = alloca {size}"),
+        Inst::Call { dst, callee, args } => {
+            let args = args
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            match dst {
+                Some(d) => format!("{d} = call @{callee}({args})"),
+                None => format!("call @{callee}({args})"),
+            }
+        }
+    }
+}
+
+fn print_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+        Terminator::Br(b) => format!("br {b}"),
+        Terminator::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => format!("condbr {cond}, {if_true}, {if_false}"),
+        Terminator::Switch {
+            value,
+            cases,
+            default,
+        } => {
+            let cs = cases
+                .iter()
+                .map(|(v, b)| format!("{v} -> {b}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("switch {value} [{cs}] default {default}")
+        }
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Render one operand (used by diagnostics in other crates).
+pub fn print_operand(o: &Operand) -> String {
+    o.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::global::Global;
+    use crate::inst::{CmpPred, Operand};
+
+    #[test]
+    fn prints_module_with_all_constructs() {
+        let mut mb = ModuleBuilder::new("demo");
+        let g = mb.global(Global::constant("magic", b"GIF8".to_vec()));
+        let w = mb.global(Global::zeroed("count", 8));
+        let mut f = mb.function_with_params("main", 2);
+        let a = f.addr_of(g);
+        let v = f.load8(Operand::Reg(a));
+        let c = f.cmp(CmpPred::Eq, Operand::Reg(v), Operand::Imm(0x47));
+        let yes = f.new_block();
+        let no = f.new_block();
+        f.cond_br(Operand::Reg(c), yes, no);
+        f.switch_to(yes);
+        let wa = f.addr_of(w);
+        f.store64(Operand::Reg(wa), Operand::Imm(1));
+        let buf = f.alloca(64);
+        f.call_void("memset", vec![Operand::Reg(buf), Operand::Imm(0), Operand::Imm(64)]);
+        f.ret(Some(Operand::Imm(0)));
+        f.switch_to(no);
+        f.call_void("exit", vec![Operand::Imm(1)]);
+        f.unreachable();
+        f.finish();
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("global @magic : 4 bytes, section .rodata, const"));
+        assert!(text.contains("init = [47 49 46 38]"));
+        assert!(text.contains("fn @main(2) regs="));
+        assert!(text.contains("= addrof @magic"));
+        assert!(text.contains("call @exit(1)"));
+        assert!(text.contains("unreachable"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over FIR: random well-formed modules must verify,
+//! print, and re-parse to an identical module.
+
+use proptest::prelude::*;
+
+use crate::builder::ModuleBuilder;
+use crate::global::Global;
+use crate::inst::{BinOp, CmpPred, Operand, Width};
+use crate::module::Module;
+use crate::parser::parse_module;
+use crate::printer::print_module;
+use crate::verify::verify_module;
+
+#[derive(Debug, Clone)]
+enum GenInst {
+    Const(i64),
+    Bin(u8, i64),
+    Cmp(u8, i64),
+    Load(u8),
+    Store(u8, i64),
+    AddrOf,
+    Alloca(u32),
+    Call(String, Vec<i64>),
+    Select(i64, i64),
+}
+
+fn gen_inst() -> impl Strategy<Value = GenInst> {
+    prop_oneof![
+        any::<i64>().prop_map(GenInst::Const),
+        (0u8..13, any::<i64>()).prop_map(|(o, v)| GenInst::Bin(o, v)),
+        (0u8..10, any::<i64>()).prop_map(|(p, v)| GenInst::Cmp(p, v)),
+        (0u8..4).prop_map(GenInst::Load),
+        ((0u8..4), any::<i64>()).prop_map(|(w, v)| GenInst::Store(w, v)),
+        Just(GenInst::AddrOf),
+        (1u32..512).prop_map(GenInst::Alloca),
+        (
+            "[a-z][a-z0-9_]{0,10}",
+            prop::collection::vec(any::<i64>(), 0..4)
+        )
+            .prop_map(|(n, a)| GenInst::Call(n, a)),
+        (any::<i64>(), any::<i64>()).prop_map(|(a, b)| GenInst::Select(a, b)),
+    ]
+}
+
+const BINOPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::UDiv,
+    BinOp::SDiv,
+    BinOp::URem,
+    BinOp::SRem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::LShr,
+    BinOp::AShr,
+];
+const PREDS: [CmpPred; 10] = [
+    CmpPred::Eq,
+    CmpPred::Ne,
+    CmpPred::ULt,
+    CmpPred::ULe,
+    CmpPred::UGt,
+    CmpPred::UGe,
+    CmpPred::SLt,
+    CmpPred::SLe,
+    CmpPred::SGt,
+    CmpPred::SGe,
+];
+const WIDTHS: [Width; 4] = [Width::W8, Width::W16, Width::W32, Width::W64];
+
+/// Build a random-but-well-formed module out of generated instruction specs.
+fn build_module(fn_bodies: Vec<Vec<GenInst>>, global_sizes: Vec<u16>) -> Module {
+    let mut mb = ModuleBuilder::new("prop");
+    let mut gids = Vec::new();
+    for (i, sz) in global_sizes.iter().enumerate() {
+        gids.push(mb.global(Global::zeroed(format!("g{i}"), u64::from(*sz) + 1)));
+    }
+    if gids.is_empty() {
+        gids.push(mb.global(Global::zeroed("g_default", 8)));
+    }
+    for (fi, body) in fn_bodies.iter().enumerate() {
+        let mut f = mb.function_with_params(format!("f{fi}"), 1);
+        let mut last = f.param(0);
+        for gi in body {
+            last = match gi.clone() {
+                GenInst::Const(v) => f.const_i64(v),
+                GenInst::Bin(o, v) => f.bin(
+                    BINOPS[o as usize % BINOPS.len()],
+                    Operand::Reg(last),
+                    Operand::Imm(v),
+                ),
+                GenInst::Cmp(p, v) => f.cmp(
+                    PREDS[p as usize % PREDS.len()],
+                    Operand::Reg(last),
+                    Operand::Imm(v),
+                ),
+                GenInst::Load(w) => f.load(Operand::Reg(last), WIDTHS[w as usize % 4]),
+                GenInst::Store(w, v) => {
+                    f.store(Operand::Reg(last), Operand::Imm(v), WIDTHS[w as usize % 4]);
+                    last
+                }
+                GenInst::AddrOf => f.addr_of(gids[0]),
+                GenInst::Alloca(s) => f.alloca(s),
+                GenInst::Call(name, args) => f.call(
+                    name,
+                    args.into_iter().map(Operand::Imm).collect::<Vec<_>>(),
+                ),
+                GenInst::Select(a, b) => {
+                    f.select(Operand::Reg(last), Operand::Imm(a), Operand::Imm(b))
+                }
+            };
+        }
+        f.ret(Some(Operand::Reg(last)));
+        f.finish();
+    }
+    mb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any module produced through the builder is structurally valid.
+    #[test]
+    fn built_modules_verify(
+        bodies in prop::collection::vec(prop::collection::vec(gen_inst(), 0..20), 1..4),
+        sizes in prop::collection::vec(any::<u16>(), 0..3),
+    ) {
+        let m = build_module(bodies, sizes);
+        prop_assert!(verify_module(&m).is_ok());
+    }
+
+    /// print → parse is the identity on builder-produced modules.
+    #[test]
+    fn print_parse_roundtrip(
+        bodies in prop::collection::vec(prop::collection::vec(gen_inst(), 0..20), 1..4),
+        sizes in prop::collection::vec(any::<u16>(), 0..3),
+    ) {
+        let m = build_module(bodies, sizes);
+        let text = print_module(&m);
+        let parsed = parse_module(&text).expect("parse printed module");
+        prop_assert_eq!(m, parsed);
+    }
+
+    /// replace_callee is idempotent and conserves total call-site count.
+    #[test]
+    fn replace_callee_conserves_calls(
+        bodies in prop::collection::vec(prop::collection::vec(gen_inst(), 0..20), 1..4),
+    ) {
+        let mut m = build_module(bodies, vec![]);
+        let before: usize = m.call_site_histogram().values().sum();
+        m.replace_callee("malloc", "closurex_malloc");
+        let n2 = m.replace_callee("malloc", "closurex_malloc");
+        prop_assert_eq!(n2, 0, "second rewrite must find nothing");
+        let after: usize = m.call_site_histogram().values().sum();
+        prop_assert_eq!(before, after);
+    }
+}

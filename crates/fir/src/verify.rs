@@ -1,0 +1,304 @@
+//! Module verifier: structural well-formedness checks run after construction
+//! and after each compiler pass (the analog of LLVM's `verifyModule`).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::inst::{Inst, Operand, Reg, Terminator};
+use crate::module::{Function, Module};
+
+/// A verification failure, with enough context to locate the defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name (empty for module-level errors).
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "module: {}", self.message)
+        } else {
+            write!(f, "function {}: {}", self.function, self.message)
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(function: &str, message: impl Into<String>) -> VerifyError {
+    VerifyError {
+        function: function.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Verify a whole module. Returns the first error found.
+///
+/// Checks:
+/// * unique function and global names;
+/// * every function verifies (see [`verify_function`]);
+/// * every `AddrOf` references an existing global.
+///
+/// # Errors
+/// Returns a [`VerifyError`] describing the first violation.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let mut names = HashSet::new();
+    for f in &m.functions {
+        if !names.insert(&f.name) {
+            return Err(err("", format!("duplicate function name {}", f.name)));
+        }
+    }
+    let mut gnames = HashSet::new();
+    for g in &m.globals {
+        if !gnames.insert(&g.name) {
+            return Err(err("", format!("duplicate global name {}", g.name)));
+        }
+        if g.init.len() as u64 > g.size {
+            return Err(err(
+                "",
+                format!(
+                    "global {} initializer ({} bytes) exceeds size {}",
+                    g.name,
+                    g.init.len(),
+                    g.size
+                ),
+            ));
+        }
+        if g.size == 0 {
+            return Err(err("", format!("global {} has zero size", g.name)));
+        }
+    }
+    for f in &m.functions {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+/// Verify a single function.
+///
+/// Checks:
+/// * at least one block;
+/// * every register index is below `num_regs`;
+/// * every branch target is a valid block id;
+/// * every `AddrOf` global id is valid;
+/// * `Alloca` sizes are non-zero.
+///
+/// # Errors
+/// Returns a [`VerifyError`] describing the first violation.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(err(&f.name, "function has no blocks"));
+    }
+    if f.num_params > f.num_regs {
+        return Err(err(
+            &f.name,
+            format!(
+                "num_params {} exceeds num_regs {}",
+                f.num_params, f.num_regs
+            ),
+        ));
+    }
+    let check_reg = |r: Reg, what: &str| -> Result<(), VerifyError> {
+        if r.0 >= f.num_regs {
+            Err(err(
+                &f.name,
+                format!("{what} register {r} out of range (num_regs={})", f.num_regs),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let check_op = |o: Operand, what: &str| -> Result<(), VerifyError> {
+        match o {
+            Operand::Reg(r) => check_reg(r, what),
+            Operand::Imm(_) => Ok(()),
+        }
+    };
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            if let Some(d) = inst.dst() {
+                check_reg(d, "destination")?;
+            }
+            for o in inst.operands() {
+                check_op(o, "source")?;
+            }
+            match inst {
+                Inst::AddrOf { global, .. } => {
+                    if global.0 as usize >= m.globals.len() {
+                        return Err(err(
+                            &f.name,
+                            format!("bb{bi}: AddrOf references unknown global {global}"),
+                        ));
+                    }
+                }
+                Inst::Alloca { size, .. } => {
+                    if *size == 0 {
+                        return Err(err(&f.name, format!("bb{bi}: alloca of zero bytes")));
+                    }
+                }
+                Inst::Call { callee, .. } => {
+                    if callee.is_empty() {
+                        return Err(err(&f.name, format!("bb{bi}: call with empty callee")));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let check_target = |t| -> Result<(), VerifyError> {
+            if (t as usize) < f.blocks.len() {
+                Ok(())
+            } else {
+                Err(err(
+                    &f.name,
+                    format!("bb{bi}: branch to nonexistent block bb{t}"),
+                ))
+            }
+        };
+        match &b.term {
+            Terminator::Ret(Some(v)) => check_op(*v, "return")?,
+            Terminator::Ret(None) | Terminator::Unreachable => {}
+            Terminator::Br(t) => check_target(t.0)?,
+            Terminator::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                check_op(*cond, "branch condition")?;
+                check_target(if_true.0)?;
+                check_target(if_false.0)?;
+            }
+            Terminator::Switch {
+                value,
+                cases,
+                default,
+            } => {
+                check_op(*value, "switch value")?;
+                for (_, t) in cases {
+                    check_target(t.0)?;
+                }
+                check_target(default.0)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::Global;
+    use crate::inst::{BlockId, Width};
+    use crate::module::Block;
+
+    fn func(name: &str, num_regs: u32, blocks: Vec<Block>) -> Function {
+        Function {
+            name: name.into(),
+            num_params: 0,
+            num_regs,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let mut m = Module::new("t");
+        m.functions.push(func("f", 0, vec![]));
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let mut m = Module::new("t");
+        m.functions.push(func(
+            "f",
+            1,
+            vec![Block {
+                insts: vec![Inst::Const {
+                    dst: Reg(5),
+                    value: 0,
+                }],
+                term: Terminator::Ret(None),
+            }],
+        ));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut m = Module::new("t");
+        m.functions.push(func(
+            "f",
+            0,
+            vec![Block {
+                insts: vec![],
+                term: Terminator::Br(BlockId(7)),
+            }],
+        ));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("nonexistent block"), "{e}");
+    }
+
+    #[test]
+    fn unknown_global_rejected() {
+        let mut m = Module::new("t");
+        m.functions.push(func(
+            "f",
+            1,
+            vec![Block {
+                insts: vec![Inst::AddrOf {
+                    dst: Reg(0),
+                    global: crate::GlobalId(3),
+                }],
+                term: Terminator::Ret(None),
+            }],
+        ));
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn oversized_initializer_rejected() {
+        let mut m = Module::new("t");
+        let mut g = Global::with_init("g", vec![1, 2, 3, 4]);
+        g.size = 2;
+        m.globals.push(g);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("exceeds size"), "{e}");
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let mut m = Module::new("t");
+        m.globals.push(Global::zeroed("g", 8));
+        m.functions.push(func(
+            "f",
+            2,
+            vec![Block {
+                insts: vec![
+                    Inst::AddrOf {
+                        dst: Reg(0),
+                        global: crate::GlobalId(0),
+                    },
+                    Inst::Load {
+                        dst: Reg(1),
+                        addr: Operand::Reg(Reg(0)),
+                        width: Width::W64,
+                    },
+                ],
+                term: Terminator::Ret(Some(Operand::Reg(Reg(1)))),
+            }],
+        ));
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new("t");
+        m.functions.push(func("f", 0, vec![Block::placeholder()]));
+        m.functions.push(func("f", 0, vec![Block::placeholder()]));
+        assert!(verify_module(&m).unwrap_err().message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The MinC abstract syntax tree.
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Global variable declarations, in order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in order.
+    pub functions: Vec<FuncDecl>,
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Declared `const` (placed in `.rodata`).
+    pub is_const: bool,
+    /// Size in bytes. Scalars are 8; arrays are their element count
+    /// (MinC arrays are byte arrays); string-initialized globals default to
+    /// `len + 1`.
+    pub size: u64,
+    /// True if declared with `[n]` (or string initializer): name yields the
+    /// address. Scalars load/store through the name directly.
+    pub is_array: bool,
+    /// Initializer bytes (little-endian for scalars).
+    pub init: Vec<u8>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name = expr;` or `var name[k];`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Byte size if `[k]` form (stack array).
+        array_size: Option<u32>,
+        /// Initializer (scalars only).
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch body.
+        then_body: Vec<Stmt>,
+        /// Else-branch body (possibly a nested `if`).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break(usize),
+    /// `continue;`
+    Continue(usize),
+    /// Expression statement (calls, assignments).
+    Expr(Expr),
+}
+
+/// Binary operators (post-desugaring; `&&`/`||` stay distinct for
+/// short-circuit codegen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal → interned `.rodata` global's address.
+    Str(Vec<u8>),
+    /// Variable / global reference.
+    Ident(String, usize),
+    /// `&global`
+    AddrOf(String, usize),
+    /// Unary `-` `!` `~`.
+    Unary(UnaryKind, Box<Expr>),
+    /// Binary operation.
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// `name(args...)` — direct call (functions, builtins, hostcalls).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `lhs = rhs` where lhs is an identifier (local or global scalar).
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` → `e == 0`).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_construct() {
+        let e = Expr::Bin(
+            BinKind::Add,
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Ident("x".into(), 3)),
+        );
+        assert!(matches!(e, Expr::Bin(BinKind::Add, _, _)));
+        let s = Stmt::Return(Some(e));
+        assert!(matches!(s, Stmt::Return(Some(_))));
+    }
+}

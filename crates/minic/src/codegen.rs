@@ -1,0 +1,524 @@
+//! Code generation: MinC AST → FIR.
+
+use std::collections::{HashMap, HashSet};
+
+use fir::builder::{FunctionBuilder, ModuleBuilder};
+use fir::{BinOp, BlockId, CmpPred, Global, GlobalId, Module, Operand, Reg, Width};
+
+use crate::ast::{BinKind, Expr, FuncDecl, GlobalDecl, Program, Stmt, UnaryKind};
+use crate::error::CompileError;
+
+/// Emit a FIR module for a checked program.
+///
+/// # Errors
+/// [`CompileError`] for unresolved identifiers and misused names.
+pub fn emit(module_name: &str, program: &Program) -> Result<Module, CompileError> {
+    let mut mb = ModuleBuilder::new(module_name);
+
+    // Globals first, so AddrOf ids are stable.
+    let mut globals: HashMap<String, GInfo> = HashMap::new();
+    for g in &program.globals {
+        let gid = mb.global(lower_global(g));
+        globals.insert(
+            g.name.clone(),
+            GInfo {
+                gid,
+                is_array: g.is_array,
+            },
+        );
+    }
+
+    // Intern every string literal as a .rodata global.
+    let mut strings: HashMap<Vec<u8>, GlobalId> = HashMap::new();
+    for f in &program.functions {
+        collect_strings(&f.body, &mut |s| {
+            if !strings.contains_key(s) {
+                let mut bytes = s.to_vec();
+                bytes.push(0);
+                let gid = mb.global(Global::constant(
+                    format!("__str_{}", strings.len()),
+                    bytes,
+                ));
+                strings.insert(s.to_vec(), gid);
+            }
+        });
+    }
+
+    let funcs: HashSet<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+
+    for f in &program.functions {
+        emit_function(&mut mb, f, &globals, &strings, &funcs)?;
+    }
+    Ok(mb.finish())
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GInfo {
+    gid: GlobalId,
+    is_array: bool,
+}
+
+fn lower_global(g: &GlobalDecl) -> Global {
+    let mut out = if g.is_const {
+        Global::constant(&g.name, g.init.clone())
+    } else if g.init.is_empty() {
+        Global::zeroed(&g.name, g.size)
+    } else {
+        Global::with_init(&g.name, g.init.clone())
+    };
+    out.size = g.size;
+    out
+}
+
+fn collect_strings(stmts: &[Stmt], f: &mut impl FnMut(&[u8])) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { init: Some(e), .. } => collect_expr_strings(e, f),
+            Stmt::VarDecl { .. } | Stmt::Return(None) | Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                collect_expr_strings(cond, f);
+                collect_strings(then_body, f);
+                collect_strings(else_body, f);
+            }
+            Stmt::While { cond, body } => {
+                collect_expr_strings(cond, f);
+                collect_strings(body, f);
+            }
+            Stmt::Return(Some(e)) | Stmt::Expr(e) => collect_expr_strings(e, f),
+        }
+    }
+}
+
+fn collect_expr_strings(e: &Expr, f: &mut impl FnMut(&[u8])) {
+    match e {
+        Expr::Str(s) => f(s),
+        Expr::Unary(_, inner) => collect_expr_strings(inner, f),
+        Expr::Bin(_, l, r) => {
+            collect_expr_strings(l, f);
+            collect_expr_strings(r, f);
+        }
+        Expr::Assign { value, .. } => collect_expr_strings(value, f),
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_expr_strings(a, f);
+            }
+        }
+        Expr::Int(_) | Expr::Ident(_, _) | Expr::AddrOf(_, _) => {}
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LocalSlot {
+    /// A scalar local bound to a register.
+    Reg(Reg),
+    /// A stack array; the register holds its address.
+    Arr(Reg),
+}
+
+struct FnCx<'a, 'm> {
+    fb: FunctionBuilder<'m>,
+    scopes: Vec<HashMap<String, LocalSlot>>,
+    /// (continue target, break target)
+    loops: Vec<(BlockId, BlockId)>,
+    globals: &'a HashMap<String, GInfo>,
+    strings: &'a HashMap<Vec<u8>, GlobalId>,
+    funcs: &'a HashSet<String>,
+}
+
+fn emit_function(
+    mb: &mut ModuleBuilder,
+    f: &FuncDecl,
+    globals: &HashMap<String, GInfo>,
+    strings: &HashMap<Vec<u8>, GlobalId>,
+    funcs: &HashSet<String>,
+) -> Result<(), CompileError> {
+    let fb = mb.function_with_params(&f.name, f.params.len() as u32);
+    let mut cx = FnCx {
+        fb,
+        scopes: vec![HashMap::new()],
+        loops: Vec::new(),
+        globals,
+        strings,
+        funcs,
+    };
+    for (i, pname) in f.params.iter().enumerate() {
+        let r = cx.fb.param(i as u32);
+        cx.scopes[0].insert(pname.clone(), LocalSlot::Reg(r));
+    }
+    cx.gen_stmts(&f.body)?;
+    if !cx.fb.is_terminated() {
+        cx.fb.ret(Some(Operand::Imm(0)));
+    }
+    cx.fb.finish();
+    Ok(())
+}
+
+impl FnCx<'_, '_> {
+    fn lookup(&self, name: &str) -> Option<LocalSlot> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+    }
+
+    fn gen_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.gen_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    /// After a `return`/`break`/`continue`, keep generating into a fresh
+    /// (unreachable) block so trailing dead statements stay legal.
+    fn start_dead_block(&mut self) {
+        let dead = self.fb.new_block();
+        self.fb.switch_to(dead);
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::VarDecl {
+                name,
+                array_size,
+                init,
+                line: _,
+            } => {
+                let slot = if let Some(sz) = array_size {
+                    LocalSlot::Arr(self.fb.alloca(*sz))
+                } else {
+                    let v = match init {
+                        Some(e) => self.gen_expr(e)?,
+                        None => Operand::Imm(0),
+                    };
+                    LocalSlot::Reg(self.fb.mov(v))
+                };
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone(), slot);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.gen_expr(cond)?;
+                let then_bb = self.fb.new_block();
+                let else_bb = self.fb.new_block();
+                let join = self.fb.new_block();
+                self.fb.cond_br(c, then_bb, else_bb);
+                self.fb.switch_to(then_bb);
+                self.gen_stmts(then_body)?;
+                if !self.fb.is_terminated() {
+                    self.fb.br(join);
+                }
+                self.fb.switch_to(else_bb);
+                self.gen_stmts(else_body)?;
+                if !self.fb.is_terminated() {
+                    self.fb.br(join);
+                }
+                self.fb.switch_to(join);
+            }
+            Stmt::While { cond, body } => {
+                let header = self.fb.new_block();
+                let body_bb = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.br(header);
+                self.fb.switch_to(header);
+                let c = self.gen_expr(cond)?;
+                self.fb.cond_br(c, body_bb, exit);
+                self.fb.switch_to(body_bb);
+                self.loops.push((header, exit));
+                self.gen_stmts(body)?;
+                self.loops.pop();
+                if !self.fb.is_terminated() {
+                    self.fb.br(header);
+                }
+                self.fb.switch_to(exit);
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.gen_expr(e)?),
+                    None => Some(Operand::Imm(0)),
+                };
+                self.fb.ret(v);
+                self.start_dead_block();
+            }
+            Stmt::Break(line) => {
+                let Some(&(_, exit)) = self.loops.last() else {
+                    return Err(CompileError::new(*line, "break outside loop"));
+                };
+                self.fb.br(exit);
+                self.start_dead_block();
+            }
+            Stmt::Continue(line) => {
+                let Some(&(header, _)) = self.loops.last() else {
+                    return Err(CompileError::new(*line, "continue outside loop"));
+                };
+                self.fb.br(header);
+                self.start_dead_block();
+            }
+            Stmt::Expr(e) => {
+                self.gen_expr(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn gen_expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match e {
+            Expr::Int(v) => Ok(Operand::Imm(*v)),
+            Expr::Str(s) => {
+                let gid = self.strings.get(s).copied().ok_or_else(|| {
+                    CompileError::new(0, "internal: string literal not interned")
+                })?;
+                Ok(Operand::Reg(self.fb.addr_of(gid)))
+            }
+            Expr::Ident(name, line) => {
+                if let Some(slot) = self.lookup(name) {
+                    return Ok(match slot {
+                        LocalSlot::Reg(r) | LocalSlot::Arr(r) => Operand::Reg(r),
+                    });
+                }
+                if let Some(gi) = self.globals.get(name) {
+                    let addr = self.fb.addr_of(gi.gid);
+                    return Ok(if gi.is_array {
+                        Operand::Reg(addr)
+                    } else {
+                        Operand::Reg(self.fb.load64(Operand::Reg(addr)))
+                    });
+                }
+                Err(CompileError::new(
+                    *line,
+                    format!("undefined variable '{name}'"),
+                ))
+            }
+            Expr::AddrOf(name, line) => {
+                if let Some(slot) = self.lookup(name) {
+                    return match slot {
+                        LocalSlot::Arr(r) => Ok(Operand::Reg(r)),
+                        LocalSlot::Reg(_) => Err(CompileError::new(
+                            *line,
+                            format!("cannot take address of scalar local '{name}'"),
+                        )),
+                    };
+                }
+                if let Some(gi) = self.globals.get(name) {
+                    return Ok(Operand::Reg(self.fb.addr_of(gi.gid)));
+                }
+                Err(CompileError::new(*line, format!("unknown global '{name}'")))
+            }
+            Expr::Unary(kind, inner) => {
+                let v = self.gen_expr(inner)?;
+                Ok(Operand::Reg(match kind {
+                    UnaryKind::Neg => self.fb.sub(Operand::Imm(0), v),
+                    UnaryKind::Not => self.fb.cmp(CmpPred::Eq, v, Operand::Imm(0)),
+                    UnaryKind::BitNot => self.fb.bin(BinOp::Xor, v, Operand::Imm(-1)),
+                }))
+            }
+            Expr::Bin(kind, l, r) => self.gen_bin(*kind, l, r),
+            Expr::Assign { name, value, line } => {
+                let v = self.gen_expr(value)?;
+                if let Some(slot) = self.lookup(name) {
+                    return match slot {
+                        LocalSlot::Reg(dst) => {
+                            self.fb.mov_to(dst, v);
+                            Ok(Operand::Reg(dst))
+                        }
+                        LocalSlot::Arr(_) => Err(CompileError::new(
+                            *line,
+                            format!("cannot assign to array '{name}'"),
+                        )),
+                    };
+                }
+                if let Some(gi) = self.globals.get(name).copied() {
+                    if gi.is_array {
+                        return Err(CompileError::new(
+                            *line,
+                            format!("cannot assign to global array '{name}'"),
+                        ));
+                    }
+                    let addr = self.fb.addr_of(gi.gid);
+                    self.fb.store64(Operand::Reg(addr), v);
+                    return Ok(v);
+                }
+                Err(CompileError::new(
+                    *line,
+                    format!("undefined variable '{name}'"),
+                ))
+            }
+            Expr::Call { callee, args, line } => self.gen_call(callee, args, *line),
+        }
+    }
+
+    fn gen_bin(&mut self, kind: BinKind, l: &Expr, r: &Expr) -> Result<Operand, CompileError> {
+        // Short-circuit forms need control flow.
+        if matches!(kind, BinKind::LogAnd | BinKind::LogOr) {
+            let result = self.fb.fresh_reg();
+            let lv = self.gen_expr(l)?;
+            let lbool = self.fb.cmp(CmpPred::Ne, lv, Operand::Imm(0));
+            let rhs_bb = self.fb.new_block();
+            let short_bb = self.fb.new_block();
+            let join = self.fb.new_block();
+            match kind {
+                BinKind::LogAnd => self.fb.cond_br(Operand::Reg(lbool), rhs_bb, short_bb),
+                _ => self.fb.cond_br(Operand::Reg(lbool), short_bb, rhs_bb),
+            }
+            self.fb.switch_to(rhs_bb);
+            let rv = self.gen_expr(r)?;
+            let rbool = self.fb.cmp(CmpPred::Ne, rv, Operand::Imm(0));
+            self.fb.mov_to(result, Operand::Reg(rbool));
+            self.fb.br(join);
+            self.fb.switch_to(short_bb);
+            let short_val = if kind == BinKind::LogAnd { 0 } else { 1 };
+            self.fb.mov_to(result, Operand::Imm(short_val));
+            self.fb.br(join);
+            self.fb.switch_to(join);
+            return Ok(Operand::Reg(result));
+        }
+
+        let lv = self.gen_expr(l)?;
+        let rv = self.gen_expr(r)?;
+        let reg = match kind {
+            BinKind::Add => self.fb.bin(BinOp::Add, lv, rv),
+            BinKind::Sub => self.fb.bin(BinOp::Sub, lv, rv),
+            BinKind::Mul => self.fb.bin(BinOp::Mul, lv, rv),
+            BinKind::Div => self.fb.bin(BinOp::SDiv, lv, rv),
+            BinKind::Rem => self.fb.bin(BinOp::SRem, lv, rv),
+            BinKind::BitAnd => self.fb.bin(BinOp::And, lv, rv),
+            BinKind::BitOr => self.fb.bin(BinOp::Or, lv, rv),
+            BinKind::BitXor => self.fb.bin(BinOp::Xor, lv, rv),
+            BinKind::Shl => self.fb.bin(BinOp::Shl, lv, rv),
+            BinKind::Shr => self.fb.bin(BinOp::AShr, lv, rv),
+            BinKind::Eq => self.fb.cmp(CmpPred::Eq, lv, rv),
+            BinKind::Ne => self.fb.cmp(CmpPred::Ne, lv, rv),
+            BinKind::Lt => self.fb.cmp(CmpPred::SLt, lv, rv),
+            BinKind::Le => self.fb.cmp(CmpPred::SLe, lv, rv),
+            BinKind::Gt => self.fb.cmp(CmpPred::SGt, lv, rv),
+            BinKind::Ge => self.fb.cmp(CmpPred::SGe, lv, rv),
+            BinKind::LogAnd | BinKind::LogOr => unreachable!("handled above"),
+        };
+        Ok(Operand::Reg(reg))
+    }
+
+    fn gen_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<Operand, CompileError> {
+        // Memory intrinsics lower to loads/stores.
+        let width = |suffix: &str| match suffix {
+            "8" => Width::W8,
+            "16" => Width::W16,
+            "32" => Width::W32,
+            _ => Width::W64,
+        };
+        if let Some(sfx) = callee.strip_prefix("load") {
+            if ["8", "16", "32", "64"].contains(&sfx) {
+                let addr = self.gen_expr(&args[0])?;
+                return Ok(Operand::Reg(self.fb.load(addr, width(sfx))));
+            }
+        }
+        if let Some(sfx) = callee.strip_prefix("store") {
+            if ["8", "16", "32", "64"].contains(&sfx) {
+                let addr = self.gen_expr(&args[0])?;
+                let val = self.gen_expr(&args[1])?;
+                self.fb.store(addr, val, width(sfx));
+                return Ok(val);
+            }
+        }
+        // Shadowing check: a local named like a function is probably a bug.
+        if self.lookup(callee).is_some() {
+            return Err(CompileError::new(
+                line,
+                format!("'{callee}' is a variable, not callable"),
+            ));
+        }
+        let argv = args
+            .iter()
+            .map(|a| self.gen_expr(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        let _ = &self.funcs; // arity was validated in sema for known funcs
+        Ok(Operand::Reg(self.fb.call(callee, argv)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn emit_src(src: &str) -> Result<fir::Module, crate::CompileError> {
+        let prog = parse(lex(src).unwrap()).unwrap();
+        crate::sema::check(&prog)?;
+        super::emit("t", &prog)
+    }
+
+    #[test]
+    fn string_literals_are_interned_and_deduped() {
+        let m = emit_src(
+            r#"fn main() { puts("hello"); puts("hello"); puts("bye"); return 0; }"#,
+        )
+        .unwrap();
+        let strs: Vec<_> = m
+            .globals
+            .iter()
+            .filter(|g| g.name.starts_with("__str_"))
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs.iter().all(|g| g.is_const));
+    }
+
+    #[test]
+    fn globals_get_sections_by_constness() {
+        let m = emit_src("const global A = \"x\"; global b; global c = 3; fn main() { return 0; }")
+            .unwrap();
+        assert_eq!(m.global("A").unwrap().section, fir::Section::Rodata);
+        assert_eq!(m.global("b").unwrap().section, fir::Section::Bss);
+        assert_eq!(m.global("c").unwrap().section, fir::Section::Data);
+    }
+
+    #[test]
+    fn undefined_identifier_reports_line() {
+        let e = emit_src("fn main() {\n return missing;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn assign_to_array_rejected() {
+        assert!(emit_src("global a[4]; fn main() { a = 3; return 0; }").is_err());
+        assert!(emit_src("fn main() { var b[4]; b = 3; return 0; }").is_err());
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert!(emit_src("fn main() { break; }").is_err());
+    }
+
+    #[test]
+    fn generated_module_verifies() {
+        let m = emit_src(
+            r#"
+            global table[64];
+            fn helper(x) { if (x > 2) { return x; } return 0 - x; }
+            fn main() {
+                var i = 0;
+                while (i < 10) {
+                    store8(table + i, helper(i) & 255);
+                    i = i + 1;
+                }
+                return load8(table + 5);
+            }
+        "#,
+        )
+        .unwrap();
+        fir::verify::verify_module(&m).unwrap();
+    }
+}

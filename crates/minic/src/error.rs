@@ -1,0 +1,30 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// A MinC compilation failure with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line (0 for whole-program errors).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Construct an error at a line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

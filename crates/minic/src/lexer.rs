@@ -1,0 +1,376 @@
+//! The MinC lexer.
+
+use crate::error::CompileError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Integer literal (decimal, hex, or char).
+    Int(i64),
+    /// String literal (unescaped bytes, no NUL).
+    Str(Vec<u8>),
+    /// Identifier or keyword.
+    Ident(String),
+    /// `fn`
+    Fn,
+    /// `global`
+    Global,
+    /// `const`
+    Const,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// Punctuation / operators.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const PUNCTS2: [&str; 10] = ["==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-="];
+const PUNCTS1: [char; 18] = [
+    '+', '-', '*', '/', '%', '(', ')', '{', '}', '[', ']', ';', ',', '<', '>', '=', '!', '~',
+];
+
+/// Tokenize MinC source.
+///
+/// # Errors
+/// [`CompileError`] on malformed literals or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &src[start + 2..i];
+                let v = i64::from_str_radix(text, 16)
+                    .map_err(|_| CompileError::new(line, format!("bad hex literal 0x{text}")))?;
+                out.push(Token {
+                    kind: TokKind::Int(v),
+                    line,
+                });
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| CompileError::new(line, format!("bad integer literal {text}")))?;
+                out.push(Token {
+                    kind: TokKind::Int(v),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let kind = match word {
+                "fn" => TokKind::Fn,
+                "global" => TokKind::Global,
+                "const" => TokKind::Const,
+                "var" => TokKind::Var,
+                "if" => TokKind::If,
+                "else" => TokKind::Else,
+                "while" => TokKind::While,
+                "return" => TokKind::Return,
+                "break" => TokKind::Break,
+                "continue" => TokKind::Continue,
+                _ => TokKind::Ident(word.to_string()),
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Char literal.
+        if c == '\'' {
+            let (v, consumed) = lex_char(&bytes[i..], line)?;
+            out.push(Token {
+                kind: TokKind::Int(v),
+                line,
+            });
+            i += consumed;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            let mut s = Vec::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(CompileError::new(line, "unterminated string literal"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        if i >= bytes.len() {
+                            return Err(CompileError::new(line, "dangling escape"));
+                        }
+                        s.push(unescape(bytes[i], line)?);
+                        i += 1;
+                    }
+                    b'\n' => return Err(CompileError::new(line, "newline in string literal")),
+                    b => {
+                        s.push(b);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                kind: TokKind::Str(s),
+                line,
+            });
+            continue;
+        }
+        // Operators: longest match first.
+        let rest = &src[i..];
+        if let Some(p2) = PUNCTS2.iter().find(|p| rest.starts_with(**p)) {
+            out.push(Token {
+                kind: TokKind::Punct(p2),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        if let Some(p1) = PUNCTS1.iter().find(|p| **p == c) {
+            let s: &'static str = match *p1 {
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '(' => "(",
+                ')' => ")",
+                '{' => "{",
+                '}' => "}",
+                '[' => "[",
+                ']' => "]",
+                ';' => ";",
+                ',' => ",",
+                '<' => "<",
+                '>' => ">",
+                '=' => "=",
+                '!' => "!",
+                '~' => "~",
+                _ => unreachable!(),
+            };
+            out.push(Token {
+                kind: TokKind::Punct(s),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if c == '&' {
+            out.push(Token {
+                kind: TokKind::Punct("&"),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if c == '|' {
+            out.push(Token {
+                kind: TokKind::Punct("|"),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if c == '^' {
+            out.push(Token {
+                kind: TokKind::Punct("^"),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(CompileError::new(line, format!("unexpected character '{c}'")));
+    }
+    out.push(Token {
+        kind: TokKind::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn lex_char(bytes: &[u8], line: usize) -> Result<(i64, usize), CompileError> {
+    // bytes[0] == '\''
+    if bytes.len() < 3 {
+        return Err(CompileError::new(line, "unterminated char literal"));
+    }
+    if bytes[1] == b'\\' {
+        if bytes.len() < 4 || bytes[3] != b'\'' {
+            return Err(CompileError::new(line, "bad escaped char literal"));
+        }
+        Ok((i64::from(unescape(bytes[2], line)?), 4))
+    } else {
+        if bytes[2] != b'\'' {
+            return Err(CompileError::new(line, "unterminated char literal"));
+        }
+        Ok((i64::from(bytes[1]), 3))
+    }
+}
+
+fn unescape(b: u8, line: usize) -> Result<u8, CompileError> {
+    Ok(match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(CompileError::new(
+                line,
+                format!("unknown escape \\{}", other as char),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("fn main() { return 42; }");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Fn,
+                TokKind::Ident("main".into()),
+                TokKind::Punct("("),
+                TokKind::Punct(")"),
+                TokKind::Punct("{"),
+                TokKind::Return,
+                TokKind::Int(42),
+                TokKind::Punct(";"),
+                TokKind::Punct("}"),
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let k = kinds("a <= b == c << 2 && d");
+        assert!(k.contains(&TokKind::Punct("<=")));
+        assert!(k.contains(&TokKind::Punct("==")));
+        assert!(k.contains(&TokKind::Punct("<<")));
+        assert!(k.contains(&TokKind::Punct("&&")));
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(kinds("0xFF")[0], TokKind::Int(255));
+        assert_eq!(kinds("'A'")[0], TokKind::Int(65));
+        assert_eq!(kinds(r"'\n'")[0], TokKind::Int(10));
+        assert_eq!(kinds(r#""hi\0""#)[0], TokKind::Str(vec![b'h', b'i', 0]));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("fn\nmain\n()").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("1 // x\n2 /* y\nz */ 3");
+        assert_eq!(
+            k,
+            vec![TokKind::Int(1), TokKind::Int(2), TokKind::Int(3), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

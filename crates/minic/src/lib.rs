@@ -1,0 +1,333 @@
+//! # MinC — a small C-like language compiled to FIR
+//!
+//! The paper instruments real C targets with LLVM. This reproduction's
+//! targets are written in MinC and compiled to [`fir`] — giving the ClosureX
+//! passes realistic call sites (`malloc`, `fopen`, `exit`), mutable global
+//! state, stack arrays, and byte-level parsing loops to transform.
+//!
+//! ## Language sketch
+//!
+//! ```text
+//! const global MAGIC = "GIF8";        // .rodata, name yields address
+//! global frame_count;                  // 8-byte scalar, .bss
+//! global palette[768];                 // byte array
+//! global table[8] = {1, 2, 3};        // byte-initialized array
+//!
+//! fn helper(x, y) { return x * y + 1; }
+//!
+//! fn main() {
+//!     var f = fopen("/fuzz/input", 0);
+//!     if (f == 0) { exit(1); }
+//!     var buf[64];
+//!     var n = fread(buf, 1, 64, f);
+//!     var b = load8(buf);              // byte load intrinsic
+//!     store8(buf + 1, b);              // byte store intrinsic
+//!     frame_count = frame_count + 1;   // global scalar access
+//!     while (n > 0) { n = n - 1; }
+//!     fclose(f);
+//!     return 0;
+//! }
+//! ```
+//!
+//! * every value is a 64-bit integer; pointers are addresses;
+//! * `load8/16/32/64` and `store8/16/32/64` are lowered to FIR loads/stores;
+//! * `var a[k];` reserves `k` bytes of stack (the name is the address);
+//! * string literals are interned as `.rodata` globals;
+//! * `&name` takes a global's address;
+//! * `&&`/`||` short-circuit; `/ % >> ` are signed (C defaults);
+//! * everything else called by name becomes a FIR `call`, resolved at run
+//!   time against module functions, then the simulated libc.
+//!
+//! ```
+//! let module = minic::compile("demo", "fn main() { return 41 + 1; }").unwrap();
+//! assert!(module.function("main").is_some());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use error::CompileError;
+
+/// Compile MinC source into a verified FIR module.
+///
+/// # Errors
+/// Returns a [`CompileError`] for lexical, syntactic, or semantic problems.
+pub fn compile(module_name: &str, source: &str) -> Result<fir::Module, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(tokens)?;
+    sema::check(&program)?;
+    let module = codegen::emit(module_name, &program)?;
+    fir::verify::verify_module(&module).map_err(|e| CompileError {
+        line: 0,
+        message: format!("internal: generated module failed verification: {e}"),
+    })?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod compile_tests {
+    use vmos::{CallResult, CovMap, HostCtx, Machine, Os};
+
+    fn run(src: &str, args: &[i64]) -> CallResult {
+        run_with_input(src, args, None).0
+    }
+
+    fn run_with_input(
+        src: &str,
+        args: &[i64],
+        input: Option<&[u8]>,
+    ) -> (CallResult, vmos::Process) {
+        let m = crate::compile("t", src).expect("compiles");
+        let mut os = Os::new();
+        if let Some(data) = input {
+            os.fs.write_file("/fuzz/input", data.to_vec());
+        }
+        let (mut p, _) = os.spawn(&m);
+        let mut cov = CovMap::new();
+        let mut ctx = HostCtx::new(&mut os, &mut cov);
+        let out = Machine::new(&m).call(&mut p, &mut ctx, "main", args, 10_000_000);
+        (out.result, p)
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(
+            run("fn main() { return 2 + 3 * 4 - 10 / 2; }", &[]),
+            CallResult::Return(9)
+        );
+        assert_eq!(
+            run("fn main() { return (2 + 3) * 4 % 7; }", &[]),
+            CallResult::Return(6)
+        );
+        assert_eq!(
+            run("fn main() { return 1 << 4 | 3; }", &[]),
+            CallResult::Return(19)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(
+            run("fn main() { return (3 < 5) + (5 <= 5) + (7 > 9) + (1 == 1) + (2 != 2); }", &[]),
+            CallResult::Return(3)
+        );
+        assert_eq!(
+            run("fn main() { return 1 && 2; }", &[]),
+            CallResult::Return(1)
+        );
+        assert_eq!(
+            run("fn main() { return 0 || 0; }", &[]),
+            CallResult::Return(0)
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_side_effects() {
+        let src = r#"
+            global hits;
+            fn bump() { hits = hits + 1; return 1; }
+            fn main() {
+                var a = 0 && bump();
+                var b = 1 || bump();
+                return hits * 10 + a + b;
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(1));
+    }
+
+    #[test]
+    fn while_loop_and_break_continue() {
+        let src = r#"
+            fn main() {
+                var i = 0;
+                var sum = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 10) { break; }
+                    if (i % 2) { continue; }
+                    sum = sum + i;
+                }
+                return sum;
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(30));
+    }
+
+    #[test]
+    fn functions_params_recursion() {
+        let src = r#"
+            fn fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() { return fib(12); }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(144));
+    }
+
+    #[test]
+    fn globals_scalar_and_array() {
+        let src = r#"
+            global counter;
+            global bytes[16] = {5, 6, 7};
+            fn main() {
+                counter = counter + 40;
+                var p = bytes;
+                return counter + load8(p) - load8(p + 2) + load8(bytes + 1);
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(44));
+    }
+
+    #[test]
+    fn const_global_string_is_readonly() {
+        let src = r#"
+            const global MSG = "AB";
+            fn main() { store8(MSG, 99); return 0; }
+        "#;
+        let r = run(src, &[]);
+        assert_eq!(
+            r.crash().unwrap().kind,
+            vmos::CrashKind::InvalidWrite,
+            "writing .rodata must crash"
+        );
+    }
+
+    #[test]
+    fn local_arrays_and_memory_intrinsics() {
+        let src = r#"
+            fn main() {
+                var buf[32];
+                store32(buf, 305419896);
+                store16(buf + 8, 65535);
+                store64(buf + 16, 1 - 2);
+                return (load32(buf) == 305419896)
+                     + (load16(buf + 8) == 65535)
+                     + (load64(buf + 16) == 0 - 1)
+                     + (load8(buf) == 120);
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(4));
+    }
+
+    #[test]
+    fn heap_and_string_literals() {
+        let src = r#"
+            fn main() {
+                var p = malloc(64);
+                memset(p, 65, 8);
+                store8(p + 8, 0);
+                var n = strlen(p);
+                free(p);
+                return n;
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(8));
+    }
+
+    #[test]
+    fn file_io_and_exit() {
+        let src = r#"
+            fn main() {
+                var f = fopen("/fuzz/input", 0);
+                if (f == 0) { exit(7); }
+                var buf[8];
+                var n = fread(buf, 1, 8, f);
+                fclose(f);
+                return n * 100 + load8(buf);
+            }
+        "#;
+        let (r, _) = run_with_input(src, &[], Some(&[9, 8, 7]));
+        assert_eq!(r, CallResult::Return(309));
+        let (r, _) = run_with_input(src, &[], None);
+        assert_eq!(r, CallResult::Exited(7));
+    }
+
+    #[test]
+    fn char_literals_and_unary_ops() {
+        assert_eq!(
+            run("fn main() { return 'A' + (!0) * 2 + (~0) + (-3); }", &[]),
+            CallResult::Return(63)
+        );
+    }
+
+    #[test]
+    fn address_of_global() {
+        let src = r#"
+            global slot;
+            fn main() {
+                store64(&slot, 55);
+                return slot;
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(55));
+    }
+
+    #[test]
+    fn main_params_passed_through() {
+        let src = "fn main(argc, argv) { return argc * 2 + argv; }";
+        assert_eq!(run(src, &[20, 2]), CallResult::Return(42));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            fn classify(x) {
+                if (x < 0) { return 0 - 1; }
+                else if (x == 0) { return 0; }
+                else if (x < 10) { return 1; }
+                else { return 2; }
+            }
+            fn main() { return classify(0-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50); }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(-988));
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        assert!(crate::compile("t", "fn main() { return nope; }").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let src = "fn f(a, b) { return a + b; } fn main() { return f(1); }";
+        assert!(crate::compile("t", src).is_err());
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        assert!(crate::compile("t", "fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = r#"
+            // line comment
+            fn main() {
+                /* block
+                   comment */
+                return 5; // trailing
+            }
+        "#;
+        assert_eq!(run(src, &[]), CallResult::Return(5));
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(
+            run("fn main() { return 0xFF + 0x10; }", &[]),
+            CallResult::Return(271)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_surfaces_as_crash() {
+        let src = "fn main(x) { return 10 / x; }";
+        let r = run(src, &[0]);
+        assert_eq!(r.crash().unwrap().kind, vmos::CrashKind::DivisionByZero);
+    }
+}

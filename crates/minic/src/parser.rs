@@ -1,0 +1,521 @@
+//! Recursive-descent parser for MinC.
+
+use crate::ast::{BinKind, Expr, FuncDecl, GlobalDecl, Program, Stmt, UnaryKind};
+use crate::error::CompileError;
+use crate::lexer::{TokKind, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a token stream into a [`Program`].
+///
+/// # Errors
+/// [`CompileError`] at the first syntax error.
+pub fn parse(toks: Vec<Token>) -> Result<Program, CompileError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut program = Program::default();
+    loop {
+        match p.peek().clone() {
+            TokKind::Eof => break,
+            TokKind::Const | TokKind::Global => program.globals.push(p.global_decl()?),
+            TokKind::Fn => program.functions.push(p.func_decl()?),
+            other => {
+                return Err(p.err(format!("expected item, found {other:?}")));
+            }
+        }
+    }
+    Ok(program)
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match self.peek() {
+            TokKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), TokKind::Punct(q) if *q == p)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            TokKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, CompileError> {
+        match self.bump() {
+            TokKind::Int(v) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    // ---- items -----------------------------------------------------------
+
+    fn global_decl(&mut self) -> Result<GlobalDecl, CompileError> {
+        let line = self.line();
+        let is_const = if matches!(self.peek(), TokKind::Const) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            TokKind::Global => {}
+            other => return Err(self.err(format!("expected 'global', found {other:?}"))),
+        }
+        let name = self.ident()?;
+        let mut size: Option<u64> = None;
+        let mut is_array = false;
+        if self.at_punct("[") {
+            self.bump();
+            let n = self.int()?;
+            if n <= 0 {
+                return Err(self.err("array size must be positive"));
+            }
+            size = Some(n as u64);
+            is_array = true;
+            self.eat_punct("]")?;
+        }
+        let mut init = Vec::new();
+        if self.at_punct("=") {
+            self.bump();
+            match self.bump() {
+                TokKind::Int(v) => {
+                    if is_array {
+                        return Err(self.err("array initializer must be {..} or string"));
+                    }
+                    init = v.to_le_bytes().to_vec();
+                }
+                TokKind::Str(s) => {
+                    init = s;
+                    init.push(0);
+                    is_array = true;
+                    if size.is_none() {
+                        size = Some(init.len() as u64);
+                    }
+                }
+                TokKind::Punct("{") => {
+                    loop {
+                        if self.at_punct("}") {
+                            self.bump();
+                            break;
+                        }
+                        let v = self.int()?;
+                        if !(0..=255).contains(&v) {
+                            return Err(
+                                self.err("array initializer bytes must be in 0..=255")
+                            );
+                        }
+                        init.push(v as u8);
+                        if self.at_punct(",") {
+                            self.bump();
+                        }
+                    }
+                    is_array = true;
+                    if size.is_none() {
+                        size = Some(init.len() as u64);
+                    }
+                }
+                other => return Err(self.err(format!("bad initializer {other:?}"))),
+            }
+        }
+        self.eat_punct(";")?;
+        let size = size.unwrap_or(8);
+        if init.len() as u64 > size {
+            return Err(CompileError::new(
+                line,
+                format!("initializer ({} bytes) exceeds size {size}", init.len()),
+            ));
+        }
+        Ok(GlobalDecl {
+            name,
+            is_const,
+            size,
+            is_array,
+            init,
+            line,
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, CompileError> {
+        let line = self.line();
+        self.bump(); // fn
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.at_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek(), TokKind::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            TokKind::Var => {
+                let line = self.line();
+                self.bump();
+                let name = self.ident()?;
+                let mut array_size = None;
+                let mut init = None;
+                if self.at_punct("[") {
+                    self.bump();
+                    let n = self.int()?;
+                    if n <= 0 || n > i64::from(u32::MAX) {
+                        return Err(self.err("bad local array size"));
+                    }
+                    array_size = Some(n as u32);
+                    self.eat_punct("]")?;
+                } else if self.at_punct("=") {
+                    self.bump();
+                    init = Some(self.expr()?);
+                }
+                self.eat_punct(";")?;
+                Ok(Stmt::VarDecl {
+                    name,
+                    array_size,
+                    init,
+                    line,
+                })
+            }
+            TokKind::If => self.if_stmt(),
+            TokKind::While => {
+                self.bump();
+                self.eat_punct("(")?;
+                let cond = self.expr()?;
+                self.eat_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokKind::Return => {
+                self.bump();
+                if self.at_punct(";") {
+                    self.bump();
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            TokKind::Break => {
+                let line = self.line();
+                self.bump();
+                self.eat_punct(";")?;
+                Ok(Stmt::Break(line))
+            }
+            TokKind::Continue => {
+                let line = self.line();
+                self.bump();
+                self.eat_punct(";")?;
+                Ok(Stmt::Continue(line))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.bump(); // if
+        self.eat_punct("(")?;
+        let cond = self.expr()?;
+        self.eat_punct(")")?;
+        let then_body = self.block()?;
+        let mut else_body = Vec::new();
+        if matches!(self.peek(), TokKind::Else) {
+            self.bump();
+            if matches!(self.peek(), TokKind::If) {
+                else_body.push(self.if_stmt()?);
+            } else {
+                else_body = self.block()?;
+            }
+        }
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.binary_expr(0)?;
+        if self.at_punct("=") {
+            let line = self.line();
+            self.bump();
+            let value = self.assign_expr()?;
+            match lhs {
+                Expr::Ident(name, _) => Ok(Expr::Assign {
+                    name,
+                    value: Box::new(value),
+                    line,
+                }),
+                _ => Err(CompileError::new(
+                    line,
+                    "assignment target must be a variable (use storeN for memory)",
+                )),
+            }
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let Some((kind, prec)) = self.peek_binop() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Bin(kind, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinKind, u8)> {
+        let TokKind::Punct(p) = self.peek() else {
+            return None;
+        };
+        Some(match *p {
+            "||" => (BinKind::LogOr, 1),
+            "&&" => (BinKind::LogAnd, 2),
+            "|" => (BinKind::BitOr, 3),
+            "^" => (BinKind::BitXor, 4),
+            "&" => (BinKind::BitAnd, 5),
+            "==" => (BinKind::Eq, 6),
+            "!=" => (BinKind::Ne, 6),
+            "<" => (BinKind::Lt, 7),
+            "<=" => (BinKind::Le, 7),
+            ">" => (BinKind::Gt, 7),
+            ">=" => (BinKind::Ge, 7),
+            "<<" => (BinKind::Shl, 8),
+            ">>" => (BinKind::Shr, 8),
+            "+" => (BinKind::Add, 9),
+            "-" => (BinKind::Sub, 9),
+            "*" => (BinKind::Mul, 10),
+            "/" => (BinKind::Div, 10),
+            "%" => (BinKind::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        if self.at_punct("-") {
+            self.bump();
+            return Ok(Expr::Unary(UnaryKind::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.at_punct("!") {
+            self.bump();
+            return Ok(Expr::Unary(UnaryKind::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.at_punct("~") {
+            self.bump();
+            return Ok(Expr::Unary(UnaryKind::BitNot, Box::new(self.unary_expr()?)));
+        }
+        if self.at_punct("&") {
+            let line = self.line();
+            self.bump();
+            let name = self.ident()?;
+            return Ok(Expr::AddrOf(name, line));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            TokKind::Int(v) => Ok(Expr::Int(v)),
+            TokKind::Str(s) => Ok(Expr::Str(s)),
+            TokKind::Ident(name) => {
+                if self.at_punct("(") {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(",") {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Call {
+                        callee: name,
+                        args,
+                        line,
+                    })
+                } else {
+                    Ok(Expr::Ident(name, line))
+                }
+            }
+            TokKind::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, CompileError> {
+        parse(lex(src)?)
+    }
+
+    #[test]
+    fn parses_globals_of_all_shapes() {
+        let p = parse_src(
+            r#"
+            global a;
+            global b[16];
+            global c = 7;
+            global d[4] = {1, 2};
+            const global e = "hi";
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 5);
+        assert_eq!(p.globals[0].size, 8);
+        assert!(!p.globals[0].is_array);
+        assert_eq!(p.globals[1].size, 16);
+        assert!(p.globals[1].is_array);
+        assert_eq!(p.globals[2].init, 7i64.to_le_bytes().to_vec());
+        assert_eq!(p.globals[3].init, vec![1, 2]);
+        assert_eq!(p.globals[4].init, vec![b'h', b'i', 0]);
+        assert!(p.globals[4].is_const);
+        assert_eq!(p.globals[4].size, 3);
+    }
+
+    #[test]
+    fn precedence_shape() {
+        let p = parse_src("fn f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(Expr::Bin(BinKind::Add, _, rhs))) = &p.functions[0].body[0]
+        else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinKind::Mul, _, _)));
+    }
+
+    #[test]
+    fn assignment_is_right_associative_expr() {
+        let p = parse_src("fn f() { a = b = 1; }").unwrap();
+        let Stmt::Expr(Expr::Assign { value, .. }) = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(**value, Expr::Assign { .. }));
+    }
+
+    #[test]
+    fn rejects_assignment_to_literal() {
+        assert!(parse_src("fn f() { 3 = 4; }").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_initializer() {
+        assert!(parse_src("global g[2] = {1,2,3};").is_err());
+    }
+
+    #[test]
+    fn else_if_nests() {
+        let p = parse_src("fn f(x) { if (x) { } else if (x) { } else { } }").unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn address_of_parses() {
+        let p = parse_src("fn f() { return &g; }").unwrap();
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::Return(Some(Expr::AddrOf(_, _)))
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected_with_line() {
+        let e = parse_src("fn f() {\n  var 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

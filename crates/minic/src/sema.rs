@@ -1,0 +1,192 @@
+//! Semantic checks over the AST: duplicate symbols, arity of calls to
+//! user-defined functions, and reserved-name collisions.
+//!
+//! Reference resolution (is this identifier a local, a parameter, or a
+//! global?) happens during code generation, where scopes are tracked.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Program, Stmt};
+use crate::error::CompileError;
+
+/// Builtins lowered to FIR instructions rather than calls.
+pub const MEMORY_INTRINSICS: [&str; 8] = [
+    "load8", "load16", "load32", "load64", "store8", "store16", "store32", "store64",
+];
+
+/// Names the ClosureX runtime reserves; user functions may not shadow them.
+const RESERVED: [&str; 8] = [
+    "closurex_malloc",
+    "closurex_calloc",
+    "closurex_realloc",
+    "closurex_free",
+    "closurex_fopen",
+    "closurex_fclose",
+    "closurex_exit_hook",
+    "__cov_edge",
+];
+
+/// Run all checks.
+///
+/// # Errors
+/// The first [`CompileError`] found.
+pub fn check(program: &Program) -> Result<(), CompileError> {
+    let mut globals = HashMap::new();
+    for g in &program.globals {
+        if globals.insert(g.name.clone(), ()).is_some() {
+            return Err(CompileError::new(
+                g.line,
+                format!("duplicate global '{}'", g.name),
+            ));
+        }
+    }
+    let mut arities: HashMap<&str, (usize, usize)> = HashMap::new();
+    for f in &program.functions {
+        if RESERVED.contains(&f.name.as_str()) || MEMORY_INTRINSICS.contains(&f.name.as_str()) {
+            return Err(CompileError::new(
+                f.line,
+                format!("function name '{}' is reserved", f.name),
+            ));
+        }
+        if globals.contains_key(&f.name) {
+            return Err(CompileError::new(
+                f.line,
+                format!("'{}' is already a global", f.name),
+            ));
+        }
+        if arities
+            .insert(f.name.as_str(), (f.params.len(), f.line))
+            .is_some()
+        {
+            return Err(CompileError::new(
+                f.line,
+                format!("duplicate function '{}'", f.name),
+            ));
+        }
+    }
+    for f in &program.functions {
+        check_stmts(&f.body, &arities)?;
+    }
+    Ok(())
+}
+
+fn check_stmts(
+    stmts: &[Stmt],
+    arities: &HashMap<&str, (usize, usize)>,
+) -> Result<(), CompileError> {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { init, .. } => {
+                if let Some(e) = init {
+                    check_expr(e, arities)?;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                check_expr(cond, arities)?;
+                check_stmts(then_body, arities)?;
+                check_stmts(else_body, arities)?;
+            }
+            Stmt::While { cond, body } => {
+                check_expr(cond, arities)?;
+                check_stmts(body, arities)?;
+            }
+            Stmt::Return(Some(e)) | Stmt::Expr(e) => check_expr(e, arities)?,
+            Stmt::Return(None) | Stmt::Break(_) | Stmt::Continue(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_expr(
+    e: &Expr,
+    arities: &HashMap<&str, (usize, usize)>,
+) -> Result<(), CompileError> {
+    match e {
+        Expr::Int(_) | Expr::Str(_) | Expr::Ident(_, _) | Expr::AddrOf(_, _) => Ok(()),
+        Expr::Unary(_, inner) => check_expr(inner, arities),
+        Expr::Bin(_, l, r) => {
+            check_expr(l, arities)?;
+            check_expr(r, arities)
+        }
+        Expr::Assign { value, .. } => check_expr(value, arities),
+        Expr::Call { callee, args, line } => {
+            if MEMORY_INTRINSICS.contains(&callee.as_str()) {
+                let want = if callee.starts_with("load") { 1 } else { 2 };
+                if args.len() != want {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("{callee} takes {want} argument(s), got {}", args.len()),
+                    ));
+                }
+            } else if let Some((want, _)) = arities.get(callee.as_str()) {
+                if args.len() != *want {
+                    return Err(CompileError::new(
+                        *line,
+                        format!(
+                            "function '{callee}' takes {want} argument(s), got {}",
+                            args.len()
+                        ),
+                    ));
+                }
+            }
+            // Unknown names are host calls, resolved (or rejected) at run
+            // time, mirroring C's link-time resolution.
+            for a in args {
+                check_expr(a, arities)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), crate::CompileError> {
+        super::check(&parse(lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check_src("global g; fn f(a) { return a; } fn main() { return f(g); }").unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_globals() {
+        assert!(check_src("global g; global g;").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_functions() {
+        assert!(check_src("fn f() { return 0; } fn f() { return 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_reserved_names() {
+        assert!(check_src("fn closurex_malloc(n) { return n; }").is_err());
+        assert!(check_src("fn load8(p) { return p; }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(check_src("fn f(a, b) { return a + b; } fn main() { return f(1); }").is_err());
+        assert!(check_src("fn main() { return load8(1, 2); }").is_err());
+        assert!(check_src("fn main() { store8(1); return 0; }").is_err());
+    }
+
+    #[test]
+    fn hostcalls_pass_without_declaration() {
+        check_src("fn main() { return malloc(8); }").unwrap();
+    }
+
+    #[test]
+    fn rejects_global_function_collision() {
+        assert!(check_src("global f; fn f() { return 0; }").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! `ExitPass` — rewrite the target's `exit()` calls to the ClosureX exit
+//! hook (paper §4.1).
+//!
+//! Programs bail out with `exit()` on malformed input — constantly, under
+//! fuzzing. In a persistent loop that would kill the process; ClosureX
+//! instead transfers control back to the harness loop via `longjmp` (in
+//! this reproduction, via the interpreter's `ExitHooked` unwind). Only
+//! call sites *inside the instrumented target* are rewritten; `exit` calls
+//! inside libc itself are left alone, exactly as the paper requires — here
+//! that falls out naturally because host-library code is not FIR.
+
+use fir::Module;
+
+use crate::manager::{ModulePass, PassError, PassReport};
+
+/// Hook name installed in place of `exit`.
+pub const EXIT_HOOK: &str = "closurex_exit_hook";
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExitPass;
+
+impl ModulePass for ExitPass {
+    fn name(&self) -> &'static str {
+        "ExitPass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        let mut n = module.replace_callee("exit", EXIT_HOOK);
+        n += module.replace_callee("_exit", EXIT_HOOK);
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: n,
+            summary: format!("hooked {n} exit call sites -> {EXIT_HOOK}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Operand;
+
+    #[test]
+    fn rewrites_exit_and_underscore_exit() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.call_void("exit", vec![Operand::Imm(1)]);
+        f.call_void("_exit", vec![Operand::Imm(2)]);
+        f.call_void("free", vec![Operand::Imm(0)]);
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        let r = ExitPass.run(&mut m).unwrap();
+        assert_eq!(r.changes, 2);
+        let h = m.call_site_histogram();
+        assert_eq!(h.get(EXIT_HOOK), Some(&2));
+        assert_eq!(h.get("exit"), None);
+        assert_eq!(h.get("free"), Some(&1), "unrelated calls untouched");
+    }
+
+    #[test]
+    fn zero_sites_is_fine() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        let r = ExitPass.run(&mut m).unwrap();
+        assert_eq!(r.changes, 0);
+    }
+}

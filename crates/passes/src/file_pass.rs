@@ -1,0 +1,72 @@
+//! `FilePass` — inject file-descriptor tracking (paper §4.2).
+//!
+//! Replaces `fopen`/`fclose` with the ClosureX wrappers, which record open
+//! handles in the runtime's file map. Between test cases the harness closes
+//! any handle the target leaked; handles opened during the initialization
+//! phase are *rewound* (`fseek` to 0) instead of closed and reopened — the
+//! paper's optimization for initialization-time handles.
+
+use fir::Module;
+
+use crate::manager::{ModulePass, PassError, PassReport};
+
+/// The rewrites this pass performs.
+pub const FILE_REWRITES: [(&str, &str); 2] = [
+    ("fopen", "closurex_fopen"),
+    ("fclose", "closurex_fclose"),
+];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilePass;
+
+impl ModulePass for FilePass {
+    fn name(&self) -> &'static str {
+        "FilePass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        let mut n = 0;
+        for (from, to) in FILE_REWRITES {
+            n += module.replace_callee(from, to);
+        }
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: n,
+            summary: format!("hooked {n} fopen/fclose call sites"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Operand;
+
+    #[test]
+    fn rewrites_fopen_fclose_only() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let h = f.call("fopen", vec![Operand::Imm(0), Operand::Imm(0)]);
+        f.call(
+            "fread",
+            vec![
+                Operand::Imm(0),
+                Operand::Imm(1),
+                Operand::Imm(1),
+                Operand::Reg(h),
+            ],
+        );
+        f.call_void("fclose", vec![Operand::Reg(h)]);
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        let r = FilePass.run(&mut m).unwrap();
+        assert_eq!(r.changes, 2);
+        let hist = m.call_site_histogram();
+        assert_eq!(hist.get("closurex_fopen"), Some(&1));
+        assert_eq!(hist.get("closurex_fclose"), Some(&1));
+        assert_eq!(hist.get("fread"), Some(&1), "reads are not hooked");
+    }
+}

@@ -1,0 +1,87 @@
+//! `GlobalPass` — move writable globals into `closure_global_section`
+//! (paper §4.2, Fig. 3).
+//!
+//! The pass iterates over every global in the module and checks the
+//! `is_const` flag (the `GlobalVariable::isConstant` analog). Every
+//! *potentially modifiable* global is re-sectioned into
+//! [`fir::Section::ClosureGlobal`] (the `setSection` analog), producing one
+//! contiguous region the harness can snapshot before the loop and restore
+//! after every test case (Fig. 4). Constant data stays put and is never
+//! copied.
+
+use fir::{Module, Section};
+
+use crate::manager::{ModulePass, PassError, PassReport};
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalPass;
+
+impl ModulePass for GlobalPass {
+    fn name(&self) -> &'static str {
+        "GlobalPass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        let mut moved = 0;
+        let mut bytes = 0;
+        for g in &mut module.globals {
+            if g.is_const {
+                continue;
+            }
+            if g.section != Section::ClosureGlobal {
+                g.section = Section::ClosureGlobal;
+                moved += 1;
+                bytes += g.size;
+            }
+        }
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: moved,
+            summary: format!("moved {moved} writable globals ({bytes} bytes) to closure_global_section"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Global;
+
+    #[test]
+    fn moves_writable_leaves_const() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.global(Global::constant("magic", vec![1, 2, 3, 4]));
+        mb.global(Global::with_init("counter", vec![0; 8]));
+        mb.global(Global::zeroed("table", 256));
+        let mut m = mb.finish();
+        let r = GlobalPass.run(&mut m).unwrap();
+        assert_eq!(r.changes, 2);
+        assert_eq!(m.global("magic").unwrap().section, Section::Rodata);
+        assert_eq!(
+            m.global("counter").unwrap().section,
+            Section::ClosureGlobal
+        );
+        assert_eq!(m.global("table").unwrap().section, Section::ClosureGlobal);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.global(Global::zeroed("g", 8));
+        let mut m = mb.finish();
+        assert_eq!(GlobalPass.run(&mut m).unwrap().changes, 1);
+        assert_eq!(GlobalPass.run(&mut m).unwrap().changes, 0);
+    }
+
+    #[test]
+    fn reports_moved_bytes() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.global(Global::zeroed("a", 100));
+        mb.global(Global::zeroed("b", 28));
+        let mut m = mb.finish();
+        let r = GlobalPass.run(&mut m).unwrap();
+        assert!(r.summary.contains("128 bytes"), "{}", r.summary);
+    }
+}

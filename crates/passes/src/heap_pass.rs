@@ -1,0 +1,85 @@
+//! `HeapPass` — inject heap tracking (paper §4.2, Fig. 5).
+//!
+//! Replaces every call to the `malloc` family (`malloc`, `calloc`,
+//! `realloc`) and `free` with the ClosureX wrappers. At runtime the
+//! wrappers maintain the chunk map (pointer → size); between test cases the
+//! harness frees every pointer still present — the target's leaks — so the
+//! heap is clean for the next input.
+
+use fir::Module;
+
+use crate::manager::{ModulePass, PassError, PassReport};
+
+/// The rewrites this pass performs.
+pub const HEAP_REWRITES: [(&str, &str); 4] = [
+    ("malloc", "closurex_malloc"),
+    ("calloc", "closurex_calloc"),
+    ("realloc", "closurex_realloc"),
+    ("free", "closurex_free"),
+];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapPass;
+
+impl ModulePass for HeapPass {
+    fn name(&self) -> &'static str {
+        "HeapPass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        let mut n = 0;
+        for (from, to) in HEAP_REWRITES {
+            n += module.replace_callee(from, to);
+        }
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: n,
+            summary: format!("hooked {n} malloc-family call sites"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Operand;
+
+    #[test]
+    fn rewrites_whole_family() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let p = f.call("malloc", vec![Operand::Imm(8)]);
+        let q = f.call("calloc", vec![Operand::Imm(2), Operand::Imm(8)]);
+        let r = f.call("realloc", vec![Operand::Reg(p), Operand::Imm(16)]);
+        f.call_void("free", vec![Operand::Reg(q)]);
+        f.call_void("free", vec![Operand::Reg(r)]);
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        let rep = HeapPass.run(&mut m).unwrap();
+        assert_eq!(rep.changes, 5);
+        let h = m.call_site_histogram();
+        assert_eq!(h.get("closurex_malloc"), Some(&1));
+        assert_eq!(h.get("closurex_calloc"), Some(&1));
+        assert_eq!(h.get("closurex_realloc"), Some(&1));
+        assert_eq!(h.get("closurex_free"), Some(&2));
+        for (orig, _) in HEAP_REWRITES {
+            assert_eq!(h.get(orig), None, "{orig} must be fully rewritten");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.call("malloc", vec![Operand::Imm(8)]);
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        HeapPass.run(&mut m).unwrap();
+        let second = HeapPass.run(&mut m).unwrap();
+        assert_eq!(second.changes, 0);
+    }
+}

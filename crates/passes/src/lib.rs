@@ -1,0 +1,50 @@
+//! # passes — the ClosureX compiler passes
+//!
+//! The FIR re-implementation of the paper's five LLVM passes (Table 3):
+//!
+//! | Pass                | Functionality                                            |
+//! |---------------------|----------------------------------------------------------|
+//! | [`RenameMainPass`]  | rename target's `main` so the harness owns the real one  |
+//! | [`HeapPass`]        | inject tracking of the target's heap memory              |
+//! | [`FilePass`]        | inject tracking of the target's file descriptors         |
+//! | [`GlobalPass`]      | move writable globals into `closure_global_section`      |
+//! | [`ExitPass`]        | rename the target's `exit` calls to the harness hook     |
+//!
+//! plus the shared [`CoveragePass`] (the Sanitizer-Coverage-guard analog used
+//! by *both* ClosureX and the AFL++ baseline, per the paper's evaluation
+//! setup) and a [`PassManager`] that verifies the module after every pass.
+//!
+//! ```
+//! use passes::{PassManager, pipelines};
+//! let mut module = fir::Module::new("demo");
+//! // ... build a target with a `main` ...
+//! # let mut f = fir::builder::ModuleBuilder::new("demo");
+//! # let mut fb = f.function("main"); fb.ret(None); fb.finish();
+//! # module = f.finish();
+//! let mut pm = pipelines::closurex_pipeline();
+//! let report = pm.run(&mut module).unwrap();
+//! assert!(module.function("target_main").is_some());
+//! assert!(report.iter().any(|r| r.pass == "RenameMainPass"));
+//! ```
+
+pub mod coverage;
+pub mod exit_pass;
+pub mod file_pass;
+pub mod global_pass;
+pub mod heap_pass;
+pub mod manager;
+pub mod optimize;
+pub mod pipelines;
+pub mod rename_main;
+
+pub use coverage::CoveragePass;
+pub use exit_pass::ExitPass;
+pub use file_pass::FilePass;
+pub use global_pass::GlobalPass;
+pub use heap_pass::HeapPass;
+pub use manager::{ModulePass, PassError, PassManager, PassReport};
+pub use optimize::{ConstFoldPass, DeadBlockPass};
+pub use rename_main::RenameMainPass;
+
+/// Name the harness calls after `RenameMainPass` runs.
+pub const TARGET_MAIN: &str = "target_main";

@@ -1,0 +1,184 @@
+//! Pass infrastructure: the [`ModulePass`] trait, per-pass [`PassReport`]s,
+//! and a [`PassManager`] that verifies the module after every transform
+//! (the `opt -verify-each` discipline).
+
+use std::fmt;
+
+use fir::verify::{verify_module, VerifyError};
+use fir::Module;
+use serde::{Deserialize, Serialize};
+
+/// Statistics a pass reports about what it changed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassReport {
+    /// Pass name.
+    pub pass: String,
+    /// Number of sites/symbols rewritten or moved.
+    pub changes: usize,
+    /// Human-readable summary.
+    pub summary: String,
+}
+
+/// A transform over a whole [`Module`] — the LLVM `ModulePass` analog.
+pub trait ModulePass {
+    /// Pass name (stable; used in reports and Table 3 output).
+    fn name(&self) -> &'static str;
+
+    /// Run the transform.
+    ///
+    /// # Errors
+    /// A pass may fail when its precondition does not hold (e.g.
+    /// `RenameMainPass` on a module without `main`).
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError>;
+}
+
+/// Why a pass or pipeline failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// A pass precondition did not hold.
+    Precondition {
+        /// The failing pass.
+        pass: &'static str,
+        /// What was missing.
+        message: String,
+    },
+    /// The module no longer verifies after a pass ran.
+    BrokenModule {
+        /// The offending pass.
+        pass: &'static str,
+        /// The verifier error.
+        error: VerifyError,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Precondition { pass, message } => {
+                write!(f, "{pass}: precondition failed: {message}")
+            }
+            PassError::BrokenModule { pass, error } => {
+                write!(f, "{pass}: broke the module: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Runs a sequence of passes, verifying after each one.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn ModulePass>>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a pass (builder style).
+    pub fn add(&mut self, pass: impl ModulePass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Names of registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run all passes in order.
+    ///
+    /// # Errors
+    /// Stops at the first [`PassError`]; the module may be partially
+    /// transformed in that case.
+    pub fn run(&mut self, module: &mut Module) -> Result<Vec<PassReport>, PassError> {
+        let mut reports = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let report = pass.run(module)?;
+            verify_module(module).map_err(|error| PassError::BrokenModule {
+                pass: pass.name(),
+                error,
+            })?;
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingPass;
+    impl ModulePass for CountingPass {
+        fn name(&self) -> &'static str {
+            "CountingPass"
+        }
+        fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+            Ok(PassReport {
+                pass: self.name().into(),
+                changes: module.functions.len(),
+                summary: "counted".into(),
+            })
+        }
+    }
+
+    struct BreakingPass;
+    impl ModulePass for BreakingPass {
+        fn name(&self) -> &'static str {
+            "BreakingPass"
+        }
+        fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+            // Introduce a duplicate function name → verifier must catch it.
+            if let Some(f) = module.functions.first().cloned() {
+                module.functions.push(f);
+            }
+            Ok(PassReport {
+                pass: self.name().into(),
+                changes: 1,
+                summary: "broke it".into(),
+            })
+        }
+    }
+
+    fn module_with_main() -> Module {
+        let mut mb = fir::builder::ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn runs_passes_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass).add(CountingPass);
+        let mut m = module_with_main();
+        let reports = pm.run(&mut m).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(pm.pass_names(), vec!["CountingPass", "CountingPass"]);
+    }
+
+    #[test]
+    fn verifier_catches_broken_pass() {
+        let mut pm = PassManager::new();
+        pm.add(BreakingPass);
+        let mut m = module_with_main();
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(matches!(err, PassError::BrokenModule { pass: "BreakingPass", .. }));
+    }
+}

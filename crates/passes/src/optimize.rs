@@ -1,0 +1,298 @@
+//! Standard optimization passes: constant folding and dead-block
+//! elimination.
+//!
+//! The paper's targets are built through an ordinary compiler pipeline
+//! before the ClosureX passes run; these passes play that role here (and
+//! exercise the claim that ClosureX instrumentation composes with other
+//! transforms — the pipeline order tests in `pipelines` cover both
+//! orderings).
+
+use std::collections::HashMap;
+
+use fir::{BinOp, BlockId, Inst, Module, Operand, Reg, Terminator};
+
+use crate::manager::{ModulePass, PassError, PassReport};
+
+/// Fold constant-operand arithmetic and propagate `const`/`mov` chains
+/// within each basic block.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstFoldPass;
+
+fn fold_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::LShr => ((a as u64) >> (b as u32 & 63)) as i64,
+        BinOp::AShr => a >> (b as u32 & 63),
+        // Division folds only when provably safe; a fold must never hide
+        // a division-by-zero crash the interpreter would report.
+        BinOp::UDiv if b != 0 => ((a as u64) / (b as u64)) as i64,
+        BinOp::SDiv if b != 0 && !(a == i64::MIN && b == -1) => a / b,
+        BinOp::URem if b != 0 => ((a as u64) % (b as u64)) as i64,
+        BinOp::SRem if b != 0 && !(a == i64::MIN && b == -1) => a % b,
+        _ => return None,
+    })
+}
+
+impl ModulePass for ConstFoldPass {
+    fn name(&self) -> &'static str {
+        "ConstFoldPass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        let mut folded = 0;
+        for f in &mut module.functions {
+            for b in &mut f.blocks {
+                // Known-constant registers, valid within this block only
+                // (registers are mutable across blocks in FIR).
+                let mut known: HashMap<Reg, i64> = HashMap::new();
+                let resolve = |known: &HashMap<Reg, i64>, o: Operand| match o {
+                    Operand::Imm(v) => Some(v),
+                    Operand::Reg(r) => known.get(&r).copied(),
+                };
+                for inst in &mut b.insts {
+                    match inst {
+                        Inst::Const { dst, value } => {
+                            known.insert(*dst, *value);
+                        }
+                        Inst::Mov { dst, src } => {
+                            if let Some(v) = resolve(&known, *src) {
+                                *inst = Inst::Const { dst: *dst, value: v };
+                                known.insert(inst.dst().expect("const has dst"), v);
+                                folded += 1;
+                            } else {
+                                known.remove(dst);
+                            }
+                        }
+                        Inst::Bin { op, dst, lhs, rhs } => {
+                            let fold = resolve(&known, *lhs)
+                                .zip(resolve(&known, *rhs))
+                                .and_then(|(a, c)| fold_bin(*op, a, c));
+                            let dst = *dst;
+                            if let Some(v) = fold {
+                                *inst = Inst::Const { dst, value: v };
+                                known.insert(dst, v);
+                                folded += 1;
+                            } else {
+                                known.remove(&dst);
+                            }
+                        }
+                        Inst::Cmp {
+                            pred,
+                            dst,
+                            lhs,
+                            rhs,
+                        } => {
+                            let fold = resolve(&known, *lhs)
+                                .zip(resolve(&known, *rhs))
+                                .map(|(a, c)| i64::from(pred.eval(a, c)));
+                            let dst = *dst;
+                            if let Some(v) = fold {
+                                *inst = Inst::Const { dst, value: v };
+                                known.insert(dst, v);
+                                folded += 1;
+                            } else {
+                                known.remove(&dst);
+                            }
+                        }
+                        other => {
+                            // Any other def invalidates prior knowledge.
+                            if let Some(d) = other.dst() {
+                                known.remove(&d);
+                            }
+                        }
+                    }
+                }
+                // Fold conditional branches on known conditions.
+                if let Terminator::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } = &b.term
+                {
+                    if let Some(v) = resolve(&known, *cond) {
+                        b.term = Terminator::Br(if v != 0 { *if_true } else { *if_false });
+                        folded += 1;
+                    }
+                }
+            }
+        }
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: folded,
+            summary: format!("folded {folded} instructions/branches"),
+        })
+    }
+}
+
+/// Replace blocks unreachable from the entry with empty `unreachable`
+/// stubs (ids must stay stable, so blocks are stubbed, not removed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadBlockPass;
+
+impl ModulePass for DeadBlockPass {
+    fn name(&self) -> &'static str {
+        "DeadBlockPass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        let mut stubbed = 0;
+        for f in &mut module.functions {
+            let dead: Vec<BlockId> = fir::cfg::unreachable_blocks(f);
+            for b in dead {
+                let blk = f.block_mut(b);
+                if !blk.insts.is_empty() || blk.term != Terminator::Unreachable {
+                    blk.insts.clear();
+                    blk.term = Terminator::Unreachable;
+                    stubbed += 1;
+                }
+            }
+        }
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: stubbed,
+            summary: format!("stubbed {stubbed} unreachable blocks"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::verify::verify_module;
+    use fir::CmpPred;
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let a = f.const_i64(6);
+        let b = f.const_i64(7);
+        let c = f.mul(Operand::Reg(a), Operand::Reg(b));
+        let d = f.add(Operand::Reg(c), Operand::Imm(0));
+        f.ret(Some(Operand::Reg(d)));
+        f.finish();
+        let mut m = mb.finish();
+        let r = ConstFoldPass.run(&mut m).unwrap();
+        assert!(r.changes >= 2);
+        verify_module(&m).unwrap();
+        let blk = &m.function("main").unwrap().blocks[0];
+        assert!(matches!(blk.insts[3], Inst::Const { value: 42, .. }));
+    }
+
+    #[test]
+    fn never_folds_division_by_zero() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let a = f.const_i64(10);
+        let z = f.const_i64(0);
+        let d = f.bin(BinOp::SDiv, Operand::Reg(a), Operand::Reg(z));
+        f.ret(Some(Operand::Reg(d)));
+        f.finish();
+        let mut m = mb.finish();
+        ConstFoldPass.run(&mut m).unwrap();
+        let blk = &m.function("main").unwrap().blocks[0];
+        assert!(
+            matches!(blk.insts[2], Inst::Bin { op: BinOp::SDiv, .. }),
+            "the crash-producing divide must survive"
+        );
+    }
+
+    #[test]
+    fn folds_known_branches_and_stubs_dead_blocks() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let c = f.cmp(CmpPred::Eq, Operand::Imm(1), Operand::Imm(1));
+        let t = f.new_block();
+        let e = f.new_block();
+        f.cond_br(Operand::Reg(c), t, e);
+        f.switch_to(t);
+        f.ret(Some(Operand::Imm(1)));
+        f.switch_to(e);
+        f.const_i64(99);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        let mut m = mb.finish();
+        ConstFoldPass.run(&mut m).unwrap();
+        let dead = DeadBlockPass.run(&mut m).unwrap();
+        assert_eq!(dead.changes, 1, "the else block became unreachable");
+        verify_module(&m).unwrap();
+        assert!(m.function("main").unwrap().blocks[2].insts.is_empty());
+    }
+
+    #[test]
+    fn call_clobbers_knowledge() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let a = f.const_i64(5);
+        let b = f.call("rand", vec![]);
+        f.mov_to(a, Operand::Reg(b));
+        let c = f.add(Operand::Reg(a), Operand::Imm(1));
+        f.ret(Some(Operand::Reg(c)));
+        f.finish();
+        let mut m = mb.finish();
+        ConstFoldPass.run(&mut m).unwrap();
+        let blk = &m.function("main").unwrap().blocks[0];
+        assert!(
+            matches!(blk.insts[3], Inst::Bin { .. }),
+            "add of a call result must not fold"
+        );
+    }
+
+    /// Optimized and unoptimized builds of a benchmark behave identically.
+    #[test]
+    fn optimization_preserves_target_semantics() {
+        use vmos::{CallResult, CovMap, HostCtx, Machine, Os};
+        let t = targets_sample();
+        let mut opt = t.clone();
+        let mut pm = crate::manager::PassManager::new();
+        pm.add(ConstFoldPass).add(DeadBlockPass);
+        pm.run(&mut opt).unwrap();
+
+        let run = |m: &Module| {
+            let mut os = Os::new();
+            os.fs.write_file("/fuzz/input", b"GIF89a\x04\x00\x04\x00\x00\x00\x00;".to_vec());
+            let (mut p, _) = os.spawn(m);
+            let mut cov = CovMap::new();
+            let mut ctx = HostCtx::new(&mut os, &mut cov);
+            Machine::new(m).call(&mut p, &mut ctx, "main", &[0, 0], 3_000_000).result
+        };
+        let (a, b) = (run(&t), run(&opt));
+        match (&a, &b) {
+            (CallResult::Return(x), CallResult::Return(y)) => assert_eq!(x, y),
+            (CallResult::Exited(x), CallResult::Exited(y)) => assert_eq!(x, y),
+            _ => assert_eq!(a, b),
+        }
+    }
+
+    fn targets_sample() -> Module {
+        minic::compile(
+            "gifish",
+            r#"
+            global blocks;
+            fn main() {
+                var f = fopen("/fuzz/input", 0);
+                if (f == 0) { exit(1); }
+                var buf[64];
+                var n = fread(buf, 1, 64, f);
+                fclose(f);
+                var limit = 4 * 16 - 60;      // folds to 4
+                if (n < limit) { exit(2); }
+                var i = 0;
+                while (i < n) {
+                    if (load8(buf + i) == ';') { blocks = blocks + 1; }
+                    i = i + 1;
+                }
+                return blocks;
+            }
+        "#,
+        )
+        .unwrap()
+    }
+}

@@ -1,0 +1,103 @@
+//! Canonical pass pipelines.
+//!
+//! * [`closurex_pipeline`] — the full ClosureX instrumentation (the five
+//!   Table 3 passes) plus the shared coverage pass.
+//! * [`baseline_pipeline`] — coverage only: what `afl-clang-fast`-style
+//!   compilation gives the AFL++ forkserver baseline.
+
+use crate::coverage::CoveragePass;
+use crate::exit_pass::ExitPass;
+use crate::file_pass::FilePass;
+use crate::global_pass::GlobalPass;
+use crate::heap_pass::HeapPass;
+use crate::manager::PassManager;
+use crate::rename_main::RenameMainPass;
+
+/// The full ClosureX pipeline.
+///
+/// Coverage runs *first* so guard ids are computed from the original
+/// function names — a ClosureX build and a baseline build of the same
+/// target then produce directly comparable edge traces, which the
+/// control-flow-equivalence checker (paper §6.1.4) relies on.
+pub fn closurex_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(CoveragePass)
+        .add(RenameMainPass)
+        .add(ExitPass)
+        .add(HeapPass)
+        .add(FilePass)
+        .add(GlobalPass);
+    pm
+}
+
+/// Coverage-only instrumentation for the AFL++ baseline.
+pub fn baseline_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(CoveragePass);
+    pm
+}
+
+/// Table 3 of the paper: pass name → functionality.
+pub fn table3() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("RenameMainPass", "Rename target's main"),
+        ("HeapPass", "Inject tracking of target's heap memory"),
+        ("FilePass", "Inject tracking of target's file descriptors"),
+        (
+            "GlobalPass",
+            "Move target's writable globals into a separate memory section",
+        ),
+        ("ExitPass", "Rename target's exit calls"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::{Global, Operand, Section};
+
+    fn target() -> fir::Module {
+        let mut mb = ModuleBuilder::new("t");
+        mb.global(Global::constant("msg", b"hi\0".to_vec()));
+        mb.global(Global::zeroed("state", 64));
+        let mut f = mb.function("main");
+        let p = f.call("malloc", vec![Operand::Imm(32)]);
+        f.call_void("free", vec![Operand::Reg(p)]);
+        f.call_void("exit", vec![Operand::Imm(0)]);
+        f.unreachable();
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn closurex_pipeline_applies_all_transforms() {
+        let mut m = target();
+        let reports = closurex_pipeline().run(&mut m).unwrap();
+        assert_eq!(reports.len(), 6);
+        assert!(m.function("target_main").is_some());
+        let h = m.call_site_histogram();
+        assert!(h.contains_key("closurex_malloc"));
+        assert!(h.contains_key("closurex_free"));
+        assert!(h.contains_key("closurex_exit_hook"));
+        assert!(h.contains_key("__cov_edge"));
+        assert_eq!(m.global("state").unwrap().section, Section::ClosureGlobal);
+        assert_eq!(m.global("msg").unwrap().section, Section::Rodata);
+    }
+
+    #[test]
+    fn baseline_pipeline_only_adds_coverage() {
+        let mut m = target();
+        baseline_pipeline().run(&mut m).unwrap();
+        assert!(m.function("main").is_some(), "main untouched");
+        let h = m.call_site_histogram();
+        assert!(h.contains_key("__cov_edge"));
+        assert!(h.contains_key("malloc"), "malloc untouched");
+        assert!(h.contains_key("exit"), "exit untouched");
+    }
+
+    #[test]
+    fn table3_lists_five_passes() {
+        assert_eq!(table3().len(), 5);
+    }
+}

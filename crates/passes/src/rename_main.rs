@@ -1,0 +1,91 @@
+//! `RenameMainPass` — rename the target's `main` to `target_main` (paper
+//! §4.1).
+//!
+//! The ClosureX harness provides its own `main` containing the persistent
+//! fuzzing loop; the renamed target entry point is what the loop calls once
+//! per test case. This is the FIR analog of calling `setName` on the
+//! `main` `Function` in LLVM IR.
+
+use fir::Module;
+
+use crate::manager::{ModulePass, PassError, PassReport};
+use crate::TARGET_MAIN;
+
+/// See module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenameMainPass;
+
+impl ModulePass for RenameMainPass {
+    fn name(&self) -> &'static str {
+        "RenameMainPass"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<PassReport, PassError> {
+        if module.function(TARGET_MAIN).is_some() {
+            return Err(PassError::Precondition {
+                pass: self.name(),
+                message: format!("module already defines {TARGET_MAIN}"),
+            });
+        }
+        let Some(f) = module.function_mut("main") else {
+            return Err(PassError::Precondition {
+                pass: self.name(),
+                message: "module has no main function".into(),
+            });
+        };
+        f.name = TARGET_MAIN.to_string();
+        // Direct recursive calls to main (rare but legal C) must follow.
+        let rewritten = module.replace_callee("main", TARGET_MAIN);
+        Ok(PassReport {
+            pass: self.name().into(),
+            changes: 1 + rewritten,
+            summary: format!("renamed main -> {TARGET_MAIN} ({rewritten} call sites)"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Operand;
+
+    #[test]
+    fn renames_main_and_call_sites() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.call_void("main", vec![Operand::Imm(0)]); // self-recursion
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        let r = RenameMainPass.run(&mut m).unwrap();
+        assert!(m.function("main").is_none());
+        assert!(m.function(TARGET_MAIN).is_some());
+        assert_eq!(r.changes, 2);
+        assert_eq!(m.call_site_histogram().get(TARGET_MAIN), Some(&1));
+    }
+
+    #[test]
+    fn missing_main_is_error() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("helper");
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        assert!(matches!(
+            RenameMainPass.run(&mut m),
+            Err(PassError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn double_application_is_error() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        RenameMainPass.run(&mut m).unwrap();
+        assert!(RenameMainPass.run(&mut m).is_err());
+    }
+}

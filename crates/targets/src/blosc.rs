@@ -1,0 +1,236 @@
+//! `c-blosc2` — a blosc2 frame reader (Table 4 row 9).
+//!
+//! Carries **four planted null-pointer dereferences** mirroring the
+//! paper's Table 7 c-blosc2 rows (three of which were CVE-backed in the
+//! paper). Each crashes in a distinct function for clean deduplication.
+
+use vmos::CrashKind;
+
+use crate::{BugSpec, TargetSpec};
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// c-blosc2-like frame reader:
+//   magic "b2fr", u16 header_len, u32 frame_len, u16 chunk_count, u8 flags,
+//   chunk offset table (u16 each), then chunk payloads:
+//   per chunk: u8 cflags, u8 typesize, u16 csize, data.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[740000];
+global input_len;
+global chunk_count;
+global frame_flags;
+global decompressed;
+global cache_ptr;
+global meta_ptr;
+global meta_count;
+global lazy_count;
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+// BUG blosc-null-getchunk: offset 0 means "absent chunk" but the lookup
+// returns a NULL data pointer the caller dereferences.
+fn get_chunk(idx) {
+    var table = 13;
+    var off = load16(input + table + idx * 2);
+    if (off == 0) { return 0; }
+    if (off + 4 > input_len) { exit(3); }
+    return input + off;
+}
+
+// BUG blosc-null-lazy: lazy chunks consult an in-memory cache that is only
+// populated for eager frames.
+fn lazy_chunk(idx) {
+    lazy_count = lazy_count + 1;
+    return load8(cache_ptr + idx);
+}
+
+// BUG blosc-null-decomp: an oversized csize skips allocation but the
+// decompress loop runs anyway.
+fn decompress_chunk(p, csize, typesize) {
+    var dst = 0;
+    if (csize <= 4096) { dst = malloc(csize + 16); }
+    var end = input + input_len;
+    var i = 0;
+    while (i < csize) {
+        var b = 0;
+        if (p + 4 + i < end) { b = load8(p + 4 + i); }
+        store8(dst + i, b ^ 0x5A);
+        i = i + 1;
+    }
+    decompressed = decompressed + csize;
+    if (dst != 0) { free(dst); }
+    return csize;
+}
+
+// BUG blosc-null-meta: metalayer count > 0 with no metalayer table.
+fn read_metalayer(idx) {
+    meta_count = meta_count + 1;
+    return load16(meta_ptr + idx * 2);
+}
+
+fn process_chunk(idx) {
+    var p = get_chunk(idx);
+    var cflags = load8(p);
+    var typesize = load8(p + 1);
+    if (typesize == 0) { exit(4); }
+    var csize = load16(p + 2);
+    if (cflags & 2) {
+        return lazy_chunk(idx);
+    }
+    return decompress_chunk(p, csize, typesize);
+}
+
+fn main() {
+    chunk_count = 0; frame_flags = 0; decompressed = 0;
+    cache_ptr = 0; meta_ptr = 0; meta_count = 0; lazy_count = 0;
+    var n = read_input();
+    if (n < 13) { exit(1); }
+    if (load8(input) != 'b' || load8(input + 1) != '2') { exit(2); }
+    if (load8(input + 2) != 'f' || load8(input + 3) != 'r') { exit(2); }
+    var header_len = load16(input + 4);
+    var frame_len = load32(input + 6);
+    if (frame_len > n) { exit(2); }
+    chunk_count = load16(input + 10);
+    frame_flags = load8(input + 12);
+    if (chunk_count > 32) { exit(2); }
+    if (13 + chunk_count * 2 > n) { exit(2); }
+    // Eager frames populate the chunk cache lazy reads rely on.
+    if (frame_flags & 1) {
+        cache_ptr = malloc(chunk_count * 4 + 4);
+        memset(cache_ptr, 0, chunk_count * 4 + 4);
+    }
+    // Metalayers: flag bit 2 says "table present".
+    if (frame_flags & 4) {
+        meta_ptr = malloc(64);
+        memset(meta_ptr, 0, 64);
+    }
+    if (frame_flags & 8) {
+        // frame declares metalayers regardless of the table bit
+        read_metalayer(0);
+    }
+    var i = 0;
+    while (i < chunk_count) {
+        process_chunk(i);
+        i = i + 1;
+    }
+    if (cache_ptr != 0) { free(cache_ptr); }
+    if (meta_ptr != 0) { free(meta_ptr); }
+    return decompressed;
+}
+"#;
+
+/// Planted bugs (Table 7 c-blosc2 rows).
+pub static BUGS: [BugSpec; 4] = [
+    BugSpec {
+        id: "blosc-null-getchunk",
+        kind: CrashKind::NullPtrDeref,
+        function: "process_chunk",
+        description: "absent chunk (offset 0) returns NULL; header read dereferences it",
+        cve: Some("CVE-2023-37185"),
+    },
+    BugSpec {
+        id: "blosc-null-lazy",
+        kind: CrashKind::NullPtrDeref,
+        function: "lazy_chunk",
+        description: "lazy chunk reads the eager-only cache pointer",
+        cve: Some("CVE-2023-37187"),
+    },
+    BugSpec {
+        id: "blosc-null-decomp",
+        kind: CrashKind::NullPtrDeref,
+        function: "decompress_chunk",
+        description: "oversized csize skips allocation; decompress writes through NULL",
+        cve: Some("CVE-2023-37188"),
+    },
+    BugSpec {
+        id: "blosc-null-meta",
+        kind: CrashKind::NullPtrDeref,
+        function: "read_metalayer",
+        description: "declared metalayers without a metalayer table",
+        cve: None,
+    },
+];
+
+/// Build a frame. `chunks` are `(cflags, typesize, payload)`.
+pub fn frame(flags: u8, chunks: &[(u8, u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = b"b2fr".to_vec();
+    out.extend_from_slice(&13u16.to_le_bytes()); // header_len
+    let mut body = Vec::new();
+    let table_base = 13 + chunks.len() * 2;
+    let mut offsets = Vec::new();
+    for (cflags, typesize, payload) in chunks {
+        offsets.push((table_base + body.len()) as u16);
+        body.push(*cflags);
+        body.push(*typesize);
+        body.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        body.extend_from_slice(payload);
+    }
+    let total = (table_base + body.len()) as u32;
+    out.extend_from_slice(&total.to_le_bytes()); // frame_len
+    out.extend_from_slice(&(chunks.len() as u16).to_le_bytes());
+    out.push(flags);
+    for o in &offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        frame(1, &[(0, 4, b"compressed-data!".to_vec())]),
+        frame(1, &[(0, 1, b"x".to_vec()), (2, 8, b"lazy".to_vec())]),
+        frame(5, &[(0, 2, b"meta frame".to_vec())]),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    // Absent chunk: hand-roll a frame whose offset table contains 0.
+    let mut absent = b"b2fr".to_vec();
+    absent.extend_from_slice(&13u16.to_le_bytes());
+    absent.extend_from_slice(&15u32.to_le_bytes());
+    absent.extend_from_slice(&1u16.to_le_bytes()); // one chunk
+    absent.push(0); // no flags
+    absent.extend_from_slice(&0u16.to_le_bytes()); // offset 0 → NULL
+    // Lazy chunk without the eager flag → cache_ptr stays NULL.
+    let lazy = frame(0, &[(2, 4, b"lazy".to_vec())]);
+    // Oversized csize: payload declared 5000 but only 8 bytes present —
+    // keep frame_len honest by hand-rolling.
+    let mut big = b"b2fr".to_vec();
+    big.extend_from_slice(&13u16.to_le_bytes());
+    big.extend_from_slice(&23u32.to_le_bytes());
+    big.extend_from_slice(&1u16.to_le_bytes());
+    big.push(0);
+    big.extend_from_slice(&15u16.to_le_bytes()); // chunk at 15
+    big.push(0); // cflags
+    big.push(4); // typesize
+    big.extend_from_slice(&5000u16.to_le_bytes()); // csize huge
+    big.extend_from_slice(&[0; 4]);
+    // Metalayer declared (bit 3) without table (bit 2).
+    let meta = frame(8, &[]);
+    vec![
+        ("blosc-null-getchunk", absent),
+        ("blosc-null-lazy", lazy),
+        ("blosc-null-decomp", big),
+        ("blosc-null-meta", meta),
+    ]
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "c-blosc2",
+    input_format: "bframe",
+    source: SOURCE,
+    seeds,
+    bugs: &BUGS,
+    witnesses,
+};

@@ -1,0 +1,265 @@
+//! `libbpf` — a BPF-object (mini-ELF) loader (Table 4 row 4).
+//!
+//! Carries **three planted null-pointer dereferences** mirroring the
+//! paper's Table 7 libbpf rows, including the headline bug: parsing the
+//! relocation section of a malformed ELF object dereferences a NULL symbol
+//! table (the paper's CVE-backed find). Each bug crashes in a distinct
+//! function so crash-site deduplication keeps them apart.
+
+use vmos::CrashKind;
+
+use crate::{BugSpec, TargetSpec};
+
+/// Symbol table section tag.
+pub const SEC_SYMTAB: u8 = 1;
+/// String table section tag.
+pub const SEC_STRTAB: u8 = 2;
+/// Program (code) section tag.
+pub const SEC_PROG: u8 = 3;
+/// Relocation section tag.
+pub const SEC_RELOC: u8 = 4;
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// libbpf-like BPF object loader over a miniature ELF container:
+//   magic 0x7F 'B' 'P' 'F', u8 section count,
+//   per section: u8 type, u16 offset, u16 size (big-endian),
+//   section payloads follow.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[1900000];
+global input_len;
+global init_done;
+global proto_tables[512];
+global sym_buf;
+global sym_count;
+global str_buf;
+global str_len;
+global prog_count;
+global reloc_count;
+global insn_count;
+global map_count;
+
+// Input-independent startup work (format tables): re-done for every test
+// case unless the harness defers initialization.
+fn init_tables() {
+    var i = 0;
+    while (i < 150) {
+        store8(proto_tables + (i % 512), (i * 7) & 255);
+        i = i + 1;
+    }
+    return 150;
+}
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+fn sec_u16(p) { return (load8(p) << 8) | load8(p + 1); }
+
+fn parse_symtab(off, size) {
+    // 8-byte symbol records: u16 name offset, u16 value, u32 flags.
+    if (size % 8 != 0) { exit(3); }
+    sym_count = size / 8;
+    // BUG libbpf-null-reloc feeder: the cap path forgets to reset
+    // sym_count, leaving sym_buf NULL with a huge declared count.
+    if (sym_count > 64) { return 0; }
+    sym_buf = malloc(size + 1);
+    memcpy(sym_buf, input + off, size);
+    return sym_count;
+}
+
+// BUG libbpf-null-strtab: name offsets past the string table leave the
+// pointer NULL, and strlen walks it.
+fn section_name_len(name_off) {
+    var p = 0;
+    if (name_off < str_len) { p = str_buf + name_off; }
+    return strlen(p);
+}
+
+fn parse_prog(off, size) {
+    prog_count = prog_count + 1;
+    var insns = size / 8;
+    insn_count = insn_count + insns;
+    var i = 0;
+    while (i < insns && i < 128) {
+        var opcode = load8(input + off + i * 8);
+        if (opcode == 0x85) { map_count = map_count + 1; }
+        if (opcode == 0x18) {
+            // BUG libbpf-null-prog-name: map-by-name loads consult the
+            // string table without checking it was ever loaded.
+            map_count = map_count + load8(str_buf);
+        }
+        i = i + 1;
+    }
+    return insns;
+}
+
+// BUG libbpf-null-reloc (the paper's headline libbpf find): relocations
+// index the symbol table without checking it was actually allocated.
+fn parse_reloc(off, size) {
+    var relocs = size / 4;
+    var i = 0;
+    while (i < relocs && i < 64) {
+        var sym_idx = sec_u16(input + off + i * 4);
+        reloc_count = reloc_count + 1;
+        if (sym_idx < sym_count) {
+            var rec = sym_buf + sym_idx * 8;
+            var name_off = (load8(rec) << 8) | load8(rec + 1);
+            var len = section_name_len(name_off);
+            if (len > 32) { exit(4); }
+        }
+        i = i + 1;
+    }
+    return relocs;
+}
+
+fn main() {
+    if (init_done == 0) { init_tables(); init_done = 1; }
+    sym_buf = 0; sym_count = 0; str_buf = 0; str_len = 0;
+    prog_count = 0; reloc_count = 0; insn_count = 0; map_count = 0;
+    var n = read_input();
+    if (n < 5) { exit(1); }
+    if (load8(input) != 0x7F || load8(input + 1) != 'B') { exit(2); }
+    if (load8(input + 2) != 'P' || load8(input + 3) != 'F') { exit(2); }
+    var nsec = load8(input + 4);
+    if (nsec > 16) { exit(2); }
+    var table = 5;
+    if (table + nsec * 5 > n) { exit(2); }
+    // First pass: locate symtab and strtab.
+    var i = 0;
+    while (i < nsec) {
+        var t = load8(input + table + i * 5);
+        var off = sec_u16(input + table + i * 5 + 1);
+        var size = sec_u16(input + table + i * 5 + 3);
+        if (off + size > n) { exit(3); }
+        if (t == 1) { parse_symtab(off, size); }
+        if (t == 2) {
+            str_buf = malloc(size + 1);
+            memcpy(str_buf, input + off, size);
+            store8(str_buf + size, 0);
+            str_len = size;
+        }
+        i = i + 1;
+    }
+    // Second pass: programs and relocations.
+    i = 0;
+    while (i < nsec) {
+        var t = load8(input + table + i * 5);
+        var off = sec_u16(input + table + i * 5 + 1);
+        var size = sec_u16(input + table + i * 5 + 3);
+        if (t == 3) { parse_prog(off, size); }
+        if (t == 4) { parse_reloc(off, size); }
+        i = i + 1;
+    }
+    if (sym_buf != 0) { free(sym_buf); }
+    if (str_buf != 0) { free(str_buf); }
+    return prog_count * 10 + reloc_count;
+}
+"#;
+
+/// Planted bugs (Table 7 libbpf rows).
+pub static BUGS: [BugSpec; 3] = [
+    BugSpec {
+        id: "libbpf-null-reloc",
+        kind: CrashKind::NullPtrDeref,
+        function: "parse_reloc",
+        description: "relocation parsing dereferences a NULL symbol table (capped symtab path)",
+        cve: Some("CVE-2023-37186"),
+    },
+    BugSpec {
+        id: "libbpf-null-prog-name",
+        kind: CrashKind::NullPtrDeref,
+        function: "parse_prog",
+        description: "map-by-name instruction consults a NULL string table",
+        cve: None,
+    },
+    BugSpec {
+        id: "libbpf-null-strtab",
+        kind: CrashKind::NullPtrDeref,
+        function: "section_name_len",
+        description: "out-of-range name offset leaves a NULL pointer for strlen",
+        cve: None,
+    },
+];
+
+/// Assemble a mini-ELF BPF object from `(type, payload)` sections.
+pub fn bpf_object(sections: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = vec![0x7F, b'B', b'P', b'F', sections.len() as u8];
+    let table_len = sections.len() * 5;
+    let mut off = 5 + table_len;
+    for (t, payload) in sections {
+        out.push(*t);
+        out.extend_from_slice(&(off as u16).to_be_bytes());
+        out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+        off += payload.len();
+    }
+    for (_, payload) in sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// An 8-byte symbol record.
+fn sym(name_off: u16, value: u16) -> Vec<u8> {
+    let mut s = Vec::new();
+    s.extend_from_slice(&name_off.to_be_bytes());
+    s.extend_from_slice(&value.to_be_bytes());
+    s.extend_from_slice(&[0; 4]);
+    s
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    let strtab = b"main\0license\0".to_vec();
+    let symtab = [sym(0, 1), sym(5, 2)].concat();
+    let prog = vec![0xb7, 0, 0, 0, 1, 0, 0, 0, 0x95, 0, 0, 0, 0, 0, 0, 0];
+    let reloc = vec![0u8, 1, 0, 0];
+    vec![
+        bpf_object(&[
+            (SEC_STRTAB, strtab.clone()),
+            (SEC_SYMTAB, symtab.clone()),
+            (SEC_PROG, prog.clone()),
+            (SEC_RELOC, reloc),
+        ]),
+        bpf_object(&[(SEC_STRTAB, strtab), (SEC_PROG, prog)]),
+        bpf_object(&[]),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    // 66-symbol symtab takes the cap path (sym_buf NULL, sym_count 66);
+    // any in-range reloc then dereferences NULL in parse_reloc.
+    let big_symtab = vec![0u8; 66 * 8];
+    let w_reloc = bpf_object(&[(SEC_SYMTAB, big_symtab), (SEC_RELOC, vec![0, 1, 0, 2])]);
+    // A 0x18 (map-by-name) instruction with no strtab section.
+    let prog_with_name = vec![0x18, 0, 0, 0, 0, 0, 0, 0];
+    let w_prog = bpf_object(&[(SEC_PROG, prog_with_name)]);
+    // Valid symtab whose single symbol has a name offset beyond a tiny
+    // strtab: section_name_len strlens NULL.
+    let w_strtab = bpf_object(&[
+        (SEC_STRTAB, b"x\0".to_vec()),
+        (SEC_SYMTAB, sym(500, 0)),
+        (SEC_RELOC, vec![0, 0, 0, 0]),
+    ]);
+    vec![
+        ("libbpf-null-reloc", w_reloc),
+        ("libbpf-null-prog-name", w_prog),
+        ("libbpf-null-strtab", w_strtab),
+    ]
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "libbpf",
+    input_format: "bpf object",
+    source: SOURCE,
+    seeds,
+    bugs: &BUGS,
+    witnesses,
+};

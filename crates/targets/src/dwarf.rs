@@ -1,0 +1,192 @@
+//! `libdwarf` — an ELF/DWARF debug-info walker (Table 4 row 8). Bug-free;
+//! exercises an ELF section-header table, ULEB128 decoding, and an abbrev
+//! table walk.
+
+use crate::TargetSpec;
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// libdwarf-like reader: mini-ELF sections + .debug_abbrev/.debug_info.
+//   magic 0x7F 'E' 'L' 'F', u8 nsec,
+//   per section: u8 kind (1=abbrev, 2=info, 3=str), u16 off, u16 size (LE)
+global input[8192];
+global input_len;
+global init_done;
+global proto_tables[512];
+global abbrev_count;
+global attr_count;
+global cu_count;
+global die_count;
+global uleb_overlong;
+global last_tag;
+
+// Input-independent startup work (protocol/format tables): re-done for
+// every test case unless the harness defers initialization.
+fn init_tables() {
+    var i = 0;
+    while (i < 100) {
+        store8(proto_tables + (i % 512), (i * 7) & 255);
+        i = i + 1;
+    }
+    return 100;
+}
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+// Decode a ULEB128 at p (bounded by end); result packed as value*8 + len.
+fn uleb(p, end) {
+    var v = 0;
+    var shift = 0;
+    var i = 0;
+    while (p + i < end && i < 5) {
+        var b = load8(p + i);
+        v = v | ((b & 0x7F) << shift);
+        shift = shift + 7;
+        i = i + 1;
+        if ((b & 0x80) == 0) { return v * 8 + i; }
+    }
+    uleb_overlong = uleb_overlong + 1;
+    exit(3);
+}
+
+fn parse_abbrev(off, size) {
+    var p = input + off;
+    var end = input + off + size;
+    while (p < end) {
+        var r = uleb(p, end);
+        var code = r / 8;
+        p = p + (r % 8);
+        if (code == 0) { return abbrev_count; }
+        abbrev_count = abbrev_count + 1;
+        r = uleb(p, end);
+        last_tag = r / 8;
+        p = p + (r % 8);
+        if (p >= end) { exit(4); }
+        var children = load8(p);
+        p = p + 1;
+        // attribute pairs until (0, 0)
+        while (1) {
+            if (p >= end) { exit(4); }
+            r = uleb(p, end);
+            var at = r / 8;
+            p = p + (r % 8);
+            if (p >= end) { exit(4); }
+            r = uleb(p, end);
+            var form = r / 8;
+            p = p + (r % 8);
+            if (at == 0 && form == 0) { break; }
+            attr_count = attr_count + 1;
+            if (attr_count > 512) { exit(4); }
+        }
+    }
+    return abbrev_count;
+}
+
+fn parse_info(off, size) {
+    if (size < 11) { exit(5); }
+    var p = input + off;
+    var unit_len = load32(p);
+    var version = load16(p + 4);
+    if (version < 2 || version > 5) { exit(5); }
+    var addr_size = load8(p + 10);
+    if (addr_size != 4 && addr_size != 8) { exit(5); }
+    cu_count = cu_count + 1;
+    // walk DIE abbrev codes
+    var q = p + 11;
+    var end = input + off + size;
+    while (q < end && die_count < 256) {
+        var r = uleb(q, end);
+        var code = r / 8;
+        q = q + (r % 8);
+        if (code == 0) { break; }
+        die_count = die_count + 1;
+        // each DIE carries one dummy byte payload in this mini format
+        if (q < end) { q = q + 1; }
+    }
+    return die_count;
+}
+
+fn main() {
+    if (init_done == 0) { init_tables(); init_done = 1; }
+    abbrev_count = 0; attr_count = 0; cu_count = 0;
+    die_count = 0; uleb_overlong = 0; last_tag = 0;
+    var n = read_input();
+    if (n < 5) { exit(1); }
+    if (load8(input) != 0x7F || load8(input + 1) != 'E') { exit(2); }
+    if (load8(input + 2) != 'L' || load8(input + 3) != 'F') { exit(2); }
+    var nsec = load8(input + 4);
+    if (nsec > 8) { exit(2); }
+    if (5 + nsec * 5 > n) { exit(2); }
+    var i = 0;
+    while (i < nsec) {
+        var kind = load8(input + 5 + i * 5);
+        var off = load16(input + 5 + i * 5 + 1);
+        var size = load16(input + 5 + i * 5 + 3);
+        if (off + size > n) { exit(2); }
+        if (kind == 1) { parse_abbrev(off, size); }
+        if (kind == 2) { parse_info(off, size); }
+        i = i + 1;
+    }
+    return abbrev_count * 100 + cu_count * 10 + die_count;
+}
+"#;
+
+/// Assemble the mini-ELF from `(kind, payload)` sections.
+pub fn elf(sections: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = vec![0x7F, b'E', b'L', b'F', sections.len() as u8];
+    let mut off = 5 + sections.len() * 5;
+    for (k, payload) in sections {
+        out.push(*k);
+        out.extend_from_slice(&(off as u16).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        off += payload.len();
+    }
+    for (_, payload) in sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+fn abbrev_section() -> Vec<u8> {
+    // code=1, tag=0x11 (compile_unit), children=1, attrs: (0x03,0x08),(0,0)
+    // then terminator code=0
+    vec![1, 0x11, 1, 0x03, 0x08, 0, 0, 0]
+}
+
+fn info_section() -> Vec<u8> {
+    let mut s = Vec::new();
+    s.extend_from_slice(&20u32.to_le_bytes()); // unit length
+    s.extend_from_slice(&4u16.to_le_bytes()); // version
+    s.extend_from_slice(&0u32.to_le_bytes()); // abbrev offset
+    s.push(8); // addr size
+    s.extend_from_slice(&[1, 0xAA, 1, 0xBB, 0]); // two DIEs then end
+    s
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        elf(&[(1, abbrev_section()), (2, info_section())]),
+        elf(&[(1, abbrev_section())]),
+        elf(&[]),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    Vec::new()
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "libdwarf",
+    input_format: "ELF",
+    source: SOURCE,
+    seeds,
+    bugs: &[],
+    witnesses,
+};

@@ -1,0 +1,204 @@
+//! `freetype` — a TrueType (sfnt) font sanity checker (Table 4 row 5).
+//! Bug-free; exercises a table directory, nested table parsing, and a
+//! PRNG-salted cache key (the source of the natural non-determinism the
+//! paper observed in freetype's correctness evaluation).
+
+use crate::TargetSpec;
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// TrueType sfnt checker: offset table, table directory, head/cmap/glyf.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[1600000];
+global input_len;
+global init_done;
+global proto_tables[512];
+global num_tables;
+global units_per_em;
+global glyph_count;
+global cmap_segments;
+global cache_salt;
+global table_tags[256];
+global checksum_errors;
+
+// Input-independent startup work (protocol/format tables): re-done for
+// every test case unless the harness defers initialization.
+fn init_tables() {
+    var i = 0;
+    while (i < 300) {
+        store8(proto_tables + (i % 512), (i * 7) & 255);
+        i = i + 1;
+    }
+    return 300;
+}
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+fn be16(p) { return (load8(p) << 8) | load8(p + 1); }
+fn be32(p) {
+    return (load8(p) << 24) | (load8(p + 1) << 16) | (load8(p + 2) << 8) | load8(p + 3);
+}
+
+fn parse_head(off, len) {
+    if (len < 54) { exit(3); }
+    var magic = be32(input + off + 12);
+    if (magic != 0x5F0F3CF5) { exit(3); }
+    units_per_em = be16(input + off + 18);
+    if (units_per_em < 16 || units_per_em > 16384) { exit(3); }
+    return units_per_em;
+}
+
+fn parse_cmap(off, len) {
+    if (len < 4) { exit(4); }
+    var ntab = be16(input + off + 2);
+    if (ntab > 8) { exit(4); }
+    var i = 0;
+    while (i < ntab) {
+        var rec = off + 4 + i * 8;
+        if (rec + 8 > off + len) { exit(4); }
+        var sub_off = be32(input + rec + 4);
+        if (sub_off + 8 <= len) {
+            var format = be16(input + off + sub_off);
+            if (format == 4) {
+                var segx2 = be16(input + off + sub_off + 6);
+                cmap_segments = cmap_segments + segx2 / 2;
+            }
+        }
+        i = i + 1;
+    }
+    return cmap_segments;
+}
+
+fn parse_maxp(off, len) {
+    if (len < 6) { exit(5); }
+    glyph_count = be16(input + off + 4);
+    if (glyph_count > 4096) { exit(5); }
+    return glyph_count;
+}
+
+fn parse_glyf(off, len) {
+    // walk simple-glyph headers
+    var p = 0;
+    var glyphs = 0;
+    while (p + 10 <= len && glyphs < 64) {
+        var ncont = be16(input + off + p);
+        if (ncont > 100) { break; }
+        glyphs = glyphs + 1;
+        p = p + 10 + ncont * 2;
+    }
+    return glyphs;
+}
+
+fn main() {
+    if (init_done == 0) { init_tables(); init_done = 1; }
+    num_tables = 0; units_per_em = 0; glyph_count = 0;
+    cmap_segments = 0; checksum_errors = 0;
+    memset(table_tags, 0, 256);
+    // PRNG-salted cache key: harmless, but makes one global byte
+    // naturally non-deterministic across runs (paper §6.1.4's freetype
+    // observation).
+    cache_salt = rand();
+    var n = read_input();
+    if (n < 12) { exit(1); }
+    var version = be32(input);
+    if (version != 0x00010000 && version != 0x74727565) { exit(2); }
+    num_tables = be16(input + 4);
+    if (num_tables == 0 || num_tables > 32) { exit(2); }
+    if (12 + num_tables * 16 > n) { exit(2); }
+    var seen_head = 0;
+    var i = 0;
+    while (i < num_tables) {
+        var rec = 12 + i * 16;
+        var tag = be32(input + rec);
+        var off = be32(input + rec + 8);
+        var len = be32(input + rec + 12);
+        if (off + len > n) { exit(3); }
+        store8(table_tags + (i * 4) % 256, load8(input + rec));
+        if (tag == 0x68656164) { seen_head = 1; parse_head(off, len); }
+        if (tag == 0x636D6170) { parse_cmap(off, len); }
+        if (tag == 0x6D617870) { parse_maxp(off, len); }
+        if (tag == 0x676C7966) { parse_glyf(off, len); }
+        i = i + 1;
+    }
+    if (seen_head == 0) { exit(6); }
+    return num_tables * 100 + glyph_count;
+}
+"#;
+
+fn be32v(v: u32) -> [u8; 4] {
+    v.to_be_bytes()
+}
+
+/// Build a minimal sfnt with the given `(tag, payload)` tables.
+pub fn sfnt(tables: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&be32v(0x0001_0000));
+    out.extend_from_slice(&(tables.len() as u16).to_be_bytes());
+    out.extend_from_slice(&[0; 6]); // search range etc.
+    let mut off = 12 + tables.len() * 16;
+    for (tag, payload) in tables {
+        out.extend_from_slice(&be32v(*tag));
+        out.extend_from_slice(&be32v(0)); // checksum
+        out.extend_from_slice(&be32v(off as u32));
+        out.extend_from_slice(&be32v(payload.len() as u32));
+        off += payload.len();
+    }
+    for (_, payload) in tables {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+fn head_table() -> Vec<u8> {
+    let mut t = vec![0u8; 54];
+    t[12..16].copy_from_slice(&be32v(0x5F0F_3CF5));
+    t[18..20].copy_from_slice(&1000u16.to_be_bytes());
+    t
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    let mut maxp = vec![0u8; 6];
+    maxp[4..6].copy_from_slice(&4u16.to_be_bytes());
+    let mut cmap = vec![0u8; 24];
+    cmap[2..4].copy_from_slice(&1u16.to_be_bytes()); // one encoding record
+    cmap[4 + 4..4 + 8].copy_from_slice(&be32v(12)); // subtable at 12
+    cmap[12..14].copy_from_slice(&4u16.to_be_bytes()); // format 4
+    cmap[18..20].copy_from_slice(&8u16.to_be_bytes()); // segcount*2
+    let glyf = {
+        let mut g = vec![0u8; 20];
+        g[0..2].copy_from_slice(&1u16.to_be_bytes()); // one contour
+        g
+    };
+    vec![
+        sfnt(&[
+            (0x6865_6164, head_table()),
+            (0x6D61_7870, maxp),
+            (0x636D_6170, cmap),
+            (0x676C_7966, glyf),
+        ]),
+        sfnt(&[(0x6865_6164, head_table())]),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    Vec::new()
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "freetype",
+    input_format: "ttf",
+    source: SOURCE,
+    seeds,
+    bugs: &[],
+    witnesses,
+};

@@ -1,0 +1,196 @@
+//! `giftext` — a GIF structure dumper (Table 4 row 6). Bug-free;
+//! exercises header/LSD parsing, color tables, sub-block chains, and
+//! extension dispatch.
+
+use crate::TargetSpec;
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// giftext-like GIF walker: header, logical screen, images, extensions.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[232000];
+global input_len;
+global init_done;
+global proto_tables[512];
+global width;
+global height;
+global gct_size;
+global image_count;
+global ext_count;
+global comment_bytes;
+global subblock_count;
+global palette[768];
+
+// Input-independent startup work (protocol/format tables): re-done for
+// every test case unless the harness defers initialization.
+fn init_tables() {
+    var i = 0;
+    while (i < 60) {
+        store8(proto_tables + (i % 512), (i * 7) & 255);
+        i = i + 1;
+    }
+    return 60;
+}
+
+// NOTE the classic leak: the handle is never fclosed on any path, and
+// fopen's result is never checked. Harmless in a fresh process (the OS
+// reclaims descriptors at exit); fatal after enough persistent iterations.
+global in_file;
+
+fn open_input() {
+    in_file = fopen("/fuzz/input", 0);
+    input_len = fread(input, 1, 8192, in_file);
+    return input_len;
+}
+
+// Skip a sub-block chain starting at off; returns the offset after the
+// terminator, or -1 on truncation.
+fn skip_subblocks(off) {
+    while (1) {
+        if (off >= input_len) { return 0 - 1; }
+        var len = load8(input + off);
+        if (len == 0) { return off + 1; }
+        subblock_count = subblock_count + 1;
+        off = off + 1 + len;
+    }
+    return 0 - 1;
+}
+
+fn handle_extension(off) {
+    if (off >= input_len) { exit(3); }
+    var label = load8(input + off);
+    ext_count = ext_count + 1;
+    if (label == 0xFE) {
+        // comment: tally bytes
+        var p = off + 1;
+        while (p < input_len) {
+            var len = load8(input + p);
+            if (len == 0) { return p + 1; }
+            comment_bytes = comment_bytes + len;
+            p = p + 1 + len;
+        }
+        exit(3);
+    }
+    return skip_subblocks(off + 1);
+}
+
+fn handle_image(off) {
+    if (off + 9 > input_len) { exit(4); }
+    image_count = image_count + 1;
+    var flags = load8(input + off + 8);
+    var next = off + 9;
+    if (flags & 0x80) {
+        var lct_entries = 1 << ((flags & 7) + 1);
+        var lct_bytes = lct_entries * 3;
+        if (next + lct_bytes > input_len) { exit(4); }
+        var i = 0;
+        while (i < lct_bytes && i < 768) {
+            store8(palette + i, load8(input + next + i));
+            i = i + 1;
+        }
+        next = next + lct_bytes;
+    }
+    // LZW minimum code size byte, then data sub-blocks.
+    if (next >= input_len) { exit(4); }
+    var mincode = load8(input + next);
+    if (mincode > 11) { exit(4); }
+    return skip_subblocks(next + 1);
+}
+
+fn main() {
+    if (init_done == 0) { init_tables(); init_done = 1; }
+    width = 0; height = 0; gct_size = 0;
+    image_count = 0; ext_count = 0; comment_bytes = 0; subblock_count = 0;
+    var n = open_input();
+    if (n < 13) { exit(1); }
+    if (load8(input) != 'G' || load8(input + 1) != 'I' || load8(input + 2) != 'F') { exit(2); }
+    if (load8(input + 3) != '8') { exit(2); }
+    var minor = load8(input + 4);
+    if (minor != '7' && minor != '9') { exit(2); }
+    if (load8(input + 5) != 'a') { exit(2); }
+    width = load16(input + 6);
+    height = load16(input + 8);
+    var flags = load8(input + 10);
+    var off = 13;
+    if (flags & 0x80) {
+        gct_size = (1 << ((flags & 7) + 1)) * 3;
+        if (off + gct_size > n) { exit(2); }
+        var i = 0;
+        while (i < gct_size && i < 768) {
+            store8(palette + i, load8(input + off + i));
+            i = i + 1;
+        }
+        off = off + gct_size;
+    }
+    while (off < n) {
+        var block = load8(input + off);
+        if (block == 0x3B) { return image_count * 10 + ext_count; }
+        if (block == 0x2C) {
+            off = handle_image(off + 1);
+        } else if (block == 0x21) {
+            off = handle_extension(off + 1);
+        } else {
+            exit(5);
+        }
+        if (off < 0) { exit(6); }
+        if (image_count > 64) { exit(7); }
+    }
+    return image_count * 10 + ext_count;
+}
+"#;
+
+/// Build a GIF with `images` minimal images and an optional comment.
+pub fn gif(images: usize, comment: Option<&[u8]>) -> Vec<u8> {
+    let mut out = b"GIF89a".to_vec();
+    out.extend_from_slice(&4u16.to_le_bytes()); // width
+    out.extend_from_slice(&4u16.to_le_bytes()); // height
+    out.push(0x80); // GCT present, 2 entries
+    out.push(0); // bg color
+    out.push(0); // aspect
+    out.extend_from_slice(&[0, 0, 0, 255, 255, 255]); // GCT (2×3)
+    if let Some(c) = comment {
+        out.push(0x21);
+        out.push(0xFE);
+        out.push(c.len() as u8);
+        out.extend_from_slice(c);
+        out.push(0);
+    }
+    for _ in 0..images {
+        out.push(0x2C);
+        out.extend_from_slice(&0u16.to_le_bytes()); // left
+        out.extend_from_slice(&0u16.to_le_bytes()); // top
+        out.extend_from_slice(&4u16.to_le_bytes()); // width
+        out.extend_from_slice(&4u16.to_le_bytes()); // height
+        out.push(0); // no LCT
+        out.push(2); // LZW min code size
+        out.extend_from_slice(&[2, 0x4C, 0x01]); // one data sub-block
+        out.push(0); // terminator
+    }
+    out.push(0x3B);
+    out
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        gif(1, None),
+        gif(2, Some(b"hello gif")),
+        gif(0, Some(b"comment only")),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    Vec::new()
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "giftext",
+    input_format: "gif",
+    source: SOURCE,
+    seeds,
+    bugs: &[],
+    witnesses,
+};

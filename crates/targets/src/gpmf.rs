@@ -1,0 +1,295 @@
+//! `gpmf-parser` — a GoPro-metadata (KLV) parser (Table 4 row 3).
+//!
+//! Carries **six planted bugs** mirroring the paper's Table 7 gpmf-parser
+//! rows: two divisions by zero, two unaddressable accesses, one invalid
+//! write, one invalid read.
+
+use vmos::CrashKind;
+
+use crate::{BugSpec, TargetSpec};
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// GPMF KLV stream parser: 4CC key, type, sample size, repeat count.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[720000];
+global input_len;
+global init_done;
+global proto_tables[512];
+global klv_count;
+global accl_sum;
+global scale_cache;
+global device_name[64];
+global temp_table[100];
+global cached_buf;
+global cached_freed;
+global nest_depth;
+
+// Input-independent startup work (format tables): re-done for every test
+// case unless the harness defers initialization.
+fn init_tables() {
+    var i = 0;
+    while (i < 300) {
+        store8(proto_tables + (i % 512), (i * 7) & 255);
+        i = i + 1;
+    }
+    return 300;
+}
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+// BUG gpmf-div0-avg: sample average divides by a repeat count taken from
+// the stream without a zero check.
+fn average_samples(p, count, ssize) {
+    var sum = 0;
+    var i = 0;
+    while (i < count && i < 64) {
+        sum = sum + load8(p + i);
+        i = i + 1;
+    }
+    return sum / count;
+}
+
+// BUG gpmf-div0-scale: scaling divides by an input-controlled divisor.
+fn scale_value(v) {
+    return v / scale_cache;
+}
+
+// BUG gpmf-unaddr-far: a "fast seek" helper trusts a 16-bit offset and
+// lands far outside any allocation.
+fn far_read(base, offset) {
+    return load8(base + offset * 4096);
+}
+
+// BUG gpmf-unaddr-uaf: the buffer cache frees on 'R' but a second 'R'
+// reads the stale pointer.
+fn reuse_cached() {
+    if (cached_freed) {
+        return load8(cached_buf);
+    }
+    free(cached_buf);
+    cached_freed = 1;
+    return 0;
+}
+
+// BUG gpmf-invalid-write: temperature table is 100 bytes (padded to 112);
+// indices 100..111 silently land in the allocator gap between globals.
+fn record_temp(idx, v) {
+    store8(temp_table + idx, v);
+    return idx;
+}
+
+// BUG gpmf-invalid-read: same table, unchecked read.
+fn lookup_temp(idx) {
+    return load8(temp_table + idx);
+}
+
+fn parse_klv(off, depth) {
+    if (depth > 6) { exit(3); }
+    nest_depth = depth;
+    while (off + 8 <= input_len) {
+        var key0 = load8(input + off);
+        if (key0 == 0) { return off; }
+        var typ = load8(input + off + 4);
+        var ssize = load8(input + off + 5);
+        var repeat = (load8(input + off + 6) << 8) | load8(input + off + 7);
+        var payload = ssize * repeat;
+        var padded = (payload + 3) & (0 - 4);
+        if (off + 8 + padded > input_len) { exit(4); }
+        klv_count = klv_count + 1;
+        var p = input + off + 8;
+        if (typ == 0) {
+            // nested container
+            parse_klv(off + 8, depth + 1);
+        }
+        if (typ == 'A') {
+            accl_sum = accl_sum + average_samples(p, repeat, ssize);
+        }
+        if (typ == 'S') {
+            if (payload >= 1) { scale_cache = load8(p); }
+            accl_sum = scale_value(accl_sum + 1000);
+        }
+        if (typ == 'F') {
+            if (payload >= 2) {
+                var o = (load8(p) << 8) | load8(p + 1);
+                if (o > 4) { accl_sum = accl_sum + far_read(cached_buf, o); }
+            }
+        }
+        if (typ == 'R') {
+            accl_sum = accl_sum + reuse_cached();
+        }
+        if (typ == 'T') {
+            if (payload >= 2) {
+                var idx = load8(p);
+                var v = load8(p + 1);
+                if (idx >= 100) {
+                    if (v > 200) { record_temp(idx % 112, v); }
+                    else { accl_sum = accl_sum + lookup_temp(idx % 112); }
+                } else {
+                    record_temp(idx, v);
+                }
+            }
+        }
+        if (typ == 'N') {
+            var i = 0;
+            while (i < payload && i < 63) {
+                store8(device_name + i, load8(p + i));
+                i = i + 1;
+            }
+            store8(device_name + i, 0);
+        }
+        off = off + 8 + padded;
+    }
+    return off;
+}
+
+fn main() {
+    if (init_done == 0) { init_tables(); init_done = 1; }
+    klv_count = 0; accl_sum = 0; scale_cache = 1;
+    cached_freed = 0; nest_depth = 0;
+    memset(device_name, 0, 64);
+    memset(temp_table, 0, 100);
+    var n = read_input();
+    if (n < 8) { exit(1); }
+    // stream magic: "GPMF"
+    if (load8(input) != 'G' || load8(input + 1) != 'P') { exit(2); }
+    if (load8(input + 2) != 'M' || load8(input + 3) != 'F') { exit(2); }
+    cached_buf = malloc(262144);
+    memset(cached_buf, 7, 256);
+    cached_freed = 0;
+    parse_klv(4, 0);
+    // NOTE: cached_buf (256 KiB) is never freed — the leak the OS forgives
+    // in fresh processes and naive persistent mode cannot.
+    return klv_count;
+}
+"#;
+
+/// Planted bugs (Table 7 gpmf-parser rows).
+pub static BUGS: [BugSpec; 6] = [
+    BugSpec {
+        id: "gpmf-div0-avg",
+        kind: CrashKind::DivisionByZero,
+        function: "average_samples",
+        description: "sample average divides by input-controlled repeat count",
+        cve: None,
+    },
+    BugSpec {
+        id: "gpmf-div0-scale",
+        kind: CrashKind::DivisionByZero,
+        function: "scale_value",
+        description: "scaling divides by an input-controlled cached divisor",
+        cve: None,
+    },
+    BugSpec {
+        id: "gpmf-unaddr-far",
+        kind: CrashKind::UnaddressableAccess,
+        function: "far_read",
+        description: "16-bit seek offset multiplied past every allocation",
+        cve: None,
+    },
+    BugSpec {
+        id: "gpmf-unaddr-uaf",
+        kind: CrashKind::UnaddressableAccess,
+        function: "reuse_cached",
+        description: "use-after-free of the sample buffer cache",
+        cve: None,
+    },
+    BugSpec {
+        id: "gpmf-invalid-write",
+        kind: CrashKind::InvalidWrite,
+        function: "record_temp",
+        description: "temperature index 100..111 writes into the global gap",
+        cve: None,
+    },
+    BugSpec {
+        id: "gpmf-invalid-read",
+        kind: CrashKind::InvalidRead,
+        function: "lookup_temp",
+        description: "temperature index 100..111 reads from the global gap",
+        cve: None,
+    },
+];
+
+/// Encode one KLV item.
+fn klv(key: &[u8; 4], typ: u8, ssize: u8, repeat: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(key);
+    out.push(typ);
+    out.push(ssize);
+    out.extend_from_slice(&repeat.to_be_bytes());
+    out.extend_from_slice(payload);
+    while out.len() % 4 != 0 {
+        out.push(0);
+    }
+    out
+}
+
+fn stream(items: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = b"GPMF".to_vec();
+    for i in items {
+        out.extend_from_slice(i);
+    }
+    out
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        stream(&[
+            klv(b"ACCL", b'A', 1, 4, &[1, 2, 3, 4]),
+            klv(b"DVNM", b'N', 1, 6, b"GoPro9"),
+        ]),
+        stream(&[
+            klv(b"SCAL", b'S', 1, 1, &[2]),
+            klv(b"TMPC", b'T', 1, 2, &[5, 30]),
+        ]),
+        stream(&[klv(b"STRM", 0, 0, 0, &[])]),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        // repeat = 0 → sum/0
+        ("gpmf-div0-avg", stream(&[klv(b"ACCL", b'A', 1, 0, &[])])),
+        // scale byte 0 → accl/0
+        ("gpmf-div0-scale", stream(&[klv(b"SCAL", b'S', 1, 1, &[0])])),
+        // far offset
+        (
+            "gpmf-unaddr-far",
+            stream(&[klv(b"FAST", b'F', 1, 2, &[0xFF, 0xFF])]),
+        ),
+        // two 'R' items: free then use
+        (
+            "gpmf-unaddr-uaf",
+            stream(&[klv(b"RBUF", b'R', 0, 0, &[]), klv(b"RBUF", b'R', 0, 0, &[])]),
+        ),
+        // idx ≥ 100 with v > 200 → gap write
+        (
+            "gpmf-invalid-write",
+            stream(&[klv(b"TMPC", b'T', 1, 2, &[105, 250])]),
+        ),
+        // idx ≥ 100 with v ≤ 200 → gap read
+        (
+            "gpmf-invalid-read",
+            stream(&[klv(b"TMPC", b'T', 1, 2, &[105, 10])]),
+        ),
+    ]
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "gpmf-parser",
+    input_format: "mp4 (GoPro)",
+    source: SOURCE,
+    seeds,
+    bugs: &BUGS,
+    witnesses,
+};

@@ -1,0 +1,230 @@
+//! # targets — the benchmark suite
+//!
+//! The ten open-source fuzzing targets of the paper's Table 4, re-created
+//! as MinC programs over the same input formats, with the same *shape*:
+//! byte-level format parsers with magic checks, header validation,
+//! `exit()` bail-outs on malformed input, mutable global state, heap
+//! churn, and file I/O — i.e. everything the ClosureX passes must track
+//! and restore.
+//!
+//! Four targets carry **planted bugs** mirroring the classes, counts, and
+//! hosts of the paper's Table 7 0-days: `c-blosc2` (4× null-pointer
+//! dereference), `gpmf-parser` (2× division by zero, 2× unaddressable
+//! access, invalid read/write), `libbpf` (3× null-pointer dereference),
+//! and `md4c` (negative-size memcpy, out-of-bounds array access). Every
+//! bug has a *witness input* proving reachability; fuzzers have to find
+//! them from benign seeds.
+
+use fir::Module;
+use vmos::{Crash, CrashKind};
+
+pub mod blosc;
+pub mod bpf;
+pub mod dwarf;
+pub mod freetype;
+pub mod gif;
+pub mod gpmf;
+pub mod md4c;
+pub mod pcap;
+pub mod tar;
+pub mod zlib;
+
+/// A planted bug: identity, class, and crash site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BugSpec {
+    /// Stable identifier, e.g. `"gpmf-div0-scale"`.
+    pub id: &'static str,
+    /// The crash class the detector reports (Table 7's "Bug Type").
+    pub kind: CrashKind,
+    /// MinC function the crash fires in (the dedup site).
+    pub function: &'static str,
+    /// What the bug is.
+    pub description: &'static str,
+    /// CVE-style tag for the four bugs mirroring the paper's CVEs.
+    pub cve: Option<&'static str>,
+}
+
+/// One benchmark target.
+pub struct TargetSpec {
+    /// Benchmark name (Table 4 row).
+    pub name: &'static str,
+    /// Input format (Table 4 column).
+    pub input_format: &'static str,
+    /// MinC source.
+    pub source: &'static str,
+    /// Benign seed corpus.
+    pub seeds: fn() -> Vec<Vec<u8>>,
+    /// Planted bugs (empty for the six bug-free targets).
+    pub bugs: &'static [BugSpec],
+    /// Witness inputs proving each bug reachable: `(bug id, input)`.
+    pub witnesses: fn() -> Vec<(&'static str, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for TargetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetSpec")
+            .field("name", &self.name)
+            .field("input_format", &self.input_format)
+            .field("bugs", &self.bugs.len())
+            .finish()
+    }
+}
+
+impl TargetSpec {
+    /// Compile the target to FIR.
+    ///
+    /// # Panics
+    /// Panics if the bundled source fails to compile (a bug in this crate,
+    /// covered by tests).
+    pub fn module(&self) -> Module {
+        minic::compile(self.name, self.source)
+            .unwrap_or_else(|e| panic!("target {} failed to compile: {e}", self.name))
+    }
+
+    /// Estimated executable size (Table 4's "Executable Size" analog).
+    pub fn image_size(&self) -> u64 {
+        fir::image::image_size(&self.module())
+    }
+
+    /// Match a crash against this target's planted bugs.
+    pub fn identify(&self, crash: &Crash) -> Option<&'static BugSpec> {
+        self.bugs
+            .iter()
+            .find(|b| b.kind == crash.kind && b.function == crash.function)
+    }
+}
+
+/// All ten benchmarks, in Table 4 order.
+pub fn all() -> Vec<&'static TargetSpec> {
+    vec![
+        &tar::SPEC,
+        &pcap::SPEC,
+        &gpmf::SPEC,
+        &bpf::SPEC,
+        &freetype::SPEC,
+        &gif::SPEC,
+        &zlib::SPEC,
+        &dwarf::SPEC,
+        &blosc::SPEC,
+        &md4c::SPEC,
+    ]
+}
+
+/// Look a benchmark up by name.
+pub fn by_name(name: &str) -> Option<&'static TargetSpec> {
+    all().into_iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use closurex::executor::{ExecStatus, Executor};
+    use closurex::fresh::FreshProcessExecutor;
+
+    #[test]
+    fn ten_targets_registered() {
+        let names: Vec<_> = all().iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"bsdtar"));
+        assert!(names.contains(&"c-blosc2"));
+        assert!(by_name("md4c").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_targets_compile_and_verify() {
+        for t in all() {
+            let m = t.module();
+            fir::verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} does not verify: {e}", t.name));
+            assert!(m.function("main").is_some(), "{} needs main", t.name);
+            assert!(
+                !m.globals.is_empty(),
+                "{} needs global state for restoration to matter",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_execute_cleanly() {
+        for t in all() {
+            let m = t.module();
+            let mut ex = FreshProcessExecutor::new(&m).unwrap();
+            for (i, seed) in (t.seeds)().iter().enumerate() {
+                let out = ex.run(seed);
+                assert!(
+                    matches!(out.status, ExecStatus::Exit(_)),
+                    "{} seed {i} must not crash/hang: {:?}",
+                    t.name,
+                    out.status
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_bug_has_a_working_witness() {
+        for t in all() {
+            let m = t.module();
+            let mut ex = FreshProcessExecutor::new(&m).unwrap();
+            let witnesses = (t.witnesses)();
+            assert_eq!(
+                witnesses.len(),
+                t.bugs.len(),
+                "{}: every bug needs one witness",
+                t.name
+            );
+            for (bug_id, input) in witnesses {
+                let out = ex.run(&input);
+                let crash = out
+                    .status
+                    .crash()
+                    .unwrap_or_else(|| panic!("{}: witness for {bug_id} did not crash", t.name));
+                let bug = t.identify(crash).unwrap_or_else(|| {
+                    panic!(
+                        "{}: witness for {bug_id} crashed unidentified: {crash}",
+                        t.name
+                    )
+                });
+                assert_eq!(bug.id, bug_id, "{}: witness hit the wrong bug", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn bug_census_matches_table7() {
+        use vmos::CrashKind::*;
+        let count = |name: &str, kind: CrashKind| {
+            by_name(name)
+                .unwrap()
+                .bugs
+                .iter()
+                .filter(|b| b.kind == kind)
+                .count()
+        };
+        assert_eq!(count("c-blosc2", NullPtrDeref), 4);
+        assert_eq!(count("gpmf-parser", DivisionByZero), 2);
+        assert_eq!(count("libbpf", NullPtrDeref), 3);
+        assert_eq!(count("md4c", NegativeSizeMemcpy), 1);
+        assert_eq!(count("md4c", OutOfBoundsAccess), 1);
+        let total: usize = all().iter().map(|t| t.bugs.len()).sum();
+        assert_eq!(total, 15, "the paper reports 15 0-days");
+        let cves: usize = all()
+            .iter()
+            .flat_map(|t| t.bugs.iter())
+            .filter(|b| b.cve.is_some())
+            .count();
+        assert_eq!(cves, 4, "the paper reports 4 CVEs");
+    }
+
+    #[test]
+    fn image_sizes_are_plausible_and_distinct() {
+        let sizes: Vec<u64> = all().iter().map(|t| t.image_size()).collect();
+        for (t, s) in all().iter().zip(&sizes) {
+            assert!(*s > 1024, "{} image suspiciously small: {s}", t.name);
+        }
+        let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+        assert!(distinct.len() >= 8, "sizes should differ across targets");
+    }
+}

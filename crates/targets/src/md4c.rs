@@ -1,0 +1,163 @@
+//! `md4c` — a markdown scanner (Table 4 row 10).
+//!
+//! Carries **two planted bugs** mirroring the paper's Table 7 md4c rows:
+//! a `memcpy` with negative size (link-target extraction with a crossed
+//! span) and an out-of-bounds array access (uncapped heading level).
+
+use vmos::CrashKind;
+
+use crate::{BugSpec, TargetSpec};
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// md4c-like markdown scanner: headings, emphasis, code spans, links.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[652000];
+global input_len;
+global heading_hist[50];
+global emphasis_count;
+global code_span_count;
+global link_count;
+global line_count;
+global max_heading;
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+// BUG md4c-heading-oob: heading levels are tallied into a 6-entry (48
+// byte... actually 50-byte) table without capping the level; 7+ hashes
+// step past the entry array.
+fn record_heading(level) {
+    if (level > max_heading) { max_heading = level; }
+    // "Sanitize" deep headings — but the clamp is off by one, so level 7
+    // still lands half a slot past the histogram.
+    if (level > 7) { level = 7; }
+    var slot = heading_hist + (level - 1) * 8;
+    store64(slot, load64(slot) + 1);
+    return level;
+}
+
+// BUG md4c-neg-memcpy: extracts the link target between '(' and ')'; a
+// crossed span (')' before '(' on the line) makes the length negative.
+fn extract_link(open_paren, close_paren) {
+    var len = close_paren - open_paren - 1;
+    var dst = malloc(256);
+    memcpy(dst, input + open_paren + 1, len);
+    link_count = link_count + 1;
+    free(dst);
+    return len;
+}
+
+fn scan_line(start, end) {
+    line_count = line_count + 1;
+    var i = start;
+    // headings
+    if (i < end && load8(input + i) == '#') {
+        var level = 0;
+        while (i < end && load8(input + i) == '#') {
+            level = level + 1;
+            i = i + 1;
+        }
+        record_heading(level);
+        return 1;
+    }
+    // inline scan
+    var bracket_close = 0 - 1;
+    while (i < end) {
+        var c = load8(input + i);
+        if (c == '*') { emphasis_count = emphasis_count + 1; }
+        if (c == '`') { code_span_count = code_span_count + 1; }
+        if (c == ']') { bracket_close = i; }
+        if (c == '(' && bracket_close >= 0) {
+            // find ')' anywhere on the line (the bug: it may be BEFORE i)
+            var j = start;
+            var close = 0 - 1;
+            while (j < end) {
+                if (load8(input + j) == ')') { close = j; }
+                j = j + 1;
+            }
+            if (close >= 0) {
+                extract_link(i, close);
+                bracket_close = 0 - 1;
+            }
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn main() {
+    emphasis_count = 0; code_span_count = 0; link_count = 0;
+    line_count = 0; max_heading = 0;
+    memset(heading_hist, 0, 50);
+    var n = read_input();
+    if (n == 0) { exit(1); }
+    var start = 0;
+    var i = 0;
+    while (i <= n) {
+        var at_end = i == n;
+        var is_nl = 0;
+        if (at_end == 0) { is_nl = load8(input + i) == 10; }
+        if (at_end || is_nl) {
+            if (i > start) { scan_line(start, i); }
+            start = i + 1;
+        }
+        i = i + 1;
+        if (line_count > 400) { exit(2); }
+    }
+    return line_count * 100 + link_count;
+}
+"#;
+
+/// Planted bugs (Table 7 md4c rows).
+pub static BUGS: [BugSpec; 2] = [
+    BugSpec {
+        id: "md4c-neg-memcpy",
+        kind: CrashKind::NegativeSizeMemcpy,
+        function: "extract_link",
+        description: "crossed link span makes the memcpy length negative",
+        cve: None,
+    },
+    BugSpec {
+        id: "md4c-heading-oob",
+        kind: CrashKind::OutOfBoundsAccess,
+        function: "record_heading",
+        description: "heading level 7 indexes past the 6-entry histogram",
+        cve: None,
+    },
+];
+
+fn seeds() -> Vec<Vec<u8>> {
+    vec![
+        b"# Title\n\nSome *emphasis* and `code`.\n".to_vec(),
+        b"## Sub\n[link](http://x)\n### Deep\n".to_vec(),
+        b"plain text\nwith two lines\n".to_vec(),
+    ]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        // ')' precedes '(' on the line with a ']' in between: close < open.
+        ("md4c-neg-memcpy", b") then ] and ( end\n".to_vec()),
+        // seven hashes: level 7 → slot offset 48, store64 spans 48..56 > 50.
+        ("md4c-heading-oob", b"####### seven\n".to_vec()),
+    ]
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "md4c",
+    input_format: "markdown",
+    source: SOURCE,
+    seeds,
+    bugs: &BUGS,
+    witnesses,
+};

@@ -1,0 +1,164 @@
+//! `bsdtar` — a tar-archive lister (Table 4 row 1). Bug-free; exercises
+//! 512-byte block parsing, octal number fields, checksum verification,
+//! type dispatch, and pax extension records.
+
+use crate::TargetSpec;
+
+/// MinC source.
+pub const SOURCE: &str = r#"
+// bsdtar-like archive lister over USTAR blocks.
+global input[8192];
+// Stand-in for the real binary's code + read-only data footprint
+// (Table 4 executable size): resident pages the forkserver must
+// duplicate per test case, and ClosureX never touches.
+const global __text_and_rodata[4700000];
+global input_len;
+global file_count;
+global dir_count;
+global link_count;
+global pax_count;
+global total_bytes;
+global bad_checksums;
+global longname_seen;
+
+fn read_input() {
+    var f = fopen("/fuzz/input", 0);
+    if (f == 0) { exit(1); }
+    input_len = fread(input, 1, 8192, f);
+    fclose(f);
+    return input_len;
+}
+
+// Parse a NUL/space-terminated octal field of up to w bytes.
+fn parse_octal(p, w) {
+    var v = 0;
+    var i = 0;
+    while (i < w) {
+        var c = load8(p + i);
+        if (c == 0 || c == ' ') { break; }
+        if (c < '0' || c > '7') { return -1; }
+        v = v * 8 + (c - '0');
+        i = i + 1;
+    }
+    return v;
+}
+
+// Header checksum: 64-bit words over the whole block, skipping the two
+// words (offsets 144 and 152) that overlap the checksum field itself.
+fn header_checksum(hdr) {
+    var sum = 0;
+    var i = 0;
+    while (i < 512) {
+        if (i != 144 && i != 152) { sum = sum + load64(hdr + i); }
+        i = i + 8;
+    }
+    return sum & 0xFFFFFF;
+}
+
+fn handle_pax(hdr, size) {
+    // pax records: "len key=value\n" — count '=' occurrences in payload.
+    pax_count = pax_count + 1;
+    var p = hdr + 512;
+    var end = input + input_len;
+    var i = 0;
+    var records = 0;
+    while (i < size && i < 1024 && (p + i) < end) {
+        if (load8(p + i) == '=') { records = records + 1; }
+        i = i + 1;
+    }
+    return records;
+}
+
+fn handle_entry(hdr, size, typeflag) {
+    if (typeflag == '0' || typeflag == 0) {
+        file_count = file_count + 1;
+        total_bytes = total_bytes + size;
+        // Copy the name out, as tar -t would.
+        var name = malloc(100);
+        memcpy(name, hdr, 100);
+        var len = 0;
+        while (len < 100 && load8(name + len) != 0) { len = len + 1; }
+        free(name);
+        return len;
+    }
+    if (typeflag == '5') { dir_count = dir_count + 1; return 0; }
+    if (typeflag == '1' || typeflag == '2') { link_count = link_count + 1; return 0; }
+    if (typeflag == 'L') { longname_seen = 1; return 0; }
+    if (typeflag == 'x' || typeflag == 'g') { return handle_pax(hdr, size); }
+    return 0;
+}
+
+fn main() {
+    file_count = 0; dir_count = 0; link_count = 0;
+    pax_count = 0; total_bytes = 0; bad_checksums = 0; longname_seen = 0;
+    var n = read_input();
+    var off = 0;
+    while (off + 512 <= n) {
+        var hdr = input + off;
+        if (load8(hdr) == 0) { break; }
+        // magic "ustar" at offset 257
+        if (load8(hdr + 257) != 'u') { exit(2); }
+        if (load8(hdr + 258) != 's') { exit(2); }
+        if (load8(hdr + 259) != 't') { exit(2); }
+        var size = parse_octal(hdr + 124, 12);
+        if (size < 0) { exit(3); }
+        var stored = parse_octal(hdr + 148, 8);
+        if (stored != header_checksum(hdr)) {
+            bad_checksums = bad_checksums + 1;
+            if (bad_checksums > 2) { exit(4); }
+        }
+        handle_entry(hdr, size, load8(hdr + 156));
+        var blocks = (size + 511) / 512;
+        off = off + 512 + blocks * 512;
+    }
+    if (file_count > 100) { exit(5); }
+    return file_count + dir_count;
+}
+"#;
+
+/// Build a single ustar header block with a correct checksum.
+pub fn ustar_entry(name: &str, size: u64, typeflag: u8) -> Vec<u8> {
+    let mut hdr = vec![0u8; 512];
+    hdr[..name.len().min(100)].copy_from_slice(&name.as_bytes()[..name.len().min(100)]);
+    let size_field = format!("{size:011o}\0");
+    hdr[124..124 + 12].copy_from_slice(size_field.as_bytes());
+    hdr[156] = typeflag;
+    hdr[257..262].copy_from_slice(b"ustar");
+    // word checksum matching the target: skip words at offsets 144 and 152
+    let sum: u64 = (0..512)
+        .step_by(8)
+        .filter(|&i| i != 144 && i != 152)
+        .map(|i| u64::from_le_bytes(hdr[i..i + 8].try_into().expect("8 bytes")))
+        .fold(0u64, |a, w| a.wrapping_add(w))
+        & 0xFF_FFFF;
+    let chk = format!("{sum:08o}");
+    hdr[148..148 + 8].copy_from_slice(&chk.as_bytes()[..8]);
+    let mut out = hdr;
+    let padded = size.div_ceil(512) * 512;
+    out.extend(std::iter::repeat_n(b'A', size as usize));
+    out.extend(std::iter::repeat_n(0u8, (padded - size) as usize));
+    out
+}
+
+fn seeds() -> Vec<Vec<u8>> {
+    let mut archive = ustar_entry("hello.txt", 13, b'0');
+    archive.extend(ustar_entry("dir/", 0, b'5'));
+    archive.extend(vec![0u8; 1024]); // end-of-archive blocks
+    let mut pax = ustar_entry("pax", 20, b'x');
+    pax.extend(vec![0u8; 512]);
+    vec![archive, pax, vec![0u8; 1024]]
+}
+
+fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
+    Vec::new()
+}
+
+/// The benchmark spec.
+pub static SPEC: TargetSpec = TargetSpec {
+    name: "bsdtar",
+    input_format: "tar",
+    source: SOURCE,
+    seeds,
+    bugs: &[],
+    witnesses,
+};

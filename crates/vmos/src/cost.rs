@@ -1,0 +1,167 @@
+//! The simulated-cycle cost model.
+//!
+//! All Table 5 speedups in the paper come from the difference between
+//! per-test-case *process management* cost (fork, exec, teardown) and
+//! ClosureX's *fine-grain restore* cost. The constants here are chosen so
+//! the reproduction lands in the paper's measured range (2.4–4.8×,
+//! average ≈3.5×); see `DESIGN.md` §5 and the `fig_continuum` bench for the
+//! decomposition.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle charges for every simulated OS and runtime operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per interpreted FIR instruction.
+    pub inst: u64,
+    /// Base cost of `fork(2)`: trap + task struct + bookkeeping.
+    pub fork_base: u64,
+    /// Per-resident-page cost of duplicating the page table on fork.
+    pub fork_per_page: u64,
+    /// Cost of one copy-on-write fault after a fork.
+    pub cow_fault: u64,
+    /// Base cost of process teardown (`exit` + kernel reaping).
+    pub teardown_base: u64,
+    /// Per-resident-page teardown cost.
+    pub teardown_per_page: u64,
+    /// `exec`/image-load cost per byte of binary image.
+    pub exec_per_byte_div: u64,
+    /// Base cost of `exec` (ELF parsing, mmap setup).
+    pub exec_base: u64,
+    /// Forkserver control-pipe round trip per test case.
+    pub forkserver_pipe: u64,
+    /// Fixed overhead of one persistent-loop iteration (both naive
+    /// persistent and ClosureX pay this).
+    pub persistent_loop: u64,
+    /// ClosureX: bytes of global-section restore per cycle (memcpy-speed).
+    pub restore_bytes_per_cycle: u64,
+    /// ClosureX: cycles to free one leaked heap chunk.
+    pub restore_per_chunk: u64,
+    /// ClosureX: cycles to close one stray file handle.
+    pub restore_per_fd: u64,
+    /// ClosureX: cycles to rewind (fseek) one initialization-time handle.
+    pub restore_per_init_fd_rewind: u64,
+    /// ClosureX: fixed restore overhead per iteration (setjmp + sweep setup).
+    pub restore_base: u64,
+    /// Hostcall surcharges (on top of `inst`).
+    pub host_malloc: u64,
+    /// `free` surcharge.
+    pub host_free: u64,
+    /// `fopen` surcharge.
+    pub host_fopen: u64,
+    /// `fclose` surcharge.
+    pub host_fclose: u64,
+    /// Per-byte divisor for bulk memory/file hostcalls (`memcpy`, `fread`):
+    /// cost = base + len / this.
+    pub host_bulk_div: u64,
+    /// Extra cycles a `closurex_*` wrapper pays over the raw call
+    /// (hash-map insert/remove — the paper's non-zero instrumentation cost).
+    pub closurex_wrapper: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            inst: 1,
+            fork_base: 3000,
+            fork_per_page: 6,
+            cow_fault: 160,
+            teardown_base: 1200,
+            teardown_per_page: 2,
+            exec_per_byte_div: 16,
+            exec_base: 20_000,
+            forkserver_pipe: 350,
+            persistent_loop: 12,
+            restore_bytes_per_cycle: 16,
+            restore_per_chunk: 28,
+            restore_per_fd: 40,
+            restore_per_init_fd_rewind: 12,
+            restore_base: 60,
+            host_malloc: 24,
+            host_free: 18,
+            host_fopen: 90,
+            host_fclose: 45,
+            host_bulk_div: 8,
+            closurex_wrapper: 6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a `fork` given the parent's resident page count.
+    pub fn fork(&self, resident_pages: u64) -> u64 {
+        self.fork_base + self.fork_per_page * resident_pages
+    }
+
+    /// Cost of tearing a process down.
+    pub fn teardown(&self, resident_pages: u64) -> u64 {
+        self.teardown_base + self.teardown_per_page * resident_pages
+    }
+
+    /// Cost of `exec`ing an image of `image_bytes` bytes.
+    pub fn exec(&self, image_bytes: u64) -> u64 {
+        self.exec_base + image_bytes / self.exec_per_byte_div.max(1)
+    }
+
+    /// Cost of a ClosureX end-of-iteration restore.
+    pub fn restore(
+        &self,
+        global_bytes: u64,
+        leaked_chunks: u64,
+        stray_fds: u64,
+        init_fd_rewinds: u64,
+    ) -> u64 {
+        self.restore_base
+            + global_bytes / self.restore_bytes_per_cycle.max(1)
+            + leaked_chunks * self.restore_per_chunk
+            + stray_fds * self.restore_per_fd
+            + init_fd_rewinds * self.restore_per_init_fd_rewind
+    }
+
+    /// Cost of a bulk operation over `len` bytes.
+    pub fn bulk(&self, base: u64, len: u64) -> u64 {
+        base + len / self.host_bulk_div.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_scales_with_pages() {
+        let c = CostModel::default();
+        assert!(c.fork(1000) > c.fork(10));
+        assert_eq!(c.fork(0), c.fork_base);
+    }
+
+    #[test]
+    fn restore_is_cheaper_than_fork_for_typical_footprints() {
+        // The core premise of the paper: restoring test-case-specific state
+        // beats duplicating a whole process. A typical target dirties a few
+        // KiB of globals, leaks a handful of chunks, and has hundreds of
+        // resident pages.
+        let c = CostModel::default();
+        let fork_plus_teardown = c.fork(500) + c.teardown(500) + c.forkserver_pipe;
+        let restore = c.restore(4096, 8, 2, 1) + c.persistent_loop;
+        assert!(
+            restore * 3 < fork_plus_teardown,
+            "restore={restore} fork={fork_plus_teardown}"
+        );
+    }
+
+    #[test]
+    fn exec_dominated_by_image_size_for_big_binaries() {
+        let c = CostModel::default();
+        let small = c.exec(100 * 1024);
+        let big = c.exec(12 * 1024 * 1024);
+        assert!(big > 5 * small);
+    }
+
+    #[test]
+    fn bulk_cost_linear() {
+        let c = CostModel::default();
+        assert_eq!(c.bulk(10, 0), 10);
+        assert_eq!(c.bulk(10, 80), 20);
+    }
+}

@@ -1,0 +1,250 @@
+//! AFL-style edge coverage.
+//!
+//! The coverage pass instruments every basic block with
+//! `__cov_edge(block_id)`; at runtime the classic AFL update is applied:
+//! `map[block_id ^ prev] += 1; prev = block_id >> 1`. Both ClosureX and the
+//! AFL++ baseline share this implementation, mirroring the paper's setup
+//! ("the same hitcount-based edge coverage collection implementation,
+//! loosely based on LLVM's Sanitizer Coverage Guards").
+
+use serde::{Deserialize, Serialize};
+
+/// Size of the shared coverage bitmap (64 KiB, AFL's default).
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// A hitcount edge-coverage bitmap.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct CovMap {
+    map: Vec<u8>,
+}
+
+impl Default for CovMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CovMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CovMap")
+            .field("edges_hit", &self.count_nonzero())
+            .finish()
+    }
+}
+
+impl CovMap {
+    /// Fresh, all-zero map.
+    pub fn new() -> Self {
+        CovMap {
+            map: vec![0; MAP_SIZE],
+        }
+    }
+
+    /// Record a hit on `edge_index` (already XOR-folded).
+    #[inline]
+    pub fn hit(&mut self, edge_index: u16) {
+        let slot = &mut self.map[edge_index as usize];
+        *slot = slot.saturating_add(1);
+    }
+
+    /// Raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.map
+    }
+
+    /// Zero the map (between test cases).
+    pub fn clear(&mut self) {
+        self.map.fill(0);
+    }
+
+    /// Number of edges with a non-zero hitcount.
+    pub fn count_nonzero(&self) -> usize {
+        self.map.iter().filter(|&&b| b != 0).count()
+    }
+
+    /// FNV-1a hash of the *bucketed* map — used as a cheap path identity.
+    pub fn classified_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &self.map {
+            h ^= u64::from(classify_count(b));
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// AFL's hitcount bucketing: collapse counts into power-of-two-ish buckets
+/// so loop-iteration jitter doesn't register as new coverage.
+pub fn classify_count(count: u8) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 4,
+        4..=7 => 8,
+        8..=15 => 16,
+        16..=31 => 32,
+        32..=127 => 64,
+        _ => 128,
+    }
+}
+
+/// Tracks accumulated ("virgin") coverage across a whole campaign and
+/// answers "did this execution produce anything new?".
+#[derive(Debug, Clone)]
+pub struct VirginMap {
+    virgin: Vec<u8>,
+    edges_found: usize,
+}
+
+impl Default for VirginMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirginMap {
+    /// All-virgin map.
+    pub fn new() -> Self {
+        VirginMap {
+            virgin: vec![0; MAP_SIZE],
+            edges_found: 0,
+        }
+    }
+
+    /// Merge a run's coverage; returns `true` if any new bucketed bit
+    /// appeared (AFL's `has_new_bits`).
+    ///
+    /// Scans the map in 64-bit words and skips zero words, the same trick
+    /// AFL uses to keep the per-execution scan off the profile.
+    pub fn merge(&mut self, run: &CovMap) -> bool {
+        let mut new = false;
+        for (wi, chunk) in run.as_slice().chunks_exact(8).enumerate() {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            if word == 0 {
+                continue;
+            }
+            for (k, &raw) in chunk.iter().enumerate() {
+                if raw == 0 {
+                    continue;
+                }
+                let i = wi * 8 + k;
+                let bucket = classify_count(raw);
+                let v = &mut self.virgin[i];
+                if *v & bucket != bucket {
+                    if *v == 0 {
+                        self.edges_found += 1;
+                    }
+                    *v |= bucket;
+                    new = true;
+                }
+            }
+        }
+        new
+    }
+
+    /// Number of distinct edges seen so far.
+    pub fn edges_found(&self) -> usize {
+        self.edges_found
+    }
+}
+
+/// The per-process coverage update state (AFL's `prev_loc`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CovState {
+    prev: u16,
+}
+
+impl CovState {
+    /// Apply the AFL edge transform for a block with id `cur`, updating the
+    /// map and returning the folded edge index.
+    #[inline]
+    pub fn edge(&mut self, cur: u16, map: &mut CovMap) -> u16 {
+        let idx = cur ^ self.prev;
+        map.hit(idx);
+        self.prev = cur >> 1;
+        idx
+    }
+
+    /// Reset `prev_loc` (start of a test case).
+    pub fn reset(&mut self) {
+        self.prev = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_buckets_are_monotone() {
+        let buckets: Vec<u8> = (0..=255u16).map(|c| classify_count(c as u8)).collect();
+        for w in buckets.windows(2) {
+            assert!(w[1] >= w[0] || w[0] == 128);
+        }
+        assert_eq!(classify_count(0), 0);
+        assert_eq!(classify_count(1), 1);
+        assert_eq!(classify_count(200), 128);
+    }
+
+    #[test]
+    fn edge_transform_distinguishes_direction() {
+        // a->b and b->a must map to different indices (AFL's prev>>1 trick).
+        let mut m1 = CovMap::new();
+        let mut s = CovState::default();
+        let ab = {
+            s.reset();
+            s.edge(10, &mut m1);
+            s.edge(20, &mut m1)
+        };
+        let ba = {
+            s.reset();
+            s.edge(20, &mut m1);
+            s.edge(10, &mut m1)
+        };
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn virgin_map_detects_new_then_saturates() {
+        let mut virgin = VirginMap::new();
+        let mut run = CovMap::new();
+        run.hit(5);
+        assert!(virgin.merge(&run));
+        assert!(!virgin.merge(&run), "same coverage is not new");
+        assert_eq!(virgin.edges_found(), 1);
+
+        // Higher hitcount bucket on the same edge IS new.
+        for _ in 0..10 {
+            run.hit(5);
+        }
+        assert!(virgin.merge(&run));
+        assert_eq!(virgin.edges_found(), 1, "same edge, new bucket");
+    }
+
+    #[test]
+    fn hitcounts_saturate() {
+        let mut m = CovMap::new();
+        for _ in 0..300 {
+            m.hit(1);
+        }
+        assert_eq!(m.as_slice()[1], 255);
+    }
+
+    #[test]
+    fn classified_hash_stable_under_jitter_within_bucket() {
+        let mut a = CovMap::new();
+        let mut b = CovMap::new();
+        for _ in 0..33 {
+            a.hit(7);
+        }
+        for _ in 0..100 {
+            b.hit(7);
+        }
+        // 33 and 100 both land in bucket 64.
+        assert_eq!(a.classified_hash(), b.classified_hash());
+        let mut c = CovMap::new();
+        c.hit(7);
+        assert_ne!(a.classified_hash(), c.classified_hash());
+    }
+}

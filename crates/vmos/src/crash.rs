@@ -1,0 +1,154 @@
+//! Crash taxonomy.
+//!
+//! The kinds mirror the bug classes the paper reports in Table 7 (null
+//! pointer dereference, division by zero, unaddressable access, invalid
+//! read/write, negative-size memcpy, out-of-bounds array access) plus the
+//! resource-exhaustion *false crashes* that motivate ClosureX (§3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a simulated process died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrashKind {
+    /// Load/store through an address in the null page.
+    NullPtrDeref,
+    /// Integer division or remainder by zero (or `i64::MIN / -1`).
+    DivisionByZero,
+    /// Access to memory no object owns: freed heap chunk, allocator gap, or
+    /// a wholly unmapped region.
+    UnaddressableAccess,
+    /// Read outside any valid object in a mapped region (e.g. past the end
+    /// of a global).
+    InvalidRead,
+    /// Write outside any valid object, or into read-only data.
+    InvalidWrite,
+    /// `memcpy`/`memset` with a negative (or absurdly large) size.
+    NegativeSizeMemcpy,
+    /// Out-of-bounds array access detected at the heap-chunk boundary.
+    OutOfBoundsAccess,
+    /// Double `free` of a heap pointer.
+    DoubleFree,
+    /// `free` of a pointer that was never allocated.
+    InvalidFree,
+    /// The process ran out of file descriptors (`RLIMIT_NOFILE`).
+    ///
+    /// Only naive persistent fuzzing produces this: leaked handles
+    /// accumulate across test cases — a classic *false crash* (§3).
+    FdExhaustion,
+    /// The heap limit was exceeded (accumulated leaks — a *false crash*).
+    OutOfMemory,
+    /// Call-stack depth or stack-bytes limit exceeded.
+    StackOverflow,
+    /// `abort()` was called.
+    Abort,
+    /// An `unreachable` terminator was executed.
+    UnreachableExecuted,
+    /// `longjmp` to a dead or never-initialized `jmp_buf`.
+    BadLongjmp,
+}
+
+impl CrashKind {
+    /// Table 7-style display name.
+    pub fn bug_type_name(self) -> &'static str {
+        match self {
+            CrashKind::NullPtrDeref => "Null Ptr Deref.",
+            CrashKind::DivisionByZero => "Division by Zero",
+            CrashKind::UnaddressableAccess => "Unaddressable Access",
+            CrashKind::InvalidRead => "Invalid Read",
+            CrashKind::InvalidWrite => "Invalid Write",
+            CrashKind::NegativeSizeMemcpy => "Memcpy with negative size",
+            CrashKind::OutOfBoundsAccess => "Array out of bounds access",
+            CrashKind::DoubleFree => "Double Free",
+            CrashKind::InvalidFree => "Invalid Free",
+            CrashKind::FdExhaustion => "FD Exhaustion (false crash)",
+            CrashKind::OutOfMemory => "Out of Memory (false crash)",
+            CrashKind::StackOverflow => "Stack Overflow",
+            CrashKind::Abort => "Abort",
+            CrashKind::UnreachableExecuted => "Unreachable Executed",
+            CrashKind::BadLongjmp => "Bad longjmp",
+        }
+    }
+
+    /// True for crashes caused by cross-test-case state accumulation rather
+    /// than by the current input — the false crashes of paper §3.
+    pub fn is_resource_exhaustion(self) -> bool {
+        matches!(self, CrashKind::FdExhaustion | CrashKind::OutOfMemory)
+    }
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bug_type_name())
+    }
+}
+
+/// A crash report with its location — the deduplication key fuzzers use.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Crash {
+    /// What went wrong.
+    pub kind: CrashKind,
+    /// Function the faulting instruction lives in.
+    pub function: String,
+    /// Basic-block index of the faulting instruction.
+    pub block: u32,
+    /// Free-form details (address, size, operands).
+    pub detail: String,
+}
+
+impl Crash {
+    /// Stable identity used to deduplicate crashes: kind + site.
+    pub fn site_key(&self) -> (CrashKind, String, u32) {
+        (self.kind, self.function.clone(), self.block)
+    }
+}
+
+impl fmt::Display for Crash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {}:bb{} ({})",
+            self.kind, self.function, self.block, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_table7() {
+        assert_eq!(CrashKind::NullPtrDeref.bug_type_name(), "Null Ptr Deref.");
+        assert_eq!(
+            CrashKind::NegativeSizeMemcpy.bug_type_name(),
+            "Memcpy with negative size"
+        );
+        assert_eq!(
+            CrashKind::OutOfBoundsAccess.bug_type_name(),
+            "Array out of bounds access"
+        );
+    }
+
+    #[test]
+    fn resource_exhaustion_classification() {
+        assert!(CrashKind::FdExhaustion.is_resource_exhaustion());
+        assert!(CrashKind::OutOfMemory.is_resource_exhaustion());
+        assert!(!CrashKind::NullPtrDeref.is_resource_exhaustion());
+    }
+
+    #[test]
+    fn site_key_ignores_detail() {
+        let a = Crash {
+            kind: CrashKind::NullPtrDeref,
+            function: "parse".into(),
+            block: 3,
+            detail: "addr=0x10".into(),
+        };
+        let b = Crash {
+            detail: "addr=0x20".into(),
+            ..a.clone()
+        };
+        assert_eq!(a.site_key(), b.site_key());
+    }
+}

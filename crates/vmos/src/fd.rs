@@ -1,0 +1,190 @@
+//! Per-process file-descriptor (FILE*) table with an `RLIMIT_NOFILE`
+//! analog.
+//!
+//! Handles are encoded as addresses in a dedicated non-memory region so a
+//! leaked/garbage handle passed to `fread` is cleanly distinguishable from a
+//! heap pointer. Naive persistent fuzzing leaks handles across test cases
+//! until [`FdError::Exhausted`] — one of the paper's motivating false-crash
+//! modes.
+
+/// Base "address" of encoded FILE handles.
+pub const FD_HANDLE_BASE: u64 = 0x9000_0000;
+/// Stride between consecutive handles.
+pub const FD_HANDLE_STRIDE: u64 = 16;
+
+/// An open file: path plus seek position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenFile {
+    /// Path in the [`crate::fs::SimFs`].
+    pub path: String,
+    /// Current read offset.
+    pub pos: u64,
+}
+
+/// Errors from table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdError {
+    /// The per-process descriptor limit was hit.
+    Exhausted,
+    /// Operation on a handle that is not open.
+    BadHandle,
+}
+
+/// The per-process descriptor table.
+#[derive(Debug, Clone)]
+pub struct FdTable {
+    entries: Vec<Option<OpenFile>>,
+    limit: usize,
+}
+
+impl FdTable {
+    /// Table with the given `RLIMIT_NOFILE` analog.
+    pub fn new(limit: usize) -> Self {
+        FdTable {
+            entries: Vec::new(),
+            limit,
+        }
+    }
+
+    /// The descriptor limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Number of currently open handles.
+    pub fn open_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Open a file, returning its encoded handle.
+    ///
+    /// # Errors
+    /// [`FdError::Exhausted`] when the limit is reached.
+    pub fn open(&mut self, path: impl Into<String>) -> Result<u64, FdError> {
+        if self.open_count() >= self.limit {
+            return Err(FdError::Exhausted);
+        }
+        let file = OpenFile {
+            path: path.into(),
+            pos: 0,
+        };
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(file);
+                return Ok(Self::encode(i));
+            }
+        }
+        self.entries.push(Some(file));
+        Ok(Self::encode(self.entries.len() - 1))
+    }
+
+    /// Close a handle.
+    ///
+    /// # Errors
+    /// [`FdError::BadHandle`] if the handle is not open.
+    pub fn close(&mut self, handle: u64) -> Result<(), FdError> {
+        let idx = Self::decode(handle).ok_or(FdError::BadHandle)?;
+        match self.entries.get_mut(idx) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                Ok(())
+            }
+            _ => Err(FdError::BadHandle),
+        }
+    }
+
+    /// Access an open file.
+    pub fn get_mut(&mut self, handle: u64) -> Option<&mut OpenFile> {
+        let idx = Self::decode(handle)?;
+        self.entries.get_mut(idx)?.as_mut()
+    }
+
+    /// Access an open file immutably.
+    pub fn get(&self, handle: u64) -> Option<&OpenFile> {
+        let idx = Self::decode(handle)?;
+        self.entries.get(idx)?.as_ref()
+    }
+
+    /// All currently open handles (the ClosureX fd sweep input).
+    pub fn open_handles(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| Self::encode(i))
+            .collect()
+    }
+
+    /// True if `addr` lies in the encoded-handle region.
+    pub fn is_handle_addr(addr: u64) -> bool {
+        (FD_HANDLE_BASE..FD_HANDLE_BASE + (1 << 24)).contains(&addr)
+    }
+
+    fn encode(idx: usize) -> u64 {
+        FD_HANDLE_BASE + idx as u64 * FD_HANDLE_STRIDE
+    }
+
+    fn decode(handle: u64) -> Option<usize> {
+        if handle < FD_HANDLE_BASE || (handle - FD_HANDLE_BASE) % FD_HANDLE_STRIDE != 0 {
+            return None;
+        }
+        Some(((handle - FD_HANDLE_BASE) / FD_HANDLE_STRIDE) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_reuse() {
+        let mut t = FdTable::new(4);
+        let a = t.open("/x").unwrap();
+        let b = t.open("/y").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.open_count(), 2);
+        t.close(a).unwrap();
+        let c = t.open("/z").unwrap();
+        assert_eq!(a, c, "slot reused");
+    }
+
+    #[test]
+    fn exhaustion_at_limit() {
+        let mut t = FdTable::new(2);
+        t.open("/1").unwrap();
+        t.open("/2").unwrap();
+        assert_eq!(t.open("/3"), Err(FdError::Exhausted));
+        // false-crash scenario: leaked handles never closed
+    }
+
+    #[test]
+    fn bad_handle_errors() {
+        let mut t = FdTable::new(2);
+        assert_eq!(t.close(FD_HANDLE_BASE), Err(FdError::BadHandle));
+        assert_eq!(t.close(0x1234), Err(FdError::BadHandle));
+        assert!(t.get(FD_HANDLE_BASE + 3).is_none(), "misaligned handle");
+    }
+
+    #[test]
+    fn seek_position_persists() {
+        let mut t = FdTable::new(2);
+        let h = t.open("/f").unwrap();
+        t.get_mut(h).unwrap().pos = 40;
+        assert_eq!(t.get(h).unwrap().pos, 40);
+    }
+
+    #[test]
+    fn handle_region_detection() {
+        assert!(FdTable::is_handle_addr(FD_HANDLE_BASE));
+        assert!(!FdTable::is_handle_addr(0x4000_0000));
+    }
+
+    #[test]
+    fn open_handles_lists_live_only() {
+        let mut t = FdTable::new(8);
+        let a = t.open("/a").unwrap();
+        let b = t.open("/b").unwrap();
+        t.close(a).unwrap();
+        assert_eq!(t.open_handles(), vec![b]);
+    }
+}

@@ -1,0 +1,954 @@
+//! The FIR interpreter, with cycle accounting, coverage collection,
+//! `setjmp`/`longjmp` continuations, and fuel-bounded execution.
+
+use fir::{BinOp, Inst, Module, Operand, Terminator};
+
+use crate::cost::CostModel;
+use crate::cov::CovMap;
+use crate::crash::{Crash, CrashKind};
+use crate::hostcalls::{self, HostRet};
+use crate::os::Os;
+use crate::process::{Frame, JmpCtx, Process, MAX_CALL_DEPTH, STACK_MAX_BYTES, STACK_TOP};
+
+/// How a [`Machine::call`] ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallResult {
+    /// The function returned normally.
+    Return(i64),
+    /// The target called `exit(code)`.
+    Exited(i32),
+    /// The target called the ClosureX exit hook — control unwound to the
+    /// persistent-loop harness without process teardown (paper §4.1).
+    ExitHooked(i32),
+    /// The process crashed.
+    Crashed(Crash),
+    /// The fuel budget ran out (hang / infinite loop).
+    OutOfFuel,
+}
+
+impl CallResult {
+    /// The crash, if this result is one.
+    pub fn crash(&self) -> Option<&Crash> {
+        match self {
+            CallResult::Crashed(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome + resource accounting of one interpreted call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// How the call ended.
+    pub result: CallResult,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub insts: u64,
+}
+
+/// Host context handed to every interpreted call: the OS (filesystem +
+/// cost model), the coverage map, and an optional path-sensitive edge trace
+/// (used by the control-flow-equivalence checker, paper §6.1.4).
+#[derive(Debug)]
+pub struct HostCtx<'a> {
+    /// The OS this process runs under.
+    pub os: &'a mut Os,
+    /// Shared-memory coverage bitmap (AFL's `__afl_area_ptr` analog).
+    pub cov: &'a mut CovMap,
+    /// Optional path-sensitive trace of folded edge indices.
+    pub trace: Option<&'a mut Vec<u16>>,
+    /// Cost model snapshot (copied from the OS at construction).
+    pub cost: CostModel,
+}
+
+impl<'a> HostCtx<'a> {
+    /// Build a context over an OS and coverage map.
+    pub fn new(os: &'a mut Os, cov: &'a mut CovMap) -> Self {
+        let cost = os.cost.clone();
+        HostCtx {
+            os,
+            cov,
+            trace: None,
+            cost,
+        }
+    }
+
+    /// Same, with a path trace sink attached.
+    pub fn with_trace(os: &'a mut Os, cov: &'a mut CovMap, trace: &'a mut Vec<u16>) -> Self {
+        let cost = os.cost.clone();
+        HostCtx {
+            os,
+            cov,
+            trace: Some(trace),
+            cost,
+        }
+    }
+
+    /// Does `path` exist in the simulated filesystem?
+    pub fn fs_exists(&self, path: &str) -> bool {
+        self.os.fs.exists(path)
+    }
+
+    /// Read a file from the simulated filesystem.
+    pub fn fs_read(&self, path: &str) -> Option<&[u8]> {
+        self.os.fs.read_file(path)
+    }
+}
+
+/// The interpreter for one module. Stateless: all mutable state lives in
+/// the [`Process`] and [`HostCtx`], so one machine can drive many processes
+/// (exactly how one kernel runs many forked children).
+#[derive(Debug, Clone, Copy)]
+pub struct Machine<'m> {
+    module: &'m Module,
+}
+
+impl<'m> Machine<'m> {
+    /// Create a machine for `module`.
+    pub fn new(module: &'m Module) -> Self {
+        Machine { module }
+    }
+
+    /// The module this machine executes.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Call `func(args...)` inside process `p`, bounded by `fuel`
+    /// instructions.
+    ///
+    /// # Panics
+    /// Panics if `func` does not exist in the module (harness bug, not a
+    /// target bug).
+    pub fn call(
+        &self,
+        p: &mut Process,
+        ctx: &mut HostCtx<'_>,
+        func: &str,
+        args: &[i64],
+        fuel: u64,
+    ) -> CallOutcome {
+        let fid = self
+            .module
+            .function_id(func)
+            .unwrap_or_else(|| panic!("no such function: {func}"));
+        let f = &self.module.functions[fid.0 as usize];
+        let mut regs = vec![0i64; f.num_regs as usize];
+        for (i, a) in args.iter().take(f.num_params as usize).enumerate() {
+            regs[i] = *a;
+        }
+        let base_depth = p.frames.len();
+        p.frames.push(Frame {
+            func: fid,
+            block: 0,
+            ip: 0,
+            regs,
+            saved_sp: p.sp,
+            ret_dst: None,
+        });
+        let out = self.run(p, ctx, base_depth, fuel);
+        // On abnormal endings, unwind any frames this call pushed and
+        // restore the stack pointer (the OS would reclaim them; the
+        // ClosureX harness relies on this for stack restoration).
+        if p.frames.len() > base_depth {
+            let sp = p.frames[base_depth].saved_sp;
+            p.frames.truncate(base_depth);
+            p.sp = sp;
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        &self,
+        p: &mut Process,
+        ctx: &mut HostCtx<'_>,
+        base_depth: usize,
+        fuel: u64,
+    ) -> CallOutcome {
+        let mut cycles: u64 = 0;
+        let mut insts: u64 = 0;
+        let inst_cost = ctx.cost.inst;
+
+        macro_rules! finish {
+            ($result:expr) => {
+                return CallOutcome {
+                    result: $result,
+                    cycles,
+                    insts,
+                }
+            };
+        }
+
+        loop {
+            if insts >= fuel {
+                finish!(CallResult::OutOfFuel);
+            }
+            let depth = p.frames.len();
+            debug_assert!(depth > base_depth);
+            let (fidx, block, ip) = {
+                let fr = p.frames.last().expect("non-empty frame stack");
+                (fr.func.0 as usize, fr.block, fr.ip)
+            };
+            let func = &self.module.functions[fidx];
+            let fname = func.name.as_str();
+            let blk = &func.blocks[block as usize];
+
+            insts += 1;
+            cycles += inst_cost;
+
+            if ip < blk.insts.len() {
+                // Advance ip first so calls/setjmp resume after this inst.
+                p.frames.last_mut().expect("frame").ip = ip + 1;
+                let inst = &blk.insts[ip];
+                match inst {
+                    Inst::Const { dst, value } => {
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = *value;
+                    }
+                    Inst::Mov { dst, src } => {
+                        let v = read_op(p, *src);
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = v;
+                    }
+                    Inst::Bin { op, dst, lhs, rhs } => {
+                        let a = read_op(p, *lhs);
+                        let b = read_op(p, *rhs);
+                        let v = match eval_bin(*op, a, b) {
+                            Ok(v) => v,
+                            Err(detail) => finish!(CallResult::Crashed(Crash {
+                                kind: CrashKind::DivisionByZero,
+                                function: fname.to_string(),
+                                block,
+                                detail,
+                            })),
+                        };
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = v;
+                    }
+                    Inst::Cmp {
+                        pred,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
+                        let v = i64::from(pred.eval(read_op(p, *lhs), read_op(p, *rhs)));
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = v;
+                    }
+                    Inst::Select {
+                        dst,
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        let v = if read_op(p, *cond) != 0 {
+                            read_op(p, *if_true)
+                        } else {
+                            read_op(p, *if_false)
+                        };
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = v;
+                    }
+                    Inst::Load { dst, addr, width } => {
+                        let a = read_op(p, *addr) as u64;
+                        if let Err(c) = p.check_access(a, width.bytes(), false, fname, block) {
+                            finish!(CallResult::Crashed(c));
+                        }
+                        let v = p.mem.read_uint(a, width.bytes()) as i64;
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = v;
+                    }
+                    Inst::Store { addr, value, width } => {
+                        let a = read_op(p, *addr) as u64;
+                        let v = read_op(p, *value);
+                        if let Err(c) = p.check_access(a, width.bytes(), true, fname, block) {
+                            finish!(CallResult::Crashed(c));
+                        }
+                        p.mem.write_uint(a, v as u64, width.bytes());
+                    }
+                    Inst::AddrOf { dst, global } => {
+                        let a = p.globals.addr_of(*global).expect("verified global") as i64;
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = a;
+                    }
+                    Inst::Alloca { dst, size } => {
+                        let rounded = u64::from(*size).div_ceil(16) * 16;
+                        if p.sp < STACK_TOP - STACK_MAX_BYTES + rounded {
+                            finish!(CallResult::Crashed(Crash {
+                                kind: CrashKind::StackOverflow,
+                                function: fname.to_string(),
+                                block,
+                                detail: format!("alloca of {size} bytes"),
+                            }));
+                        }
+                        p.sp -= rounded;
+                        let a = p.sp as i64;
+                        p.frames.last_mut().expect("frame").regs[dst.0 as usize] = a;
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let argv: Vec<i64> = args.iter().map(|a| read_op(p, *a)).collect();
+                        // Fast path: coverage probe.
+                        if callee == "__cov_edge" {
+                            let id = *argv.first().unwrap_or(&0) as u16;
+                            let idx = p.cov_state.edge(id, ctx.cov);
+                            if let Some(tr) = ctx.trace.as_deref_mut() {
+                                tr.push(idx);
+                            }
+                            continue;
+                        }
+                        if callee == "setjmp" {
+                            let buf = *argv.first().unwrap_or(&0) as u64;
+                            let jc = JmpCtx {
+                                depth: p.frames.len(),
+                                block,
+                                ip: ip + 1,
+                                sp: p.sp,
+                                dst: *dst,
+                            };
+                            p.jmpbufs.insert(buf, jc);
+                            if let Some(d) = dst {
+                                p.frames.last_mut().expect("frame").regs[d.0 as usize] = 0;
+                            }
+                            cycles += 4;
+                            continue;
+                        }
+                        if callee == "longjmp" {
+                            let buf = *argv.first().unwrap_or(&0) as u64;
+                            let val = *argv.get(1).unwrap_or(&1);
+                            let Some(jc) = p.jmpbufs.get(&buf).cloned() else {
+                                finish!(CallResult::Crashed(Crash {
+                                    kind: CrashKind::BadLongjmp,
+                                    function: fname.to_string(),
+                                    block,
+                                    detail: format!("no jmp_buf at {buf:#x}"),
+                                }));
+                            };
+                            if jc.depth > p.frames.len() || jc.depth <= base_depth {
+                                finish!(CallResult::Crashed(Crash {
+                                    kind: CrashKind::BadLongjmp,
+                                    function: fname.to_string(),
+                                    block,
+                                    detail: "jmp_buf frame no longer live".into(),
+                                }));
+                            }
+                            p.frames.truncate(jc.depth);
+                            let fr = p.frames.last_mut().expect("frame");
+                            fr.block = jc.block;
+                            fr.ip = jc.ip;
+                            if let Some(d) = jc.dst {
+                                fr.regs[d.0 as usize] = if val == 0 { 1 } else { val };
+                            }
+                            p.sp = jc.sp;
+                            cycles += 8;
+                            continue;
+                        }
+                        // Module-defined function?
+                        if let Some(callee_id) = self.module.function_id(callee) {
+                            if p.frames.len() >= MAX_CALL_DEPTH {
+                                finish!(CallResult::Crashed(Crash {
+                                    kind: CrashKind::StackOverflow,
+                                    function: fname.to_string(),
+                                    block,
+                                    detail: format!("call depth {}", p.frames.len()),
+                                }));
+                            }
+                            let cf = &self.module.functions[callee_id.0 as usize];
+                            let mut regs = vec![0i64; cf.num_regs as usize];
+                            for (i, a) in
+                                argv.iter().take(cf.num_params as usize).enumerate()
+                            {
+                                regs[i] = *a;
+                            }
+                            cycles += 2; // call/ret overhead
+                            p.frames.push(Frame {
+                                func: callee_id,
+                                block: 0,
+                                ip: 0,
+                                regs,
+                                saved_sp: p.sp,
+                                ret_dst: *dst,
+                            });
+                            continue;
+                        }
+                        // Host call.
+                        match hostcalls::dispatch(
+                            callee,
+                            &argv,
+                            p,
+                            ctx,
+                            (fname, block),
+                            &mut cycles,
+                        ) {
+                            Ok(Some(HostRet::Val(v))) => {
+                                if let Some(d) = dst {
+                                    p.frames.last_mut().expect("frame").regs
+                                        [d.0 as usize] = v;
+                                }
+                            }
+                            Ok(Some(HostRet::Void)) => {}
+                            Ok(Some(HostRet::Exit(code))) => {
+                                finish!(CallResult::Exited(code));
+                            }
+                            Ok(Some(HostRet::ExitHook(code))) => {
+                                finish!(CallResult::ExitHooked(code));
+                            }
+                            Ok(None) => {
+                                finish!(CallResult::Crashed(Crash {
+                                    kind: CrashKind::Abort,
+                                    function: fname.to_string(),
+                                    block,
+                                    detail: format!("unresolved symbol '{callee}'"),
+                                }));
+                            }
+                            Err(c) => finish!(CallResult::Crashed(c)),
+                        }
+                    }
+                }
+            } else {
+                // Terminator.
+                match &blk.term {
+                    Terminator::Ret(v) => {
+                        let val = v.map(|o| read_op(p, o)).unwrap_or(0);
+                        let fr = p.frames.pop().expect("frame");
+                        p.sp = fr.saved_sp;
+                        if p.frames.len() == base_depth {
+                            finish!(CallResult::Return(val));
+                        }
+                        if let Some(d) = fr.ret_dst {
+                            p.frames.last_mut().expect("frame").regs[d.0 as usize] = val;
+                        }
+                    }
+                    Terminator::Br(t) => {
+                        let fr = p.frames.last_mut().expect("frame");
+                        fr.block = t.0;
+                        fr.ip = 0;
+                    }
+                    Terminator::CondBr {
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        let c = read_op(p, *cond) != 0;
+                        let fr = p.frames.last_mut().expect("frame");
+                        fr.block = if c { if_true.0 } else { if_false.0 };
+                        fr.ip = 0;
+                    }
+                    Terminator::Switch {
+                        value,
+                        cases,
+                        default,
+                    } => {
+                        let v = read_op(p, *value);
+                        let target = cases
+                            .iter()
+                            .find(|(cv, _)| *cv == v)
+                            .map(|(_, b)| *b)
+                            .unwrap_or(*default);
+                        let fr = p.frames.last_mut().expect("frame");
+                        fr.block = target.0;
+                        fr.ip = 0;
+                    }
+                    Terminator::Unreachable => {
+                        finish!(CallResult::Crashed(Crash {
+                            kind: CrashKind::UnreachableExecuted,
+                            function: fname.to_string(),
+                            block,
+                            detail: String::new(),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn read_op(p: &Process, o: Operand) -> i64 {
+    match o {
+        Operand::Reg(r) => p.frames.last().expect("frame").regs[r.0 as usize],
+        Operand::Imm(v) => v,
+    }
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, String> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::UDiv => {
+            if b == 0 {
+                return Err(format!("{a} udiv 0"));
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::SDiv => {
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return Err(format!("{a} sdiv {b}"));
+            }
+            a / b
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return Err(format!("{a} urem 0"));
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::SRem => {
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return Err(format!("{a} srem {b}"));
+            }
+            a % b
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::LShr => ((a as u64) >> (b as u32 & 63)) as i64,
+        BinOp::AShr => a >> (b as u32 & 63),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::{CmpPred, Global, Operand};
+
+    const FUEL: u64 = 1_000_000;
+
+    fn run(module: &Module, func: &str, args: &[i64]) -> (CallResult, Process) {
+        let mut os = Os::new();
+        let (mut p, _) = os.spawn(module);
+        let mut cov = CovMap::new();
+        let mut ctx = HostCtx::new(&mut os, &mut cov);
+        let m = Machine::new(module);
+        let out = m.call(&mut p, &mut ctx, func, args, FUEL);
+        (out.result, p)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("f", 2);
+        let (a, b) = (f.param(0), f.param(1));
+        let s = f.add(Operand::Reg(a), Operand::Reg(b));
+        let m2 = f.mul(Operand::Reg(s), Operand::Imm(3));
+        f.ret(Some(Operand::Reg(m2)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[4, 6]);
+        assert_eq!(r, CallResult::Return(30));
+    }
+
+    #[test]
+    fn division_by_zero_crashes() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("f", 2);
+        let d = f.bin(
+            BinOp::SDiv,
+            Operand::Reg(f.param(0)),
+            Operand::Reg(f.param(1)),
+        );
+        f.ret(Some(Operand::Reg(d)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[10, 0]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::DivisionByZero);
+        let (r, _) = run(&m, "f", &[i64::MIN, -1]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::DivisionByZero);
+        let (r, _) = run(&m, "f", &[10, 2]);
+        assert_eq!(r, CallResult::Return(5));
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        // sum 0..n
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("sum", 1);
+        let n = f.param(0);
+        let acc = f.const_i64(0);
+        let i = f.const_i64(0);
+        let hdr = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.br(hdr);
+        f.switch_to(hdr);
+        let c = f.cmp(CmpPred::SLt, Operand::Reg(i), Operand::Reg(n));
+        f.cond_br(Operand::Reg(c), body, done);
+        f.switch_to(body);
+        let a2 = f.add(Operand::Reg(acc), Operand::Reg(i));
+        f.mov_to(acc, Operand::Reg(a2));
+        let i2 = f.add(Operand::Reg(i), Operand::Imm(1));
+        f.mov_to(i, Operand::Reg(i2));
+        f.br(hdr);
+        f.switch_to(done);
+        f.ret(Some(Operand::Reg(acc)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "sum", &[10]);
+        assert_eq!(r, CallResult::Return(45));
+    }
+
+    #[test]
+    fn nested_calls_and_return_values() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut g = mb.function_with_params("double", 1);
+        let d = g.add(Operand::Reg(g.param(0)), Operand::Reg(g.param(0)));
+        g.ret(Some(Operand::Reg(d)));
+        g.finish();
+        let mut f = mb.function_with_params("f", 1);
+        let r1 = f.call("double", vec![Operand::Reg(f.param(0))]);
+        let r2 = f.call("double", vec![Operand::Reg(r1)]);
+        f.ret(Some(Operand::Reg(r2)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[5]);
+        assert_eq!(r, CallResult::Return(20));
+    }
+
+    #[test]
+    fn recursion_overflow_detected() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("inf", 1);
+        let r = f.call("inf", vec![Operand::Reg(f.param(0))]);
+        f.ret(Some(Operand::Reg(r)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "inf", &[1]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::StackOverflow);
+    }
+
+    #[test]
+    fn fuel_exhaustion_on_infinite_loop() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("spin");
+        let l = f.new_block();
+        f.br(l);
+        f.switch_to(l);
+        f.br(l);
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "spin", &[]);
+        assert_eq!(r, CallResult::OutOfFuel);
+    }
+
+    #[test]
+    fn globals_load_store_and_null_crash() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global(Global::zeroed("counter", 8));
+        let mut f = mb.function("bump");
+        let a = f.addr_of(g);
+        let v = f.load64(Operand::Reg(a));
+        let v2 = f.add(Operand::Reg(v), Operand::Imm(1));
+        f.store64(Operand::Reg(a), Operand::Reg(v2));
+        f.ret(Some(Operand::Reg(v2)));
+        f.finish();
+        let mut f = mb.function("nullread");
+        let v = f.load64(Operand::Imm(0));
+        f.ret(Some(Operand::Reg(v)));
+        f.finish();
+        let m = mb.finish();
+        let mut os = Os::new();
+        let (mut p, _) = os.spawn(&m);
+        let mut cov = CovMap::new();
+        let mut ctx = HostCtx::new(&mut os, &mut cov);
+        let machine = Machine::new(&m);
+        assert_eq!(
+            machine.call(&mut p, &mut ctx, "bump", &[], FUEL).result,
+            CallResult::Return(1)
+        );
+        assert_eq!(
+            machine.call(&mut p, &mut ctx, "bump", &[], FUEL).result,
+            CallResult::Return(2),
+            "global state persists across calls in one process"
+        );
+        let r = machine.call(&mut p, &mut ctx, "nullread", &[], FUEL);
+        assert_eq!(r.result.crash().unwrap().kind, CrashKind::NullPtrDeref);
+    }
+
+    #[test]
+    fn alloca_stack_discipline() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut inner = mb.function("inner");
+        let buf = inner.alloca(64);
+        inner.store64(Operand::Reg(buf), Operand::Imm(7));
+        let v = inner.load64(Operand::Reg(buf));
+        inner.ret(Some(Operand::Reg(v)));
+        inner.finish();
+        let mut f = mb.function("outer");
+        let a = f.call("inner", vec![]);
+        let b = f.call("inner", vec![]);
+        let s = f.add(Operand::Reg(a), Operand::Reg(b));
+        f.ret(Some(Operand::Reg(s)));
+        f.finish();
+        let m = mb.finish();
+        let (r, p) = run(&m, "outer", &[]);
+        assert_eq!(r, CallResult::Return(14));
+        assert_eq!(p.sp, STACK_TOP, "stack fully unwound after return");
+    }
+
+    #[test]
+    fn exit_hostcall_terminates() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        f.call_void("exit", vec![Operand::Imm(3)]);
+        f.unreachable();
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        assert_eq!(r, CallResult::Exited(3));
+    }
+
+    #[test]
+    fn exit_hook_unwinds_instead() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        f.call_void("closurex_exit_hook", vec![Operand::Imm(3)]);
+        f.unreachable();
+        f.finish();
+        let m = mb.finish();
+        let (r, p) = run(&m, "f", &[]);
+        assert_eq!(r, CallResult::ExitHooked(3));
+        assert!(p.frames.is_empty(), "frames unwound to harness");
+    }
+
+    #[test]
+    fn setjmp_longjmp_roundtrip() {
+        // main: if (setjmp(buf)) return 99; helper(); return 1;
+        // helper: longjmp(buf, 7)  →  main returns... 99 path takes value 7?
+        // We return the setjmp value to observe it.
+        let mut mb = ModuleBuilder::new("m");
+        let buf_g = mb.global(Global::zeroed("jbuf", 64));
+        let mut h = mb.function("helper");
+        let a = h.addr_of(buf_g);
+        h.call_void("longjmp", vec![Operand::Reg(a), Operand::Imm(7)]);
+        h.unreachable();
+        h.finish();
+        let mut f = mb.function("main");
+        let a = f.addr_of(buf_g);
+        let v = f.call("setjmp", vec![Operand::Reg(a)]);
+        let taken = f.new_block();
+        let normal = f.new_block();
+        f.cond_br(Operand::Reg(v), taken, normal);
+        f.switch_to(taken);
+        f.ret(Some(Operand::Reg(v)));
+        f.switch_to(normal);
+        f.call_void("helper", vec![]);
+        f.ret(Some(Operand::Imm(1)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "main", &[]);
+        assert_eq!(r, CallResult::Return(7), "longjmp value arrives at setjmp");
+    }
+
+    #[test]
+    fn longjmp_without_setjmp_crashes() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        f.call_void("longjmp", vec![Operand::Imm(0x1234), Operand::Imm(1)]);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::BadLongjmp);
+    }
+
+    #[test]
+    fn malloc_free_via_hostcalls() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        let ptr = f.call("malloc", vec![Operand::Imm(32)]);
+        f.store64(Operand::Reg(ptr), Operand::Imm(1234));
+        let v = f.load64(Operand::Reg(ptr));
+        f.call_void("free", vec![Operand::Reg(ptr)]);
+        f.ret(Some(Operand::Reg(v)));
+        f.finish();
+        let m = mb.finish();
+        let (r, p) = run(&m, "f", &[]);
+        assert_eq!(r, CallResult::Return(1234));
+        assert_eq!(p.heap.live_chunks(), 0);
+    }
+
+    #[test]
+    fn use_after_free_via_hostcalls() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        let ptr = f.call("malloc", vec![Operand::Imm(32)]);
+        f.call_void("free", vec![Operand::Reg(ptr)]);
+        let v = f.load64(Operand::Reg(ptr));
+        f.ret(Some(Operand::Reg(v)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::UnaddressableAccess);
+    }
+
+    #[test]
+    fn double_free_via_hostcalls() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        let ptr = f.call("malloc", vec![Operand::Imm(8)]);
+        f.call_void("free", vec![Operand::Reg(ptr)]);
+        f.call_void("free", vec![Operand::Reg(ptr)]);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::DoubleFree);
+    }
+
+    #[test]
+    fn file_io_roundtrip() {
+        let mut mb = ModuleBuilder::new("m");
+        let path = mb.global(Global::constant("path", b"/fuzz/input\0".to_vec()));
+        let mut f = mb.function("f");
+        let pa = f.addr_of(path);
+        let h = f.call("fopen", vec![Operand::Reg(pa), Operand::Imm(0)]);
+        let buf = f.alloca(16);
+        let n = f.call(
+            "fread",
+            vec![
+                Operand::Reg(buf),
+                Operand::Imm(1),
+                Operand::Imm(16),
+                Operand::Reg(h),
+            ],
+        );
+        let b0 = f.load8(Operand::Reg(buf));
+        f.call_void("fclose", vec![Operand::Reg(h)]);
+        let sum = f.add(Operand::Reg(n), Operand::Reg(b0));
+        f.ret(Some(Operand::Reg(sum)));
+        f.finish();
+        let m = mb.finish();
+
+        let mut os = Os::new();
+        os.fs.write_file("/fuzz/input", vec![40, 2, 3]);
+        let (mut p, _) = os.spawn(&m);
+        let mut cov = CovMap::new();
+        let mut ctx = HostCtx::new(&mut os, &mut cov);
+        let out = Machine::new(&m).call(&mut p, &mut ctx, "f", &[], FUEL);
+        // read 3 bytes, first byte 40 → 43
+        assert_eq!(out.result, CallResult::Return(43));
+        assert_eq!(p.fds.open_count(), 0);
+    }
+
+    #[test]
+    fn fopen_missing_file_returns_null() {
+        let mut mb = ModuleBuilder::new("m");
+        let path = mb.global(Global::constant("path", b"/nope\0".to_vec()));
+        let mut f = mb.function("f");
+        let pa = f.addr_of(path);
+        let h = f.call("fopen", vec![Operand::Reg(pa), Operand::Imm(0)]);
+        f.ret(Some(Operand::Reg(h)));
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        assert_eq!(r, CallResult::Return(0));
+    }
+
+    #[test]
+    fn negative_memcpy_detected() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        let a = f.alloca(16);
+        let b = f.alloca(16);
+        f.call_void(
+            "memcpy",
+            vec![Operand::Reg(a), Operand::Reg(b), Operand::Imm(-5)],
+        );
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        assert_eq!(r.crash().unwrap().kind, CrashKind::NegativeSizeMemcpy);
+    }
+
+    #[test]
+    fn coverage_edges_recorded() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("f", 1);
+        f.call_void("__cov_edge", vec![Operand::Imm(100)]);
+        let t = f.new_block();
+        let e = f.new_block();
+        f.cond_br(Operand::Reg(f.param(0)), t, e);
+        f.switch_to(t);
+        f.call_void("__cov_edge", vec![Operand::Imm(200)]);
+        f.ret(Some(Operand::Imm(1)));
+        f.switch_to(e);
+        f.call_void("__cov_edge", vec![Operand::Imm(300)]);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+        let m = mb.finish();
+
+        let mut os = Os::new();
+        let (mut p, _) = os.spawn(&m);
+        let mut cov = CovMap::new();
+        let mut trace = Vec::new();
+        {
+            let mut ctx = HostCtx::with_trace(&mut os, &mut cov, &mut trace);
+            Machine::new(&m).call(&mut p, &mut ctx, "f", &[1], FUEL);
+        }
+        assert_eq!(cov.count_nonzero(), 2);
+        assert_eq!(trace.len(), 2);
+
+        // Different branch → different trace.
+        let mut cov2 = CovMap::new();
+        let mut trace2 = Vec::new();
+        p.cov_state.reset();
+        {
+            let mut ctx = HostCtx::with_trace(&mut os, &mut cov2, &mut trace2);
+            Machine::new(&m).call(&mut p, &mut ctx, "f", &[0], FUEL);
+        }
+        assert_ne!(trace, trace2);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function_with_params("f", 1);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let d = f.new_block();
+        f.switch(Operand::Reg(f.param(0)), vec![(10, b1), (20, b2)], d);
+        f.switch_to(b1);
+        f.ret(Some(Operand::Imm(1)));
+        f.switch_to(b2);
+        f.ret(Some(Operand::Imm(2)));
+        f.switch_to(d);
+        f.ret(Some(Operand::Imm(-1)));
+        f.finish();
+        let m = mb.finish();
+        assert_eq!(run(&m, "f", &[10]).0, CallResult::Return(1));
+        assert_eq!(run(&m, "f", &[20]).0, CallResult::Return(2));
+        assert_eq!(run(&m, "f", &[30]).0, CallResult::Return(-1));
+    }
+
+    #[test]
+    fn unresolved_symbol_crashes() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        f.call_void("no_such_fn", vec![]);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let (r, _) = run(&m, "f", &[]);
+        let c = r.crash().unwrap();
+        assert_eq!(c.kind, CrashKind::Abort);
+        assert!(c.detail.contains("no_such_fn"));
+    }
+
+    #[test]
+    fn closurex_wrappers_update_chunk_map() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f");
+        let p1 = f.call("closurex_malloc", vec![Operand::Imm(10)]);
+        let _p2 = f.call("closurex_malloc", vec![Operand::Imm(20)]);
+        f.call_void("closurex_free", vec![Operand::Reg(p1)]);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let mut os = Os::new();
+        let (mut p, _) = os.spawn(&m);
+        p.rt.enabled = true;
+        let mut cov = CovMap::new();
+        let mut ctx = HostCtx::new(&mut os, &mut cov);
+        Machine::new(&m).call(&mut p, &mut ctx, "f", &[], FUEL);
+        assert_eq!(p.rt.chunk_map.len(), 1, "one leaked chunk tracked");
+        assert_eq!(p.heap.live_chunks(), 1);
+    }
+}

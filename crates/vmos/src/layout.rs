@@ -1,0 +1,207 @@
+//! Global-variable memory layout.
+//!
+//! Globals are laid out section-by-section (`.rodata`, `.data`, `.bss`,
+//! `closure_global_section`) so that the ClosureX harness can ask for the
+//! contiguous `closure_global_section` range — the analog of the paper's
+//! `CLOSURE_GLOBAL_SECTION_ADDR` / `CLOSURE_GLOBAL_SECTION_SIZE`
+//! environment variables populated via `readelf`.
+
+use fir::{GlobalId, Module, Section};
+
+use crate::mem::PageTable;
+
+/// Base virtual address of the globals region.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+/// Per-global alignment.
+pub const GLOBAL_ALIGN: u64 = 16;
+
+/// One laid-out global.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSlot {
+    /// The module's global id.
+    pub gid: GlobalId,
+    /// Symbol name.
+    pub name: String,
+    /// Start address.
+    pub start: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Whether stores are legal.
+    pub writable: bool,
+    /// The section it was placed in.
+    pub section: Section,
+}
+
+impl GlobalSlot {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.start + self.size
+    }
+}
+
+/// The loaded-globals map of one process image.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMap {
+    slots: Vec<GlobalSlot>, // sorted by start
+    sections: Vec<(Section, u64, u64)>,
+    end: u64,
+}
+
+impl GlobalMap {
+    /// Compute the layout for a module (deterministic).
+    pub fn layout(module: &Module) -> Self {
+        let mut slots = Vec::new();
+        let mut sections = Vec::new();
+        let mut cursor = GLOBAL_BASE;
+        for section in [
+            Section::Rodata,
+            Section::Data,
+            Section::Bss,
+            Section::ClosureGlobal,
+        ] {
+            let sec_start = cursor;
+            for (i, g) in module.globals.iter().enumerate() {
+                if g.section != section {
+                    continue;
+                }
+                slots.push(GlobalSlot {
+                    gid: GlobalId(i as u32),
+                    name: g.name.clone(),
+                    start: cursor,
+                    size: g.size,
+                    writable: section.writable(),
+                    section,
+                });
+                cursor += g.size.div_ceil(GLOBAL_ALIGN) * GLOBAL_ALIGN;
+            }
+            if cursor > sec_start {
+                sections.push((section, sec_start, cursor - sec_start));
+            }
+        }
+        GlobalMap {
+            slots,
+            sections,
+            end: cursor,
+        }
+    }
+
+    /// Copy every global's initial image into memory.
+    pub fn load_into(&self, module: &Module, mem: &mut PageTable) {
+        for slot in &self.slots {
+            let g = &module.globals[slot.gid.0 as usize];
+            mem.write(slot.start, &g.image());
+        }
+    }
+
+    /// One past the end of the globals region.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// True if `addr` is inside the globals region.
+    pub fn contains(&self, addr: u64) -> bool {
+        (GLOBAL_BASE..self.end).contains(&addr)
+    }
+
+    /// The slot covering `addr`, if any.
+    pub fn find(&self, addr: u64) -> Option<&GlobalSlot> {
+        let idx = self.slots.partition_point(|s| s.start <= addr);
+        let slot = self.slots.get(idx.checked_sub(1)?)?;
+        (addr < slot.end()).then_some(slot)
+    }
+
+    /// Address of a global by id.
+    pub fn addr_of(&self, gid: GlobalId) -> Option<u64> {
+        self.slots.iter().find(|s| s.gid == gid).map(|s| s.start)
+    }
+
+    /// Address of a global by name.
+    pub fn addr_of_name(&self, name: &str) -> Option<u64> {
+        self.slots.iter().find(|s| s.name == name).map(|s| s.start)
+    }
+
+    /// `(start, size)` of a section, if non-empty — the
+    /// `CLOSURE_GLOBAL_SECTION_ADDR/SIZE` analog.
+    pub fn section_range(&self, section: Section) -> Option<(u64, u64)> {
+        self.sections
+            .iter()
+            .find(|(s, _, _)| *s == section)
+            .map(|(_, a, l)| (*a, *l))
+    }
+
+    /// All slots, sorted by address.
+    pub fn slots(&self) -> &[GlobalSlot] {
+        &self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Global;
+
+    fn module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global(Global::constant("ro", vec![1, 2, 3, 4]));
+        mb.global(Global::with_init("counter", 7i64.to_le_bytes().to_vec()));
+        mb.global(Global::zeroed("scratch", 100));
+        let mut g = Global::zeroed("moved", 24);
+        g.section = Section::ClosureGlobal;
+        mb.global(g);
+        mb.finish()
+    }
+
+    #[test]
+    fn sections_are_contiguous_and_ordered() {
+        let m = module();
+        let gm = GlobalMap::layout(&m);
+        let ro = gm.section_range(Section::Rodata).unwrap();
+        let da = gm.section_range(Section::Data).unwrap();
+        let bs = gm.section_range(Section::Bss).unwrap();
+        let cg = gm.section_range(Section::ClosureGlobal).unwrap();
+        assert!(ro.0 < da.0 && da.0 < bs.0 && bs.0 < cg.0);
+        assert_eq!(cg.1, 32, "24 rounded to 16-alignment blocks");
+    }
+
+    #[test]
+    fn find_resolves_interior_addresses() {
+        let m = module();
+        let gm = GlobalMap::layout(&m);
+        let a = gm.addr_of_name("scratch").unwrap();
+        assert_eq!(gm.find(a + 50).unwrap().name, "scratch");
+        assert_eq!(gm.find(a + 99).unwrap().name, "scratch");
+        assert!(gm.find(a + 100).is_none() || gm.find(a + 100).unwrap().name != "scratch");
+    }
+
+    #[test]
+    fn writability_follows_section() {
+        let m = module();
+        let gm = GlobalMap::layout(&m);
+        let ro = gm.addr_of_name("ro").unwrap();
+        assert!(!gm.find(ro).unwrap().writable);
+        let c = gm.addr_of_name("counter").unwrap();
+        assert!(gm.find(c).unwrap().writable);
+    }
+
+    #[test]
+    fn load_into_writes_initializers() {
+        let m = module();
+        let gm = GlobalMap::layout(&m);
+        let mut mem = PageTable::new();
+        gm.load_into(&m, &mut mem);
+        let c = gm.addr_of_name("counter").unwrap();
+        assert_eq!(mem.read_uint(c, 8), 7);
+        let ro = gm.addr_of_name("ro").unwrap();
+        assert_eq!(mem.read_uint(ro, 4) as u32, u32::from_le_bytes([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn addresses_outside_region_not_found() {
+        let m = module();
+        let gm = GlobalMap::layout(&m);
+        assert!(gm.find(GLOBAL_BASE - 1).is_none());
+        assert!(gm.find(gm.end()).is_none());
+        assert!(!gm.contains(gm.end()));
+    }
+}

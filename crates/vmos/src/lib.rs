@@ -1,0 +1,44 @@
+//! # vmos — the simulated operating system and FIR interpreter
+//!
+//! The ClosureX paper evaluates process-management mechanisms on a real
+//! Linux kernel. This crate is the reproduction's substitute substrate: a
+//! deterministic, cycle-accounted virtual machine that executes [`fir`]
+//! modules inside simulated [`process::Process`]es managed by a simulated
+//! [`os::Os`].
+//!
+//! It provides everything the paper's execution-mechanism continuum needs:
+//!
+//! * **copy-on-write paged memory** ([`mem`]) so `fork()` has realistic
+//!   page-table-copy + CoW-fault costs,
+//! * a **heap allocator with error detection** ([`heap`]) — use-after-free,
+//!   double-free, out-of-bounds and leak enumeration (the Valgrind stand-in),
+//! * a **file-descriptor table** with an `RLIMIT_NOFILE` analog ([`fd`]),
+//! * a **simulated libc** ([`hostcalls`]) including `malloc`-family,
+//!   `fopen`-family, `exit`, `setjmp`/`longjmp`, and the ClosureX runtime
+//!   hooks installed by the compiler passes,
+//! * an **interpreter** ([`interp`]) with instruction-level cycle accounting
+//!   and AFL-style edge-coverage collection ([`cov`]),
+//! * a **cost model** ([`cost`]) for `fork`/`exec`/teardown/restore charges.
+
+pub mod cost;
+pub mod cov;
+pub mod crash;
+pub mod fd;
+pub mod fs;
+pub mod heap;
+pub mod hostcalls;
+pub mod interp;
+pub mod layout;
+pub mod mem;
+pub mod os;
+pub mod process;
+
+#[cfg(test)]
+mod proptests;
+
+pub use cost::CostModel;
+pub use cov::{CovMap, MAP_SIZE};
+pub use crash::{Crash, CrashKind};
+pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
+pub use os::Os;
+pub use process::Process;

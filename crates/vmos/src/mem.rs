@@ -1,0 +1,217 @@
+//! Copy-on-write paged memory.
+//!
+//! Pages are reference-counted; [`PageTable::fork`] clones only the page
+//! *table* (Arc bumps), and the first write to a shared page after a fork
+//! copies it — exactly the mechanism whose cost the paper's forkserver
+//! baseline pays per test case.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Page size in bytes (4 KiB, like Linux).
+pub const PAGE_SIZE: u64 = 4096;
+
+type Page = Arc<[u8; PAGE_SIZE as usize]>;
+
+fn zero_page() -> Page {
+    Arc::new([0u8; PAGE_SIZE as usize])
+}
+
+/// A sparse, copy-on-write page table.
+///
+/// Unmapped pages read as zeros and are materialized on first write.
+/// *Validity* of an access (is this address inside an object?) is not the
+/// page table's job — [`crate::process::Process::check_access`] performs
+/// region checks before touching memory.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    pages: HashMap<u64, Page>,
+    /// CoW faults taken since the last [`PageTable::reset_fault_count`].
+    cow_faults: u64,
+}
+
+impl PageTable {
+    /// Create an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (materialized) pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// CoW faults taken since the last reset.
+    pub fn cow_faults(&self) -> u64 {
+        self.cow_faults
+    }
+
+    /// Zero the CoW fault counter (called right after a fork is charged).
+    pub fn reset_fault_count(&mut self) {
+        self.cow_faults = 0;
+    }
+
+    /// Duplicate the table the way `fork(2)` does: share all pages.
+    pub fn fork(&self) -> PageTable {
+        PageTable {
+            pages: self.pages.clone(),
+            cow_faults: 0,
+        }
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut a = addr;
+        let mut off = 0;
+        while off < buf.len() {
+            let page_idx = a / PAGE_SIZE;
+            let in_page = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            match self.pages.get(&page_idx) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            a += n as u64;
+            off += n;
+        }
+    }
+
+    /// Write `buf` starting at `addr`, taking CoW faults as needed.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) {
+        let mut a = addr;
+        let mut off = 0;
+        while off < buf.len() {
+            let page_idx = a / PAGE_SIZE;
+            let in_page = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            let entry = self.pages.entry(page_idx).or_insert_with(zero_page);
+            if Arc::strong_count(entry) > 1 {
+                // Copy-on-write fault: this page is shared with another
+                // process (post-fork); duplicate before writing.
+                *entry = Arc::new(**entry);
+                self.cow_faults += 1;
+            }
+            let page = Arc::get_mut(entry).expect("just un-shared");
+            page[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            a += n as u64;
+            off += n;
+        }
+    }
+
+    /// Read a little-endian unsigned integer of `width` bytes (1/2/4/8).
+    pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf[..width as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write the low `width` bytes of `value`, little-endian.
+    pub fn write_uint(&mut self, addr: u64, value: u64, width: u64) {
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..width as usize]);
+    }
+
+    /// Read a NUL-terminated string (capped at `max` bytes).
+    pub fn read_cstr(&self, addr: u64, max: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        while out.len() < max {
+            let b = self.read_uint(a, 1) as u8;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            a += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let pt = PageTable::new();
+        let mut buf = [0xAAu8; 16];
+        pt.read(0x5000, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_page_boundary() {
+        let mut pt = PageTable::new();
+        let addr = PAGE_SIZE - 3; // straddles two pages
+        let data: Vec<u8> = (0..10).collect();
+        pt.write(addr, &data);
+        let mut back = [0u8; 10];
+        pt.read(addr, &mut back);
+        assert_eq!(&back[..], &data[..]);
+        assert_eq!(pt.resident_pages(), 2);
+    }
+
+    #[test]
+    fn uint_roundtrip_all_widths() {
+        let mut pt = PageTable::new();
+        for (w, v) in [(1, 0xAB), (2, 0xBEEF), (4, 0xDEADBEEF), (8, u64::MAX - 5)] {
+            pt.write_uint(0x100, v, w);
+            assert_eq!(pt.read_uint(0x100, w), v & mask(w));
+        }
+        fn mask(w: u64) -> u64 {
+            if w == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (w * 8)) - 1
+            }
+        }
+    }
+
+    #[test]
+    fn fork_shares_then_cow_on_write() {
+        let mut parent = PageTable::new();
+        parent.write_uint(0x1000, 42, 8);
+        parent.write_uint(0x3000, 7, 8);
+        let mut child = parent.fork();
+        assert_eq!(child.cow_faults(), 0);
+        assert_eq!(child.read_uint(0x1000, 8), 42);
+
+        // Child writes: must not be visible in parent, must count a fault.
+        child.write_uint(0x1000, 99, 8);
+        assert_eq!(child.cow_faults(), 1);
+        assert_eq!(parent.read_uint(0x1000, 8), 42);
+        assert_eq!(child.read_uint(0x1000, 8), 99);
+
+        // Untouched page still shared and equal.
+        assert_eq!(parent.read_uint(0x3000, 8), child.read_uint(0x3000, 8));
+    }
+
+    #[test]
+    fn parent_write_after_fork_also_faults() {
+        let mut parent = PageTable::new();
+        parent.write_uint(0x1000, 1, 8);
+        let child = parent.fork();
+        parent.reset_fault_count();
+        parent.write_uint(0x1008, 2, 8);
+        assert_eq!(parent.cow_faults(), 1);
+        assert_eq!(child.read_uint(0x1008, 8), 0);
+    }
+
+    #[test]
+    fn second_write_to_same_page_does_not_fault_again() {
+        let mut parent = PageTable::new();
+        parent.write_uint(0x1000, 1, 8);
+        let mut child = parent.fork();
+        child.write_uint(0x1000, 2, 8);
+        child.write_uint(0x1010, 3, 8);
+        assert_eq!(child.cow_faults(), 1);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut pt = PageTable::new();
+        pt.write(0x200, b"hello\0world");
+        assert_eq!(pt.read_cstr(0x200, 64), b"hello");
+        assert_eq!(pt.read_cstr(0x200, 3), b"hel"); // cap respected
+    }
+}

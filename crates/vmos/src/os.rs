@@ -1,0 +1,145 @@
+//! The simulated kernel: owns the filesystem and the cost model, and
+//! implements the process-management primitives whose overheads the paper's
+//! execution-mechanism continuum compares.
+
+use fir::Module;
+
+use crate::cost::CostModel;
+use crate::fs::SimFs;
+use crate::process::Process;
+
+/// Default heap limit per process (a scaled-down 3.5 GB Azure instance).
+pub const DEFAULT_HEAP_LIMIT: u64 = 64 << 20;
+/// Default `RLIMIT_NOFILE` analog.
+pub const DEFAULT_FD_LIMIT: usize = 64;
+
+/// The simulated OS.
+#[derive(Debug, Clone)]
+pub struct Os {
+    /// Shared filesystem.
+    pub fs: SimFs,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Per-process heap limit in bytes.
+    pub heap_limit: u64,
+    /// Per-process descriptor limit.
+    pub fd_limit: usize,
+    next_pid: u32,
+    /// Total cycles spent on process management (fork/exec/teardown).
+    pub mgmt_cycles: u64,
+}
+
+impl Default for Os {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Os {
+    /// A fresh OS with default limits and cost model.
+    pub fn new() -> Self {
+        Os {
+            fs: SimFs::new(),
+            cost: CostModel::default(),
+            heap_limit: DEFAULT_HEAP_LIMIT,
+            fd_limit: DEFAULT_FD_LIMIT,
+            next_pid: 1,
+            mgmt_cycles: 0,
+        }
+    }
+
+    /// Advance the pid counter without creating processes. Used by the
+    /// correctness checker to vary the ASLR/PRNG seeds of otherwise
+    /// identical fresh runs (paper §6.1.4's repeated ground-truth runs).
+    pub fn skip_pids(&mut self, n: u32) {
+        self.next_pid = self.next_pid.wrapping_add(n);
+    }
+
+    /// `fork(2)` + `exec(2)`: create a process and load `module` into it.
+    /// Returns the process and the cycles charged (exec cost scales with
+    /// image size).
+    pub fn spawn(&mut self, module: &Module) -> (Process, u64) {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let p = Process::load(module, self.heap_limit, self.fd_limit, pid);
+        let cycles = self.cost.exec(fir::image::image_size(module)) + self.cost.fork(0);
+        self.mgmt_cycles += cycles;
+        (p, cycles)
+    }
+
+    /// `fork(2)`: duplicate a process copy-on-write. Returns the child and
+    /// the cycles charged (scales with the parent's resident pages).
+    pub fn fork(&mut self, parent: &Process) -> (Process, u64) {
+        let mut child = parent.clone();
+        child.mem = parent.mem.fork();
+        child.pid = self.next_pid;
+        self.next_pid += 1;
+        let cycles = self.cost.fork(parent.mem.resident_pages());
+        self.mgmt_cycles += cycles;
+        (child, cycles)
+    }
+
+    /// Tear a process down (`exit` + kernel reaping). Returns cycles charged,
+    /// including the copy-on-write faults the child accumulated.
+    pub fn teardown(&mut self, p: Process) -> u64 {
+        let cycles = self.cost.teardown(p.mem.resident_pages())
+            + p.mem.cow_faults() * self.cost.cow_fault;
+        self.mgmt_cycles += cycles;
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::builder::ModuleBuilder;
+    use fir::Global;
+
+    fn module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global(Global::zeroed("g", 4096));
+        let mut f = mb.function("main");
+        f.ret(Some(fir::Operand::Imm(0)));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn spawn_assigns_unique_pids_and_charges_exec() {
+        let mut os = Os::new();
+        let m = module();
+        let (p1, c1) = os.spawn(&m);
+        let (p2, _) = os.spawn(&m);
+        assert_ne!(p1.pid, p2.pid);
+        assert!(c1 >= os.cost.exec_base);
+        assert!(os.mgmt_cycles >= c1);
+    }
+
+    #[test]
+    fn fork_is_cheaper_than_spawn_and_isolates_memory() {
+        let mut os = Os::new();
+        let m = module();
+        let (mut parent, spawn_cost) = os.spawn(&m);
+        let g = parent.globals.addr_of_name("g").unwrap();
+        parent.mem.write_uint(g, 5, 8);
+        let (mut child, fork_cost) = os.fork(&parent);
+        assert!(fork_cost < spawn_cost);
+        child.mem.write_uint(g, 77, 8);
+        assert_eq!(parent.mem.read_uint(g, 8), 5, "parent unaffected");
+        assert_eq!(child.mem.read_uint(g, 8), 77);
+    }
+
+    #[test]
+    fn teardown_charges_cow_faults() {
+        let mut os = Os::new();
+        let m = module();
+        let (mut parent, _) = os.spawn(&m);
+        let g = parent.globals.addr_of_name("g").unwrap();
+        parent.mem.write_uint(g, 5, 8);
+        let (mut child, _) = os.fork(&parent);
+        let plain = os.cost.teardown(child.mem.resident_pages());
+        child.mem.write_uint(g, 1, 8); // one CoW fault
+        let charged = os.teardown(child);
+        assert_eq!(charged, plain + os.cost.cow_fault);
+    }
+}

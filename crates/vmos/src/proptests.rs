@@ -1,0 +1,143 @@
+//! Property-based tests over the OS substrate: allocator invariants, CoW
+//! isolation, and coverage-map algebra.
+
+use proptest::prelude::*;
+
+use crate::cov::{classify_count, CovMap, VirginMap};
+use crate::heap::{AccessVerdict, HeapState, GUARD};
+use crate::mem::{PageTable, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc(u16),
+    FreeNth(u8),
+}
+
+fn heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..2048).prop_map(HeapOp::Alloc),
+            any::<u8>().prop_map(HeapOp::FreeNth),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Live chunks never overlap, never touch the guard gaps, and
+    /// live-byte accounting is exact.
+    #[test]
+    fn allocator_invariants(ops in heap_ops()) {
+        let mut h = HeapState::new(1 << 22);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (addr, size)
+        for op in ops {
+            match op {
+                HeapOp::Alloc(sz) => {
+                    if let Ok(p) = h.alloc(u64::from(sz)) {
+                        live.push((p, u64::from(sz)));
+                    }
+                }
+                HeapOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let idx = usize::from(i) % live.len();
+                        let (p, _) = live.swap_remove(idx);
+                        h.free(p).expect("tracked chunk frees cleanly");
+                    }
+                }
+            }
+        }
+        // accounting
+        prop_assert_eq!(h.live_chunks(), live.len());
+        let mut addrs = h.live_chunk_addrs();
+        addrs.sort_unstable();
+        let mut expect: Vec<u64> = live.iter().map(|(a, _)| *a).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(addrs, expect);
+        // no overlap: every live chunk's rounded extent is disjoint
+        let mut spans: Vec<(u64, u64)> = live
+            .iter()
+            .map(|(a, s)| (*a, *a + s.max(&1).div_ceil(16) * 16))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 + GUARD <= w[1].0, "chunks overlap or touch: {w:?}");
+        }
+        // every live chunk is fully accessible; one past is not OK
+        for (a, s) in &live {
+            prop_assert_eq!(h.check_access(*a, (*s).max(1)), AccessVerdict::Ok);
+        }
+    }
+
+    /// Double-free is always detected, whatever the history.
+    #[test]
+    fn double_free_always_detected(sizes in prop::collection::vec(1u64..512, 1..20)) {
+        let mut h = HeapState::new(1 << 22);
+        let ptrs: Vec<u64> = sizes.iter().map(|s| h.alloc(*s).expect("fits")).collect();
+        for p in &ptrs {
+            h.free(*p).expect("first free ok");
+        }
+        for p in &ptrs {
+            // Either detected as double free, or the chunk was legally
+            // reused — in which case it must currently be free-listed, so
+            // freeing again after realloc is a *different* chunk. Without
+            // intervening allocs, it must always be DoubleFree.
+            prop_assert!(h.free(*p).is_err());
+        }
+    }
+
+    /// Page table: what you write is what you read, across arbitrary
+    /// offsets and sizes; forked children never see later parent writes.
+    #[test]
+    fn pagetable_roundtrip_and_fork_isolation(
+        writes in prop::collection::vec((0u64..PAGE_SIZE * 8, prop::collection::vec(any::<u8>(), 1..64)), 1..20),
+        probe in 0u64..PAGE_SIZE * 8,
+    ) {
+        let mut pt = PageTable::new();
+        for (addr, data) in &writes {
+            pt.write(*addr, data);
+        }
+        let (last_addr, last_data) = writes.last().expect("non-empty");
+        let mut back = vec![0u8; last_data.len()];
+        pt.read(*last_addr, &mut back);
+        prop_assert_eq!(&back, last_data, "last write wins and round-trips");
+
+        let child = pt.fork();
+        let mut before = [0u8; 8];
+        child.read(probe, &mut before);
+        pt.write(probe, &[0xEE; 8]);
+        let mut after = [0u8; 8];
+        child.read(probe, &mut after);
+        prop_assert_eq!(before, after, "parent writes invisible to child");
+    }
+
+    /// Coverage bucketing is idempotent and merge is monotone: merging the
+    /// same map twice never reports new coverage the second time.
+    #[test]
+    fn virgin_merge_monotone(hits in prop::collection::vec(any::<u16>(), 0..200)) {
+        let mut run = CovMap::new();
+        for h in &hits {
+            run.hit(*h);
+        }
+        let mut virgin = VirginMap::new();
+        let first = virgin.merge(&run);
+        prop_assert_eq!(first, !hits.is_empty());
+        prop_assert!(!virgin.merge(&run), "second merge of same map finds nothing");
+        let mut distinct: Vec<u16> = hits.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(virgin.edges_found(), distinct.len());
+    }
+
+    /// Bucket labels come from AFL's fixed set and grow monotonically with
+    /// the hitcount.
+    #[test]
+    fn classify_bucket_labels(c in any::<u8>()) {
+        let b = classify_count(c);
+        prop_assert!([0u8, 1, 2, 4, 8, 16, 32, 64, 128].contains(&b));
+        if c < 255 {
+            prop_assert!(classify_count(c + 1) >= b);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's §6.1.4 audit on one benchmark: every queue entry executed
+//! under ClosureX (after heavy pollution) must match fresh-process ground
+//! truth in dataflow and control flow.
+//!
+//! Run with: `cargo run --release --example correctness_audit`
+
+use closurex::correctness::check_queue;
+
+fn main() {
+    let target = targets::by_name("gpmf-parser").expect("registered");
+    let module = target.module();
+    let queue = (target.seeds)();
+    let report = check_queue(&module, &queue, 200, 0xA5A5, 2_000_000).expect("instrumentation");
+    println!("target: {}\n", target.name);
+    for (i, input) in report.inputs.iter().enumerate() {
+        println!(
+            "queue[{i}]: dataflow={} controlflow={} heap_clean={} masked_bytes={}",
+            input.dataflow_ok, input.controlflow_ok, input.heap_clean, input.masked_bytes
+        );
+        for m in &input.mismatches {
+            println!("    mismatch: {m}");
+        }
+    }
+    println!(
+        "\nverdict: {}",
+        if report.all_ok() {
+            "semantically equivalent to fresh-process execution (paper's result)"
+        } else {
+            "EQUIVALENCE VIOLATION"
+        }
+    );
+    assert!(report.all_ok());
+}

@@ -1,0 +1,43 @@
+//! Fuzz the `giftext` benchmark with ClosureX and the AFL++ forkserver on
+//! the same budget, and compare throughput and coverage — a single-target
+//! slice of the paper's Tables 5 and 6.
+//!
+//! Run with: `cargo run --release --example fuzz_gif`
+
+use aflrs::{run_campaign, CampaignConfig};
+use closurex::forkserver::ForkServerExecutor;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+
+fn main() {
+    let target = targets::by_name("giftext").expect("registered");
+    let module = target.module();
+    let seeds = (target.seeds)();
+    let cfg = CampaignConfig {
+        budget_cycles: 30_000_000,
+        seed: 42,
+        deterministic_stage: true,
+        stop_after_crashes: 0,
+    };
+
+    let mut cx = ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("instrument");
+    let r_cx = run_campaign(&mut cx, &seeds, &cfg);
+
+    let mut fk = ForkServerExecutor::new(&module).expect("instrument");
+    let r_fk = run_campaign(&mut fk, &seeds, &cfg);
+
+    println!("target: {} ({})\n", target.name, target.input_format);
+    for r in [&r_cx, &r_fk] {
+        println!(
+            "{:<16} execs={:<6} edges={:<4} queue={:<3} mgmt-share={:.1}%",
+            r.executor,
+            r.execs,
+            r.edges_found,
+            r.queue_len,
+            r.mgmt_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nspeedup: {:.2}x (paper's giftext row: 4.79x on real hardware)",
+        r_cx.execs as f64 / r_fk.execs as f64
+    );
+}

@@ -1,0 +1,55 @@
+//! MinC → FIR playground: compile a program, print its IR, run the
+//! ClosureX pass pipeline, and diff the call sites — then execute it.
+//!
+//! Run with: `cargo run --example minic_playground`
+
+use vmos::{CovMap, HostCtx, Machine, Os};
+
+fn main() {
+    let src = r#"
+        global total;
+        const global GREETING = "sum:";
+        fn add_squares(n) {
+            var i = 1;
+            var acc = 0;
+            while (i <= n) { acc = acc + i * i; i = i + 1; }
+            return acc;
+        }
+        fn main() {
+            var p = malloc(32);
+            total = add_squares(10);
+            store64(p, total);
+            free(p);
+            puts(GREETING);
+            print_int(total);
+            return total;
+        }
+    "#;
+    let mut module = minic::compile("playground", src).expect("compiles");
+    println!("== FIR before instrumentation ==\n{}", fir::printer::print_module(&module));
+
+    let reports = passes::pipelines::closurex_pipeline()
+        .run(&mut module)
+        .expect("passes run");
+    println!("== pass reports ==");
+    for r in &reports {
+        println!("  {:<16} {}", r.pass, r.summary);
+    }
+    println!("\ncall sites after instrumentation: {:?}", {
+        let mut h: Vec<_> = module.call_site_histogram().into_iter().collect();
+        h.sort();
+        h
+    });
+
+    let mut os = Os::new();
+    let (mut p, _) = os.spawn(&module);
+    let mut cov = CovMap::new();
+    let mut ctx = HostCtx::new(&mut os, &mut cov);
+    let out = Machine::new(&module).call(&mut p, &mut ctx, "target_main", &[0, 0], 1_000_000);
+    println!(
+        "\nexecution: {:?} in {} insts; stdout = {:?}",
+        out.result,
+        out.insts,
+        String::from_utf8_lossy(&p.stdout)
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: compile a tiny target, instrument it with the ClosureX
+//! passes, and fuzz it persistently — state restored every iteration.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use closurex::executor::Executor;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+
+fn main() {
+    // 1. A C-like target with a stale-state hazard and a planted bug.
+    let src = r#"
+        global run_count;
+        fn main() {
+            run_count = run_count + 1;
+            if (run_count > 1) { exit(99); }   // fires only if state leaks
+            var f = fopen("/fuzz/input", 0);
+            if (f == 0) { exit(1); }
+            var buf[16];
+            var n = fread(buf, 1, 16, f);
+            fclose(f);
+            if (n >= 3) {
+                if (load8(buf) == 'b') {
+                    if (load8(buf + 1) == 'u') {
+                        if (load8(buf + 2) == 'g') {
+                            return load64(0);   // null deref
+                        }
+                    }
+                }
+            }
+            return 0;
+        }
+    "#;
+    let module = minic::compile("quickstart", src).expect("compiles");
+
+    // 2. Instrument + boot the persistent harness (paper §4).
+    let mut ex = ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("instrument");
+    println!("instrumentation:");
+    for r in ex.pass_reports() {
+        println!("  {:<16} {}", r.pass, r.summary);
+    }
+
+    // 3. Run a few test cases by hand: run_count never accumulates.
+    for input in [&b"hello"[..], b"world", b"hello"] {
+        let out = ex.run(input);
+        println!("input {:?} -> {:?} ({} cycles)", 
+            String::from_utf8_lossy(input), out.status, out.total_cycles());
+    }
+
+    // 4. Let the fuzzer find the planted 'bug' crash.
+    let cfg = aflrs::CampaignConfig {
+        budget_cycles: 60_000_000,
+        seed: 7,
+        deterministic_stage: true,
+        stop_after_crashes: 1,
+    };
+    let result = aflrs::run_campaign(&mut ex, &[b"aaa".to_vec()], &cfg);
+    println!(
+        "\ncampaign: {} execs, {} edges, {} crash site(s)",
+        result.execs, result.edges_found, result.crashes.len()
+    );
+    if let Some(c) = result.crashes.first() {
+        println!(
+            "first crash: {} with input {:?} after {} execs-worth of cycles",
+            c.crash,
+            String::from_utf8_lossy(&c.input),
+            c.found_at_cycles
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Workspace umbrella crate for the ClosureX reproduction.
+//!
+//! The real API surface lives in the member crates:
+//!
+//! * [`fir`] — the IR,
+//! * [`minic`] — the MinC frontend,
+//! * [`passes`] — the ClosureX compiler passes,
+//! * [`vmos`] — the simulated OS + interpreter,
+//! * [`closurex`] — the harness and execution mechanisms,
+//! * [`aflrs`] — the coverage-guided fuzzer,
+//! * [`targets`] — the ten benchmarks.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`.
+
+pub use aflrs;
+pub use closurex;
+pub use fir;
+pub use minic;
+pub use passes;
+pub use targets;
+pub use vmos;

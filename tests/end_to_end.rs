@@ -1,0 +1,171 @@
+//! Workspace integration tests: the full stack — MinC → passes → VM →
+//! executors → fuzzer — exercised across crate boundaries.
+
+use aflrs::{run_campaign, CampaignConfig};
+use closurex::correctness::check_queue;
+use closurex::executor::{ExecStatus, Executor};
+use closurex::forkserver::ForkServerExecutor;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+use closurex::naive::NaivePersistentExecutor;
+
+/// The paper's core claim, end to end: on the same stateful target, naive
+/// persistent mode diverges from fresh semantics, ClosureX does not, and
+/// ClosureX is faster than the forkserver.
+#[test]
+fn correctness_and_speed_on_stateful_target() {
+    let src = r#"
+        global mode;
+        global seen;
+        fn main() {
+            var f = fopen("/fuzz/input", 0);
+            if (f == 0) { exit(1); }
+            var buf[8];
+            var n = fread(buf, 1, 8, f);
+            fclose(f);
+            if (n > 0) {
+                if (load8(buf) == 'M') { mode = 1; }
+            }
+            seen = seen + 1;
+            if (mode == 1) {
+                if (n > 1) {
+                    if (load8(buf + 1) == '!') { return load64(0); }
+                }
+            }
+            return 0;
+        }
+    "#;
+    let module = minic::compile("stateful", src).unwrap();
+
+    // The "missed/false crash" input: crashes ONLY if mode was left set by
+    // a previous 'M' input.
+    let plain_bang = b"x!";
+    let m_bang = b"M!";
+
+    // Fresh semantics: "x!" never crashes, "M!" always does.
+    let mut cx = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+    let mut np = NaivePersistentExecutor::new(&module).unwrap();
+
+    // Pollute both with an 'M' input first.
+    cx.run(b"Mzz");
+    np.run(b"Mzz");
+
+    let cx_out = cx.run(plain_bang);
+    assert_eq!(
+        cx_out.status,
+        ExecStatus::Exit(0),
+        "ClosureX must not leak `mode` across test cases"
+    );
+    let np_out = np.run(plain_bang);
+    assert!(
+        np_out.status.crash().is_some(),
+        "naive persistent mode produces the false crash"
+    );
+
+    // Real bug reproduces identically under ClosureX.
+    assert!(cx.run(m_bang).status.crash().is_some());
+
+    // And ClosureX outpaces the forkserver on the same budget.
+    let cfg = CampaignConfig {
+        budget_cycles: 8_000_000,
+        seed: 3,
+        deterministic_stage: false,
+        stop_after_crashes: 0,
+    };
+    let mut cx2 = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+    let fast = run_campaign(&mut cx2, &[b"seed".to_vec()], &cfg);
+    let mut fk = ForkServerExecutor::new(&module).unwrap();
+    let slow = run_campaign(&mut fk, &[b"seed".to_vec()], &cfg);
+    assert!(
+        fast.execs > slow.execs,
+        "closurex {} vs forkserver {}",
+        fast.execs,
+        slow.execs
+    );
+}
+
+/// Every bundled benchmark target survives a short ClosureX campaign with
+/// zero resource-exhaustion false crashes and a clean heap afterwards.
+#[test]
+fn benchmarks_run_clean_under_closurex() {
+    for t in targets::all() {
+        let module = t.module();
+        let mut ex = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+        let cfg = CampaignConfig {
+            budget_cycles: 3_000_000,
+            seed: 1,
+            deterministic_stage: false,
+            stop_after_crashes: 0,
+        };
+        let r = run_campaign(&mut ex, &(t.seeds)(), &cfg);
+        assert_eq!(
+            r.false_crashes(),
+            0,
+            "{}: ClosureX can never exhaust fds/heap",
+            t.name
+        );
+        assert!(r.execs > 10, "{}: campaign must make progress", t.name);
+    }
+}
+
+/// §6.1.4 equivalence holds for a seed queue on a bug-free benchmark.
+#[test]
+fn seed_queue_equivalence_on_zlib() {
+    let t = targets::by_name("zlib").unwrap();
+    let report = check_queue(&t.module(), &(t.seeds)(), 40, 9, 2_000_000).unwrap();
+    assert!(report.all_ok(), "failures: {}", report.failures());
+}
+
+/// Witness inputs reproduce under ClosureX persistent mode exactly as in a
+/// fresh process — bug reproducibility, the paper's §3 non-reproducibility
+/// complaint inverted.
+#[test]
+fn witnesses_reproduce_under_persistent_closurex() {
+    for name in ["c-blosc2", "gpmf-parser", "libbpf", "md4c"] {
+        let t = targets::by_name(name).unwrap();
+        let module = t.module();
+        let mut ex = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+        // Interleave benign seeds between witnesses to pollute state.
+        for (bug_id, input) in (t.witnesses)() {
+            for s in (t.seeds)() {
+                ex.run(&s);
+            }
+            let out = ex.run(&input);
+            let crash = out
+                .status
+                .crash()
+                .unwrap_or_else(|| panic!("{name}: witness for {bug_id} must crash"));
+            let bug = t
+                .identify(crash)
+                .unwrap_or_else(|| panic!("{name}: {bug_id} crash unidentified: {crash}"));
+            assert_eq!(bug.id, bug_id, "{name}: wrong bug for witness");
+        }
+    }
+}
+
+/// The deferred-init option speeds up targets with hoistable startup work
+/// without changing observable behavior.
+#[test]
+fn deferred_init_speeds_up_pcap() {
+    let t = targets::by_name("libpcap").unwrap();
+    let module = t.module();
+    let seed = (t.seeds)()[0].clone();
+    let mut plain = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
+    let mut deferred = ClosureXExecutor::new(
+        &module,
+        ClosureXConfig {
+            deferred_init: true,
+            warmup_input: seed.clone(),
+            ..ClosureXConfig::default()
+        },
+    )
+    .unwrap();
+    let p = plain.run(&seed);
+    let d = deferred.run(&seed);
+    assert_eq!(p.status, d.status);
+    assert!(
+        d.insts < p.insts,
+        "deferred {} must beat plain {}",
+        d.insts,
+        p.insts
+    );
+}
