@@ -1,0 +1,7 @@
+#!/bin/sh
+# Repo CI gate: build, test, lint. Run from the repository root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

@@ -14,7 +14,7 @@ use vmos::CrashKind;
 
 use crate::mutate;
 use crate::queue::{Queue, QueueEntry};
-use crate::stats::{CampaignResult, CrashRecord};
+use crate::stats::{CampaignResult, CrashRecord, ResilienceCounters};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -27,6 +27,13 @@ pub struct CampaignConfig {
     pub deterministic_stage: bool,
     /// Stop early after this many deduplicated crashes (0 = never).
     pub stop_after_crashes: usize,
+    /// Re-execute an input up to this many times when the *harness* (not
+    /// the target) faults — transient fork refusals usually clear.
+    pub max_retries: u32,
+    /// Consecutive-hang watchdog: after this many hangs in a row, abandon
+    /// the current mutation batch (0 = watchdog off). A wedged substrate
+    /// burns the whole budget on fuel exhaustion otherwise.
+    pub max_consecutive_hangs: u64,
 }
 
 impl Default for CampaignConfig {
@@ -36,6 +43,8 @@ impl Default for CampaignConfig {
             seed: 1,
             deterministic_stage: true,
             stop_after_crashes: 0,
+            max_retries: 3,
+            max_consecutive_hangs: 32,
         }
     }
 }
@@ -52,19 +61,42 @@ struct Driver<'e> {
     exec_cycles: u64,
     crash_sites: HashMap<(CrashKind, String, u32), usize>,
     crashes: Vec<CrashRecord>,
+    retries: u64,
+    dropped_inputs: u64,
+    harness_faults: u64,
+    consecutive_hangs: u64,
+    watchdog_trips: u64,
+    max_retries: u32,
+    max_consecutive_hangs: u64,
 }
 
 impl Driver<'_> {
     /// Execute one input, fold its results into the campaign state, and
-    /// enqueue it if it produced new coverage.
+    /// enqueue it if it produced new coverage. Harness faults are retried
+    /// up to `max_retries` times — they mean the machinery hiccuped, not
+    /// that the input is interesting — and dropped if they never clear.
     fn run_one(&mut self, input: &[u8]) {
-        let out = self.executor.run(input);
-        self.execs += 1;
-        self.clock += out.total_cycles();
-        self.mgmt_cycles += out.mgmt_cycles;
-        self.exec_cycles += out.exec_cycles;
+        let mut attempts = 0;
+        let out = loop {
+            let out = self.executor.run(input);
+            self.execs += 1;
+            self.clock += out.total_cycles();
+            self.mgmt_cycles += out.mgmt_cycles;
+            self.exec_cycles += out.exec_cycles;
+            if out.status.fault().is_none() {
+                break out;
+            }
+            self.harness_faults += 1;
+            if attempts >= self.max_retries {
+                self.dropped_inputs += 1;
+                return;
+            }
+            attempts += 1;
+            self.retries += 1;
+        };
         match &out.status {
             ExecStatus::Crash(c) => {
+                self.consecutive_hangs = 0;
                 let key = c.site_key();
                 if let Some(&idx) = self.crash_sites.get(&key) {
                     self.crashes[idx].hits += 1;
@@ -78,8 +110,12 @@ impl Driver<'_> {
                     });
                 }
             }
-            ExecStatus::Hang => self.hangs += 1,
-            ExecStatus::Exit(_) => {}
+            ExecStatus::Hang => {
+                self.hangs += 1;
+                self.consecutive_hangs += 1;
+            }
+            ExecStatus::Exit(_) => self.consecutive_hangs = 0,
+            ExecStatus::Fault(_) => unreachable!("faults handled by retry loop"),
         }
         // Crashes and hangs are saved in their own buckets (AFL's
         // crashes/ and hangs/ dirs); only clean coverage-increasing
@@ -93,6 +129,17 @@ impl Driver<'_> {
                 det_done: false,
             });
         }
+    }
+
+    /// Has the consecutive-hang watchdog fired? If so, reset it and record
+    /// the trip; the caller abandons its current mutation batch.
+    fn watchdog_tripped(&mut self) -> bool {
+        if self.max_consecutive_hangs > 0 && self.consecutive_hangs >= self.max_consecutive_hangs {
+            self.watchdog_trips += 1;
+            self.consecutive_hangs = 0;
+            return true;
+        }
+        false
     }
 
     fn exhausted(&self, cfg: &CampaignConfig) -> bool {
@@ -119,6 +166,13 @@ pub fn run_campaign(
         exec_cycles: 0,
         crash_sites: HashMap::new(),
         crashes: Vec::new(),
+        retries: 0,
+        dropped_inputs: 0,
+        harness_faults: 0,
+        consecutive_hangs: 0,
+        watchdog_trips: 0,
+        max_retries: cfg.max_retries,
+        max_consecutive_hangs: cfg.max_consecutive_hangs,
     };
 
     for s in seeds {
@@ -135,14 +189,22 @@ pub fn run_campaign(
     }
 
     while !d.exhausted(cfg) {
-        let idx = d.queue.next_index().expect("queue never empty");
+        // The queue is seeded above and only grows, but a campaign must
+        // never panic on machinery trouble — bail out instead.
+        let Some(idx) = d.queue.next_index() else {
+            break;
+        };
 
         // Deterministic stage, once per entry.
-        if cfg.deterministic_stage && !d.queue.get(idx).expect("idx valid").det_done {
-            d.queue.get_mut(idx).expect("idx valid").det_done = true;
-            let base = d.queue.get(idx).expect("idx valid").data.clone();
+        if cfg.deterministic_stage && !d.queue.get(idx).map(|e| e.det_done).unwrap_or(true) {
+            if let Some(e) = d.queue.get_mut(idx) {
+                e.det_done = true;
+            }
+            let Some(base) = d.queue.get(idx).map(|e| e.data.clone()) else {
+                continue;
+            };
             for m in mutate::deterministic(&base) {
-                if d.exhausted(cfg) {
+                if d.exhausted(cfg) || d.watchdog_tripped() {
                     break;
                 }
                 d.run_one(&m);
@@ -151,14 +213,16 @@ pub fn run_campaign(
         }
 
         // Havoc stage.
-        let base = d.queue.get(idx).expect("idx valid").data.clone();
+        let Some(base) = d.queue.get(idx).map(|e| e.data.clone()) else {
+            continue;
+        };
         for _ in 0..32 {
-            if d.exhausted(cfg) {
+            if d.exhausted(cfg) || d.watchdog_tripped() {
                 break;
             }
             let other = if d.queue.len() > 1 && rng.gen_bool(0.2) {
                 let j = rng.gen_range(0..d.queue.len());
-                Some(d.queue.get(j).expect("j valid").data.clone())
+                d.queue.get(j).map(|e| e.data.clone())
             } else {
                 None
             };
@@ -167,6 +231,7 @@ pub fn run_campaign(
         }
     }
 
+    let exec_report = d.executor.resilience();
     CampaignResult {
         executor: d.executor.name().to_string(),
         execs: d.execs,
@@ -178,6 +243,17 @@ pub fn run_campaign(
         mgmt_cycles: d.mgmt_cycles,
         exec_cycles: d.exec_cycles,
         queue_inputs: d.queue.inputs(),
+        resilience: ResilienceCounters {
+            respawns: exec_report.respawns,
+            divergences: exec_report.divergences,
+            integrity_checks: exec_report.integrity_checks,
+            quarantined: exec_report.quarantined,
+            harness_faults: d.harness_faults,
+            retries: d.retries,
+            dropped_inputs: d.dropped_inputs,
+            watchdog_trips: d.watchdog_trips,
+            degradation: exec_report.degradation.name().to_string(),
+        },
     }
 }
 
@@ -222,6 +298,7 @@ mod tests {
             seed: 11,
             deterministic_stage: true,
             stop_after_crashes: 1,
+            ..CampaignConfig::default()
         };
         let res = run_campaign(&mut ex, &[b"FAAA".to_vec()], &cfg);
         assert!(
@@ -243,6 +320,7 @@ mod tests {
             seed,
             deterministic_stage: false,
             stop_after_crashes: 0,
+            ..CampaignConfig::default()
         };
         let mut cx = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
         let r_cx = run_campaign(&mut cx, &[b"AAAA".to_vec()], &cfg(5));
@@ -264,6 +342,7 @@ mod tests {
             seed: 99,
             deterministic_stage: true,
             stop_after_crashes: 0,
+            ..CampaignConfig::default()
         };
         let mut a = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
         let ra = run_campaign(&mut a, &[b"seed".to_vec()], &cfg);

@@ -189,8 +189,9 @@ mod tests {
     fn havoc_explores_varied_lengths() {
         let mut rng = SmallRng::seed_from_u64(3);
         let base = vec![0u8; 32];
-        let lens: std::collections::HashSet<usize> =
-            (0..200).map(|_| havoc(&base, None, &mut rng).len()).collect();
+        let lens: std::collections::HashSet<usize> = (0..200)
+            .map(|_| havoc(&base, None, &mut rng).len())
+            .collect();
         assert!(lens.len() > 5, "length diversity expected, got {lens:?}");
     }
 }

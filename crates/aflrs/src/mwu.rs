@@ -88,7 +88,8 @@ fn normal_approx_p(u: f64, n1: usize, n2: usize) -> f64 {
 fn phi(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.2316419 * z.abs());
     let d = 0.3989423 * (-z * z / 2.0).exp();
-    let p = d * t * (0.3193815 + t * (-0.3565638 + t * (1.781478 + t * (-1.821256 + t * 1.330274))));
+    let p =
+        d * t * (0.3193815 + t * (-0.3565638 + t * (1.781478 + t * (-1.821256 + t * 1.330274))));
     if z >= 0.0 {
         1.0 - p
     } else {

@@ -25,6 +25,32 @@ impl CrashRecord {
     }
 }
 
+/// Resilience counters a campaign aggregates: how often the machinery
+/// (not the target) failed, and how the campaign recovered.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceCounters {
+    /// Times the executor's process was re-created (crash/hang/divergence).
+    pub respawns: u64,
+    /// Restore divergences the executor's integrity check detected.
+    pub divergences: u64,
+    /// Integrity checks the executor performed.
+    pub integrity_checks: u64,
+    /// Inputs the executor quarantined after divergences.
+    pub quarantined: u64,
+    /// Harness faults surfaced as `ExecStatus::Fault` during the campaign.
+    pub harness_faults: u64,
+    /// Inputs re-executed after a harness fault (bounded by
+    /// `CampaignConfig::max_retries` each).
+    pub retries: u64,
+    /// Inputs abandoned because every retry faulted too.
+    pub dropped_inputs: u64,
+    /// Times the consecutive-hang watchdog tripped and abandoned a
+    /// mutation batch.
+    pub watchdog_trips: u64,
+    /// Final degradation level ("persistent" or "fork_per_exec").
+    pub degradation: String,
+}
+
 /// Everything a finished campaign reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
@@ -48,6 +74,8 @@ pub struct CampaignResult {
     pub exec_cycles: u64,
     /// The final queue inputs (fed to the correctness evaluation).
     pub queue_inputs: Vec<Vec<u8>>,
+    /// Recovery/fault accounting for this trial.
+    pub resilience: ResilienceCounters,
 }
 
 impl CampaignResult {
@@ -95,6 +123,7 @@ mod tests {
             mgmt_cycles: 25,
             exec_cycles: 75,
             queue_inputs: vec![],
+            resilience: ResilienceCounters::default(),
         };
         assert!((r.execs_per_second() - 100.0).abs() < 1e-9);
         assert!((r.mgmt_fraction() - 0.25).abs() < 1e-9);
@@ -124,6 +153,7 @@ mod tests {
             mgmt_cycles: 0,
             exec_cycles: 0,
             queue_inputs: vec![],
+            resilience: ResilienceCounters::default(),
         };
         assert_eq!(r.false_crashes(), 1);
         assert_eq!(r.crashes[0].found_at_seconds(), 3);

@@ -1,9 +1,9 @@
 //! Criterion micro-benchmarks: ClosureX restore cost scaling — the
 //! fine-grain-restore half of the paper's performance argument.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use closurex::executor::Executor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor, RestoreStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn leaky_target(chunks: usize) -> fir::Module {
     let src = format!(

@@ -86,14 +86,21 @@ fn main() {
         .map(|r| {
             vec![
                 r.variant.clone(),
-                if r.consistent { "yes".into() } else { "NO — stale state".into() },
+                if r.consistent {
+                    "yes".into()
+                } else {
+                    "NO — stale state".into()
+                },
                 format!("{:.0}", r.avg_restore_cycles),
             ]
         })
         .collect();
     print!(
         "{}",
-        bench::markdown_table(&["Variant", "semantically consistent", "avg restore cycles"], &table)
+        bench::markdown_table(
+            &["Variant", "semantically consistent", "avg restore cycles"],
+            &table
+        )
     );
     println!("\nDirty-only restore trades a scan for fewer writes; disabling any sweep");
     println!("reintroduces exactly the inconsistency class it guards against.");

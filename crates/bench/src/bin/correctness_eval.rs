@@ -34,12 +34,17 @@ fn main() {
         let mut queue = results[0].queue_inputs.clone();
         queue.truncate(12); // keep the check fast; every entry is checked
         let module = t.module();
-        let report = check_queue(&module, &queue, pollution, 0xBEEF, 3_000_000)
-            .expect("instrumentation");
+        let report =
+            check_queue(&module, &queue, pollution, 0xBEEF, 3_000_000).expect("instrumentation");
         let df = report.inputs.iter().filter(|i| i.dataflow_ok).count();
         let cf = report.inputs.iter().filter(|i| i.controlflow_ok).count();
         let hc = report.inputs.iter().filter(|i| i.heap_clean).count();
-        let mm = report.inputs.iter().map(|i| i.masked_bytes).max().unwrap_or(0);
+        let mm = report
+            .inputs
+            .iter()
+            .map(|i| i.masked_bytes)
+            .max()
+            .unwrap_or(0);
         let ok = report.all_ok();
         rows.push(vec![
             t.name.to_string(),
@@ -64,7 +69,15 @@ fn main() {
     print!(
         "{}",
         bench::markdown_table(
-            &["Benchmark", "queue", "dataflow", "control-flow", "heap clean", "masked bytes", "verdict"],
+            &[
+                "Benchmark",
+                "queue",
+                "dataflow",
+                "control-flow",
+                "heap clean",
+                "masked bytes",
+                "verdict"
+            ],
             &rows
         )
     );

@@ -4,13 +4,18 @@
 use fir::Section;
 
 fn section_census(m: &fir::Module) -> Vec<(Section, usize, u64)> {
-    [Section::Rodata, Section::Data, Section::Bss, Section::ClosureGlobal]
-        .into_iter()
-        .map(|s| {
-            let gs: Vec<_> = m.globals.iter().filter(|g| g.section == s).collect();
-            (s, gs.len(), gs.iter().map(|g| g.size).sum())
-        })
-        .collect()
+    [
+        Section::Rodata,
+        Section::Data,
+        Section::Bss,
+        Section::ClosureGlobal,
+    ]
+    .into_iter()
+    .map(|s| {
+        let gs: Vec<_> = m.globals.iter().filter(|g| g.section == s).collect();
+        (s, gs.len(), gs.iter().map(|g| g.size).sum())
+    })
+    .collect()
 }
 
 fn print_census(title: &str, m: &fir::Module) {

@@ -13,8 +13,11 @@ fn main() {
     println!("closure_global_section at {addr:#x}, {size} bytes (the CLOSURE_GLOBAL_SECTION_ADDR/SIZE analog)\n");
 
     let before = ex.process().expect("live").read_bytes(addr, size as usize);
-    println!("A) before execution: snapshot taken ({} bytes, {} non-zero)",
-        before.len(), before.iter().filter(|&&b| b != 0).count());
+    println!(
+        "A) before execution: snapshot taken ({} bytes, {} non-zero)",
+        before.len(),
+        before.iter().filter(|&&b| b != 0).count()
+    );
 
     // Run one test case and capture the dirty section before restore.
     let input = (t.seeds)()[0].clone();
@@ -24,7 +27,10 @@ fn main() {
     println!("B) during execution: target dirtied {dirty_bytes} bytes of the section");
 
     let after = ex.process().expect("live").read_bytes(addr, size as usize);
-    println!("C) after restore: section identical to snapshot = {}", after == before);
+    println!(
+        "C) after restore: section identical to snapshot = {}",
+        after == before
+    );
     println!("\nrestore stats: {:?}", ex.last_restore());
     assert_eq!(after, before, "restore must be exact");
 
@@ -33,5 +39,8 @@ fn main() {
         ex.run(&s);
     }
     let later = ex.process().expect("live").read_bytes(addr, size as usize);
-    println!("after 3 more test cases: still identical = {}", later == before);
+    println!(
+        "after 3 more test cases: still identical = {}",
+        later == before
+    );
 }

@@ -33,6 +33,9 @@ fn main() {
     );
     assert_eq!(rs.leaked_chunks, 2);
     assert_eq!(ex.process().expect("live").heap.live_bytes(), 0);
-    println!("\nper-iteration restore cost: {} cycles (exec was {} cycles)", rs.cycles, out.exec_cycles);
+    println!(
+        "\nper-iteration restore cost: {} cycles (exec was {} cycles)",
+        rs.cycles, out.exec_cycles
+    );
     println!("After 1000 iterations the naive loop would hold ~150 KB of leaks; ClosureX holds 0.");
 }

@@ -17,7 +17,10 @@ struct Row {
 fn main() {
     let t = targets::by_name("giftext").expect("registered");
     let seed = (t.seeds)()[0].clone();
-    println!("Figure (continuum): per-test-case cost on '{}' (100-exec average)\n", t.name);
+    println!(
+        "Figure (continuum): per-test-case cost on '{}' (100-exec average)\n",
+        t.name
+    );
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for m in [
@@ -52,7 +55,13 @@ fn main() {
     print!(
         "{}",
         bench::markdown_table(
-            &["Mechanism", "target exec", "process mgmt / restore", "total", "mgmt share"],
+            &[
+                "Mechanism",
+                "target exec",
+                "process mgmt / restore",
+                "total",
+                "mgmt share"
+            ],
             &rows
         )
     );

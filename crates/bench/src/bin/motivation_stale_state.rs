@@ -64,7 +64,13 @@ fn main() {
     print!(
         "{}",
         bench::markdown_table(
-            &["Benchmark", "Mechanism", "execs/trial", "confirmed crash sites", "FALSE crash sites"],
+            &[
+                "Benchmark",
+                "Mechanism",
+                "execs/trial",
+                "confirmed crash sites",
+                "FALSE crash sites"
+            ],
             &rows
         )
     );

@@ -24,7 +24,11 @@ fn main() {
         let cx = run_trials(t, Mechanism::ClosureX, budget);
         let afl = run_trials(t, Mechanism::ForkServer, budget);
         let cov = |rs: &[aflrs::CampaignResult]| {
-            mean(&rs.iter().map(|r| r.edges_found as f64 / denom * 100.0).collect::<Vec<_>>())
+            mean(
+                &rs.iter()
+                    .map(|r| r.edges_found as f64 / denom * 100.0)
+                    .collect::<Vec<_>>(),
+            )
         };
         let c = cov(&cx);
         let a = cov(&afl);

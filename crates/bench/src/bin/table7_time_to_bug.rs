@@ -84,8 +84,14 @@ fn main() {
     );
     let cx_total: usize = json.iter().map(|r| r.closurex_trials).sum();
     let afl_total: usize = json.iter().map(|r| r.aflpp_trials).sum();
-    println!("\nClosureX found bugs in {cx_total} trials vs AFL++ {afl_total} ({}% more).",
-        if afl_total > 0 { (cx_total as i64 - afl_total as i64) * 100 / afl_total as i64 } else { 0 });
+    println!(
+        "\nClosureX found bugs in {cx_total} trials vs AFL++ {afl_total} ({}% more).",
+        if afl_total > 0 {
+            (cx_total as i64 - afl_total as i64) * 100 / afl_total as i64
+        } else {
+            0
+        }
+    );
     println!("Head-to-head wins where both found the bug: {cx_wins}/{comparisons}.");
     println!("Paper: 15 0-days (4 CVEs), ClosureX 1.9x faster, 25% more finding trials.");
     bench::write_report("table7_time_to_bug", &json);

@@ -82,19 +82,48 @@ pub fn budget() -> u64 {
 }
 
 /// Run [`TRIALS`] campaigns of `mechanism` on `target`.
+///
+/// A trial that panics (a wedged executor, a bad target) is dropped with a
+/// note on stderr rather than killing the whole table run — losing one
+/// sample beats losing the evening's sweep.
 pub fn run_trials(target: &TargetSpec, mechanism: Mechanism, budget: u64) -> Vec<CampaignResult> {
     (0..TRIALS)
-        .map(|trial| {
-            let mut ex = mechanism.executor(target);
+        .filter_map(|trial| {
             let cfg = CampaignConfig {
                 budget_cycles: budget,
                 seed: 0xC0FFEE + trial * 7919,
                 deterministic_stage: true,
                 stop_after_crashes: 0,
+                ..CampaignConfig::default()
             };
-            run_campaign(ex.as_mut(), &(target.seeds)(), &cfg)
+            run_trial_catching(target, mechanism, &cfg)
         })
         .collect()
+}
+
+/// Run one campaign, converting a panic anywhere in the executor or
+/// campaign loop into `None`.
+pub fn run_trial_catching(
+    target: &TargetSpec,
+    mechanism: Mechanism,
+    cfg: &CampaignConfig,
+) -> Option<CampaignResult> {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ex = mechanism.executor(target);
+        run_campaign(ex.as_mut(), &(target.seeds)(), cfg)
+    }));
+    match res {
+        Ok(r) => Some(r),
+        Err(_) => {
+            eprintln!(
+                "(trial dropped: {} on {} panicked, seed {})",
+                mechanism.name(),
+                target.name,
+                cfg.seed
+            );
+            None
+        }
+    }
 }
 
 /// Mean of a sample.

@@ -185,7 +185,9 @@ pub fn check_input(
     if !queue.is_empty() {
         let mut idx = seed as usize;
         for _ in 0..pollution {
-            idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            idx = (idx
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
                 % queue.len();
             let _ = cx.run(&queue[idx]);
         }
@@ -205,11 +207,19 @@ pub fn check_input(
     // the input with restoration results: the pre-restore global state is
     // reconstructed by running the input once more and capturing before the
     // next restore via a paired executor.
-    let mut cx2 = ClosureXExecutor::new(module, ClosureXConfig { fuel, ..ClosureXConfig::default() })?;
+    let mut cx2 = ClosureXExecutor::new(
+        module,
+        ClosureXConfig {
+            fuel,
+            ..ClosureXConfig::default()
+        },
+    )?;
     if !queue.is_empty() {
         let mut idx = seed as usize;
         for _ in 0..pollution {
-            idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            idx = (idx
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
                 % queue.len();
             let _ = cx2.run(&queue[idx]);
         }
@@ -226,11 +236,8 @@ pub fn check_input(
             pre_restore.slots.len()
         ));
     } else {
-        for (si, ((name, tv), (_, cv))) in truth
-            .slots
-            .iter()
-            .zip(pre_restore.slots.iter())
-            .enumerate()
+        for (si, ((name, tv), (_, cv))) in
+            truth.slots.iter().zip(pre_restore.slots.iter()).enumerate()
         {
             for (bi, (t, c)) in tv.iter().zip(cv.iter()).enumerate() {
                 if t != c && !mask.contains(si, bi) {

@@ -1,7 +1,9 @@
 //! The execution-mechanism interface shared by all four mechanisms on the
 //! paper's state-restoration continuum.
 
-use vmos::{CovMap, Crash};
+use vmos::{CovMap, Crash, FaultPlan};
+
+use crate::resilience::{HarnessError, ResilienceReport};
 
 /// Default per-test-case instruction budget (hang detection).
 pub const DEFAULT_FUEL: u64 = 3_000_000;
@@ -15,6 +17,10 @@ pub enum ExecStatus {
     Crash(Crash),
     /// The target exceeded its fuel budget.
     Hang,
+    /// The *harness* failed — not the target. The input was never (or not
+    /// fully) executed; campaigns should retry it, never record it as a
+    /// target crash.
+    Fault(HarnessError),
 }
 
 impl ExecStatus {
@@ -22,6 +28,14 @@ impl ExecStatus {
     pub fn crash(&self) -> Option<&Crash> {
         match self {
             ExecStatus::Crash(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The harness fault, if any.
+    pub fn fault(&self) -> Option<&HarnessError> {
+        match self {
+            ExecStatus::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +76,16 @@ pub trait Executor {
 
     /// The per-test-case fuel budget.
     fn fuel(&self) -> u64;
+
+    /// Arm the simulated OS with a fault-injection plan. Default: the
+    /// mechanism ignores faults (its OS keeps the disabled plane).
+    fn inject_faults(&mut self, _plan: FaultPlan) {}
+
+    /// Lifetime resilience counters. Default: all zero (mechanisms without
+    /// recovery machinery have nothing to report).
+    fn resilience(&self) -> ResilienceReport {
+        ResilienceReport::default()
+    }
 }
 
 #[cfg(test)]

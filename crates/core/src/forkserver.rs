@@ -10,9 +10,10 @@ use fir::Module;
 use passes::pipelines::baseline_pipeline;
 use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, HostCtx, Machine, Os, Process};
+use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
+use crate::resilience::{HarnessError, ResilienceReport};
 
 /// See module docs.
 #[derive(Debug)]
@@ -24,6 +25,7 @@ pub struct ForkServerExecutor {
     fuel: u64,
     /// One-time cost of bringing the forkserver up (binary load).
     setup_cycles: u64,
+    harness_faults: u64,
 }
 
 impl ForkServerExecutor {
@@ -43,6 +45,7 @@ impl ForkServerExecutor {
             cov: CovMap::new(),
             fuel: DEFAULT_FUEL,
             setup_cycles,
+            harness_faults: 0,
         })
     }
 
@@ -65,7 +68,20 @@ impl Executor for ForkServerExecutor {
     fn run(&mut self, input: &[u8]) -> ExecOutcome {
         self.cov.clear();
         self.os.fs.write_file(FUZZ_INPUT_PATH, input.to_vec());
-        let (mut child, fork_cycles) = self.os.fork(&self.parent);
+        let (mut child, fork_cycles) = match self.os.try_fork(&self.parent) {
+            Ok(r) => r,
+            Err(e) => {
+                // The real AFL++ forkserver reports a failed fork over the
+                // control pipe and the fuzzer retries; mirror that.
+                self.harness_faults += 1;
+                return ExecOutcome {
+                    status: ExecStatus::Fault(HarnessError::ForkFailed(e.to_string())),
+                    exec_cycles: 0,
+                    mgmt_cycles: self.os.cost.fork(0),
+                    insts: 0,
+                };
+            }
+        };
         child.cov_state.reset();
         let machine = Machine::new(&self.module);
         let out = {
@@ -97,6 +113,17 @@ impl Executor for ForkServerExecutor {
 
     fn fuel(&self) -> u64 {
         self.fuel
+    }
+
+    fn inject_faults(&mut self, plan: FaultPlan) {
+        self.os.fault = FaultPlane::new(plan);
+    }
+
+    fn resilience(&self) -> ResilienceReport {
+        ResilienceReport {
+            harness_faults: self.harness_faults,
+            ..ResilienceReport::default()
+        }
     }
 }
 

@@ -9,9 +9,10 @@ use fir::Module;
 use passes::pipelines::baseline_pipeline;
 use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, HostCtx, Machine, Os};
+use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os};
 
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
+use crate::resilience::{HarnessError, ResilienceReport};
 
 /// See module docs.
 #[derive(Debug)]
@@ -20,6 +21,7 @@ pub struct FreshProcessExecutor {
     module: Module,
     cov: CovMap,
     fuel: u64,
+    harness_faults: u64,
 }
 
 impl FreshProcessExecutor {
@@ -35,6 +37,7 @@ impl FreshProcessExecutor {
             module: m,
             cov: CovMap::new(),
             fuel: DEFAULT_FUEL,
+            harness_faults: 0,
         })
     }
 
@@ -57,7 +60,18 @@ impl Executor for FreshProcessExecutor {
     fn run(&mut self, input: &[u8]) -> ExecOutcome {
         self.cov.clear();
         self.os.fs.write_file(FUZZ_INPUT_PATH, input.to_vec());
-        let (mut p, spawn_cycles) = self.os.spawn(&self.module);
+        let (mut p, spawn_cycles) = match self.os.try_spawn(&self.module) {
+            Ok(r) => r,
+            Err(e) => {
+                self.harness_faults += 1;
+                return ExecOutcome {
+                    status: ExecStatus::Fault(HarnessError::ForkFailed(e.to_string())),
+                    exec_cycles: 0,
+                    mgmt_cycles: self.os.cost.fork(0),
+                    insts: 0,
+                };
+            }
+        };
         let machine = Machine::new(&self.module);
         let out = {
             let mut ctx = HostCtx::new(&mut self.os, &mut self.cov);
@@ -84,6 +98,17 @@ impl Executor for FreshProcessExecutor {
 
     fn fuel(&self) -> u64 {
         self.fuel
+    }
+
+    fn inject_faults(&mut self, plan: FaultPlan) {
+        self.os.fault = FaultPlane::new(plan);
+    }
+
+    fn resilience(&self) -> ResilienceReport {
+        ResilienceReport {
+            harness_faults: self.harness_faults,
+            ..ResilienceReport::default()
+        }
     }
 }
 

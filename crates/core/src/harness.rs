@@ -21,9 +21,16 @@ use fir::{Module, Section};
 use passes::pipelines::closurex_pipeline;
 use passes::{PassError, PassReport, TARGET_MAIN};
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, HostCtx, Machine, Os, Process};
+use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
+use crate::resilience::{
+    fnv1a, DegradationLevel, HarnessError, IntegrityPolicy, ResilienceReport, RestoreDivergence,
+};
+
+/// Most quarantined inputs retained for inspection; older entries are
+/// dropped first (campaigns only need a sample, not an unbounded log).
+const QUARANTINE_CAP: usize = 64;
 
 /// Which global-restore implementation to use (ablation target).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +64,8 @@ pub struct ClosureXConfig {
     pub fd_sweep: bool,
     /// Rewind init-phase handles instead of closing them.
     pub init_fd_rewind: bool,
+    /// Online restore-integrity verification policy.
+    pub integrity: IntegrityPolicy,
 }
 
 impl Default for ClosureXConfig {
@@ -70,6 +79,7 @@ impl Default for ClosureXConfig {
             global_restore: true,
             fd_sweep: true,
             init_fd_rewind: true,
+            integrity: IntegrityPolicy::default(),
         }
     }
 }
@@ -109,6 +119,25 @@ pub struct ClosureXExecutor {
     /// persistent process, recovery is a `fork` of this template (the
     /// AFL++-forkserver integration the paper uses), not a full re-exec.
     template: Option<Process>,
+    /// FNV-1a of the boot-time global snapshot (integrity ground truth).
+    boot_hash: u64,
+    /// Open descriptors right after boot (integrity ground truth).
+    baseline_fd_open: usize,
+    /// Restores performed (drives the sampled integrity check cadence).
+    iters: u64,
+    /// Integrity checks performed.
+    integrity_checks: u64,
+    /// Divergences the integrity check has detected.
+    divergences: u64,
+    /// Most recent divergence, for inspection and reports.
+    last_divergence: Option<RestoreDivergence>,
+    /// Inputs whose observed behavior is untrustworthy because the restore
+    /// they ran on top of had diverged (bounded at [`QUARANTINE_CAP`]).
+    quarantine: Vec<Vec<u8>>,
+    /// Harness faults surfaced as [`ExecStatus::Fault`].
+    harness_faults: u64,
+    /// Current position on the degradation ladder.
+    degradation: DegradationLevel,
 }
 
 impl ClosureXExecutor {
@@ -133,15 +162,32 @@ impl ClosureXExecutor {
             baseline_heap_bytes: 0,
             respawns: 0,
             template: None,
+            boot_hash: 0,
+            baseline_fd_open: 0,
+            iters: 0,
+            integrity_checks: 0,
+            divergences: 0,
+            last_divergence: None,
+            quarantine: Vec::new(),
+            harness_faults: 0,
+            degradation: DegradationLevel::Persistent,
         };
-        ex.boot();
+        // The fault plane is still disabled at construction, so boot cannot
+        // be refused here; if it ever is, the first run surfaces the fault.
+        let _ = ex.boot();
         Ok(ex)
     }
 
     /// Boot (or re-boot after a crash): spawn, optionally run deferred
     /// init, and take the ground-truth global snapshot.
-    fn boot(&mut self) {
-        let (mut p, _) = self.os.spawn(&self.module);
+    ///
+    /// # Errors
+    /// [`HarnessError::BootFailed`] when the OS refuses the spawn.
+    fn boot(&mut self) -> Result<u64, HarnessError> {
+        let (mut p, boot_cycles) = self
+            .os
+            .try_spawn(&self.module)
+            .map_err(|e| HarnessError::BootFailed(e.to_string()))?;
         p.rt.enabled = true;
         if self.cfg.deferred_init {
             // Warm-up iteration: initialization-time allocations and file
@@ -171,20 +217,44 @@ impl ClosureXExecutor {
             Some((addr, size)) => p.read_bytes(addr, size as usize),
             None => Vec::new(),
         };
+        self.boot_hash = fnv1a(&self.snapshot);
         self.baseline_heap_bytes = p.heap.live_bytes();
+        self.baseline_fd_open = p.fds.open_count();
         self.template = Some(p.clone());
         self.proc = Some(p);
+        Ok(boot_cycles)
     }
 
-    /// Recover after a crash/hang: fork the pristine template (the
-    /// forkserver-style restart AFL++ performs for a dead persistent
-    /// child). Returns the cycles charged.
-    fn respawn_from_template(&mut self) -> u64 {
-        let template = self.template.as_ref().expect("booted");
-        let (child, cycles) = self.os.fork(template);
-        self.proc = Some(child);
-        self.respawns += 1;
-        cycles
+    /// Recover after a crash/hang/divergence: fork the pristine template
+    /// (the forkserver-style restart AFL++ performs for a dead persistent
+    /// child). If the fork is refused — the fault plane's process-table
+    /// pressure — fall back to a full re-boot before giving up. Returns the
+    /// cycles charged.
+    ///
+    /// # Errors
+    /// [`HarnessError`] when both the template fork and the fallback boot
+    /// are refused.
+    fn respawn_from_template(&mut self) -> Result<u64, HarnessError> {
+        let Some(template) = self.template.as_ref() else {
+            // No template to fork — recovery degrades to a full boot.
+            let cycles = self.boot()?;
+            self.respawns += 1;
+            return Ok(cycles);
+        };
+        match self.os.try_fork(template) {
+            Ok((child, cycles)) => {
+                self.proc = Some(child);
+                self.respawns += 1;
+                Ok(cycles)
+            }
+            Err(_) => {
+                // Fork refused; a fresh spawn allocates no page tables from
+                // the parent and may still succeed.
+                let cycles = self.boot()?;
+                self.respawns += 1;
+                Ok(cycles)
+            }
+        }
     }
 
     /// Pass reports from instrumentation (Table 3 evidence).
@@ -212,6 +282,160 @@ impl ClosureXExecutor {
         self.respawns
     }
 
+    /// Divergences the sampled integrity check has detected.
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    /// Most recent restore divergence, if any.
+    pub fn last_divergence(&self) -> Option<&RestoreDivergence> {
+        self.last_divergence.as_ref()
+    }
+
+    /// Inputs quarantined after a detected divergence (bounded sample).
+    pub fn quarantined(&self) -> &[Vec<u8>] {
+        &self.quarantine
+    }
+
+    /// Current position on the degradation ladder.
+    pub fn degradation(&self) -> DegradationLevel {
+        self.degradation
+    }
+
+    /// FNV-1a of the boot-time global snapshot (the integrity ground truth).
+    pub fn boot_hash(&self) -> u64 {
+        self.boot_hash
+    }
+
+    /// Verify post-restore state against the boot ground truth: global
+    /// section hash, then heap census, then fd census. Returns the first
+    /// divergence found.
+    fn check_integrity(&mut self) -> Option<RestoreDivergence> {
+        self.integrity_checks += 1;
+        let p = self.proc.as_ref()?;
+        // The scan is charged like a bulk read of the section.
+        if let Some((addr, size)) = self.section {
+            let cycles = self.os.cost.bulk(1, size);
+            self.os.mgmt_cycles += cycles;
+            let actual = fnv1a(&p.read_bytes(addr, size as usize));
+            if actual != self.boot_hash {
+                return Some(RestoreDivergence::GlobalSectionHash {
+                    expected: self.boot_hash,
+                    actual,
+                });
+            }
+        }
+        let live = p.heap.live_bytes();
+        if live != self.baseline_heap_bytes {
+            return Some(RestoreDivergence::HeapCensus {
+                expected_bytes: self.baseline_heap_bytes,
+                actual_bytes: live,
+            });
+        }
+        let open = p.fds.open_count();
+        if open != self.baseline_fd_open {
+            return Some(RestoreDivergence::FdCensus {
+                expected_open: self.baseline_fd_open,
+                actual_open: open,
+            });
+        }
+        None
+    }
+
+    /// React to a detected divergence: quarantine the input that ran on the
+    /// corrupt state, discard the tainted process, respawn from the
+    /// pristine template, and — past the policy threshold — fall down the
+    /// continuum to fork-per-exec. Returns the respawn cycles charged.
+    fn handle_divergence(&mut self, divergence: RestoreDivergence, input: &[u8]) -> u64 {
+        self.divergences += 1;
+        self.last_divergence = Some(divergence);
+        if self.quarantine.len() >= QUARANTINE_CAP {
+            self.quarantine.remove(0);
+        }
+        self.quarantine.push(input.to_vec());
+        let mut cycles = 0;
+        if let Some(tainted) = self.proc.take() {
+            cycles += self.os.teardown(tainted);
+        }
+        // A failed respawn leaves proc None; the next run retries it.
+        if let Ok(c) = self.respawn_from_template() {
+            cycles += c;
+        }
+        let threshold = self.cfg.integrity.max_divergences;
+        if threshold > 0 && self.divergences >= threshold {
+            self.degradation = DegradationLevel::ForkPerExec;
+        }
+        cycles
+    }
+
+    /// Fork-per-exec fallback: run `input` in a throwaway fork of the
+    /// pristine template (forkserver semantics — correct on any substrate,
+    /// paying the fork + teardown the persistent loop was built to avoid).
+    fn run_fork_per_exec(
+        &mut self,
+        trace: Option<&mut Vec<u16>>,
+        capture_globals: bool,
+    ) -> (ExecOutcome, Option<Vec<u8>>) {
+        let Some(template) = self.template.as_ref() else {
+            self.harness_faults += 1;
+            return (
+                ExecOutcome {
+                    status: ExecStatus::Fault(HarnessError::TemplateMissing),
+                    exec_cycles: 0,
+                    mgmt_cycles: 0,
+                    insts: 0,
+                },
+                None,
+            );
+        };
+        let (mut child, fork_cycles) = match self.os.try_fork(template) {
+            Ok(r) => r,
+            Err(e) => {
+                self.harness_faults += 1;
+                return (
+                    ExecOutcome {
+                        status: ExecStatus::Fault(HarnessError::ForkFailed(e.to_string())),
+                        exec_cycles: 0,
+                        mgmt_cycles: self.os.cost.fork(0),
+                        insts: 0,
+                    },
+                    None,
+                );
+            }
+        };
+        child.cov_state.reset();
+        let machine = Machine::new(&self.module);
+        let out = {
+            let mut ctx = match trace {
+                Some(t) => HostCtx::with_trace(&mut self.os, &mut self.cov, t),
+                None => HostCtx::new(&mut self.os, &mut self.cov),
+            };
+            machine.call(&mut child, &mut ctx, TARGET_MAIN, &[0, 0], self.cfg.fuel)
+        };
+        let captured = if capture_globals {
+            self.section
+                .map(|(addr, size)| child.read_bytes(addr, size as usize))
+        } else {
+            None
+        };
+        let teardown = self.os.teardown(child);
+        let status = match out.result {
+            CallResult::Return(v) => ExecStatus::Exit(v as i32),
+            CallResult::Exited(c) | CallResult::ExitHooked(c) => ExecStatus::Exit(c),
+            CallResult::Crashed(c) => ExecStatus::Crash(c),
+            CallResult::OutOfFuel => ExecStatus::Hang,
+        };
+        (
+            ExecOutcome {
+                status,
+                exec_cycles: out.cycles,
+                mgmt_cycles: fork_cycles + teardown,
+                insts: out.insts,
+            },
+            captured,
+        )
+    }
+
     /// Run one test case, optionally capturing a path trace and the global
     /// section contents *after* execution but *before* restoration — the
     /// capture point the correctness evaluation (§6.1.4) compares against
@@ -219,32 +443,62 @@ impl ClosureXExecutor {
     pub fn run_captured(
         &mut self,
         input: &[u8],
-        mut trace: Option<&mut Vec<u16>>,
+        trace: Option<&mut Vec<u16>>,
         capture_globals: bool,
     ) -> (ExecOutcome, Option<Vec<u8>>) {
         self.cov.clear();
         self.os.fs.write_file(FUZZ_INPUT_PATH, input.to_vec());
+        if self.degradation == DegradationLevel::ForkPerExec {
+            return self.run_fork_per_exec(trace, capture_globals);
+        }
         let mut mgmt = self.os.cost.persistent_loop;
         if self.proc.is_none() {
-            mgmt += self.respawn_from_template();
+            match self.respawn_from_template() {
+                Ok(c) => mgmt += c,
+                Err(e) => {
+                    self.harness_faults += 1;
+                    return (
+                        ExecOutcome {
+                            status: ExecStatus::Fault(e),
+                            exec_cycles: 0,
+                            mgmt_cycles: mgmt,
+                            insts: 0,
+                        },
+                        None,
+                    );
+                }
+            }
         }
-        let p = self.proc.as_mut().expect("booted");
+        let Some(p) = self.proc.as_mut() else {
+            self.harness_faults += 1;
+            return (
+                ExecOutcome {
+                    status: ExecStatus::Fault(HarnessError::ProcessLost),
+                    exec_cycles: 0,
+                    mgmt_cycles: mgmt,
+                    insts: 0,
+                },
+                None,
+            );
+        };
         p.cov_state.reset();
         let machine = Machine::new(&self.module);
         let out = {
-            let mut ctx = match trace.as_deref_mut() {
+            let mut ctx = match trace {
                 Some(t) => HostCtx::with_trace(&mut self.os, &mut self.cov, t),
                 None => HostCtx::new(&mut self.os, &mut self.cov),
             };
             machine.call(p, &mut ctx, TARGET_MAIN, &[0, 0], self.cfg.fuel)
         };
         let captured = if capture_globals {
-            self.section
-                .map(|(addr, size)| self.proc.as_ref().expect("live").read_bytes(addr, size as usize))
+            match (self.section, self.proc.as_ref()) {
+                (Some((addr, size)), Some(p)) => Some(p.read_bytes(addr, size as usize)),
+                _ => None,
+            }
         } else {
             None
         };
-        let (status, kill) = match out.result {
+        let (mut status, kill) = match out.result {
             CallResult::Return(v) => (ExecStatus::Exit(v as i32), false),
             CallResult::ExitHooked(c) => (ExecStatus::Exit(c), false),
             // `exit` inside host-library code is deliberately not hooked
@@ -254,10 +508,36 @@ impl ClosureXExecutor {
             CallResult::OutOfFuel => (ExecStatus::Hang, true),
         };
         if kill {
-            let dead = self.proc.take().expect("was live");
-            mgmt += self.os.teardown(dead);
+            if let Some(dead) = self.proc.take() {
+                mgmt += self.os.teardown(dead);
+            }
         } else {
-            mgmt += self.restore();
+            match self.restore() {
+                Ok(c) => mgmt += c,
+                Err(e) => {
+                    // Restoration failed partway: the process state is no
+                    // longer trustworthy. Discard it (the next run respawns
+                    // from the template) and surface the fault — the
+                    // campaign retries this input on a clean process.
+                    self.harness_faults += 1;
+                    if let Some(tainted) = self.proc.take() {
+                        mgmt += self.os.teardown(tainted);
+                    }
+                    status = ExecStatus::Fault(e);
+                }
+            }
+            if self.proc.is_some() {
+                // Substrate corruption lands *after* restoration wrote
+                // pristine state back — exactly what the sampled integrity
+                // check exists to catch.
+                self.inject_post_restore_corruption();
+                let every = self.cfg.integrity.check_every;
+                if every > 0 && self.iters.is_multiple_of(every) {
+                    if let Some(d) = self.check_integrity() {
+                        mgmt += self.handle_divergence(d, input);
+                    }
+                }
+            }
         }
         (
             ExecOutcome {
@@ -270,10 +550,28 @@ impl ClosureXExecutor {
         )
     }
 
+    /// Apply any due fault-plane bit-flip to the restored global section.
+    fn inject_post_restore_corruption(&mut self) {
+        let Some((addr, size)) = self.section else {
+            return;
+        };
+        if let Some((off, mask)) = self.os.fault.bitflip_for(size) {
+            if let Some(p) = self.proc.as_mut() {
+                let byte = p.read_bytes(addr + off, 1)[0];
+                p.write_bytes(addr + off, &[byte ^ mask]);
+            }
+        }
+    }
+
     /// End-of-iteration fine-grain state restoration. Returns cycles
     /// charged.
-    fn restore(&mut self) -> u64 {
-        let p = self.proc.as_mut().expect("live process");
+    ///
+    /// # Errors
+    /// [`HarnessError`] when no process is live or the heap sweep meets a
+    /// chunk the allocator no longer recognizes (corrupt chunk map).
+    fn restore(&mut self) -> Result<u64, HarnessError> {
+        self.iters += 1;
+        let p = self.proc.as_mut().ok_or(HarnessError::ProcessLost)?;
         let cost = &self.os.cost;
         let mut stats = RestoreStats::default();
 
@@ -283,8 +581,11 @@ impl ClosureXExecutor {
             let mut leaked: Vec<u64> = p.rt.chunk_map.keys().copied().collect();
             leaked.sort_unstable();
             for ptr in leaked {
-                // The chunk map only holds live chunks, so free cannot fail.
-                p.heap.free(ptr).expect("chunk map tracks live chunks");
+                // The chunk map should only hold live chunks; a failed free
+                // means the map is corrupt, which taints the whole process.
+                p.heap.free(ptr).map_err(|e| {
+                    HarnessError::RestoreFailed(format!("heap sweep: free({ptr:#x}) failed: {e:?}"))
+                })?;
                 stats.leaked_chunks += 1;
             }
         }
@@ -301,8 +602,7 @@ impl ClosureXExecutor {
                     RestoreStrategy::DirtyOnly => {
                         let current = p.read_bytes(addr, size as usize);
                         let mut dirty = 0u64;
-                        for (i, (cur, orig)) in
-                            current.iter().zip(self.snapshot.iter()).enumerate()
+                        for (i, (cur, orig)) in current.iter().zip(self.snapshot.iter()).enumerate()
                         {
                             if cur != orig {
                                 p.write_bytes(addr + i as u64, &[*orig]);
@@ -345,7 +645,7 @@ impl ClosureXExecutor {
         );
         self.os.mgmt_cycles += stats.cycles;
         self.last_restore = stats;
-        stats.cycles
+        Ok(stats.cycles)
     }
 }
 
@@ -364,6 +664,21 @@ impl Executor for ClosureXExecutor {
 
     fn fuel(&self) -> u64 {
         self.cfg.fuel
+    }
+
+    fn inject_faults(&mut self, plan: FaultPlan) {
+        self.os.fault = FaultPlane::new(plan);
+    }
+
+    fn resilience(&self) -> ResilienceReport {
+        ResilienceReport {
+            respawns: self.respawns,
+            divergences: self.divergences,
+            integrity_checks: self.integrity_checks,
+            quarantined: self.quarantine.len() as u64,
+            harness_faults: self.harness_faults,
+            degradation: self.degradation,
+        }
     }
 }
 
@@ -548,6 +863,149 @@ mod tests {
             ex.run(b"x").status,
             ExecStatus::Exit(2),
             "without GlobalPass restore, ClosureX degrades to naive persistent"
+        );
+    }
+
+    #[test]
+    fn post_restore_bitflip_detected_quarantined_and_respawned() {
+        // The tentpole acceptance test: a bit flips in the global section
+        // *after* restoration; the sampled integrity check catches it, the
+        // input is quarantined, and the process is respawned from the
+        // pristine template.
+        let m = module(STATEFUL);
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy {
+                check_every: 1,
+                max_divergences: 0, // never degrade in this test
+            },
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        ex.inject_faults(vmos::FaultPlan {
+            seed: 42,
+            restore_bitflip: 1.0, // corrupt after every restore
+            ..vmos::FaultPlan::none()
+        });
+        let out = ex.run(b"tainted-input");
+        assert_eq!(out.status, ExecStatus::Exit(1), "target itself ran fine");
+        assert_eq!(ex.divergences(), 1, "flip must be detected immediately");
+        assert!(matches!(
+            ex.last_divergence(),
+            Some(RestoreDivergence::GlobalSectionHash { .. })
+        ));
+        assert_eq!(ex.quarantined(), &[b"tainted-input".to_vec()]);
+        assert_eq!(ex.respawns(), 1, "tainted process replaced from template");
+        // The respawned process is pristine: the next run behaves fresh
+        // (even though its own restore gets corrupted again afterwards).
+        assert_eq!(ex.run(b"x").status, ExecStatus::Exit(1));
+    }
+
+    #[test]
+    fn repeated_divergences_degrade_to_fork_per_exec() {
+        let m = module(STATEFUL);
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy {
+                check_every: 1,
+                max_divergences: 3,
+            },
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        ex.inject_faults(vmos::FaultPlan {
+            seed: 7,
+            restore_bitflip: 1.0,
+            ..vmos::FaultPlan::none()
+        });
+        for _ in 0..3 {
+            assert_eq!(ex.degradation(), DegradationLevel::Persistent);
+            ex.run(b"x");
+        }
+        assert_eq!(
+            ex.degradation(),
+            DegradationLevel::ForkPerExec,
+            "threshold crossed: fall down the continuum"
+        );
+        // Fork-per-exec is immune to restore corruption: every run is a
+        // fresh fork of the pristine template.
+        let before = ex.divergences();
+        for _ in 0..5 {
+            assert_eq!(ex.run(b"x").status, ExecStatus::Exit(1));
+        }
+        assert_eq!(ex.divergences(), before, "no more divergences possible");
+        assert_eq!(ex.resilience().degradation, DegradationLevel::ForkPerExec);
+    }
+
+    #[test]
+    fn fd_leak_injection_caught_by_fd_census() {
+        let m = module(
+            r#"
+            fn main() {
+                var f = fopen("/fuzz/input", 0);
+                if (f == 0) { exit(1); }
+                fclose(f);
+                return 0;
+            }
+        "#,
+        );
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy {
+                check_every: 1,
+                max_divergences: 0,
+            },
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        ex.inject_faults(vmos::FaultPlan {
+            seed: 3,
+            fd_leak: 1.0, // every fclose leaks its slot
+            ..vmos::FaultPlan::none()
+        });
+        ex.run(b"x");
+        assert_eq!(ex.divergences(), 1);
+        assert!(matches!(
+            ex.last_divergence(),
+            Some(RestoreDivergence::FdCensus { .. })
+        ));
+        assert_eq!(ex.respawns(), 1, "leaked slot reclaimed via respawn");
+    }
+
+    #[test]
+    fn fork_failure_surfaces_fault_not_panic() {
+        let m = module("fn main() { return load64(0); }"); // crashes every run
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        ex.inject_faults(vmos::FaultPlan {
+            seed: 9,
+            fork_fail: 1.0, // every fork AND every spawn refused
+            ..vmos::FaultPlan::none()
+        });
+        ex.run(b"x"); // crash kills the process
+        let out = ex.run(b"x"); // respawn is refused
+        assert!(
+            out.status.fault().is_some(),
+            "must surface HarnessError, got {:?}",
+            out.status
+        );
+        assert!(ex.resilience().harness_faults > 0);
+    }
+
+    #[test]
+    fn integrity_sampling_respects_cadence() {
+        let m = module(STATEFUL);
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy {
+                check_every: 4,
+                max_divergences: 0,
+            },
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        for _ in 0..16 {
+            ex.run(b"x");
+        }
+        assert_eq!(
+            ex.resilience().integrity_checks,
+            4,
+            "16 restores at cadence 4"
         );
     }
 

@@ -49,9 +49,13 @@ pub mod forkserver;
 pub mod fresh;
 pub mod harness;
 pub mod naive;
+pub mod resilience;
 
 #[cfg(test)]
 mod proptests;
 
 pub use executor::{ExecOutcome, ExecStatus, Executor};
 pub use harness::{ClosureXConfig, ClosureXExecutor, RestoreStats, RestoreStrategy};
+pub use resilience::{
+    DegradationLevel, HarnessError, IntegrityPolicy, ResilienceReport, RestoreDivergence,
+};

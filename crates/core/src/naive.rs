@@ -15,9 +15,10 @@ use fir::Module;
 use passes::pipelines::baseline_pipeline;
 use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, HostCtx, Machine, Os, Process};
+use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
+use crate::resilience::{HarnessError, ResilienceReport};
 
 /// See module docs.
 #[derive(Debug)]
@@ -31,6 +32,7 @@ pub struct NaivePersistentExecutor {
     cov: CovMap,
     fuel: u64,
     respawns: u64,
+    harness_faults: u64,
 }
 
 impl NaivePersistentExecutor {
@@ -49,6 +51,7 @@ impl NaivePersistentExecutor {
             cov: CovMap::new(),
             fuel: DEFAULT_FUEL,
             respawns: 0,
+            harness_faults: 0,
         })
     }
 
@@ -78,17 +81,40 @@ impl Executor for NaivePersistentExecutor {
         self.os.fs.write_file(FUZZ_INPUT_PATH, input.to_vec());
         let mut mgmt = self.os.cost.persistent_loop;
         if self.proc.is_none() {
-            let (p, c) = match &self.template {
-                Some(t) => self.os.fork(t),
-                None => self.os.spawn(&self.module),
+            let attempt = match &self.template {
+                Some(t) => self.os.try_fork(t),
+                None => self.os.try_spawn(&self.module),
             };
-            if self.template.is_none() {
-                self.template = Some(p.clone());
+            match attempt {
+                Ok((p, c)) => {
+                    if self.template.is_none() {
+                        self.template = Some(p.clone());
+                    }
+                    self.proc = Some(p);
+                    mgmt += c;
+                }
+                Err(e) => {
+                    // Naive persistent mode has no recovery story: surface
+                    // the fault and hope the next run's respawn succeeds.
+                    self.harness_faults += 1;
+                    return ExecOutcome {
+                        status: ExecStatus::Fault(HarnessError::ForkFailed(e.to_string())),
+                        exec_cycles: 0,
+                        mgmt_cycles: mgmt,
+                        insts: 0,
+                    };
+                }
             }
-            self.proc = Some(p);
-            mgmt += c;
         }
-        let p = self.proc.as_mut().expect("just ensured");
+        let Some(p) = self.proc.as_mut() else {
+            self.harness_faults += 1;
+            return ExecOutcome {
+                status: ExecStatus::Fault(HarnessError::ProcessLost),
+                exec_cycles: 0,
+                mgmt_cycles: mgmt,
+                insts: 0,
+            };
+        };
         p.cov_state.reset();
         let machine = Machine::new(&self.module);
         let out = {
@@ -104,8 +130,9 @@ impl Executor for NaivePersistentExecutor {
             CallResult::OutOfFuel => (ExecStatus::Hang, true),
         };
         if kill {
-            let dead = self.proc.take().expect("was live");
-            mgmt += self.os.teardown(dead);
+            if let Some(dead) = self.proc.take() {
+                mgmt += self.os.teardown(dead);
+            }
             self.respawns += 1;
         }
         ExecOutcome {
@@ -122,6 +149,18 @@ impl Executor for NaivePersistentExecutor {
 
     fn fuel(&self) -> u64 {
         self.fuel
+    }
+
+    fn inject_faults(&mut self, plan: FaultPlan) {
+        self.os.fault = FaultPlane::new(plan);
+    }
+
+    fn resilience(&self) -> ResilienceReport {
+        ResilienceReport {
+            respawns: self.respawns,
+            harness_faults: self.harness_faults,
+            ..ResilienceReport::default()
+        }
     }
 }
 
@@ -176,9 +215,9 @@ mod tests {
 
     #[test]
     fn fd_exhaustion_false_crash() {
-        // Target leaks one handle per run and doesn't check fopen's result:
-        // after RLIMIT_NOFILE runs, fopen returns NULL and fread crashes —
-        // a false crash caused by prior test cases, not this input.
+        // Target leaks one handle per run: after RLIMIT_NOFILE runs fopen
+        // hits the descriptor limit — a false crash caused by prior test
+        // cases, not this input, and bucketed as exactly that.
         let m = module(
             r#"
             fn main() {
@@ -194,7 +233,8 @@ mod tests {
         for i in 0..100 {
             let out = ex.run(b"data");
             if let Some(c) = out.status.crash() {
-                assert_eq!(c.kind, CrashKind::NullPtrDeref);
+                assert_eq!(c.kind, CrashKind::FdExhaustion);
+                assert!(c.kind.is_resource_exhaustion());
                 crashed_at = Some(i);
                 break;
             }

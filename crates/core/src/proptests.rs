@@ -4,10 +4,14 @@
 //! one — state never leaks between test cases.
 
 use proptest::prelude::*;
+use vmos::FaultPlan;
 
 use crate::executor::{ExecStatus, Executor};
 use crate::forkserver::ForkServerExecutor;
+use crate::fresh::FreshProcessExecutor;
 use crate::harness::{ClosureXConfig, ClosureXExecutor};
+use crate::naive::NaivePersistentExecutor;
+use crate::resilience::{fnv1a, IntegrityPolicy};
 
 /// A small family of targets parameterized over constants, each mixing
 /// globals, heap, and file handles.
@@ -129,5 +133,94 @@ proptest! {
         // Identical per-input work across rounds → identical cost per
         // input; across inputs the spread is bounded by one chunk + one fd.
         prop_assert!(max - min <= 200, "restore cost crept: min={min} max={max}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Resilience invariant #1: no seeded fault plan — whatever mix of
+    /// allocation failures, fopen errors, fork refusals, restore bit-flips,
+    /// and descriptor leaks it encodes — may panic the host. Machinery
+    /// trouble surfaces as `ExecStatus::Fault` (or an ordinary status), and
+    /// the executor stays usable for the next input.
+    #[test]
+    fn no_fault_plan_panics_any_executor(
+        plan_seed in any::<u64>(),
+        malloc_null in 0u32..400,
+        fopen_fail in 0u32..400,
+        fork_fail in 0u32..400,
+        restore_bitflip in 0u32..400,
+        fd_leak in 0u32..400,
+        seq in inputs(),
+    ) {
+        let plan = FaultPlan {
+            seed: plan_seed,
+            malloc_null: f64::from(malloc_null) / 1000.0,
+            fopen_fail: f64::from(fopen_fail) / 1000.0,
+            fork_fail: f64::from(fork_fail) / 1000.0,
+            restore_bitflip: f64::from(restore_bitflip) / 1000.0,
+            fd_leak: f64::from(fd_leak) / 1000.0,
+        };
+        let src = target_source(1, 64, 100);
+        let module = minic::compile("prop", &src).expect("template compiles");
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy::paranoid(),
+            ..ClosureXConfig::default()
+        };
+        let mut executors: Vec<Box<dyn Executor>> = vec![
+            Box::new(FreshProcessExecutor::new(&module).expect("instrument")),
+            Box::new(ForkServerExecutor::new(&module).expect("instrument")),
+            Box::new(NaivePersistentExecutor::new(&module).expect("instrument")),
+            Box::new(ClosureXExecutor::new(&module, cfg).expect("instrument")),
+        ];
+        for ex in &mut executors {
+            ex.inject_faults(plan.clone());
+            for s in &seq {
+                let out = ex.run(s);
+                // A second run after any status must also not panic.
+                prop_assert!(out.total_cycles() > 0 || out.status.fault().is_some());
+            }
+        }
+    }
+
+    /// Resilience invariant #2: whenever the integrity check fires and the
+    /// harness respawns from the pristine template, the global section of
+    /// the fresh process hashes back to the boot-time ground truth — the
+    /// corruption never survives a respawn.
+    #[test]
+    fn respawn_restores_boot_global_hash(
+        plan_seed in any::<u64>(),
+        seq in inputs(),
+    ) {
+        let src = target_source(1, 64, 100);
+        let module = minic::compile("prop", &src).expect("template compiles");
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy {
+                check_every: 1,
+                max_divergences: u64::MAX, // never degrade: keep respawning
+            },
+            ..ClosureXConfig::default()
+        };
+        let mut cx = ClosureXExecutor::new(&module, cfg).expect("instrument");
+        cx.inject_faults(FaultPlan {
+            seed: plan_seed,
+            restore_bitflip: 1.0, // corrupt every restore
+            ..FaultPlan::none()
+        });
+        for s in &seq {
+            let _ = cx.run(s);
+            if let (Some(p), Some((addr, size))) = (cx.process(), cx.section()) {
+                prop_assert_eq!(
+                    fnv1a(&p.read_bytes(addr, size as usize)),
+                    cx.boot_hash(),
+                    "post-respawn globals must match boot ground truth"
+                );
+            }
+        }
+        prop_assert!(
+            cx.divergences() > 0 || cx.section().is_none(),
+            "certain bit-flips must be detected by the per-iteration check"
+        );
     }
 }

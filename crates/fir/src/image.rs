@@ -49,15 +49,17 @@ pub fn image_size(m: &Module) -> u64 {
         .map(|f| {
             f.blocks
                 .iter()
-                .map(|b| {
-                    b.insts.iter().map(inst_size).sum::<u64>() + term_size(&b.term)
-                })
+                .map(|b| b.insts.iter().map(inst_size).sum::<u64>() + term_size(&b.term))
                 .sum::<u64>()
                 + f.name.len() as u64
                 + 16
         })
         .sum();
-    let data: u64 = m.globals.iter().map(|g| g.size + g.name.len() as u64 + 8).sum();
+    let data: u64 = m
+        .globals
+        .iter()
+        .map(|g| g.size + g.name.len() as u64 + 8)
+        .sum();
     text + data + 64
 }
 

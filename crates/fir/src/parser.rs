@@ -133,10 +133,7 @@ fn parse_fn_header(ln: usize, rest: &str) -> Result<Function, ParseError> {
             .trim()
             .parse()
             .map_err(|_| perr(ln, "bad param count"))?,
-        num_regs: regs
-            .trim()
-            .parse()
-            .map_err(|_| perr(ln, "bad reg count"))?,
+        num_regs: regs.trim().parse().map_err(|_| perr(ln, "bad reg count"))?,
         blocks: Vec::new(),
     })
 }
@@ -187,9 +184,9 @@ where
 fn parse_operand(ln: usize, s: &str) -> Result<Operand, ParseError> {
     let s = s.trim();
     if let Some(r) = s.strip_prefix('%') {
-        Ok(Operand::Reg(Reg(
-            r.parse().map_err(|_| perr(ln, format!("bad reg {s}")))?
-        )))
+        Ok(Operand::Reg(Reg(r
+            .parse()
+            .map_err(|_| perr(ln, format!("bad reg {s}")))?)))
     } else {
         Ok(Operand::Imm(
             s.parse().map_err(|_| perr(ln, format!("bad imm {s}")))?,

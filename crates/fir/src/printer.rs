@@ -162,7 +162,10 @@ mod tests {
         let wa = f.addr_of(w);
         f.store64(Operand::Reg(wa), Operand::Imm(1));
         let buf = f.alloca(64);
-        f.call_void("memset", vec![Operand::Reg(buf), Operand::Imm(0), Operand::Imm(64)]);
+        f.call_void(
+            "memset",
+            vec![Operand::Reg(buf), Operand::Imm(0), Operand::Imm(64)],
+        );
         f.ret(Some(Operand::Imm(0)));
         f.switch_to(no);
         f.call_void("exit", vec![Operand::Imm(1)]);

@@ -104,10 +104,9 @@ fn build_module(fn_bodies: Vec<Vec<GenInst>>, global_sizes: Vec<u16>) -> Module 
                 }
                 GenInst::AddrOf => f.addr_of(gids[0]),
                 GenInst::Alloca(s) => f.alloca(s),
-                GenInst::Call(name, args) => f.call(
-                    name,
-                    args.into_iter().map(Operand::Imm).collect::<Vec<_>>(),
-                ),
+                GenInst::Call(name, args) => {
+                    f.call(name, args.into_iter().map(Operand::Imm).collect::<Vec<_>>())
+                }
                 GenInst::Select(a, b) => {
                     f.select(Operand::Reg(last), Operand::Imm(a), Operand::Imm(b))
                 }

@@ -126,23 +126,17 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 check_op(o, "source")?;
             }
             match inst {
-                Inst::AddrOf { global, .. } => {
-                    if global.0 as usize >= m.globals.len() {
-                        return Err(err(
-                            &f.name,
-                            format!("bb{bi}: AddrOf references unknown global {global}"),
-                        ));
-                    }
+                Inst::AddrOf { global, .. } if global.0 as usize >= m.globals.len() => {
+                    return Err(err(
+                        &f.name,
+                        format!("bb{bi}: AddrOf references unknown global {global}"),
+                    ));
                 }
-                Inst::Alloca { size, .. } => {
-                    if *size == 0 {
-                        return Err(err(&f.name, format!("bb{bi}: alloca of zero bytes")));
-                    }
+                Inst::Alloca { size, .. } if *size == 0 => {
+                    return Err(err(&f.name, format!("bb{bi}: alloca of zero bytes")));
                 }
-                Inst::Call { callee, .. } => {
-                    if callee.is_empty() {
-                        return Err(err(&f.name, format!("bb{bi}: call with empty callee")));
-                    }
+                Inst::Call { callee, .. } if callee.is_empty() => {
+                    return Err(err(&f.name, format!("bb{bi}: call with empty callee")));
                 }
                 _ => {}
             }

@@ -35,10 +35,7 @@ pub fn emit(module_name: &str, program: &Program) -> Result<Module, CompileError
             if !strings.contains_key(s) {
                 let mut bytes = s.to_vec();
                 bytes.push(0);
-                let gid = mb.global(Global::constant(
-                    format!("__str_{}", strings.len()),
-                    bytes,
-                ));
+                let gid = mb.global(Global::constant(format!("__str_{}", strings.len()), bytes));
                 strings.insert(s.to_vec(), gid);
             }
         });
@@ -159,10 +156,7 @@ fn emit_function(
 
 impl FnCx<'_, '_> {
     fn lookup(&self, name: &str) -> Option<LocalSlot> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     fn gen_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
@@ -275,9 +269,10 @@ impl FnCx<'_, '_> {
         match e {
             Expr::Int(v) => Ok(Operand::Imm(*v)),
             Expr::Str(s) => {
-                let gid = self.strings.get(s).copied().ok_or_else(|| {
-                    CompileError::new(0, "internal: string literal not interned")
-                })?;
+                let gid =
+                    self.strings.get(s).copied().ok_or_else(|| {
+                        CompileError::new(0, "internal: string literal not interned")
+                    })?;
                 Ok(Operand::Reg(self.fb.addr_of(gid)))
             }
             Expr::Ident(name, line) => {
@@ -463,10 +458,8 @@ mod tests {
 
     #[test]
     fn string_literals_are_interned_and_deduped() {
-        let m = emit_src(
-            r#"fn main() { puts("hello"); puts("hello"); puts("bye"); return 0; }"#,
-        )
-        .unwrap();
+        let m = emit_src(r#"fn main() { puts("hello"); puts("hello"); puts("bye"); return 0; }"#)
+            .unwrap();
         let strs: Vec<_> = m
             .globals
             .iter()

@@ -259,7 +259,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             i += 1;
             continue;
         }
-        return Err(CompileError::new(line, format!("unexpected character '{c}'")));
+        return Err(CompileError::new(
+            line,
+            format!("unexpected character '{c}'"),
+        ));
     }
     out.push(Token {
         kind: TokKind::Eof,
@@ -362,7 +365,12 @@ mod tests {
         let k = kinds("1 // x\n2 /* y\nz */ 3");
         assert_eq!(
             k,
-            vec![TokKind::Int(1), TokKind::Int(2), TokKind::Int(3), TokKind::Eof]
+            vec![
+                TokKind::Int(1),
+                TokKind::Int(2),
+                TokKind::Int(3),
+                TokKind::Eof
+            ]
         );
     }
 

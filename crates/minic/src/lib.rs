@@ -112,7 +112,10 @@ mod compile_tests {
     #[test]
     fn comparisons_and_logic() {
         assert_eq!(
-            run("fn main() { return (3 < 5) + (5 <= 5) + (7 > 9) + (1 == 1) + (2 != 2); }", &[]),
+            run(
+                "fn main() { return (3 < 5) + (5 <= 5) + (7 > 9) + (1 == 1) + (2 != 2); }",
+                &[]
+            ),
             CallResult::Return(3)
         );
         assert_eq!(
@@ -300,7 +303,11 @@ mod compile_tests {
 
     #[test]
     fn duplicate_function_rejected() {
-        assert!(crate::compile("t", "fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }").is_err());
+        assert!(crate::compile(
+            "t",
+            "fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }"
+        )
+        .is_err());
     }
 
     #[test]

@@ -131,9 +131,7 @@ impl Parser {
                         }
                         let v = self.int()?;
                         if !(0..=255).contains(&v) {
-                            return Err(
-                                self.err("array initializer bytes must be in 0..=255")
-                            );
+                            return Err(self.err("array initializer bytes must be in 0..=255"));
                         }
                         init.push(v as u8);
                         if self.at_punct(",") {
@@ -328,10 +326,7 @@ impl Parser {
     /// Precedence-climbing over binary operators.
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let Some((kind, prec)) = self.peek_binop() else {
-                break;
-            };
+        while let Some((kind, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
@@ -469,8 +464,7 @@ mod tests {
     #[test]
     fn precedence_shape() {
         let p = parse_src("fn f() { return 1 + 2 * 3; }").unwrap();
-        let Stmt::Return(Some(Expr::Bin(BinKind::Add, _, rhs))) = &p.functions[0].body[0]
-        else {
+        let Stmt::Return(Some(Expr::Bin(BinKind::Add, _, rhs))) = &p.functions[0].body[0] else {
             panic!("expected add at top");
         };
         assert!(matches!(**rhs, Expr::Bin(BinKind::Mul, _, _)));

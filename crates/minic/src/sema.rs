@@ -101,10 +101,7 @@ fn check_stmts(
     Ok(())
 }
 
-fn check_expr(
-    e: &Expr,
-    arities: &HashMap<&str, (usize, usize)>,
-) -> Result<(), CompileError> {
+fn check_expr(e: &Expr, arities: &HashMap<&str, (usize, usize)>) -> Result<(), CompileError> {
     match e {
         Expr::Int(_) | Expr::Str(_) | Expr::Ident(_, _) | Expr::AddrOf(_, _) => Ok(()),
         Expr::Unary(_, inner) => check_expr(inner, arities),

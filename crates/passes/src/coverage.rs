@@ -41,10 +41,7 @@ impl ModulePass for CoveragePass {
         for f in &mut module.functions {
             let fname = f.name.clone();
             for (bi, b) in f.blocks.iter_mut().enumerate() {
-                let already = b
-                    .insts
-                    .first()
-                    .is_some_and(|i| i.is_call_to(COV_EDGE));
+                let already = b.insts.first().is_some_and(|i| i.is_call_to(COV_EDGE));
                 if already {
                     continue;
                 }

@@ -11,10 +11,8 @@ use fir::Module;
 use crate::manager::{ModulePass, PassError, PassReport};
 
 /// The rewrites this pass performs.
-pub const FILE_REWRITES: [(&str, &str); 2] = [
-    ("fopen", "closurex_fopen"),
-    ("fclose", "closurex_fclose"),
-];
+pub const FILE_REWRITES: [(&str, &str); 2] =
+    [("fopen", "closurex_fopen"), ("fclose", "closurex_fclose")];
 
 /// See module docs.
 #[derive(Debug, Clone, Copy, Default)]

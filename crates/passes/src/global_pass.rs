@@ -38,7 +38,9 @@ impl ModulePass for GlobalPass {
         Ok(PassReport {
             pass: self.name().into(),
             changes: moved,
-            summary: format!("moved {moved} writable globals ({bytes} bytes) to closure_global_section"),
+            summary: format!(
+                "moved {moved} writable globals ({bytes} bytes) to closure_global_section"
+            ),
         })
     }
 }
@@ -59,10 +61,7 @@ mod tests {
         let r = GlobalPass.run(&mut m).unwrap();
         assert_eq!(r.changes, 2);
         assert_eq!(m.global("magic").unwrap().section, Section::Rodata);
-        assert_eq!(
-            m.global("counter").unwrap().section,
-            Section::ClosureGlobal
-        );
+        assert_eq!(m.global("counter").unwrap().section, Section::ClosureGlobal);
         assert_eq!(m.global("table").unwrap().section, Section::ClosureGlobal);
     }
 

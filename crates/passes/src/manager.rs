@@ -179,6 +179,12 @@ mod tests {
         pm.add(BreakingPass);
         let mut m = module_with_main();
         let err = pm.run(&mut m).unwrap_err();
-        assert!(matches!(err, PassError::BrokenModule { pass: "BreakingPass", .. }));
+        assert!(matches!(
+            err,
+            PassError::BrokenModule {
+                pass: "BreakingPass",
+                ..
+            }
+        ));
     }
 }

@@ -62,7 +62,10 @@ impl ModulePass for ConstFoldPass {
                         }
                         Inst::Mov { dst, src } => {
                             if let Some(v) = resolve(&known, *src) {
-                                *inst = Inst::Const { dst: *dst, value: v };
+                                *inst = Inst::Const {
+                                    dst: *dst,
+                                    value: v,
+                                };
                                 known.insert(inst.dst().expect("const has dst"), v);
                                 folded += 1;
                             } else {
@@ -199,7 +202,13 @@ mod tests {
         ConstFoldPass.run(&mut m).unwrap();
         let blk = &m.function("main").unwrap().blocks[0];
         assert!(
-            matches!(blk.insts[2], Inst::Bin { op: BinOp::SDiv, .. }),
+            matches!(
+                blk.insts[2],
+                Inst::Bin {
+                    op: BinOp::SDiv,
+                    ..
+                }
+            ),
             "the crash-producing divide must survive"
         );
     }
@@ -257,11 +266,16 @@ mod tests {
 
         let run = |m: &Module| {
             let mut os = Os::new();
-            os.fs.write_file("/fuzz/input", b"GIF89a\x04\x00\x04\x00\x00\x00\x00;".to_vec());
+            os.fs.write_file(
+                "/fuzz/input",
+                b"GIF89a\x04\x00\x04\x00\x00\x00\x00;".to_vec(),
+            );
             let (mut p, _) = os.spawn(m);
             let mut cov = CovMap::new();
             let mut ctx = HostCtx::new(&mut os, &mut cov);
-            Machine::new(m).call(&mut p, &mut ctx, "main", &[0, 0], 3_000_000).result
+            Machine::new(m)
+                .call(&mut p, &mut ctx, "main", &[0, 0], 3_000_000)
+                .result
         };
         let (a, b) = (run(&t), run(&opt));
         match (&a, &b) {

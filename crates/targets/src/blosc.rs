@@ -201,7 +201,7 @@ fn witnesses() -> Vec<(&'static str, Vec<u8>)> {
     absent.extend_from_slice(&1u16.to_le_bytes()); // one chunk
     absent.push(0); // no flags
     absent.extend_from_slice(&0u16.to_le_bytes()); // offset 0 → NULL
-    // Lazy chunk without the eager flag → cache_ptr stays NULL.
+                                                   // Lazy chunk without the eager flag → cache_ptr stays NULL.
     let lazy = frame(0, &[(2, 4, b"lazy".to_vec())]);
     // Oversized csize: payload declared 5000 but only 8 bytes present —
     // keep frame_len honest by hand-rolling.

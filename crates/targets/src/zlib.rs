@@ -165,11 +165,7 @@ fn seeds() -> Vec<Vec<u8>> {
     fixed.push(0xFF);
     let decoded: Vec<u8> = b"hi".iter().map(|b| b ^ 0x20).collect();
     fixed.extend_from_slice(&adler32(&decoded).to_be_bytes());
-    vec![
-        zlib_stored(b"hello zlib"),
-        zlib_stored(b""),
-        fixed,
-    ]
+    vec![zlib_stored(b"hello zlib"), zlib_stored(b""), fixed]
 }
 
 fn witnesses() -> Vec<(&'static str, Vec<u8>)> {

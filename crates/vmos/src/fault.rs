@@ -1,0 +1,285 @@
+//! Deterministic fault-injection plane.
+//!
+//! Real persistent-fuzzing deployments meet a hostile substrate: `malloc`
+//! returns NULL under memory pressure, `fork` fails when the process table
+//! fills, descriptors leak, and bit-flips corrupt restored state. The
+//! simulated OS reproduces that hostility on demand so the resilience of
+//! each execution mechanism can be measured rather than assumed.
+//!
+//! A [`FaultPlan`] gives per-kind injection probabilities plus a seed; the
+//! [`FaultPlane`] turns the plan into a deterministic roll sequence
+//! (SplitMix64 over `seed ⊕ roll-counter`), so a campaign replayed with the
+//! same seed injects the same faults at the same points. All probabilities
+//! default to zero: an unconfigured OS behaves exactly as before the plane
+//! existed.
+
+/// The kinds of faults the plane can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `malloc`/`calloc`/`realloc` returns NULL (simulated ENOMEM).
+    MallocNull,
+    /// `fopen` returns NULL even though the path exists (simulated EIO).
+    FopenFail,
+    /// `fork`/`spawn` refuses (simulated EAGAIN: process table full).
+    ForkFail,
+    /// A bit in the restored global section flips after state restoration
+    /// (simulated memory corruption — the fault restore-integrity
+    /// verification exists to catch).
+    RestoreBitFlip,
+    /// `fclose` silently fails to release its descriptor-table slot, so
+    /// descriptors leak toward the `RLIMIT_NOFILE` analog.
+    FdLeak,
+}
+
+impl FaultKind {
+    /// Every kind, in counter order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::MallocNull,
+        FaultKind::FopenFail,
+        FaultKind::ForkFail,
+        FaultKind::RestoreBitFlip,
+        FaultKind::FdLeak,
+    ];
+
+    /// Stable short name for logs and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MallocNull => "malloc_null",
+            FaultKind::FopenFail => "fopen_fail",
+            FaultKind::ForkFail => "fork_fail",
+            FaultKind::RestoreBitFlip => "restore_bitflip",
+            FaultKind::FdLeak => "fd_leak",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::MallocNull => 0,
+            FaultKind::FopenFail => 1,
+            FaultKind::ForkFail => 2,
+            FaultKind::RestoreBitFlip => 3,
+            FaultKind::FdLeak => 4,
+        }
+    }
+}
+
+/// Per-kind injection probabilities plus the seed that makes the roll
+/// sequence reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic roll stream.
+    pub seed: u64,
+    /// P(`malloc` family returns NULL) per allocation.
+    pub malloc_null: f64,
+    /// P(`fopen` fails) per open of an existing path.
+    pub fopen_fail: f64,
+    /// P(`fork`/`spawn` refused) per attempt.
+    pub fork_fail: f64,
+    /// P(one bit flips in the restored global section) per restore.
+    pub restore_bitflip: f64,
+    /// P(`fclose` leaks its slot) per close.
+    pub fd_leak: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all (the default substrate).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            malloc_null: 0.0,
+            fopen_fail: 0.0,
+            fork_fail: 0.0,
+            restore_bitflip: 0.0,
+            fd_leak: 0.0,
+        }
+    }
+
+    /// Every kind at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            malloc_null: rate,
+            fopen_fail: rate,
+            fork_fail: rate,
+            restore_bitflip: rate,
+            fd_leak: rate,
+        }
+    }
+
+    /// Probability configured for `kind`.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::MallocNull => self.malloc_null,
+            FaultKind::FopenFail => self.fopen_fail,
+            FaultKind::ForkFail => self.fork_fail,
+            FaultKind::RestoreBitFlip => self.restore_bitflip,
+            FaultKind::FdLeak => self.fd_leak,
+        }
+    }
+
+    /// Is every probability zero?
+    pub fn is_none(&self) -> bool {
+        FaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runtime half of the plane: the plan, a roll counter, and per-kind
+/// injection tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlane {
+    plan: FaultPlan,
+    rolls: u64,
+    injected: [u64; 5],
+}
+
+impl Default for FaultPlane {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl FaultPlane {
+    /// Plane executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultPlane {
+            plan,
+            rolls: 0,
+            injected: [0; 5],
+        }
+    }
+
+    /// Plane that never injects (zero overhead on the hot path beyond one
+    /// float compare).
+    pub fn disabled() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// The plan this plane executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw 64 deterministic bits, advancing the roll counter.
+    fn next_bits(&mut self) -> u64 {
+        self.rolls = self.rolls.wrapping_add(1);
+        splitmix64(self.plan.seed ^ self.rolls.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Should a fault of `kind` fire at this point? Deterministic in
+    /// (seed, call sequence); tallies every injection.
+    pub fn roll(&mut self, kind: FaultKind) -> bool {
+        let p = self.plan.rate(kind);
+        if p <= 0.0 {
+            return false;
+        }
+        let u = (self.next_bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fire = u < p;
+        if fire {
+            self.injected[kind.index()] += 1;
+        }
+        fire
+    }
+
+    /// If a restore bit-flip fires, pick the byte offset (mod caller's
+    /// section length) and bit to corrupt. Returns `None` when no flip is
+    /// due or the section is empty.
+    pub fn bitflip_for(&mut self, section_len: u64) -> Option<(u64, u8)> {
+        if section_len == 0 || !self.roll(FaultKind::RestoreBitFlip) {
+            return None;
+        }
+        let bits = self.next_bits();
+        Some((bits % section_len, 1u8 << ((bits >> 56) & 7)))
+    }
+
+    /// How many faults of `kind` have been injected so far.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total injections across all kinds.
+    pub fn total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Reset tallies and the roll counter (e.g. between campaign trials).
+    pub fn reset(&mut self) {
+        self.rolls = 0;
+        self.injected = [0; 5];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plane_never_fires() {
+        let mut f = FaultPlane::disabled();
+        for _ in 0..10_000 {
+            for &k in &FaultKind::ALL {
+                assert!(!f.roll(k));
+            }
+        }
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn rolls_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut f = FaultPlane::new(FaultPlan::uniform(seed, 0.1));
+            (0..2000)
+                .map(|_| f.roll(FaultKind::MallocNull))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn rates_are_respected_roughly() {
+        let mut f = FaultPlane::new(FaultPlan::uniform(3, 0.2));
+        let hits = (0..10_000).filter(|_| f.roll(FaultKind::FdLeak)).count();
+        assert!((1500..2500).contains(&hits), "p=0.2 gave {hits}/10000");
+        assert_eq!(f.count(FaultKind::FdLeak), hits as u64);
+        assert_eq!(f.total(), hits as u64);
+    }
+
+    #[test]
+    fn certain_plan_always_fires() {
+        let mut f = FaultPlane::new(FaultPlan::uniform(1, 1.0));
+        assert!(f.roll(FaultKind::ForkFail));
+        let (off, mask) = f.bitflip_for(64).expect("p=1 must flip");
+        assert!(off < 64);
+        assert!(mask.is_power_of_two());
+    }
+
+    #[test]
+    fn bitflip_never_fires_on_empty_section() {
+        let mut f = FaultPlane::new(FaultPlan::uniform(1, 1.0));
+        assert_eq!(f.bitflip_for(0), None);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_replays() {
+        let mut f = FaultPlane::new(FaultPlan::uniform(5, 0.5));
+        let first: Vec<bool> = (0..64).map(|_| f.roll(FaultKind::FopenFail)).collect();
+        assert!(f.total() > 0);
+        f.reset();
+        assert_eq!(f.total(), 0);
+        let second: Vec<bool> = (0..64).map(|_| f.roll(FaultKind::FopenFail)).collect();
+        assert_eq!(first, second, "reset must replay the same stream");
+    }
+}

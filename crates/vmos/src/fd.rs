@@ -125,7 +125,7 @@ impl FdTable {
     }
 
     fn decode(handle: u64) -> Option<usize> {
-        if handle < FD_HANDLE_BASE || (handle - FD_HANDLE_BASE) % FD_HANDLE_STRIDE != 0 {
+        if handle < FD_HANDLE_BASE || !(handle - FD_HANDLE_BASE).is_multiple_of(FD_HANDLE_STRIDE) {
             return None;
         }
         Some(((handle - FD_HANDLE_BASE) / FD_HANDLE_STRIDE) as usize)

@@ -8,6 +8,7 @@
 //! test cases.
 
 use crate::crash::{Crash, CrashKind};
+use crate::fault::FaultKind;
 use crate::heap::HeapError;
 use crate::interp::HostCtx;
 use crate::process::Process;
@@ -70,6 +71,9 @@ pub fn dispatch(
         // ---- malloc family -------------------------------------------
         "malloc" | "closurex_malloc" => {
             *cycles += cost.host_malloc;
+            if ctx.os.fault.roll(FaultKind::MallocNull) {
+                return Ok(Some(HostRet::Val(0))); // injected ENOMEM
+            }
             let size = arg(args, 0).max(0) as u64;
             let ptr = p
                 .heap
@@ -85,6 +89,9 @@ pub fn dispatch(
         }
         "calloc" | "closurex_calloc" => {
             *cycles += cost.host_malloc;
+            if ctx.os.fault.roll(FaultKind::MallocNull) {
+                return Ok(Some(HostRet::Val(0))); // injected ENOMEM
+            }
             let n = arg(args, 0).max(0) as u64;
             let sz = arg(args, 1).max(0) as u64;
             let total = n.saturating_mul(sz);
@@ -104,6 +111,10 @@ pub fn dispatch(
         }
         "realloc" | "closurex_realloc" => {
             *cycles += cost.host_malloc + cost.host_free;
+            if ctx.os.fault.roll(FaultKind::MallocNull) {
+                // Injected ENOMEM: NULL return, original block left intact.
+                return Ok(Some(HostRet::Val(0)));
+            }
             let old = arg(args, 0) as u64;
             let size = arg(args, 1).max(0) as u64;
             let hooked = name.starts_with("closurex_");
@@ -252,9 +263,22 @@ pub fn dispatch(
             if !ctx.fs_exists(&path) {
                 return Ok(Some(HostRet::Val(0))); // ENOENT → NULL
             }
+            if ctx.os.fault.roll(FaultKind::FopenFail) {
+                return Ok(Some(HostRet::Val(0))); // injected EIO → NULL
+            }
+            // EMFILE crashes with the dedicated false-crash kind (like the
+            // heap's OutOfMemory): exhaustion is caused by handles leaked
+            // across *previous* test cases, and triage needs to see that,
+            // not a NullPtrDeref downstream of an unchecked NULL.
             let handle = match p.fds.open(path) {
                 Ok(h) => h,
-                Err(_) => return Ok(Some(HostRet::Val(0))), // EMFILE → NULL
+                Err(_) => {
+                    return Err(crash(
+                        CrashKind::FdExhaustion,
+                        site,
+                        format!("fopen: descriptor limit {} reached", p.fds.limit()),
+                    ))
+                }
             };
             if name.starts_with("closurex_") {
                 *cycles += cost.closurex_wrapper;
@@ -274,7 +298,19 @@ pub fn dispatch(
             if h == 0 {
                 return Err(crash(CrashKind::NullPtrDeref, site, "fclose(NULL)".into()));
             }
-            if p.fds.close(h).is_err() {
+            if ctx.os.fault.roll(FaultKind::FdLeak) {
+                // Injected leak: the program sees success but the
+                // descriptor-table slot is never released, creeping toward
+                // the RLIMIT_NOFILE analog. Only the fd census run by the
+                // restore-integrity check can notice.
+                if p.fds.get(h).is_none() {
+                    return Err(crash(
+                        CrashKind::UnaddressableAccess,
+                        site,
+                        format!("fclose of bad handle {h:#x}"),
+                    ));
+                }
+            } else if p.fds.close(h).is_err() {
                 return Err(crash(
                     CrashKind::UnaddressableAccess,
                     site,
@@ -296,7 +332,11 @@ pub fn dispatch(
                 arg(args, 3) as u64,
             );
             if h == 0 {
-                return Err(crash(CrashKind::NullPtrDeref, site, "fread(NULL file)".into()));
+                return Err(crash(
+                    CrashKind::NullPtrDeref,
+                    site,
+                    "fread(NULL file)".into(),
+                ));
             }
             let Some(file) = p.fds.get(h).cloned() else {
                 return Err(crash(
@@ -316,7 +356,7 @@ pub fn dispatch(
                 p.fds.get_mut(h).expect("checked").pos += n;
             }
             *cycles += cost.bulk(4, n);
-            HostRet::Val(if size == 0 { 0 } else { (n / size) as i64 })
+            HostRet::Val(n.checked_div(size).unwrap_or(0) as i64)
         }
         "fgetc" => {
             let h = arg(args, 0) as u64;

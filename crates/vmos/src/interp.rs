@@ -349,9 +349,7 @@ impl<'m> Machine<'m> {
                             }
                             let cf = &self.module.functions[callee_id.0 as usize];
                             let mut regs = vec![0i64; cf.num_regs as usize];
-                            for (i, a) in
-                                argv.iter().take(cf.num_params as usize).enumerate()
-                            {
+                            for (i, a) in argv.iter().take(cf.num_params as usize).enumerate() {
                                 regs[i] = *a;
                             }
                             cycles += 2; // call/ret overhead
@@ -376,8 +374,7 @@ impl<'m> Machine<'m> {
                         ) {
                             Ok(Some(HostRet::Val(v))) => {
                                 if let Some(d) = dst {
-                                    p.frames.last_mut().expect("frame").regs
-                                        [d.0 as usize] = v;
+                                    p.frames.last_mut().expect("frame").regs[d.0 as usize] = v;
                                 }
                             }
                             Ok(Some(HostRet::Void)) => {}

@@ -193,7 +193,10 @@ mod tests {
         let c = gm.addr_of_name("counter").unwrap();
         assert_eq!(mem.read_uint(c, 8), 7);
         let ro = gm.addr_of_name("ro").unwrap();
-        assert_eq!(mem.read_uint(ro, 4) as u32, u32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(
+            mem.read_uint(ro, 4) as u32,
+            u32::from_le_bytes([1, 2, 3, 4])
+        );
     }
 
     #[test]

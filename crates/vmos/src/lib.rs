@@ -18,11 +18,15 @@
 //!   hooks installed by the compiler passes,
 //! * an **interpreter** ([`interp`]) with instruction-level cycle accounting
 //!   and AFL-style edge-coverage collection ([`cov`]),
-//! * a **cost model** ([`cost`]) for `fork`/`exec`/teardown/restore charges.
+//! * a **cost model** ([`cost`]) for `fork`/`exec`/teardown/restore charges,
+//! * a **fault-injection plane** ([`fault`]) — seeded, deterministic
+//!   malloc-NULL / fopen-fail / fork-fail / fd-leak / restore-bit-flip
+//!   injection for resilience evaluation (disabled by default).
 
 pub mod cost;
 pub mod cov;
 pub mod crash;
+pub mod fault;
 pub mod fd;
 pub mod fs;
 pub mod heap;
@@ -39,6 +43,7 @@ mod proptests;
 pub use cost::CostModel;
 pub use cov::{CovMap, MAP_SIZE};
 pub use crash::{Crash, CrashKind};
+pub use fault::{FaultKind, FaultPlan, FaultPlane};
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
-pub use os::Os;
+pub use os::{Os, OsError};
 pub use process::Process;

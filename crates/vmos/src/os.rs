@@ -5,8 +5,30 @@
 use fir::Module;
 
 use crate::cost::CostModel;
+use crate::fault::{FaultKind, FaultPlane};
 use crate::fs::SimFs;
 use crate::process::Process;
+
+/// Process-management failure surfaced by the fallible spawn/fork entry
+/// points (today always fault-injected resource exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// `fork(2)` refused — simulated EAGAIN (process table full).
+    ForkFailed,
+    /// `fork`+`exec` refused at the fork step.
+    SpawnFailed,
+}
+
+impl std::fmt::Display for OsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsError::ForkFailed => write!(f, "fork failed: resource temporarily unavailable"),
+            OsError::SpawnFailed => write!(f, "spawn failed: resource temporarily unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
 
 /// Default heap limit per process (a scaled-down 3.5 GB Azure instance).
 pub const DEFAULT_HEAP_LIMIT: u64 = 64 << 20;
@@ -27,6 +49,8 @@ pub struct Os {
     next_pid: u32,
     /// Total cycles spent on process management (fork/exec/teardown).
     pub mgmt_cycles: u64,
+    /// Fault-injection plane (defaults to disabled: no behavior change).
+    pub fault: FaultPlane,
 }
 
 impl Default for Os {
@@ -45,6 +69,7 @@ impl Os {
             fd_limit: DEFAULT_FD_LIMIT,
             next_pid: 1,
             mgmt_cycles: 0,
+            fault: FaultPlane::disabled(),
         }
     }
 
@@ -79,11 +104,40 @@ impl Os {
         (child, cycles)
     }
 
+    /// [`Os::spawn`], but consults the fault plane first: under an active
+    /// plan the fork step can refuse with [`OsError::SpawnFailed`]. A failed
+    /// attempt still charges the fork cost (the kernel did the work of
+    /// discovering the failure).
+    ///
+    /// # Errors
+    /// [`OsError::SpawnFailed`] when the fault plane injects a fork failure.
+    pub fn try_spawn(&mut self, module: &Module) -> Result<(Process, u64), OsError> {
+        if self.fault.roll(FaultKind::ForkFail) {
+            let cycles = self.cost.fork(0);
+            self.mgmt_cycles += cycles;
+            return Err(OsError::SpawnFailed);
+        }
+        Ok(self.spawn(module))
+    }
+
+    /// [`Os::fork`], but consults the fault plane first.
+    ///
+    /// # Errors
+    /// [`OsError::ForkFailed`] when the fault plane injects a fork failure.
+    pub fn try_fork(&mut self, parent: &Process) -> Result<(Process, u64), OsError> {
+        if self.fault.roll(FaultKind::ForkFail) {
+            let cycles = self.cost.fork(0);
+            self.mgmt_cycles += cycles;
+            return Err(OsError::ForkFailed);
+        }
+        Ok(self.fork(parent))
+    }
+
     /// Tear a process down (`exit` + kernel reaping). Returns cycles charged,
     /// including the copy-on-write faults the child accumulated.
     pub fn teardown(&mut self, p: Process) -> u64 {
-        let cycles = self.cost.teardown(p.mem.resident_pages())
-            + p.mem.cow_faults() * self.cost.cow_fault;
+        let cycles =
+            self.cost.teardown(p.mem.resident_pages()) + p.mem.cow_faults() * self.cost.cow_fault;
         self.mgmt_cycles += cycles;
         cycles
     }
@@ -127,6 +181,25 @@ mod tests {
         child.mem.write_uint(g, 77, 8);
         assert_eq!(parent.mem.read_uint(g, 8), 5, "parent unaffected");
         assert_eq!(child.mem.read_uint(g, 8), 77);
+    }
+
+    #[test]
+    fn try_fork_and_spawn_fail_under_certain_fault_plan() {
+        use crate::fault::{FaultPlan, FaultPlane};
+        let mut os = Os::new();
+        let m = module();
+        let (parent, _) = os.spawn(&m);
+        os.fault = FaultPlane::new(FaultPlan {
+            fork_fail: 1.0,
+            ..FaultPlan::none()
+        });
+        let before = os.mgmt_cycles;
+        assert_eq!(os.try_fork(&parent).unwrap_err(), OsError::ForkFailed);
+        assert_eq!(os.try_spawn(&m).unwrap_err(), OsError::SpawnFailed);
+        assert!(os.mgmt_cycles > before, "failed attempts still cost cycles");
+        os.fault = FaultPlane::disabled();
+        assert!(os.try_fork(&parent).is_ok());
+        assert!(os.try_spawn(&m).is_ok());
     }
 
     #[test]

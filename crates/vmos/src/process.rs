@@ -172,9 +172,15 @@ impl Process {
                 }
                 None => {
                     if is_write {
-                        crash(CrashKind::InvalidWrite, format!("addr={addr:#x} (global gap)"))
+                        crash(
+                            CrashKind::InvalidWrite,
+                            format!("addr={addr:#x} (global gap)"),
+                        )
                     } else {
-                        crash(CrashKind::InvalidRead, format!("addr={addr:#x} (global gap)"))
+                        crash(
+                            CrashKind::InvalidRead,
+                            format!("addr={addr:#x} (global gap)"),
+                        )
                     }
                 }
             };
@@ -293,9 +299,7 @@ mod tests {
     #[test]
     fn stack_access_ok_unmapped_not() {
         let p = proc();
-        assert!(p
-            .check_access(STACK_TOP - 64, 32, true, "f", 0)
-            .is_ok());
+        assert!(p.check_access(STACK_TOP - 64, 32, true, "f", 0).is_ok());
         let e = p.check_access(0x6000_0000, 8, false, "f", 0).unwrap_err();
         assert_eq!(e.kind, CrashKind::UnaddressableAccess);
     }

@@ -17,6 +17,7 @@ fn main() {
         seed: 42,
         deterministic_stage: true,
         stop_after_crashes: 0,
+        ..CampaignConfig::default()
     };
 
     let mut cx = ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("instrument");

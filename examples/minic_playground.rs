@@ -26,7 +26,10 @@ fn main() {
         }
     "#;
     let mut module = minic::compile("playground", src).expect("compiles");
-    println!("== FIR before instrumentation ==\n{}", fir::printer::print_module(&module));
+    println!(
+        "== FIR before instrumentation ==\n{}",
+        fir::printer::print_module(&module)
+    );
 
     let reports = passes::pipelines::closurex_pipeline()
         .run(&mut module)

@@ -42,8 +42,12 @@ fn main() {
     // 3. Run a few test cases by hand: run_count never accumulates.
     for input in [&b"hello"[..], b"world", b"hello"] {
         let out = ex.run(input);
-        println!("input {:?} -> {:?} ({} cycles)", 
-            String::from_utf8_lossy(input), out.status, out.total_cycles());
+        println!(
+            "input {:?} -> {:?} ({} cycles)",
+            String::from_utf8_lossy(input),
+            out.status,
+            out.total_cycles()
+        );
     }
 
     // 4. Let the fuzzer find the planted 'bug' crash.
@@ -52,11 +56,14 @@ fn main() {
         seed: 7,
         deterministic_stage: true,
         stop_after_crashes: 1,
+        ..aflrs::CampaignConfig::default()
     };
     let result = aflrs::run_campaign(&mut ex, &[b"aaa".to_vec()], &cfg);
     println!(
         "\ncampaign: {} execs, {} edges, {} crash site(s)",
-        result.execs, result.edges_found, result.crashes.len()
+        result.execs,
+        result.edges_found,
+        result.crashes.len()
     );
     if let Some(c) = result.crashes.first() {
         println!(

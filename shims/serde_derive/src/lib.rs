@@ -1,0 +1,265 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim.
+//!
+//! No `syn`/`quote` (the build environment has no crates.io access), so the
+//! derive input is parsed directly from the `proc_macro` token stream. The
+//! supported shapes are exactly those used in this workspace:
+//!
+//! * named-field structs,
+//! * tuple structs (newtype included),
+//! * enums with unit, tuple, and named-field variants (no generics).
+//!
+//! `Serialize` lowers to the shim's `serde::Value`; enums use serde's
+//! externally-tagged representation. `Deserialize` emits a marker impl only.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named struct with field names.
+    Struct(Vec<String>),
+    /// Tuple struct with field count.
+    Tuple(usize),
+    /// Enum: (variant name, fields).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Split a field-list token sequence on commas, honoring `<...>` nesting
+/// (groups are already single trees in `proc_macro`, so only angle brackets
+/// need manual depth tracking).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First identifier of a field segment after attributes and visibility —
+/// the field name for named fields.
+fn field_name(segment: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < segment.len() {
+        match &segment[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr: `#` + group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = segment.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_fields_named(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .iter()
+        .filter_map(|seg| field_name(seg))
+        .collect()
+}
+
+fn parse_fields_tuple(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for seg in split_top_level(&tokens) {
+        let mut name = None;
+        let mut shape = VariantShape::Unit;
+        let mut i = 0;
+        while i < seg.len() {
+            match &seg[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+                TokenTree::Ident(id) if name.is_none() => {
+                    name = Some(id.to_string());
+                    i += 1;
+                }
+                TokenTree::Group(g) if name.is_some() => {
+                    shape = match g.delimiter() {
+                        Delimiter::Brace => VariantShape::Named(parse_fields_named(g.stream())),
+                        Delimiter::Parenthesis => {
+                            VariantShape::Tuple(parse_fields_tuple(g.stream()))
+                        }
+                        _ => VariantShape::Unit,
+                    };
+                    i += 1;
+                }
+                // `= discriminant` and anything else after the name: skip.
+                _ => i += 1,
+            }
+        }
+        if let Some(n) = name {
+            variants.push((n, shape));
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type {name})");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_fields_named(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_fields_tuple(g.stream()))
+            }
+            _ => Shape::Tuple(0), // unit struct
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+/// Derive `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let inner = if *n == 1 {
+                            items[0].clone()
+                        } else {
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {fields} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                            fields = fields.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated impl parses")
+}
+
+/// Derive the `serde::Deserialize` marker (shim: no parsing support).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse_input(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl parses")
+}

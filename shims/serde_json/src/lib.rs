@@ -1,0 +1,158 @@
+//! Offline stand-in for `serde_json`: renders the `serde` shim's
+//! [`Value`] data model as JSON text. Only the encoding direction is
+//! implemented — nothing in this workspace parses JSON back.
+
+pub use serde::Value;
+
+/// Serialization error (the shim's encoder is total, so this never occurs;
+/// the type exists for API compatibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Emit integral floats with a trailing .0 so they read back as floats.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        // JSON has no NaN/Inf; serde_json emits null.
+        "null".to_string()
+    }
+}
+
+fn render(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => out.push_str(&fmt_f64(*n)),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                render(item, indent + 1, pretty, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(val, indent + 1, pretty, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, false, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as human-readable, indented JSON.
+///
+/// # Errors
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, true, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]);
+        let mut s = String::new();
+        render(&v, 0, false, &mut s);
+        assert_eq!(s, r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented() {
+        let s = to_string_pretty(&vec![1u8, 2]).unwrap();
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}

@@ -70,6 +70,7 @@ fn correctness_and_speed_on_stateful_target() {
         seed: 3,
         deterministic_stage: false,
         stop_after_crashes: 0,
+        ..CampaignConfig::default()
     };
     let mut cx2 = ClosureXExecutor::new(&module, ClosureXConfig::default()).unwrap();
     let fast = run_campaign(&mut cx2, &[b"seed".to_vec()], &cfg);
@@ -95,6 +96,7 @@ fn benchmarks_run_clean_under_closurex() {
             seed: 1,
             deterministic_stage: false,
             stop_after_crashes: 0,
+            ..CampaignConfig::default()
         };
         let r = run_campaign(&mut ex, &(t.seeds)(), &cfg);
         assert_eq!(
