@@ -5,3 +5,5 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+# Checkpoint/resume correctness gate: kill-and-resume must be byte-identical.
+cargo run --release -p bench --bin checkpoint_eval -- --smoke

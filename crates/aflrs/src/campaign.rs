@@ -3,6 +3,14 @@
 //! Runs a coverage-guided loop against any execution mechanism until a
 //! simulated-cycle budget is exhausted, recording throughput, coverage
 //! growth, and deduplicated crashes with discovery times.
+//!
+//! The loop is structured as an explicit **state machine**: every piece of
+//! state that influences future behavior — the stage position ([`Stage`]),
+//! the queue and its round-robin cursor, both RNG streams, the virgin map,
+//! and every counter — lives in the [`Driver`] and is serializable. That is
+//! what makes crash-safe checkpointing (see [`crate::checkpoint`]) exact: a
+//! campaign killed at any execution boundary and resumed from disk takes
+//! the same decisions, in the same order, as one that never died.
 
 use std::collections::HashMap;
 
@@ -15,6 +23,13 @@ use vmos::CrashKind;
 use crate::mutate;
 use crate::queue::{Queue, QueueEntry};
 use crate::stats::{CampaignResult, CrashRecord, ResilienceCounters};
+
+/// Havoc iterations per scheduled queue entry (AFL's stage cycle).
+pub(crate) const HAVOC_ITERS: u32 = 32;
+
+/// Salt mixed into the campaign seed for the independent backoff-jitter
+/// stream, so backoff draws never perturb the mutation schedule.
+const BACKOFF_SEED_SALT: u64 = 0x6261_636b_6f66_6621; // "backoff!"
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -34,6 +49,18 @@ pub struct CampaignConfig {
     /// the current mutation batch (0 = watchdog off). A wedged substrate
     /// burns the whole budget on fuel exhaustion otherwise.
     pub max_consecutive_hangs: u64,
+    /// Base backoff (simulated cycles) charged before each harness-fault
+    /// retry; doubles per attempt, plus deterministic seeded jitter in
+    /// `[0, base)`. Hammering a faulting substrate with immediate retries
+    /// just re-triggers the same transient fault; the delay — charged to
+    /// the campaign clock as management overhead — gives it room to clear.
+    /// 0 disables backoff.
+    pub retry_backoff_cycles: u64,
+    /// Replay each first-discovery crash in the revalidation executor (a
+    /// fresh process, see [`run_campaign_with`]); records whose crash does
+    /// not reproduce at the same site are tagged
+    /// [`CrashRecord::flaky`] rather than dropped.
+    pub revalidate_crashes: bool,
 }
 
 impl Default for CampaignConfig {
@@ -45,36 +72,176 @@ impl Default for CampaignConfig {
             stop_after_crashes: 0,
             max_retries: 3,
             max_consecutive_hangs: 32,
+            retry_backoff_cycles: 2_000,
+            revalidate_crashes: false,
         }
     }
 }
 
-/// Mutable campaign state, threaded through every execution.
-struct Driver<'e> {
-    executor: &'e mut dyn Executor,
-    queue: Queue,
-    virgin: VirginMap,
-    clock: u64,
-    execs: u64,
-    hangs: u64,
-    mgmt_cycles: u64,
-    exec_cycles: u64,
-    crash_sites: HashMap<(CrashKind, String, u32), usize>,
-    crashes: Vec<CrashRecord>,
-    retries: u64,
-    dropped_inputs: u64,
-    harness_faults: u64,
-    consecutive_hangs: u64,
-    watchdog_trips: u64,
-    max_retries: u32,
-    max_consecutive_hangs: u64,
+/// Where in the campaign loop the driver stands. Every variant carries the
+/// indices needed to resume mid-stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage {
+    /// Running the initial seed corpus; the index is the next seed to run.
+    Seeds(usize),
+    /// Choosing the next queue entry (round-robin).
+    Pick,
+    /// Deterministic stage on `entry`; `mutant` is the next mutant index.
+    Det {
+        /// Queue entry being mutated.
+        entry: usize,
+        /// Next deterministic-mutant index to execute.
+        mutant: usize,
+    },
+    /// Havoc stage on `entry`; `iter` is the next havoc iteration.
+    Havoc {
+        /// Queue entry being mutated.
+        entry: usize,
+        /// Next havoc iteration (0..[`HAVOC_ITERS`]).
+        iter: u32,
+    },
+    /// Budget exhausted (or early-stop); no further executions.
+    Done,
 }
 
-impl Driver<'_> {
+/// What one [`Driver::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Exactly one test case was executed.
+    Ran,
+    /// The campaign is finished; no execution happened.
+    Finished,
+}
+
+/// Mutable campaign state, threaded through every execution. All
+/// behavior-relevant fields are plain data (see module docs); the
+/// checkpoint layer serializes them wholesale.
+pub(crate) struct Driver<'e> {
+    pub(crate) executor: &'e mut dyn Executor,
+    /// Fresh-process executor crashes are replayed in when
+    /// [`CampaignConfig::revalidate_crashes`] is set.
+    pub(crate) revalidator: Option<&'e mut dyn Executor>,
+    pub(crate) cfg: CampaignConfig,
+    pub(crate) seeds: Vec<Vec<u8>>,
+    pub(crate) stage: Stage,
+    pub(crate) rng: SmallRng,
+    pub(crate) backoff_rng: SmallRng,
+    pub(crate) queue: Queue,
+    pub(crate) virgin: VirginMap,
+    pub(crate) clock: u64,
+    pub(crate) execs: u64,
+    pub(crate) hangs: u64,
+    pub(crate) mgmt_cycles: u64,
+    pub(crate) exec_cycles: u64,
+    /// Lookup only — never iterated, so the map's order cannot influence
+    /// campaign behavior, and it is rebuilt from `crashes` on resume.
+    pub(crate) crash_sites: HashMap<(CrashKind, String, u32), usize>,
+    pub(crate) crashes: Vec<CrashRecord>,
+    pub(crate) retries: u64,
+    pub(crate) dropped_inputs: u64,
+    pub(crate) harness_faults: u64,
+    pub(crate) consecutive_hangs: u64,
+    pub(crate) watchdog_trips: u64,
+    /// Deterministic mutants of the entry currently in [`Stage::Det`].
+    /// Pure function of the entry's data — never serialized, rebuilt
+    /// lazily after a resume.
+    det_cache: Option<(usize, Vec<Vec<u8>>)>,
+    /// When set, per-execution deltas are accumulated for the journal.
+    pub(crate) track_deltas: bool,
+    /// Virgin-map bytes changed since the last delta was taken.
+    pub(crate) pending_virgin: Vec<(usize, u8)>,
+    /// Queue indices whose `det_done` flipped since the last delta.
+    pub(crate) pending_det_done: Vec<usize>,
+    /// `(crash index, absolute hit count)` updates since the last delta.
+    pub(crate) pending_crash_hits: Vec<(usize, u64)>,
+    /// Queue length already covered by emitted deltas.
+    pub(crate) journaled_queue_len: usize,
+    /// Crash count already covered by emitted deltas.
+    pub(crate) journaled_crash_len: usize,
+}
+
+impl<'e> Driver<'e> {
+    pub(crate) fn new(
+        executor: &'e mut dyn Executor,
+        revalidator: Option<&'e mut dyn Executor>,
+        seeds: &[Vec<u8>],
+        cfg: &CampaignConfig,
+        track_deltas: bool,
+    ) -> Self {
+        Driver {
+            executor,
+            revalidator,
+            cfg: cfg.clone(),
+            seeds: seeds.to_vec(),
+            stage: Stage::Seeds(0),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            backoff_rng: SmallRng::seed_from_u64(cfg.seed ^ BACKOFF_SEED_SALT),
+            queue: Queue::new(),
+            virgin: VirginMap::new(),
+            clock: 0,
+            execs: 0,
+            hangs: 0,
+            mgmt_cycles: 0,
+            exec_cycles: 0,
+            crash_sites: HashMap::new(),
+            crashes: Vec::new(),
+            retries: 0,
+            dropped_inputs: 0,
+            harness_faults: 0,
+            consecutive_hangs: 0,
+            watchdog_trips: 0,
+            det_cache: None,
+            track_deltas,
+            pending_virgin: Vec::new(),
+            pending_det_done: Vec::new(),
+            pending_crash_hits: Vec::new(),
+            journaled_queue_len: 0,
+            journaled_crash_len: 0,
+        }
+    }
+
+    /// Rebuild the crash-site dedup index from the crash records (after a
+    /// checkpoint load).
+    pub(crate) fn rebuild_crash_sites(&mut self) {
+        self.crash_sites = self
+            .crashes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.crash.site_key(), i))
+            .collect();
+    }
+
+    /// Replay a first-discovery crash in the revalidation executor; returns
+    /// `true` when it reproduced at the same site. The replay's cycles are
+    /// campaign machinery overhead, charged to the clock as management.
+    ///
+    /// Sites are compared modulo the persistent-mode entry-point rename
+    /// (`main` → `target_main`): the revalidator typically runs the
+    /// *untransformed* module, where the same faulting block lives in the
+    /// original function name.
+    fn crash_reproduces(&mut self, input: &[u8], key: &(CrashKind, String, u32)) -> bool {
+        fn canonical(key: &(CrashKind, String, u32)) -> (CrashKind, &str, u32) {
+            (key.0, key.1.strip_prefix("target_").unwrap_or(&key.1), key.2)
+        }
+        let Some(rv) = self.revalidator.as_deref_mut() else {
+            // No revalidator wired up: nothing to contradict the record.
+            return true;
+        };
+        let out = rv.run(input);
+        self.clock += out.total_cycles();
+        self.mgmt_cycles += out.total_cycles();
+        match out.status.crash() {
+            Some(c) => canonical(&c.site_key()) == canonical(key),
+            None => false,
+        }
+    }
+
     /// Execute one input, fold its results into the campaign state, and
     /// enqueue it if it produced new coverage. Harness faults are retried
     /// up to `max_retries` times — they mean the machinery hiccuped, not
     /// that the input is interesting — and dropped if they never clear.
+    /// Each retry waits out an exponential backoff (in simulated cycles)
+    /// with seeded jitter before re-executing.
     fn run_one(&mut self, input: &[u8]) {
         let mut attempts = 0;
         let out = loop {
@@ -87,12 +254,19 @@ impl Driver<'_> {
                 break out;
             }
             self.harness_faults += 1;
-            if attempts >= self.max_retries {
+            if attempts >= self.cfg.max_retries {
                 self.dropped_inputs += 1;
                 return;
             }
             attempts += 1;
             self.retries += 1;
+            if self.cfg.retry_backoff_cycles > 0 {
+                let base = self.cfg.retry_backoff_cycles;
+                let delay =
+                    (base << u64::from(attempts - 1).min(10)) + self.backoff_rng.gen_range(0..base);
+                self.clock += delay;
+                self.mgmt_cycles += delay;
+            }
         };
         match &out.status {
             ExecStatus::Crash(c) => {
@@ -100,13 +274,20 @@ impl Driver<'_> {
                 let key = c.site_key();
                 if let Some(&idx) = self.crash_sites.get(&key) {
                     self.crashes[idx].hits += 1;
+                    if self.track_deltas && idx < self.journaled_crash_len {
+                        self.pending_crash_hits.push((idx, self.crashes[idx].hits));
+                    }
                 } else {
+                    let found_at_cycles = self.clock;
+                    let flaky =
+                        self.cfg.revalidate_crashes && !self.crash_reproduces(input, &key);
                     self.crash_sites.insert(key, self.crashes.len());
                     self.crashes.push(CrashRecord {
                         crash: c.clone(),
-                        found_at_cycles: self.clock,
+                        found_at_cycles,
                         input: input.to_vec(),
                         hits: 1,
+                        flaky,
                     });
                 }
             }
@@ -121,7 +302,13 @@ impl Driver<'_> {
         // crashes/ and hangs/ dirs); only clean coverage-increasing
         // inputs become queue seeds.
         let clean = matches!(out.status, ExecStatus::Exit(_));
-        if self.virgin.merge(self.executor.coverage()) && clean {
+        let new_cov = if self.track_deltas {
+            self.virgin
+                .merge_tracked(self.executor.coverage(), &mut self.pending_virgin)
+        } else {
+            self.virgin.merge(self.executor.coverage())
+        };
+        if new_cov && clean {
             self.queue.push(QueueEntry {
                 data: input.to_vec(),
                 exec_cycles: out.total_cycles(),
@@ -134,7 +321,9 @@ impl Driver<'_> {
     /// Has the consecutive-hang watchdog fired? If so, reset it and record
     /// the trip; the caller abandons its current mutation batch.
     fn watchdog_tripped(&mut self) -> bool {
-        if self.max_consecutive_hangs > 0 && self.consecutive_hangs >= self.max_consecutive_hangs {
+        if self.cfg.max_consecutive_hangs > 0
+            && self.consecutive_hangs >= self.cfg.max_consecutive_hangs
+        {
             self.watchdog_trips += 1;
             self.consecutive_hangs = 0;
             return true;
@@ -142,9 +331,159 @@ impl Driver<'_> {
         false
     }
 
-    fn exhausted(&self, cfg: &CampaignConfig) -> bool {
-        self.clock >= cfg.budget_cycles
-            || (cfg.stop_after_crashes > 0 && self.crashes.len() >= cfg.stop_after_crashes)
+    fn exhausted(&self) -> bool {
+        self.clock >= self.cfg.budget_cycles
+            || (self.cfg.stop_after_crashes > 0 && self.crashes.len() >= self.cfg.stop_after_crashes)
+    }
+
+    /// Advance the campaign by **at most one execution**: internal stage
+    /// transitions (picking the next entry, finishing a mutant batch) are
+    /// folded in until either one test case has run or the campaign is
+    /// done. The one-exec granularity is the checkpoint journal's unit.
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        loop {
+            match self.stage {
+                Stage::Seeds(i) => {
+                    if i < self.seeds.len() {
+                        // The seed corpus always runs in full, budget or
+                        // not — a campaign with no baseline coverage has
+                        // nothing to mutate.
+                        self.stage = Stage::Seeds(i + 1);
+                        let s = self.seeds[i].clone();
+                        self.run_one(&s);
+                        return StepOutcome::Ran;
+                    }
+                    if self.queue.is_empty() {
+                        // Guarantee a mutation base even if no seed added
+                        // coverage.
+                        self.queue.push(QueueEntry {
+                            data: self.seeds.first().cloned().unwrap_or_else(|| vec![0]),
+                            exec_cycles: 1,
+                            found_at: 0,
+                            det_done: true,
+                        });
+                    }
+                    self.stage = Stage::Pick;
+                }
+                Stage::Pick => {
+                    if self.exhausted() {
+                        self.stage = Stage::Done;
+                        continue;
+                    }
+                    // The queue is seeded above and only grows, but a
+                    // campaign must never panic on machinery trouble —
+                    // bail out instead.
+                    let Some(idx) = self.queue.next_index() else {
+                        self.stage = Stage::Done;
+                        continue;
+                    };
+                    let det_pending = self.cfg.deterministic_stage
+                        && !self.queue.get(idx).map(|e| e.det_done).unwrap_or(true);
+                    if det_pending {
+                        // Deterministic stage, once per entry.
+                        if let Some(e) = self.queue.get_mut(idx) {
+                            e.det_done = true;
+                        }
+                        if self.track_deltas {
+                            self.pending_det_done.push(idx);
+                        }
+                        self.stage = Stage::Det {
+                            entry: idx,
+                            mutant: 0,
+                        };
+                    } else {
+                        self.stage = Stage::Havoc {
+                            entry: idx,
+                            iter: 0,
+                        };
+                    }
+                }
+                Stage::Det { entry, mutant } => {
+                    if self.det_cache.as_ref().map(|(e, _)| *e) != Some(entry) {
+                        let base = self
+                            .queue
+                            .get(entry)
+                            .map(|e| e.data.clone())
+                            .unwrap_or_default();
+                        self.det_cache = Some((entry, mutate::deterministic(&base)));
+                    }
+                    let total = self.det_cache.as_ref().map_or(0, |(_, m)| m.len());
+                    if mutant >= total {
+                        self.stage = Stage::Pick;
+                        continue;
+                    }
+                    if self.exhausted() || self.watchdog_tripped() {
+                        self.stage = Stage::Pick;
+                        continue;
+                    }
+                    let m = self.det_cache.as_ref().expect("cache set above").1[mutant].clone();
+                    self.stage = Stage::Det {
+                        entry,
+                        mutant: mutant + 1,
+                    };
+                    self.run_one(&m);
+                    return StepOutcome::Ran;
+                }
+                Stage::Havoc { entry, iter } => {
+                    if iter >= HAVOC_ITERS {
+                        self.stage = Stage::Pick;
+                        continue;
+                    }
+                    if self.exhausted() || self.watchdog_tripped() {
+                        self.stage = Stage::Pick;
+                        continue;
+                    }
+                    let Some(base) = self.queue.get(entry).map(|e| e.data.clone()) else {
+                        self.stage = Stage::Pick;
+                        continue;
+                    };
+                    let other = if self.queue.len() > 1 && self.rng.gen_bool(0.2) {
+                        let j = self.rng.gen_range(0..self.queue.len());
+                        self.queue.get(j).map(|e| e.data.clone())
+                    } else {
+                        None
+                    };
+                    let mutant = mutate::havoc(&base, other.as_deref(), &mut self.rng);
+                    self.stage = Stage::Havoc {
+                        entry,
+                        iter: iter + 1,
+                    };
+                    self.run_one(&mutant);
+                    return StepOutcome::Ran;
+                }
+                Stage::Done => return StepOutcome::Finished,
+            }
+        }
+    }
+
+    /// Assemble the final [`CampaignResult`].
+    pub(crate) fn finish(&mut self) -> CampaignResult {
+        let exec_report = self.executor.resilience();
+        CampaignResult {
+            executor: self.executor.name().to_string(),
+            execs: self.execs,
+            clock_cycles: self.clock,
+            edges_found: self.virgin.edges_found(),
+            coverage_hash: vmos::wire::fnv1a(self.virgin.as_bytes()),
+            crashes: self.crashes.clone(),
+            queue_len: self.queue.len(),
+            hangs: self.hangs,
+            mgmt_cycles: self.mgmt_cycles,
+            exec_cycles: self.exec_cycles,
+            queue_inputs: self.queue.inputs(),
+            resilience: ResilienceCounters {
+                respawns: exec_report.respawns,
+                divergences: exec_report.divergences,
+                integrity_checks: exec_report.integrity_checks,
+                quarantined: exec_report.quarantined,
+                quarantine_dropped: exec_report.quarantine_dropped,
+                harness_faults: self.harness_faults,
+                retries: self.retries,
+                dropped_inputs: self.dropped_inputs,
+                watchdog_trips: self.watchdog_trips,
+                degradation: exec_report.degradation.name().to_string(),
+            },
+        }
     }
 }
 
@@ -154,114 +493,35 @@ pub fn run_campaign(
     seeds: &[Vec<u8>],
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut d = Driver {
-        executor,
-        queue: Queue::new(),
-        virgin: VirginMap::new(),
-        clock: 0,
-        execs: 0,
-        hangs: 0,
-        mgmt_cycles: 0,
-        exec_cycles: 0,
-        crash_sites: HashMap::new(),
-        crashes: Vec::new(),
-        retries: 0,
-        dropped_inputs: 0,
-        harness_faults: 0,
-        consecutive_hangs: 0,
-        watchdog_trips: 0,
-        max_retries: cfg.max_retries,
-        max_consecutive_hangs: cfg.max_consecutive_hangs,
-    };
+    run_campaign_with(executor, None, seeds, cfg)
+}
 
-    for s in seeds {
-        d.run_one(s);
-    }
-    if d.queue.is_empty() {
-        // Guarantee a mutation base even if no seed added coverage.
-        d.queue.push(QueueEntry {
-            data: seeds.first().cloned().unwrap_or_else(|| vec![0]),
-            exec_cycles: 1,
-            found_at: 0,
-            det_done: true,
-        });
-    }
-
-    while !d.exhausted(cfg) {
-        // The queue is seeded above and only grows, but a campaign must
-        // never panic on machinery trouble — bail out instead.
-        let Some(idx) = d.queue.next_index() else {
-            break;
-        };
-
-        // Deterministic stage, once per entry.
-        if cfg.deterministic_stage && !d.queue.get(idx).map(|e| e.det_done).unwrap_or(true) {
-            if let Some(e) = d.queue.get_mut(idx) {
-                e.det_done = true;
-            }
-            let Some(base) = d.queue.get(idx).map(|e| e.data.clone()) else {
-                continue;
-            };
-            for m in mutate::deterministic(&base) {
-                if d.exhausted(cfg) || d.watchdog_tripped() {
-                    break;
-                }
-                d.run_one(&m);
-            }
-            continue;
-        }
-
-        // Havoc stage.
-        let Some(base) = d.queue.get(idx).map(|e| e.data.clone()) else {
-            continue;
-        };
-        for _ in 0..32 {
-            if d.exhausted(cfg) || d.watchdog_tripped() {
-                break;
-            }
-            let other = if d.queue.len() > 1 && rng.gen_bool(0.2) {
-                let j = rng.gen_range(0..d.queue.len());
-                d.queue.get(j).map(|e| e.data.clone())
-            } else {
-                None
-            };
-            let mutant = mutate::havoc(&base, other.as_deref(), &mut rng);
-            d.run_one(&mutant);
-        }
-    }
-
-    let exec_report = d.executor.resilience();
-    CampaignResult {
-        executor: d.executor.name().to_string(),
-        execs: d.execs,
-        clock_cycles: d.clock,
-        edges_found: d.virgin.edges_found(),
-        crashes: d.crashes,
-        queue_len: d.queue.len(),
-        hangs: d.hangs,
-        mgmt_cycles: d.mgmt_cycles,
-        exec_cycles: d.exec_cycles,
-        queue_inputs: d.queue.inputs(),
-        resilience: ResilienceCounters {
-            respawns: exec_report.respawns,
-            divergences: exec_report.divergences,
-            integrity_checks: exec_report.integrity_checks,
-            quarantined: exec_report.quarantined,
-            harness_faults: d.harness_faults,
-            retries: d.retries,
-            dropped_inputs: d.dropped_inputs,
-            watchdog_trips: d.watchdog_trips,
-            degradation: exec_report.degradation.name().to_string(),
-        },
-    }
+/// [`run_campaign`] with an optional crash-revalidation executor. When
+/// [`CampaignConfig::revalidate_crashes`] is set, every first-discovery
+/// crash is replayed in `revalidator` — by convention a
+/// `FreshProcessExecutor` over the same target, whose fresh-process
+/// semantics are the ground truth persistent-mode crashes are judged
+/// against. Crashes that do not reproduce there are tagged
+/// [`CrashRecord::flaky`] (stale persistent-mode state is the usual
+/// culprit) but kept: a flaky crash may still be a real stateful bug.
+pub fn run_campaign_with<'e>(
+    executor: &'e mut dyn Executor,
+    revalidator: Option<&'e mut dyn Executor>,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let mut d = Driver::new(executor, revalidator, seeds, cfg, false);
+    while d.step() == StepOutcome::Ran {}
+    d.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use closurex::forkserver::ForkServerExecutor;
+    use closurex::fresh::FreshProcessExecutor;
     use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+    use closurex::naive::NaivePersistentExecutor;
 
     const TARGET: &str = r#"
         global total;
@@ -308,6 +568,7 @@ mod tests {
             res.execs
         );
         assert_eq!(res.crashes[0].crash.kind, vmos::CrashKind::NullPtrDeref);
+        assert!(!res.crashes[0].flaky, "revalidation off: never tagged");
         assert!(res.queue_len >= 2, "coverage ladder must grow the queue");
     }
 
@@ -350,5 +611,116 @@ mod tests {
         let rb = run_campaign(&mut b, &[b"seed".to_vec()], &cfg);
         assert_eq!(ra.execs, rb.execs);
         assert_eq!(ra.edges_found, rb.edges_found);
+        assert_eq!(ra.coverage_hash, rb.coverage_hash);
+    }
+
+    #[test]
+    fn delta_tracking_does_not_change_campaign_behavior() {
+        // The journaling hooks must be pure observation: a driver with
+        // delta tracking on takes the exact same decisions.
+        let m = minic::compile("t", TARGET).unwrap();
+        let cfg = CampaignConfig {
+            budget_cycles: 8_000_000,
+            seed: 42,
+            ..CampaignConfig::default()
+        };
+        let mut a = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let ra = run_campaign(&mut a, &[b"seed".to_vec()], &cfg);
+        let mut b = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let mut d = Driver::new(&mut b, None, &[b"seed".to_vec()], &cfg, true);
+        while d.step() == StepOutcome::Ran {}
+        let rb = d.finish();
+        assert_eq!(ra.execs, rb.execs);
+        assert_eq!(ra.clock_cycles, rb.clock_cycles);
+        assert_eq!(ra.coverage_hash, rb.coverage_hash);
+        assert_eq!(ra.queue_inputs, rb.queue_inputs);
+    }
+
+    #[test]
+    fn retry_backoff_charges_deterministic_cycles() {
+        // Under constant fork refusal every input faults through all
+        // retries; with backoff the clock must advance strictly faster
+        // than without, and identically across runs with the same seed.
+        let m = minic::compile("t", "fn main() { return load64(0); }").unwrap();
+        let run = |backoff| {
+            let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+            ex.inject_faults(vmos::FaultPlan {
+                seed: 5,
+                fork_fail: 1.0,
+                ..vmos::FaultPlan::none()
+            });
+            let cfg = CampaignConfig {
+                budget_cycles: 2_000_000,
+                seed: 7,
+                retry_backoff_cycles: backoff,
+                ..CampaignConfig::default()
+            };
+            run_campaign(&mut ex, &[b"X".to_vec()], &cfg)
+        };
+        let with = run(10_000);
+        let with2 = run(10_000);
+        let without = run(0);
+        assert!(with.resilience.retries > 0, "faults must trigger retries");
+        assert_eq!(
+            with.clock_cycles, with2.clock_cycles,
+            "jittered backoff must still be deterministic"
+        );
+        assert!(
+            with.execs < without.execs,
+            "backoff must slow the retry hammer: {} vs {}",
+            with.execs,
+            without.execs
+        );
+    }
+
+    #[test]
+    fn stateful_crash_tagged_flaky_by_revalidation() {
+        // Naive persistent execution accumulates `count` across runs; the
+        // crash only fires from stale state, so a fresh-process replay
+        // cannot reproduce it — exactly what the flaky tag is for.
+        let src = r#"
+            global count;
+            fn main() {
+                count = count + 1;
+                if (count > 1) { return load64(0); }
+                return 0;
+            }
+        "#;
+        let m = minic::compile("t", src).unwrap();
+        let mut ex = NaivePersistentExecutor::new(&m).unwrap();
+        let mut rv = FreshProcessExecutor::new(&m).unwrap();
+        let cfg = CampaignConfig {
+            budget_cycles: 1_000_000,
+            seed: 3,
+            stop_after_crashes: 1,
+            revalidate_crashes: true,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign_with(&mut ex, Some(&mut rv), &[b"a".to_vec()], &cfg);
+        assert!(!res.crashes.is_empty(), "stale-state crash must fire");
+        assert!(
+            res.crashes[0].flaky,
+            "fresh replay can't reproduce a stale-state crash"
+        );
+    }
+
+    #[test]
+    fn genuine_crash_not_tagged_flaky() {
+        let m = minic::compile("t", TARGET).unwrap();
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+        let mut rv = FreshProcessExecutor::new(&m).unwrap();
+        let cfg = CampaignConfig {
+            budget_cycles: 80_000_000,
+            seed: 11,
+            stop_after_crashes: 1,
+            revalidate_crashes: true,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign_with(&mut ex, Some(&mut rv), &[b"FAAA".to_vec()], &cfg);
+        assert!(!res.crashes.is_empty());
+        assert!(
+            !res.crashes[0].flaky,
+            "the planted crash reproduces in a fresh process"
+        );
     }
 }

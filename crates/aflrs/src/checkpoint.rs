@@ -1,0 +1,1169 @@
+//! Crash-safe campaign checkpointing: versioned snapshots plus a
+//! write-ahead journal of per-execution deltas, with deterministic resume.
+//!
+//! A fuzzing campaign is a long-running investment; a power cut or an OOM
+//! kill must not discard it. This module persists the campaign state
+//! machine of [`crate::campaign`] so that a campaign killed at **any**
+//! execution boundary resumes bit-for-bit identically — same coverage map,
+//! same queue, same crash records, same simulated clock — as a campaign
+//! that never died.
+//!
+//! # On-disk layout
+//!
+//! Inside the checkpoint directory:
+//!
+//! * `ckpt-{execs:012}.bin` — a full snapshot of the campaign state after
+//!   `execs` executions: `"CXCK"` magic, format version, FNV-1a checksum,
+//!   payload length, then the serialized state (queue + cursor, virgin
+//!   map, crash records, both RNG streams, stage position, all counters,
+//!   and the executor's exported state). Written atomically
+//!   (write-temp-then-rename); older snapshots are rotated away, keeping
+//!   [`CheckpointConfig::keep_snapshots`].
+//! * `journal-{base:012}.bin` — the write-ahead journal that starts at
+//!   snapshot `base`: `"CXJL"` header, then one length- and
+//!   checksum-framed [`DeltaRecord`] per execution. A torn final record
+//!   (the write the kill interrupted) is detected by its checksum and
+//!   dropped.
+//!
+//! # Resume semantics
+//!
+//! [`resume_campaign`] loads the **newest snapshot that validates**; a
+//! corrupt or version-mismatched snapshot is skipped and the previous one
+//! used instead, with the journal *chain* (`journal-{S1}` covers
+//! `S1..S2`, …) replayed across the gap. Journal replay applies recorded
+//! state patches — it never re-executes inputs — so resume cost is
+//! proportional to the journal tail, not the campaign. Checkpoint I/O
+//! charges **zero simulated cycles**: a checkpointed campaign's result is
+//! identical to an uncheckpointed one.
+//!
+//! The executor handed to `resume_campaign` must be freshly constructed
+//! from the same module and configuration (construction is deterministic),
+//! with any fault plan re-armed *before* the call; the checkpoint then
+//! restores its mutable counters via
+//! [`Executor::restore_state`](closurex::executor::Executor::restore_state).
+//! Exact resume needs an export-capable executor (ClosureX, fresh
+//! process); mechanisms whose `export_state` returns `None` resume with
+//! fresh executor counters.
+
+use std::fs;
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use closurex::checkpoint::ExecutorState;
+use closurex::executor::Executor;
+use closurex::resilience::HarnessError;
+use rand::rngs::SmallRng;
+use vmos::cov::VirginMap;
+use vmos::wire::fnv1a;
+use vmos::{Crash, Reader, WireError, Writer};
+
+use crate::campaign::{CampaignConfig, Driver, Stage, StepOutcome};
+use crate::queue::QueueEntry;
+use crate::stats::{CampaignResult, CrashRecord};
+
+/// Checkpoint format version; bump on any wire-layout change.
+const FORMAT_VERSION: u32 = 1;
+/// Snapshot file magic.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"CXCK";
+/// Journal file magic.
+const JOURNAL_MAGIC: &[u8; 4] = b"CXJL";
+/// Bytes before a journal's first record: magic + version + base execs.
+const JOURNAL_HEADER_LEN: u64 = 16;
+
+/// When checkpoint files are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Never fsync — fastest; a kill may lose OS-buffered records (they
+    /// are detected as a torn tail, so correctness is unaffected).
+    Never,
+    /// Fsync snapshots only (the default): a kill loses at most the
+    /// journal tail since the last snapshot flush.
+    #[default]
+    OnSnapshot,
+    /// Fsync after every journal record: at most the in-flight execution
+    /// is lost. Paranoid and slow.
+    EveryRecord,
+}
+
+/// Checkpointing parameters.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory the snapshot/journal files live in (created on demand).
+    pub dir: PathBuf,
+    /// Write a full snapshot every this many executions (0 = only the
+    /// initial and final snapshots; the journal covers everything else).
+    pub snapshot_every_execs: u64,
+    /// How many most-recent snapshots to retain; older ones (and the
+    /// journals wholly before the oldest kept snapshot) are deleted.
+    pub keep_snapshots: usize,
+    /// Flush policy.
+    pub fsync: FsyncPolicy,
+    /// Simulate a SIGKILL after this many executions: the campaign stops
+    /// abruptly — no final snapshot, no graceful shutdown — and returns
+    /// [`CampaignOutcome::Killed`]. Test-harness hook for the
+    /// kill-and-resume torture evaluation.
+    pub kill_after_execs: Option<u64>,
+}
+
+impl CheckpointConfig {
+    /// Defaults: snapshot every 2000 execs, keep 2, fsync on snapshot.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            snapshot_every_execs: 2_000,
+            keep_snapshots: 2,
+            fsync: FsyncPolicy::default(),
+            kill_after_execs: None,
+        }
+    }
+}
+
+/// How a checkpointed campaign ended.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one outcome per campaign; size is fine
+pub enum CampaignOutcome {
+    /// Budget exhausted (or early-stop): the normal result.
+    Finished(CampaignResult),
+    /// The simulated kill fired after `execs` executions; resume with
+    /// [`resume_campaign`].
+    Killed {
+        /// Executions completed (and journaled) before the kill.
+        execs: u64,
+    },
+}
+
+impl CampaignOutcome {
+    /// The result, if the campaign finished.
+    pub fn finished(self) -> Option<CampaignResult> {
+        match self {
+            CampaignOutcome::Finished(r) => Some(r),
+            CampaignOutcome::Killed { .. } => None,
+        }
+    }
+}
+
+/// What [`resume_campaign`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Execution count of the snapshot the resume started from.
+    pub snapshot_execs: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub records_applied: u64,
+    /// Snapshots that failed validation (corrupt / truncated / wrong
+    /// version) and were skipped in favor of an older one.
+    pub corrupt_snapshots_skipped: u64,
+    /// Whether a torn (checksum-failing) journal tail was dropped.
+    pub torn_tail: bool,
+}
+
+/// Checkpointing failure.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// No snapshot in the directory survived validation.
+    NoUsableSnapshot,
+    /// The executor refused to restore the checkpointed state.
+    Executor(HarnessError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::NoUsableSnapshot => {
+                write!(f, "no usable snapshot in checkpoint directory")
+            }
+            CheckpointError::Executor(e) => write!(f, "executor state restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs for the campaign types.
+// ---------------------------------------------------------------------------
+
+impl Stage {
+    fn encode(self, w: &mut Writer) {
+        match self {
+            Stage::Seeds(i) => {
+                w.put_u8(0);
+                w.put_usize(i);
+                w.put_u64(0);
+            }
+            Stage::Pick => {
+                w.put_u8(1);
+                w.put_u64(0);
+                w.put_u64(0);
+            }
+            Stage::Det { entry, mutant } => {
+                w.put_u8(2);
+                w.put_usize(entry);
+                w.put_usize(mutant);
+            }
+            Stage::Havoc { entry, iter } => {
+                w.put_u8(3);
+                w.put_usize(entry);
+                w.put_u64(u64::from(iter));
+            }
+            Stage::Done => {
+                w.put_u8(4);
+                w.put_u64(0);
+                w.put_u64(0);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        let a = r.get_u64()?;
+        let b = r.get_u64()?;
+        Ok(match tag {
+            0 => Stage::Seeds(a as usize),
+            1 => Stage::Pick,
+            2 => Stage::Det {
+                entry: a as usize,
+                mutant: b as usize,
+            },
+            3 => Stage::Havoc {
+                entry: a as usize,
+                iter: u32::try_from(b).map_err(|_| WireError::Malformed("havoc iter"))?,
+            },
+            4 => Stage::Done,
+            _ => return Err(WireError::Malformed("stage tag")),
+        })
+    }
+}
+
+fn encode_entry(e: &QueueEntry, w: &mut Writer) {
+    w.put_bytes(&e.data);
+    w.put_u64(e.exec_cycles);
+    w.put_u64(e.found_at);
+    w.put_bool(e.det_done);
+}
+
+fn decode_entry(r: &mut Reader<'_>) -> Result<QueueEntry, WireError> {
+    Ok(QueueEntry {
+        data: r.get_bytes()?,
+        exec_cycles: r.get_u64()?,
+        found_at: r.get_u64()?,
+        det_done: r.get_bool()?,
+    })
+}
+
+fn encode_crash_record(c: &CrashRecord, w: &mut Writer) {
+    c.crash.encode(w);
+    w.put_u64(c.found_at_cycles);
+    w.put_bytes(&c.input);
+    w.put_u64(c.hits);
+    w.put_bool(c.flaky);
+}
+
+fn decode_crash_record(r: &mut Reader<'_>) -> Result<CrashRecord, WireError> {
+    Ok(CrashRecord {
+        crash: Crash::decode(r)?,
+        found_at_cycles: r.get_u64()?,
+        input: r.get_bytes()?,
+        hits: r.get_u64()?,
+        flaky: r.get_bool()?,
+    })
+}
+
+fn encode_rng(s: [u64; 4], w: &mut Writer) {
+    for v in s {
+        w.put_u64(v);
+    }
+}
+
+fn decode_rng(r: &mut Reader<'_>) -> Result<[u64; 4], WireError> {
+    let mut s = [0u64; 4];
+    for v in &mut s {
+        *v = r.get_u64()?;
+    }
+    Ok(s)
+}
+
+fn encode_exec_state(es: &Option<ExecutorState>, w: &mut Writer) {
+    match es {
+        Some(s) => {
+            w.put_bool(true);
+            s.encode(w);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn decode_exec_state(r: &mut Reader<'_>) -> Result<Option<ExecutorState>, WireError> {
+    Ok(if r.get_bool()? {
+        Some(ExecutorState::decode(r)?)
+    } else {
+        None
+    })
+}
+
+/// The shared scalar block both snapshots and deltas carry: absolute
+/// values of every behavior-relevant campaign scalar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Scalars {
+    pub(crate) stage: Stage,
+    pub(crate) clock: u64,
+    pub(crate) execs: u64,
+    pub(crate) hangs: u64,
+    pub(crate) mgmt_cycles: u64,
+    pub(crate) exec_cycles: u64,
+    pub(crate) retries: u64,
+    pub(crate) dropped_inputs: u64,
+    pub(crate) harness_faults: u64,
+    pub(crate) consecutive_hangs: u64,
+    pub(crate) watchdog_trips: u64,
+    pub(crate) rng: [u64; 4],
+    pub(crate) backoff_rng: [u64; 4],
+    pub(crate) cursor: u64,
+}
+
+impl Scalars {
+    fn capture(d: &Driver<'_>) -> Self {
+        Scalars {
+            stage: d.stage,
+            clock: d.clock,
+            execs: d.execs,
+            hangs: d.hangs,
+            mgmt_cycles: d.mgmt_cycles,
+            exec_cycles: d.exec_cycles,
+            retries: d.retries,
+            dropped_inputs: d.dropped_inputs,
+            harness_faults: d.harness_faults,
+            consecutive_hangs: d.consecutive_hangs,
+            watchdog_trips: d.watchdog_trips,
+            rng: d.rng.state(),
+            backoff_rng: d.backoff_rng.state(),
+            cursor: d.queue.cursor() as u64,
+        }
+    }
+
+    fn apply(&self, d: &mut Driver<'_>) {
+        d.stage = self.stage;
+        d.clock = self.clock;
+        d.execs = self.execs;
+        d.hangs = self.hangs;
+        d.mgmt_cycles = self.mgmt_cycles;
+        d.exec_cycles = self.exec_cycles;
+        d.retries = self.retries;
+        d.dropped_inputs = self.dropped_inputs;
+        d.harness_faults = self.harness_faults;
+        d.consecutive_hangs = self.consecutive_hangs;
+        d.watchdog_trips = self.watchdog_trips;
+        d.rng = SmallRng::from_state(self.rng);
+        d.backoff_rng = SmallRng::from_state(self.backoff_rng);
+        d.queue.set_cursor(self.cursor as usize);
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        self.stage.encode(w);
+        w.put_u64(self.clock);
+        w.put_u64(self.execs);
+        w.put_u64(self.hangs);
+        w.put_u64(self.mgmt_cycles);
+        w.put_u64(self.exec_cycles);
+        w.put_u64(self.retries);
+        w.put_u64(self.dropped_inputs);
+        w.put_u64(self.harness_faults);
+        w.put_u64(self.consecutive_hangs);
+        w.put_u64(self.watchdog_trips);
+        encode_rng(self.rng, w);
+        encode_rng(self.backoff_rng, w);
+        w.put_u64(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Scalars {
+            stage: Stage::decode(r)?,
+            clock: r.get_u64()?,
+            execs: r.get_u64()?,
+            hangs: r.get_u64()?,
+            mgmt_cycles: r.get_u64()?,
+            exec_cycles: r.get_u64()?,
+            retries: r.get_u64()?,
+            dropped_inputs: r.get_u64()?,
+            harness_faults: r.get_u64()?,
+            consecutive_hangs: r.get_u64()?,
+            watchdog_trips: r.get_u64()?,
+            rng: decode_rng(r)?,
+            backoff_rng: decode_rng(r)?,
+            cursor: r.get_u64()?,
+        })
+    }
+}
+
+/// A full campaign snapshot: the serializable image of a [`Driver`].
+#[derive(Debug, Clone)]
+pub(crate) struct SnapshotState {
+    pub(crate) scalars: Scalars,
+    pub(crate) entries: Vec<QueueEntry>,
+    pub(crate) virgin: VirginMap,
+    pub(crate) crashes: Vec<CrashRecord>,
+    pub(crate) exec_state: Option<ExecutorState>,
+}
+
+impl SnapshotState {
+    pub(crate) fn capture(d: &Driver<'_>) -> Self {
+        SnapshotState {
+            scalars: Scalars::capture(d),
+            entries: d.queue.iter().cloned().collect(),
+            virgin: d.virgin.clone(),
+            crashes: d.crashes.clone(),
+            exec_state: d.executor.export_state(),
+        }
+    }
+
+    /// Install this snapshot into a freshly constructed driver.
+    pub(crate) fn apply(self, d: &mut Driver<'_>) -> Result<(), CheckpointError> {
+        for e in self.entries {
+            d.queue.push(e);
+        }
+        self.scalars.apply(d); // after pushes: cursor must not be clobbered
+        d.virgin = self.virgin;
+        d.crashes = self.crashes;
+        d.rebuild_crash_sites();
+        d.journaled_queue_len = d.queue.len();
+        d.journaled_crash_len = d.crashes.len();
+        if let Some(es) = &self.exec_state {
+            d.executor.restore_state(es).map_err(CheckpointError::Executor)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.scalars.encode(&mut w);
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            encode_entry(e, &mut w);
+        }
+        self.virgin.encode(&mut w);
+        w.put_usize(self.crashes.len());
+        for c in &self.crashes {
+            encode_crash_record(c, &mut w);
+        }
+        encode_exec_state(&self.exec_state, &mut w);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let scalars = Scalars::decode(&mut r)?;
+        let n = r.get_count()?;
+        if n > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(decode_entry(&mut r)?);
+        }
+        let virgin = VirginMap::decode(&mut r)?;
+        let n = r.get_count()?;
+        if n > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut crashes = Vec::with_capacity(n);
+        for _ in 0..n {
+            crashes.push(decode_crash_record(&mut r)?);
+        }
+        let exec_state = decode_exec_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::Malformed("trailing snapshot bytes"));
+        }
+        Ok(SnapshotState {
+            scalars,
+            entries,
+            virgin,
+            crashes,
+            exec_state,
+        })
+    }
+}
+
+/// One journaled execution: the absolute post-execution scalars plus the
+/// incremental collection changes since the previous record. Replay is a
+/// pure state patch — no input is re-executed.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaRecord {
+    pub(crate) scalars: Scalars,
+    pub(crate) new_entries: Vec<QueueEntry>,
+    pub(crate) det_done: Vec<u64>,
+    pub(crate) new_crashes: Vec<CrashRecord>,
+    pub(crate) crash_hits: Vec<(u64, u64)>,
+    pub(crate) virgin: Vec<(u32, u8)>,
+    pub(crate) exec_state: Option<ExecutorState>,
+}
+
+impl DeltaRecord {
+    /// Drain the driver's pending-delta trackers into a record.
+    pub(crate) fn take(d: &mut Driver<'_>) -> Self {
+        let new_entries: Vec<QueueEntry> =
+            d.queue.iter().skip(d.journaled_queue_len).cloned().collect();
+        d.journaled_queue_len = d.queue.len();
+        let new_crashes = d.crashes[d.journaled_crash_len..].to_vec();
+        d.journaled_crash_len = d.crashes.len();
+        DeltaRecord {
+            scalars: Scalars::capture(d),
+            new_entries,
+            det_done: std::mem::take(&mut d.pending_det_done)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect(),
+            new_crashes,
+            crash_hits: std::mem::take(&mut d.pending_crash_hits)
+                .into_iter()
+                .map(|(i, h)| (i as u64, h))
+                .collect(),
+            virgin: std::mem::take(&mut d.pending_virgin)
+                .into_iter()
+                .map(|(i, v)| (i as u32, v))
+                .collect(),
+            exec_state: d.executor.export_state(),
+        }
+    }
+
+    /// Patch the driver's state with this record. The executor state is
+    /// *not* applied here (only the final record's matters; the caller
+    /// applies it once at the end of replay).
+    pub(crate) fn apply(&self, d: &mut Driver<'_>) {
+        for e in &self.new_entries {
+            d.queue.push(e.clone());
+        }
+        self.scalars.apply(d);
+        for &i in &self.det_done {
+            if let Some(e) = d.queue.get_mut(i as usize) {
+                e.det_done = true;
+            }
+        }
+        for c in &self.new_crashes {
+            d.crash_sites.insert(c.crash.site_key(), d.crashes.len());
+            d.crashes.push(c.clone());
+        }
+        for &(i, hits) in &self.crash_hits {
+            if let Some(rec) = d.crashes.get_mut(i as usize) {
+                rec.hits = hits;
+            }
+        }
+        for &(i, v) in &self.virgin {
+            d.virgin.set_byte(i as usize, v);
+        }
+        d.journaled_queue_len = d.queue.len();
+        d.journaled_crash_len = d.crashes.len();
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.scalars.encode(&mut w);
+        w.put_usize(self.new_entries.len());
+        for e in &self.new_entries {
+            encode_entry(e, &mut w);
+        }
+        w.put_usize(self.det_done.len());
+        for &i in &self.det_done {
+            w.put_u64(i);
+        }
+        w.put_usize(self.new_crashes.len());
+        for c in &self.new_crashes {
+            encode_crash_record(c, &mut w);
+        }
+        w.put_usize(self.crash_hits.len());
+        for &(i, h) in &self.crash_hits {
+            w.put_u64(i);
+            w.put_u64(h);
+        }
+        w.put_usize(self.virgin.len());
+        for &(i, v) in &self.virgin {
+            w.put_u32(i);
+            w.put_u8(v);
+        }
+        encode_exec_state(&self.exec_state, &mut w);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let scalars = Scalars::decode(&mut r)?;
+        let n = r.get_count()?;
+        if n > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut new_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            new_entries.push(decode_entry(&mut r)?);
+        }
+        let n = r.get_count()?;
+        if n > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut det_done = Vec::with_capacity(n);
+        for _ in 0..n {
+            det_done.push(r.get_u64()?);
+        }
+        let n = r.get_count()?;
+        if n > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut new_crashes = Vec::with_capacity(n);
+        for _ in 0..n {
+            new_crashes.push(decode_crash_record(&mut r)?);
+        }
+        let n = r.get_count()?;
+        if n > r.remaining() / 16 {
+            return Err(WireError::Truncated);
+        }
+        let mut crash_hits = Vec::with_capacity(n);
+        for _ in 0..n {
+            crash_hits.push((r.get_u64()?, r.get_u64()?));
+        }
+        let n = r.get_count()?;
+        if n > r.remaining() / 5 {
+            return Err(WireError::Truncated);
+        }
+        let mut virgin = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = r.get_u32()?;
+            if i as usize >= vmos::MAP_SIZE {
+                return Err(WireError::Malformed("virgin index out of range"));
+            }
+            virgin.push((i, r.get_u8()?));
+        }
+        let exec_state = decode_exec_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::Malformed("trailing delta bytes"));
+        }
+        Ok(DeltaRecord {
+            scalars,
+            new_entries,
+            det_done,
+            new_crashes,
+            crash_hits,
+            virgin,
+            exec_state,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Files.
+// ---------------------------------------------------------------------------
+
+fn snapshot_path(dir: &Path, execs: u64) -> PathBuf {
+    dir.join(format!("ckpt-{execs:012}.bin"))
+}
+
+fn journal_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("journal-{base:012}.bin"))
+}
+
+/// Parse `{prefix}-{12 digits}.bin` file names, returning the number.
+fn parse_numbered(name: &str, prefix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(".bin")?;
+    (rest.len() == 12 && rest.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| rest.parse().ok())
+        .flatten()
+}
+
+/// All `{prefix}-N.bin` files in `dir`, sorted ascending by N.
+fn list_numbered(dir: &Path, prefix: &str) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(n) = entry.file_name().to_str().and_then(|s| parse_numbered(s, prefix)) {
+            out.push((n, entry.path()));
+        }
+    }
+    out.sort_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+/// Seal a snapshot payload with the magic + version + checksum header.
+pub(crate) fn seal_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + 24);
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Atomically write a snapshot: seal the payload with version + checksum,
+/// write to a temp file, optionally fsync, then rename into place.
+fn write_snapshot(dir: &Path, d: &Driver<'_>, fsync: FsyncPolicy) -> std::io::Result<()> {
+    let bytes = seal_snapshot(&SnapshotState::capture(d).encode());
+    let final_path = snapshot_path(dir, d.execs);
+    let tmp = final_path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        if fsync != FsyncPolicy::Never {
+            f.sync_data()?;
+        }
+    }
+    fs::rename(&tmp, &final_path)
+}
+
+/// Load and validate one snapshot file.
+pub(crate) fn load_snapshot(path: &Path) -> Result<SnapshotState, WireError> {
+    let bytes = fs::read(path).map_err(|_| WireError::Truncated)?;
+    if bytes.len() < 24 || &bytes[0..4] != SNAPSHOT_MAGIC {
+        return Err(WireError::Malformed("snapshot magic"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(WireError::Malformed("snapshot version"));
+    }
+    let checksum = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[24..];
+    if len != payload.len() as u64 {
+        return Err(WireError::Truncated);
+    }
+    if fnv1a(payload) != checksum {
+        return Err(WireError::Malformed("snapshot checksum"));
+    }
+    SnapshotState::decode(payload)
+}
+
+/// Delete snapshots beyond the newest `keep`, and journals that start
+/// before the oldest kept snapshot (nothing can resume from them anymore).
+fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
+    let snaps = list_numbered(dir, "ckpt-")?;
+    let keep = keep.max(1);
+    if snaps.len() <= keep {
+        return Ok(());
+    }
+    let cutoff = snaps[snaps.len() - keep].0;
+    for (n, path) in &snaps[..snaps.len() - keep] {
+        let _ = (n, fs::remove_file(path));
+    }
+    for (base, path) in list_numbered(dir, "journal-")? {
+        if base < cutoff {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// The append side of the write-ahead journal.
+struct Journal {
+    file: fs::File,
+    fsync: FsyncPolicy,
+}
+
+impl Journal {
+    /// Create (truncating) the journal for snapshot `base`.
+    fn create(dir: &Path, base: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
+        let mut file = fs::File::create(journal_path(dir, base))?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        file.write_all(&base.to_le_bytes())?;
+        if fsync != FsyncPolicy::Never {
+            file.sync_data()?;
+        }
+        Ok(Journal { file, fsync })
+    }
+
+    /// Re-open an existing journal after replay, truncating away a torn
+    /// tail (`valid_len` is the last byte replay validated).
+    fn reopen(path: &Path, valid_len: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
+        let file = fs::OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Journal { file, fsync })
+    }
+
+    /// Append one length- and checksum-framed record.
+    fn append(&mut self, rec: &DeltaRecord) -> std::io::Result<()> {
+        let payload = rec.encode();
+        self.file
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.file.write_all(&fnv1a(&payload).to_le_bytes())?;
+        self.file.write_all(&payload)?;
+        if self.fsync == FsyncPolicy::EveryRecord {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Read a journal, validating the header against `expected_base` and every
+/// record's checksum. Returns the decoded records, the byte length of the
+/// valid prefix, and whether a torn tail was dropped. A journal whose
+/// *header* is invalid yields `None` (it cannot be chained or appended to).
+#[allow(clippy::type_complexity)]
+fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<DeltaRecord>, u64, bool)> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < JOURNAL_HEADER_LEN as usize
+        || &bytes[0..4] != JOURNAL_MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) != FORMAT_VERSION
+        || u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) != expected_base
+    {
+        return None;
+    }
+    let mut records = Vec::new();
+    let mut pos = JOURNAL_HEADER_LEN as usize;
+    let mut torn = false;
+    while pos < bytes.len() {
+        if pos + 12 > bytes.len() {
+            torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
+            torn = true;
+            break;
+        };
+        if fnv1a(payload) != checksum {
+            torn = true;
+            break;
+        }
+        let Ok(rec) = DeltaRecord::decode(payload) else {
+            torn = true;
+            break;
+        };
+        records.push(rec);
+        pos += 12 + len;
+    }
+    Some((records, pos as u64, torn))
+}
+
+// ---------------------------------------------------------------------------
+// The checkpointed campaign loop.
+// ---------------------------------------------------------------------------
+
+/// Step the driver to completion (or the simulated kill), journaling each
+/// execution and snapshotting on cadence.
+fn drive(
+    mut d: Driver<'_>,
+    ck: &CheckpointConfig,
+    mut journal: Journal,
+) -> Result<CampaignOutcome, CheckpointError> {
+    loop {
+        if d.step() == StepOutcome::Finished {
+            let result = d.finish();
+            // A final snapshot so a finished directory is self-describing.
+            write_snapshot(&ck.dir, &d, ck.fsync)?;
+            rotate(&ck.dir, ck.keep_snapshots)?;
+            return Ok(CampaignOutcome::Finished(result));
+        }
+        journal.append(&DeltaRecord::take(&mut d))?;
+        if let Some(k) = ck.kill_after_execs {
+            if d.execs >= k {
+                // Simulated SIGKILL: stop right here — no snapshot, no
+                // cleanup. Whatever reached the files is all resume gets.
+                return Ok(CampaignOutcome::Killed { execs: d.execs });
+            }
+        }
+        if ck.snapshot_every_execs > 0 && d.execs.is_multiple_of(ck.snapshot_every_execs) {
+            write_snapshot(&ck.dir, &d, ck.fsync)?;
+            rotate(&ck.dir, ck.keep_snapshots)?;
+            journal = Journal::create(&ck.dir, d.execs, ck.fsync)?;
+        }
+    }
+}
+
+/// Run a fresh campaign with crash-safe checkpointing. Parameters as
+/// [`crate::campaign::run_campaign_with`], plus the [`CheckpointConfig`]
+/// naming the on-disk checkpoint directory.
+pub fn run_campaign_checkpointed<'e>(
+    executor: &'e mut dyn Executor,
+    revalidator: Option<&'e mut dyn Executor>,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    ck: &CheckpointConfig,
+) -> Result<CampaignOutcome, CheckpointError> {
+    fs::create_dir_all(&ck.dir)?;
+    let d = Driver::new(executor, revalidator, seeds, cfg, true);
+    write_snapshot(&ck.dir, &d, ck.fsync)?;
+    let journal = Journal::create(&ck.dir, 0, ck.fsync)?;
+    drive(d, ck, journal)
+}
+
+/// Resume a killed campaign from its checkpoint directory. See the module
+/// docs for the snapshot-fallback and journal-chaining semantics. The
+/// `executor` (and `revalidator`) must be freshly constructed over the
+/// same module and configuration as the original run, with any fault plan
+/// already re-armed.
+///
+/// # Errors
+/// [`CheckpointError::NoUsableSnapshot`] when every snapshot fails
+/// validation; I/O and executor-restore failures otherwise. Corrupt
+/// snapshots and torn journal tails are *not* errors — they are skipped
+/// (counted in [`ResumeInfo`]) and the campaign falls back to the newest
+/// state that validates.
+pub fn resume_campaign<'e>(
+    executor: &'e mut dyn Executor,
+    revalidator: Option<&'e mut dyn Executor>,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    ck: &CheckpointConfig,
+) -> Result<(CampaignOutcome, ResumeInfo), CheckpointError> {
+    let mut info = ResumeInfo::default();
+    let snaps = list_numbered(&ck.dir, "ckpt-")?;
+    let mut chosen = None;
+    for (execs, path) in snaps.iter().rev() {
+        match load_snapshot(path) {
+            Ok(state) => {
+                chosen = Some((*execs, state));
+                break;
+            }
+            Err(_) => info.corrupt_snapshots_skipped += 1,
+        }
+    }
+    let Some((snapshot_execs, state)) = chosen else {
+        return Err(CheckpointError::NoUsableSnapshot);
+    };
+    info.snapshot_execs = snapshot_execs;
+
+    let mut d = Driver::new(executor, revalidator, seeds, cfg, true);
+    let mut last_exec_state = state.exec_state.clone();
+    state.apply(&mut d)?;
+
+    // Chain journals forward from the snapshot: journal-{B} covers
+    // executions B..B', where B' is the next snapshot's base.
+    let mut journals = list_numbered(&ck.dir, "journal-")?;
+    let mut tail: Option<(PathBuf, u64)> = None;
+    let mut current = snapshot_execs;
+    while let Some(pos) = journals.iter().position(|(b, _)| *b == current) {
+        let (_, path) = journals.remove(pos);
+        let Some((records, valid_len, torn)) = read_journal(&path, current) else {
+            break;
+        };
+        for rec in &records {
+            rec.apply(&mut d);
+            if rec.exec_state.is_some() {
+                last_exec_state.clone_from(&rec.exec_state);
+            }
+            info.records_applied += 1;
+        }
+        current = d.execs;
+        tail = Some((path, valid_len));
+        if torn {
+            info.torn_tail = true;
+            break;
+        }
+    }
+    if let Some(es) = &last_exec_state {
+        d.executor.restore_state(es).map_err(CheckpointError::Executor)?;
+    }
+
+    let journal = match tail {
+        Some((path, valid_len)) => Journal::reopen(&path, valid_len, ck.fsync)?,
+        None => Journal::create(&ck.dir, current, ck.fsync)?,
+    };
+    drive(d, ck, journal).map(|outcome| (outcome, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+    use fir::Module;
+
+    const TARGET: &str = r#"
+        global total;
+        fn main() {
+            var f = fopen("/fuzz/input", 0);
+            if (f == 0) { exit(1); }
+            var buf[32];
+            var n = fread(buf, 1, 32, f);
+            fclose(f);
+            if (n < 4) { exit(2); }
+            if (load8(buf) == 'F') {
+                if (load8(buf + 1) == 'U') {
+                    if (load8(buf + 2) == 'Z') {
+                        if (load8(buf + 3) == 'Z') {
+                            return load64(0); // planted crash
+                        }
+                        return 3;
+                    }
+                    return 2;
+                }
+                return 1;
+            }
+            total = total + n;
+            return 0;
+        }
+    "#;
+
+    fn module() -> Module {
+        minic::compile("t", TARGET).unwrap()
+    }
+
+    fn executor(m: &Module) -> ClosureXExecutor {
+        ClosureXExecutor::new(m, ClosureXConfig::default()).unwrap()
+    }
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig {
+            budget_cycles: 6_000_000,
+            seed: 21,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "closurex-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The JSON rendering compares every field at once.
+    fn fingerprint(r: &CampaignResult) -> String {
+        serde_json::to_string(r).unwrap()
+    }
+
+    #[test]
+    fn checkpointed_run_equals_plain_run() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let plain = run_campaign(&mut executor(&m), &seeds, &cfg());
+
+        let dir = tmpdir("plain-eq");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 50;
+        let out = run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck)
+            .unwrap()
+            .finished()
+            .expect("no kill configured");
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&out),
+            "checkpoint I/O must charge zero simulated cycles"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_result() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let reference = run_campaign(&mut executor(&m), &seeds, &cfg());
+
+        let dir = tmpdir("kill-resume");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 40;
+        ck.kill_after_execs = Some(97); // mid-journal, off the snapshot grid
+        let killed = run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck)
+            .unwrap();
+        assert!(matches!(killed, CampaignOutcome::Killed { execs: 97 }));
+
+        ck.kill_after_execs = None;
+        let (out, info) = resume_campaign(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        assert_eq!(info.snapshot_execs, 80, "resumed from the last snapshot");
+        assert_eq!(info.records_applied, 17, "journal tail replayed");
+        assert_eq!(
+            fingerprint(&reference),
+            fingerprint(&out.finished().unwrap()),
+            "kill+resume must be invisible in the result"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_and_still_matches() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let reference = run_campaign(&mut executor(&m), &seeds, &cfg());
+
+        let dir = tmpdir("fallback");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 40;
+        ck.kill_after_execs = Some(90);
+        run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+
+        // Flip a payload bit in the newest snapshot (execs=80).
+        let newest = snapshot_path(&dir, 80);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+
+        ck.kill_after_execs = None;
+        let (out, info) = resume_campaign(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        assert_eq!(info.corrupt_snapshots_skipped, 1);
+        assert_eq!(info.snapshot_execs, 40, "fell back one snapshot");
+        assert!(info.records_applied >= 50, "chained journals across the gap");
+        assert_eq!(fingerprint(&reference), fingerprint(&out.finished().unwrap()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_not_fatal() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let reference = run_campaign(&mut executor(&m), &seeds, &cfg());
+
+        let dir = tmpdir("torn");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 40;
+        ck.kill_after_execs = Some(95);
+        run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+
+        // Tear the live journal mid-record: chop off its last 5 bytes.
+        let jpath = journal_path(&dir, 80);
+        let bytes = fs::read(&jpath).unwrap();
+        fs::write(&jpath, &bytes[..bytes.len() - 5]).unwrap();
+
+        ck.kill_after_execs = None;
+        let (out, info) = resume_campaign(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        assert!(info.torn_tail, "the torn record must be detected");
+        assert_eq!(
+            fingerprint(&reference),
+            fingerprint(&out.finished().unwrap()),
+            "the torn execution is simply re-run"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_refuses_resume() {
+        let dir = tmpdir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let m = module();
+        let err = resume_campaign(&mut executor(&m), None, &[], &cfg(), &CheckpointConfig::new(&dir))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::NoUsableSnapshot));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_bounds_disk_usage() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let dir = tmpdir("rotate");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 25;
+        ck.keep_snapshots = 2;
+        run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        let snaps = list_numbered(&dir, "ckpt-").unwrap();
+        assert!(
+            snaps.len() <= 2,
+            "rotation must keep at most keep_snapshots files, found {}",
+            snaps.len()
+        );
+        let oldest_kept = snaps.first().unwrap().0;
+        for (base, _) in list_numbered(&dir, "journal-").unwrap() {
+            assert!(base >= oldest_kept, "stale journals must be pruned");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

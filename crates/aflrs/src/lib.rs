@@ -17,12 +17,20 @@
 //! paper's controlled-comparison setup (§5.3).
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod mutate;
 pub mod mwu;
 pub mod queue;
 pub mod stats;
 
-pub use campaign::{run_campaign, CampaignConfig};
+#[cfg(test)]
+mod proptests;
+
+pub use campaign::{run_campaign, run_campaign_with, CampaignConfig};
+pub use checkpoint::{
+    resume_campaign, run_campaign_checkpointed, CampaignOutcome, CheckpointConfig,
+    CheckpointError, FsyncPolicy, ResumeInfo,
+};
 pub use stats::{CampaignResult, CrashRecord};
 
 /// Simulated cycles per simulated second (used to convert campaign clocks

@@ -1,0 +1,340 @@
+//! Property-based tests for the checkpoint wire format and the
+//! kill-and-resume determinism guarantee.
+
+use proptest::prelude::*;
+
+use closurex::checkpoint::ExecutorState;
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+use closurex::resilience::DegradationLevel;
+use vmos::cov::{VirginMap, MAP_SIZE};
+use vmos::{Crash, CrashKind};
+
+use crate::campaign::{run_campaign, CampaignConfig, Stage};
+use crate::checkpoint::{
+    load_snapshot, resume_campaign, run_campaign_checkpointed, seal_snapshot, CheckpointConfig,
+    DeltaRecord, Scalars, SnapshotState,
+};
+use crate::queue::QueueEntry;
+use crate::stats::CrashRecord;
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        any::<u16>().prop_map(|i| Stage::Seeds(usize::from(i))),
+        Just(Stage::Pick),
+        (any::<u16>(), any::<u16>()).prop_map(|(e, m)| Stage::Det {
+            entry: usize::from(e),
+            mutant: usize::from(m),
+        }),
+        (any::<u16>(), 0u32..64).prop_map(|(e, i)| Stage::Havoc {
+            entry: usize::from(e),
+            iter: i,
+        }),
+        Just(Stage::Done),
+    ]
+}
+
+fn arb_rng_state() -> impl Strategy<Value = [u64; 4]> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(a, b, c, d)| [a, b, c | 1, d]) // avoid the all-zero state
+}
+
+fn arb_scalars() -> impl Strategy<Value = Scalars> {
+    (
+        (arb_stage(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        (arb_rng_state(), arb_rng_state(), any::<u32>()),
+    )
+        .prop_map(|(a, b, c, d)| Scalars {
+            stage: a.0,
+            clock: u64::from(a.1),
+            execs: u64::from(a.2),
+            hangs: u64::from(a.3),
+            mgmt_cycles: u64::from(b.0),
+            exec_cycles: u64::from(b.1),
+            retries: u64::from(b.2),
+            dropped_inputs: u64::from(b.3),
+            harness_faults: u64::from(c.0),
+            consecutive_hangs: u64::from(c.1),
+            watchdog_trips: u64::from(c.2),
+            rng: d.0,
+            backoff_rng: d.1,
+            cursor: u64::from(d.2),
+        })
+}
+
+fn arb_entry() -> impl Strategy<Value = QueueEntry> {
+    (
+        prop::collection::vec(any::<u8>(), 0..40),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(data, cyc, at, det)| QueueEntry {
+            data,
+            exec_cycles: u64::from(cyc),
+            found_at: u64::from(at),
+            det_done: det,
+        })
+}
+
+fn arb_crash_record() -> impl Strategy<Value = CrashRecord> {
+    (
+        (0u8..15, "[a-z_]{1,12}", any::<u16>(), "[a-z0-9 ]{0,20}"),
+        (
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..24),
+            1u64..1000,
+            any::<bool>(),
+        ),
+    )
+        .prop_map(|((tag, function, block, detail), (at, input, hits, flaky))| CrashRecord {
+            crash: Crash {
+                kind: CrashKind::from_wire_tag(tag).expect("tag in range"),
+                function,
+                block: u32::from(block),
+                detail,
+            },
+            found_at_cycles: u64::from(at),
+            input,
+            hits,
+            flaky,
+        })
+}
+
+fn arb_virgin() -> impl Strategy<Value = VirginMap> {
+    prop::collection::vec((any::<u16>(), 1u8..=255), 0..50).prop_map(|bytes| {
+        let mut v = VirginMap::new();
+        for (i, b) in bytes {
+            v.set_byte(usize::from(i), b);
+        }
+        v
+    })
+}
+
+fn arb_exec_state() -> impl Strategy<Value = Option<ExecutorState>> {
+    prop_oneof![
+        Just(None),
+        (
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            (any::<u32>(), any::<bool>(), any::<bool>()),
+            (
+                prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..5),
+                any::<u32>(),
+                any::<u32>(),
+            ),
+        )
+            .prop_map(|(c, (iters, fork, alive), (quarantine, dropped, rolls))| {
+                Some(ExecutorState {
+                    respawns: u64::from(c.0),
+                    divergences: u64::from(c.1),
+                    integrity_checks: u64::from(c.2),
+                    harness_faults: u64::from(c.3),
+                    iters: u64::from(iters),
+                    degradation: if fork {
+                        DegradationLevel::ForkPerExec
+                    } else {
+                        DegradationLevel::Persistent
+                    },
+                    proc_alive: alive,
+                    quarantine,
+                    quarantine_dropped: u64::from(dropped),
+                    fault_rolls: u64::from(rolls),
+                    fault_injected: [u64::from(rolls) % 7, 0, 1, 2, 3],
+                })
+            }),
+    ]
+}
+
+fn arb_snapshot() -> impl Strategy<Value = SnapshotState> {
+    (
+        arb_scalars(),
+        prop::collection::vec(arb_entry(), 0..12),
+        arb_virgin(),
+        (prop::collection::vec(arb_crash_record(), 0..6), arb_exec_state()),
+    )
+        .prop_map(|(scalars, entries, virgin, (crashes, exec_state))| SnapshotState {
+            scalars,
+            entries,
+            virgin,
+            crashes,
+            exec_state,
+        })
+}
+
+fn arb_delta() -> impl Strategy<Value = DeltaRecord> {
+    (
+        (
+            arb_scalars(),
+            prop::collection::vec(arb_entry(), 0..6),
+            prop::collection::vec(any::<u16>(), 0..6),
+        ),
+        (
+            prop::collection::vec(arb_crash_record(), 0..3),
+            prop::collection::vec((any::<u16>(), any::<u32>()), 0..6),
+            prop::collection::vec((any::<u16>(), any::<u8>()), 0..20),
+            arb_exec_state(),
+        ),
+    )
+        .prop_map(
+            |((scalars, new_entries, det_done), (new_crashes, hits, virgin, exec_state))| {
+                DeltaRecord {
+                    scalars,
+                    new_entries,
+                    det_done: det_done.into_iter().map(u64::from).collect(),
+                    new_crashes,
+                    crash_hits: hits
+                        .into_iter()
+                        .map(|(i, h)| (u64::from(i), u64::from(h)))
+                        .collect(),
+                    virgin: virgin
+                        .into_iter()
+                        .map(|(i, v)| (u32::from(i) % MAP_SIZE as u32, v))
+                        .collect(),
+                    exec_state,
+                }
+            },
+        )
+}
+
+const RESUME_TARGET: &str = r#"
+    fn main() {
+        var f = fopen("/fuzz/input", 0);
+        if (f == 0) { exit(1); }
+        var buf[16];
+        var n = fread(buf, 1, 16, f);
+        fclose(f);
+        if (n > 2) {
+            if (load8(buf) == 'C') {
+                if (load8(buf + 1) == 'X') {
+                    return load64(0);
+                }
+                return 2;
+            }
+            return 1;
+        }
+        return 0;
+    }
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The snapshot encoding is canonical: decode(encode(s)) re-encodes to
+    /// the identical bytes, for arbitrary campaign states.
+    #[test]
+    fn snapshot_state_roundtrips(state in arb_snapshot()) {
+        let bytes = state.encode();
+        let back = SnapshotState::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(bytes, back.encode());
+    }
+
+    /// Same for journal delta records.
+    #[test]
+    fn delta_record_roundtrips(rec in arb_delta()) {
+        let bytes = rec.encode();
+        let back = DeltaRecord::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(bytes, back.encode());
+    }
+
+    /// Decoding arbitrary garbage never panics (it is fed file contents an
+    /// adversary — or a power cut — controls).
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = SnapshotState::decode(&bytes);
+        let _ = DeltaRecord::decode(&bytes);
+    }
+
+    /// A sealed snapshot file with any single bit flipped is rejected by
+    /// validation — never accepted, never a panic.
+    #[test]
+    fn bit_flipped_snapshot_rejected(
+        state in arb_snapshot(),
+        flip_bit in any::<u32>(),
+    ) {
+        let mut sealed = seal_snapshot(&state.encode());
+        let nbits = sealed.len() * 8;
+        let bit = flip_bit as usize % nbits;
+        sealed[bit / 8] ^= 1 << (bit % 8);
+
+        let dir = std::env::temp_dir().join(format!(
+            "closurex-prop-flip-{}-{}",
+            std::process::id(),
+            bit
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt-000000000000.bin");
+        std::fs::write(&path, &sealed).unwrap();
+        let res = load_snapshot(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert!(res.is_err(), "flipped bit {bit} went undetected");
+    }
+
+    /// A truncated snapshot file is rejected — never accepted, never a
+    /// panic.
+    #[test]
+    fn truncated_snapshot_rejected(state in arb_snapshot(), cut in any::<u32>()) {
+        let sealed = seal_snapshot(&state.encode());
+        let keep = cut as usize % sealed.len(); // strictly shorter
+        let dir = std::env::temp_dir().join(format!(
+            "closurex-prop-trunc-{}-{}",
+            std::process::id(),
+            keep
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt-000000000000.bin");
+        std::fs::write(&path, &sealed[..keep]).unwrap();
+        let res = load_snapshot(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert!(res.is_err(), "truncation to {keep} bytes went undetected");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline guarantee, propertized: killing a campaign at an
+    /// arbitrary execution boundary and resuming yields the exact result of
+    /// the uninterrupted campaign.
+    #[test]
+    fn kill_anywhere_resume_exact(kill_at in 1u64..140, seed in 1u64..5) {
+        let module = minic::compile("t", RESUME_TARGET).expect("compiles");
+        let cfg = CampaignConfig {
+            budget_cycles: 2_500_000,
+            seed,
+            ..CampaignConfig::default()
+        };
+        let seeds = vec![b"go".to_vec()];
+        let mk = || ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("boots");
+
+        let reference = run_campaign(&mut mk(), &seeds, &cfg);
+
+        let dir = std::env::temp_dir().join(format!(
+            "closurex-prop-kill-{}-{}-{}",
+            std::process::id(),
+            kill_at,
+            seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 30;
+        ck.kill_after_execs = Some(kill_at);
+        let first = run_campaign_checkpointed(&mut mk(), None, &seeds, &cfg, &ck)
+            .expect("checkpointed run");
+        ck.kill_after_execs = None;
+        let out = match first {
+            crate::checkpoint::CampaignOutcome::Killed { .. } => {
+                resume_campaign(&mut mk(), None, &seeds, &cfg, &ck)
+                    .expect("resume")
+                    .0
+            }
+            finished => finished, // the whole campaign fit under kill_at
+        };
+        let resumed = out.finished().expect("no kill on the second leg");
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(
+            serde_json::to_string(&reference).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! The fuzzer's seed queue.
 
 /// One queue entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueEntry {
     /// The input bytes.
     pub data: Vec<u8>,
@@ -14,7 +14,7 @@ pub struct QueueEntry {
 }
 
 /// The corpus of coverage-increasing inputs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Queue {
     entries: Vec<QueueEntry>,
     cursor: usize,
@@ -59,6 +59,16 @@ impl Queue {
         let i = self.cursor % self.entries.len();
         self.cursor = self.cursor.wrapping_add(1);
         Some(i)
+    }
+
+    /// The round-robin scheduling position (campaign checkpointing).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Restore a scheduling position saved via [`Queue::cursor`].
+    pub fn set_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor;
     }
 
     /// All input bytes (correctness evaluation consumes the whole queue).

@@ -16,6 +16,10 @@ pub struct CrashRecord {
     pub input: Vec<u8>,
     /// How many times this site was hit during the campaign.
     pub hits: u64,
+    /// Set when crash revalidation replayed this input in a fresh process
+    /// and the crash did **not** reproduce at the same site — the record is
+    /// kept (it may be a real stateful bug) but flagged as untrustworthy.
+    pub flaky: bool,
 }
 
 impl CrashRecord {
@@ -37,6 +41,9 @@ pub struct ResilienceCounters {
     pub integrity_checks: u64,
     /// Inputs the executor quarantined after divergences.
     pub quarantined: u64,
+    /// Quarantined inputs evicted past the executor's ring capacity — a
+    /// nonzero value flags the retained quarantine as a sample.
+    pub quarantine_dropped: u64,
     /// Harness faults surfaced as `ExecStatus::Fault` during the campaign.
     pub harness_faults: u64,
     /// Inputs re-executed after a harness fault (bounded by
@@ -62,6 +69,10 @@ pub struct CampaignResult {
     pub clock_cycles: u64,
     /// Distinct bucketed edges discovered.
     pub edges_found: usize,
+    /// FNV-1a digest of the final accumulated (virgin) coverage map — a
+    /// compact fingerprint two campaigns can be compared with byte-for-byte
+    /// (the checkpoint/resume determinism check relies on it).
+    pub coverage_hash: u64,
     /// Deduplicated crashes, in discovery order.
     pub crashes: Vec<CrashRecord>,
     /// Final queue size.
@@ -117,6 +128,7 @@ mod tests {
             execs: 1000,
             clock_cycles: CYCLES_PER_SECOND * 10,
             edges_found: 5,
+            coverage_hash: 0,
             crashes: vec![],
             queue_len: 3,
             hangs: 0,
@@ -141,12 +153,14 @@ mod tests {
             found_at_cycles: CYCLES_PER_SECOND * 3,
             input: vec![],
             hits: 1,
+            flaky: false,
         };
         let r = CampaignResult {
             executor: "x".into(),
             execs: 0,
             clock_cycles: 0,
             edges_found: 0,
+            coverage_hash: 0,
             crashes: vec![mk(CrashKind::NullPtrDeref), mk(CrashKind::FdExhaustion)],
             queue_len: 0,
             hangs: 0,

@@ -36,6 +36,9 @@ struct Row {
     divergences: u64,
     integrity_checks: u64,
     quarantined: u64,
+    /// Quarantined inputs evicted past the ring cap (retained set is a
+    /// sample when nonzero).
+    quarantine_dropped: u64,
     harness_faults: u64,
     retries: u64,
     dropped_inputs: u64,
@@ -72,6 +75,7 @@ fn run_cell(target: &targets::TargetSpec, mech: Mechanism, rate: f64, budget: u6
             divergences: r.resilience.divergences,
             integrity_checks: r.resilience.integrity_checks,
             quarantined: r.resilience.quarantined,
+            quarantine_dropped: r.resilience.quarantine_dropped,
             harness_faults: r.resilience.harness_faults,
             retries: r.resilience.retries,
             dropped_inputs: r.resilience.dropped_inputs,
@@ -91,6 +95,7 @@ fn run_cell(target: &targets::TargetSpec, mech: Mechanism, rate: f64, budget: u6
             divergences: 0,
             integrity_checks: 0,
             quarantined: 0,
+            quarantine_dropped: 0,
             harness_faults: 0,
             retries: 0,
             dropped_inputs: 0,
@@ -175,6 +180,7 @@ fn run_leak_stress(budget: u64) -> Vec<Row> {
             divergences: r.resilience.divergences,
             integrity_checks: r.resilience.integrity_checks,
             quarantined: r.resilience.quarantined,
+            quarantine_dropped: r.resilience.quarantine_dropped,
             harness_faults: r.resilience.harness_faults,
             retries: r.resilience.retries,
             dropped_inputs: r.resilience.dropped_inputs,
@@ -213,7 +219,7 @@ fn main() {
                     row.execs.to_string(),
                     row.respawns.to_string(),
                     row.divergences.to_string(),
-                    row.quarantined.to_string(),
+                    format!("{} (-{})", row.quarantined, row.quarantine_dropped),
                     row.false_crashes.to_string(),
                     row.degradation.clone(),
                 ]);
@@ -229,7 +235,7 @@ fn main() {
             row.execs.to_string(),
             row.respawns.to_string(),
             row.divergences.to_string(),
-            row.quarantined.to_string(),
+            format!("{} (-{})", row.quarantined, row.quarantine_dropped),
             row.false_crashes.to_string(),
             row.degradation.clone(),
         ]);
@@ -245,7 +251,7 @@ fn main() {
                 "Execs",
                 "Respawns",
                 "Divergences",
-                "Quarantined",
+                "Quarantined (evicted)",
                 "False crashes",
                 "Degradation",
             ],

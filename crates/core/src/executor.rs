@@ -3,6 +3,7 @@
 
 use vmos::{CovMap, Crash, FaultPlan};
 
+use crate::checkpoint::ExecutorState;
 use crate::resilience::{HarnessError, ResilienceReport};
 
 /// Default per-test-case instruction budget (hang detection).
@@ -85,6 +86,24 @@ pub trait Executor {
     /// recovery machinery have nothing to report).
     fn resilience(&self) -> ResilienceReport {
         ResilienceReport::default()
+    }
+
+    /// Export the mutable state a campaign checkpoint must carry to resume
+    /// this executor deterministically. Default: `None` — the mechanism
+    /// does not support checkpointed campaigns.
+    fn export_state(&self) -> Option<ExecutorState> {
+        None
+    }
+
+    /// Re-apply state exported by [`Executor::export_state`] onto a freshly
+    /// constructed executor (same module, same configuration).
+    ///
+    /// # Errors
+    /// [`HarnessError::Unsupported`] by default.
+    fn restore_state(&mut self, _state: &ExecutorState) -> Result<(), HarnessError> {
+        Err(HarnessError::Unsupported(
+            "this execution mechanism cannot restore checkpointed state".into(),
+        ))
     }
 }
 

@@ -11,6 +11,7 @@ use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
 use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os};
 
+use crate::checkpoint::ExecutorState;
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
 use crate::resilience::{HarnessError, ResilienceReport};
 
@@ -109,6 +110,27 @@ impl Executor for FreshProcessExecutor {
             harness_faults: self.harness_faults,
             ..ResilienceReport::default()
         }
+    }
+
+    fn export_state(&self) -> Option<ExecutorState> {
+        // Fresh-process execution keeps no cross-run process state; only
+        // the fault tally and the fault-plane stream position matter.
+        let (fault_rolls, fault_injected) = self.os.fault.export_counters();
+        Some(ExecutorState {
+            harness_faults: self.harness_faults,
+            proc_alive: true,
+            fault_rolls,
+            fault_injected,
+            ..ExecutorState::default()
+        })
+    }
+
+    fn restore_state(&mut self, state: &ExecutorState) -> Result<(), HarnessError> {
+        self.harness_faults = state.harness_faults;
+        self.os
+            .fault
+            .restore_counters(state.fault_rolls, state.fault_injected);
+        Ok(())
     }
 }
 

@@ -23,6 +23,7 @@ use passes::{PassError, PassReport, TARGET_MAIN};
 use vmos::fs::FUZZ_INPUT_PATH;
 use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
+use crate::checkpoint::ExecutorState;
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
 use crate::resilience::{
     fnv1a, DegradationLevel, HarnessError, IntegrityPolicy, ResilienceReport, RestoreDivergence,
@@ -134,6 +135,9 @@ pub struct ClosureXExecutor {
     /// Inputs whose observed behavior is untrustworthy because the restore
     /// they ran on top of had diverged (bounded at [`QUARANTINE_CAP`]).
     quarantine: Vec<Vec<u8>>,
+    /// Quarantined inputs evicted past [`QUARANTINE_CAP`] — reports use
+    /// this to flag the ring as a sample rather than the full set.
+    quarantine_dropped: u64,
     /// Harness faults surfaced as [`ExecStatus::Fault`].
     harness_faults: u64,
     /// Current position on the degradation ladder.
@@ -169,6 +173,7 @@ impl ClosureXExecutor {
             divergences: 0,
             last_divergence: None,
             quarantine: Vec::new(),
+            quarantine_dropped: 0,
             harness_faults: 0,
             degradation: DegradationLevel::Persistent,
         };
@@ -351,6 +356,7 @@ impl ClosureXExecutor {
         self.last_divergence = Some(divergence);
         if self.quarantine.len() >= QUARANTINE_CAP {
             self.quarantine.remove(0);
+            self.quarantine_dropped += 1;
         }
         self.quarantine.push(input.to_vec());
         let mut cycles = 0;
@@ -675,10 +681,53 @@ impl Executor for ClosureXExecutor {
             respawns: self.respawns,
             divergences: self.divergences,
             integrity_checks: self.integrity_checks,
-            quarantined: self.quarantine.len() as u64,
+            quarantined: self.quarantine.len() as u64 + self.quarantine_dropped,
+            quarantine_dropped: self.quarantine_dropped,
             harness_faults: self.harness_faults,
             degradation: self.degradation,
         }
+    }
+
+    fn export_state(&self) -> Option<ExecutorState> {
+        let (fault_rolls, fault_injected) = self.os.fault.export_counters();
+        Some(ExecutorState {
+            respawns: self.respawns,
+            divergences: self.divergences,
+            integrity_checks: self.integrity_checks,
+            harness_faults: self.harness_faults,
+            iters: self.iters,
+            degradation: self.degradation,
+            proc_alive: self.proc.is_some(),
+            quarantine: self.quarantine.clone(),
+            quarantine_dropped: self.quarantine_dropped,
+            fault_rolls,
+            fault_injected,
+        })
+    }
+
+    fn restore_state(&mut self, state: &ExecutorState) -> Result<(), HarnessError> {
+        // The executor was just rebuilt from the module: its boot process is
+        // byte-identical to what a template fork would have produced, so
+        // only the counters (and process liveness) need restoring. The
+        // fault *plan* is configuration and must be re-armed by the caller
+        // (via `inject_faults`) before this restores the stream position.
+        self.respawns = state.respawns;
+        self.divergences = state.divergences;
+        self.integrity_checks = state.integrity_checks;
+        self.harness_faults = state.harness_faults;
+        self.iters = state.iters;
+        self.degradation = state.degradation;
+        self.quarantine = state.quarantine.clone();
+        self.quarantine_dropped = state.quarantine_dropped;
+        self.os
+            .fault
+            .restore_counters(state.fault_rolls, state.fault_injected);
+        if !state.proc_alive {
+            // The killed run's process was dead (crash/hang teardown); the
+            // next run must pay the same template respawn it would have.
+            self.proc = None;
+        }
+        Ok(())
     }
 }
 
@@ -898,6 +947,40 @@ mod tests {
         // The respawned process is pristine: the next run behaves fresh
         // (even though its own restore gets corrupted again afterwards).
         assert_eq!(ex.run(b"x").status, ExecStatus::Exit(1));
+    }
+
+    #[test]
+    fn quarantine_ring_evicts_past_cap_and_counts_drops() {
+        let m = module(STATEFUL);
+        let cfg = ClosureXConfig {
+            integrity: IntegrityPolicy {
+                check_every: 1,
+                max_divergences: 0, // never degrade: every run diverges
+            },
+            ..ClosureXConfig::default()
+        };
+        let mut ex = ClosureXExecutor::new(&m, cfg).unwrap();
+        ex.inject_faults(vmos::FaultPlan {
+            seed: 9,
+            restore_bitflip: 1.0,
+            ..vmos::FaultPlan::none()
+        });
+        let total = QUARANTINE_CAP + 6;
+        for i in 0..total {
+            ex.run(format!("in-{i}").as_bytes());
+        }
+        assert_eq!(ex.quarantined().len(), QUARANTINE_CAP, "ring is bounded");
+        assert_eq!(
+            ex.quarantined().first().map(Vec::as_slice),
+            Some(b"in-6".as_slice()),
+            "oldest entries evicted first"
+        );
+        let rep = ex.resilience();
+        assert_eq!(rep.quarantine_dropped, 6);
+        assert_eq!(
+            rep.quarantined, total as u64,
+            "report counts every quarantined input, not just the retained ring"
+        );
     }
 
     #[test]

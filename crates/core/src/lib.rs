@@ -43,6 +43,7 @@
 //! }
 //! ```
 
+pub mod checkpoint;
 pub mod correctness;
 pub mod executor;
 pub mod forkserver;
@@ -54,6 +55,7 @@ pub mod resilience;
 #[cfg(test)]
 mod proptests;
 
+pub use checkpoint::ExecutorState;
 pub use executor::{ExecOutcome, ExecStatus, Executor};
 pub use harness::{ClosureXConfig, ClosureXExecutor, RestoreStats, RestoreStrategy};
 pub use resilience::{

@@ -35,6 +35,9 @@ pub enum HarnessError {
     RestoreFailed(String),
     /// No live process and no way to make one.
     ProcessLost,
+    /// The operation (e.g. checkpoint export/restore) is not supported by
+    /// this execution mechanism.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for HarnessError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for HarnessError {
             HarnessError::TemplateMissing => write!(f, "pristine template missing"),
             HarnessError::RestoreFailed(d) => write!(f, "state restoration failed: {d}"),
             HarnessError::ProcessLost => write!(f, "harness process lost"),
+            HarnessError::Unsupported(d) => write!(f, "unsupported harness operation: {d}"),
         }
     }
 }
@@ -189,6 +193,10 @@ pub struct ResilienceReport {
     /// Inputs quarantined because a divergence was detected after running
     /// them (their observed behavior is untrustworthy).
     pub quarantined: u64,
+    /// Quarantined inputs evicted past the ring's capacity. A nonzero
+    /// value means the retained quarantine is a *sample*, not the full
+    /// set — campaigns surface this instead of discarding silently.
+    pub quarantine_dropped: u64,
     /// Harness faults surfaced as [`ExecStatus::Fault`]
     /// (crate::executor::ExecStatus::Fault) instead of panics.
     pub harness_faults: u64,

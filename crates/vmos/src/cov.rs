@@ -91,7 +91,7 @@ pub fn classify_count(count: u8) -> u8 {
 
 /// Tracks accumulated ("virgin") coverage across a whole campaign and
 /// answers "did this execution produce anything new?".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirginMap {
     virgin: Vec<u8>,
     edges_found: usize,
@@ -118,6 +118,18 @@ impl VirginMap {
     /// Scans the map in 64-bit words and skips zero words, the same trick
     /// AFL uses to keep the per-execution scan off the profile.
     pub fn merge(&mut self, run: &CovMap) -> bool {
+        self.merge_inner(run, None)
+    }
+
+    /// [`VirginMap::merge`], additionally recording `(index, new byte)` for
+    /// every virgin byte the merge changed — the per-execution coverage
+    /// delta a campaign journal persists. Behavior is otherwise identical
+    /// to `merge`, so journaling cannot perturb a campaign's decisions.
+    pub fn merge_tracked(&mut self, run: &CovMap, changed: &mut Vec<(usize, u8)>) -> bool {
+        self.merge_inner(run, Some(changed))
+    }
+
+    fn merge_inner(&mut self, run: &CovMap, mut changed: Option<&mut Vec<(usize, u8)>>) -> bool {
         let mut new = false;
         for (wi, chunk) in run.as_slice().chunks_exact(8).enumerate() {
             let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
@@ -137,6 +149,9 @@ impl VirginMap {
                     }
                     *v |= bucket;
                     new = true;
+                    if let Some(out) = changed.as_deref_mut() {
+                        out.push((i, *v));
+                    }
                 }
             }
         }
@@ -146,6 +161,40 @@ impl VirginMap {
     /// Number of distinct edges seen so far.
     pub fn edges_found(&self) -> usize {
         self.edges_found
+    }
+
+    /// Raw accumulated map bytes (checkpoint serialization).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.virgin
+    }
+
+    /// Rebuild a map from bytes saved via [`VirginMap::as_bytes`]. The
+    /// edge count is recomputed from the bytes themselves (it is exactly
+    /// the number of nonzero bucket bytes), so a checkpoint cannot smuggle
+    /// in an inconsistent counter.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not [`MAP_SIZE`] long; checkpoint decoders
+    /// validate the length first.
+    pub fn from_saved(bytes: Vec<u8>) -> Self {
+        assert_eq!(bytes.len(), MAP_SIZE, "virgin map must be MAP_SIZE bytes");
+        let edges_found = bytes.iter().filter(|&&b| b != 0).count();
+        VirginMap {
+            virgin: bytes,
+            edges_found,
+        }
+    }
+
+    /// Overwrite one bucket byte, keeping the edge count consistent —
+    /// journal replay applies per-execution coverage deltas through this.
+    pub fn set_byte(&mut self, index: usize, value: u8) {
+        let slot = &mut self.virgin[index];
+        match (*slot, value) {
+            (0, v) if v != 0 => self.edges_found += 1,
+            (o, 0) if o != 0 => self.edges_found -= 1,
+            _ => {}
+        }
+        *slot = value;
     }
 }
 
@@ -220,6 +269,49 @@ mod tests {
         }
         assert!(virgin.merge(&run));
         assert_eq!(virgin.edges_found(), 1, "same edge, new bucket");
+    }
+
+    #[test]
+    fn virgin_save_restore_and_set_byte_keep_edge_count() {
+        let mut v = VirginMap::new();
+        let mut run = CovMap::new();
+        run.hit(9);
+        run.hit(4000);
+        v.merge(&run);
+        let restored = VirginMap::from_saved(v.as_bytes().to_vec());
+        assert_eq!(restored, v);
+        assert_eq!(restored.edges_found(), 2);
+
+        let mut w = VirginMap::new();
+        w.set_byte(7, 1);
+        assert_eq!(w.edges_found(), 1);
+        w.set_byte(7, 3); // same edge, new bucket
+        assert_eq!(w.edges_found(), 1);
+        w.set_byte(7, 0);
+        assert_eq!(w.edges_found(), 0);
+    }
+
+    #[test]
+    fn merge_tracked_reports_exactly_the_changed_bytes() {
+        let mut a = VirginMap::new();
+        let mut b = VirginMap::new();
+        let mut run = CovMap::new();
+        run.hit(3);
+        run.hit(900);
+        let mut changed = Vec::new();
+        assert!(a.merge_tracked(&run, &mut changed));
+        assert!(b.merge(&run));
+        assert_eq!(a, b, "tracked merge must not change semantics");
+        // Replaying the deltas onto a fresh map reproduces the merged map.
+        let mut replay = VirginMap::new();
+        for &(i, v) in &changed {
+            replay.set_byte(i, v);
+        }
+        assert_eq!(replay, a);
+        // A second identical merge changes nothing.
+        changed.clear();
+        assert!(!a.merge_tracked(&run, &mut changed));
+        assert!(changed.is_empty());
     }
 
     #[test]

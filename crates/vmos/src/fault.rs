@@ -219,6 +219,20 @@ impl FaultPlane {
         self.rolls = 0;
         self.injected = [0; 5];
     }
+
+    /// Export the stream position + tallies (campaign checkpointing). The
+    /// plan itself is configuration and travels separately — a resumed
+    /// campaign re-arms the same plan, then restores this position so the
+    /// roll stream continues exactly where the killed run left it.
+    pub fn export_counters(&self) -> (u64, [u64; 5]) {
+        (self.rolls, self.injected)
+    }
+
+    /// Restore a position exported by [`FaultPlane::export_counters`].
+    pub fn restore_counters(&mut self, rolls: u64, injected: [u64; 5]) {
+        self.rolls = rolls;
+        self.injected = injected;
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +284,21 @@ mod tests {
     fn bitflip_never_fires_on_empty_section() {
         let mut f = FaultPlane::new(FaultPlan::uniform(1, 1.0));
         assert_eq!(f.bitflip_for(0), None);
+    }
+
+    #[test]
+    fn counter_export_restore_resumes_roll_stream() {
+        let mut a = FaultPlane::new(FaultPlan::uniform(9, 0.3));
+        for _ in 0..100 {
+            a.roll(FaultKind::MallocNull);
+        }
+        let (rolls, injected) = a.export_counters();
+        let mut b = FaultPlane::new(FaultPlan::uniform(9, 0.3));
+        b.restore_counters(rolls, injected);
+        let va: Vec<bool> = (0..200).map(|_| a.roll(FaultKind::MallocNull)).collect();
+        let vb: Vec<bool> = (0..200).map(|_| b.roll(FaultKind::MallocNull)).collect();
+        assert_eq!(va, vb, "restored plane must continue the same stream");
+        assert_eq!(a.total(), b.total());
     }
 
     #[test]

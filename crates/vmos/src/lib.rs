@@ -21,7 +21,10 @@
 //! * a **cost model** ([`cost`]) for `fork`/`exec`/teardown/restore charges,
 //! * a **fault-injection plane** ([`fault`]) — seeded, deterministic
 //!   malloc-NULL / fopen-fail / fork-fail / fd-leak / restore-bit-flip
-//!   injection for resilience evaluation (disabled by default).
+//!   injection for resilience evaluation (disabled by default),
+//! * a **binary wire codec** ([`wire`]) — bounds-checked, checksummed
+//!   encode/decode primitives used by the campaign checkpoint files
+//!   (the `serde` shim is one-way, JSON-out only).
 
 pub mod cost;
 pub mod cov;
@@ -36,6 +39,7 @@ pub mod layout;
 pub mod mem;
 pub mod os;
 pub mod process;
+pub mod wire;
 
 #[cfg(test)]
 mod proptests;
@@ -47,3 +51,4 @@ pub use fault::{FaultKind, FaultPlan, FaultPlane};
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
 pub use os::{Os, OsError};
 pub use process::Process;
+pub use wire::{Reader, WireError, Writer};

@@ -1,0 +1,414 @@
+//! Minimal binary wire codec for checkpoint files.
+//!
+//! The offline `serde` shim only *serializes* (to JSON, for reports); the
+//! campaign checkpoint subsystem needs a true round trip plus hostile-input
+//! tolerance: a truncated or bit-flipped file must decode to an error,
+//! never a panic. This module provides bounds-checked little-endian
+//! primitives ([`Writer`]/[`Reader`]), the FNV-1a digest checkpoints are
+//! checksummed with, and codecs for the `vmos` types campaign state embeds
+//! ([`crate::Crash`], [`crate::cov::VirginMap`]).
+//!
+//! Framing conventions used by every consumer:
+//!
+//! * integers are little-endian, fixed width;
+//! * byte strings are a `u64` length followed by the raw bytes, and the
+//!   length is validated against the bytes actually remaining, so a
+//!   corrupted length field reads as [`WireError::Truncated`] rather than
+//!   an allocation bomb;
+//! * enums are a `u8` tag; unknown tags are [`WireError::Malformed`].
+
+use crate::cov::{VirginMap, MAP_SIZE};
+use crate::crash::{Crash, CrashKind};
+
+/// Decoding failure. Decoders return this for any malformed input; they
+/// must never panic, whatever the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did (or a length field claimed
+    /// more bytes than remain).
+    Truncated,
+    /// Structurally invalid data: unknown enum tag, bad UTF-8, wrong
+    /// section size.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire data truncated"),
+            WireError::Malformed(what) => write!(f, "malformed wire data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a over `bytes` — the digest checkpoint payloads are sealed with.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over `buf`, starting at the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed — decoders should check this
+    /// at the end so trailing garbage is rejected, not ignored.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool. Only 0/1 are valid; any other byte is malformed —
+    /// corruption must not decode silently.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool tag")),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, checking it fits in the
+    /// bytes that remain (so corrupt lengths cannot trigger huge
+    /// allocations).
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let v = self.get_u64()?;
+        if v > self.remaining() as u64 {
+            return Err(WireError::Truncated);
+        }
+        Ok(v as usize)
+    }
+
+    /// Read a `u64` narrowed to usize *without* the remaining-bytes bound
+    /// (for counts of fixed-size records; callers must bound it).
+    pub fn get_count(&mut self) -> Result<usize, WireError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| WireError::Malformed("count overflows usize"))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.get_len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b).map_err(|_| WireError::Malformed("utf-8 string"))
+    }
+}
+
+impl CrashKind {
+    /// Stable wire tag (checkpoint format v1; append-only).
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            CrashKind::NullPtrDeref => 0,
+            CrashKind::DivisionByZero => 1,
+            CrashKind::UnaddressableAccess => 2,
+            CrashKind::InvalidRead => 3,
+            CrashKind::InvalidWrite => 4,
+            CrashKind::NegativeSizeMemcpy => 5,
+            CrashKind::OutOfBoundsAccess => 6,
+            CrashKind::DoubleFree => 7,
+            CrashKind::InvalidFree => 8,
+            CrashKind::FdExhaustion => 9,
+            CrashKind::OutOfMemory => 10,
+            CrashKind::StackOverflow => 11,
+            CrashKind::Abort => 12,
+            CrashKind::UnreachableExecuted => 13,
+            CrashKind::BadLongjmp => 14,
+        }
+    }
+
+    /// Inverse of [`CrashKind::wire_tag`].
+    ///
+    /// # Errors
+    /// [`WireError::Malformed`] on an unknown tag.
+    pub fn from_wire_tag(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => CrashKind::NullPtrDeref,
+            1 => CrashKind::DivisionByZero,
+            2 => CrashKind::UnaddressableAccess,
+            3 => CrashKind::InvalidRead,
+            4 => CrashKind::InvalidWrite,
+            5 => CrashKind::NegativeSizeMemcpy,
+            6 => CrashKind::OutOfBoundsAccess,
+            7 => CrashKind::DoubleFree,
+            8 => CrashKind::InvalidFree,
+            9 => CrashKind::FdExhaustion,
+            10 => CrashKind::OutOfMemory,
+            11 => CrashKind::StackOverflow,
+            12 => CrashKind::Abort,
+            13 => CrashKind::UnreachableExecuted,
+            14 => CrashKind::BadLongjmp,
+            _ => return Err(WireError::Malformed("crash kind tag")),
+        })
+    }
+}
+
+impl Crash {
+    /// Encode into `w` (checkpoint format v1).
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.kind.wire_tag());
+        w.put_str(&self.function);
+        w.put_u32(self.block);
+        w.put_str(&self.detail);
+    }
+
+    /// Decode from `r`.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncated or malformed bytes.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Crash {
+            kind: CrashKind::from_wire_tag(r.get_u8()?)?,
+            function: r.get_str()?,
+            block: r.get_u32()?,
+            detail: r.get_str()?,
+        })
+    }
+}
+
+impl VirginMap {
+    /// Encode the accumulated coverage map into `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+
+    /// Decode a map encoded by [`VirginMap::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] when truncated or not exactly [`MAP_SIZE`] bytes.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = r.get_bytes()?;
+        if bytes.len() != MAP_SIZE {
+            return Err(WireError::Malformed("virgin map size"));
+        }
+        Ok(VirginMap::from_saved(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_bytes(b"hello");
+        w.put_str("wörld");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "wörld");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_bytes(&[1, 2, 3, 4, 5]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.get_bytes().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_cannot_allocate() {
+        // A length field of u64::MAX must be rejected by the remaining-
+        // bytes bound, not passed to Vec::with_capacity.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Reader::new(&bytes).get_bytes().unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn crash_kind_tags_round_trip() {
+        for kind in [
+            CrashKind::NullPtrDeref,
+            CrashKind::DivisionByZero,
+            CrashKind::UnaddressableAccess,
+            CrashKind::InvalidRead,
+            CrashKind::InvalidWrite,
+            CrashKind::NegativeSizeMemcpy,
+            CrashKind::OutOfBoundsAccess,
+            CrashKind::DoubleFree,
+            CrashKind::InvalidFree,
+            CrashKind::FdExhaustion,
+            CrashKind::OutOfMemory,
+            CrashKind::StackOverflow,
+            CrashKind::Abort,
+            CrashKind::UnreachableExecuted,
+            CrashKind::BadLongjmp,
+        ] {
+            assert_eq!(CrashKind::from_wire_tag(kind.wire_tag()).unwrap(), kind);
+        }
+        assert!(CrashKind::from_wire_tag(200).is_err());
+    }
+
+    #[test]
+    fn crash_round_trips() {
+        let c = Crash {
+            kind: CrashKind::InvalidWrite,
+            function: "parse_header".into(),
+            block: 42,
+            detail: "addr=0x1000 size=8".into(),
+        };
+        let mut w = Writer::new();
+        c.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Crash::decode(&mut r).unwrap(), c);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn virgin_map_round_trips_with_edge_count() {
+        let mut v = VirginMap::new();
+        let mut run = crate::CovMap::new();
+        run.hit(3);
+        run.hit(700);
+        v.merge(&run);
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = VirginMap::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(decoded.edges_found(), v.edges_found());
+        assert_eq!(decoded.as_bytes(), v.as_bytes());
+    }
+
+    #[test]
+    fn virgin_map_wrong_size_rejected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        assert!(VirginMap::decode(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}
