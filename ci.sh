@@ -7,3 +7,7 @@ cargo test -q
 cargo clippy -- -D warnings
 # Checkpoint/resume correctness gate: kill-and-resume must be byte-identical.
 cargo run --release -p bench --bin checkpoint_eval -- --smoke
+# Engine determinism + throughput gate: the decoded engine must match the
+# reference engine bit-for-bit, and aggregate decoded execs/sec must stay
+# within 20% of the blessed floor in results/BENCH_floor.json.
+cargo run --release -p bench --bin exec_throughput -- --smoke

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the host-throughput engine work:
+//!
+//! * `dispatch/*` — per-test-case cost of the decoded-bytecode engine vs
+//!   the AST-walking reference interpreter, per mechanism;
+//! * `virgin_merge/*` — sparse touched-list virgin merge vs the full
+//!   64KiB word-scan, at a realistic touched-edge density.
+
+use bench::Mechanism;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmos::cov::{CovMap, VirginMap};
+use vmos::ReferenceEngineGuard;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let t = targets::by_name("giftext").unwrap();
+    let seed = (t.seeds)()[0].clone();
+    let mut g = c.benchmark_group("dispatch");
+    for m in [Mechanism::ClosureX, Mechanism::ForkServer] {
+        g.bench_function(format!("{}/decoded", m.name()), |b| {
+            let mut ex = m.executor(t);
+            b.iter(|| black_box(ex.run(&seed)));
+        });
+        g.bench_function(format!("{}/reference", m.name()), |b| {
+            let _guard = ReferenceEngineGuard::new();
+            let mut ex = m.executor(t);
+            b.iter(|| black_box(ex.run(&seed)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_virgin_merge(c: &mut Criterion) {
+    // A realistic run map: a few hundred touched edges out of 64Ki slots.
+    let mut run = CovMap::new();
+    for i in 0..400u16 {
+        run.hit(i.wrapping_mul(163));
+    }
+    let mut g = c.benchmark_group("virgin_merge");
+    g.bench_function("sparse", |b| {
+        let mut virgin = VirginMap::new();
+        b.iter(|| black_box(virgin.merge(&run)));
+    });
+    g.bench_function("full_scan", |b| {
+        let _guard = ReferenceEngineGuard::new();
+        let mut virgin = VirginMap::new();
+        b.iter(|| black_box(virgin.merge(&run)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dispatch, bench_virgin_merge
+}
+criterion_main!(benches);

@@ -132,7 +132,6 @@ impl Lab {
                         &self.cfg,
                         &ck,
                     )
-                    .map(|(o, i)| (o, i))
                 } else {
                     run_campaign_checkpointed(
                         &mut self.executor(),

@@ -1,0 +1,269 @@
+//! **Host-throughput benchmark**: how many simulated test cases per host
+//! second the execution engine sustains, decoded-bytecode engine vs the
+//! AST-walking reference, measured in the *same* run so the comparison is
+//! honest (same binary, same machine state, same workload).
+//!
+//! For every (target, mechanism) cell the harness runs the identical
+//! campaign twice — once with `vmos::set_reference_engine(true)` (the
+//! pre-change engine: AST walk, full coverage-map clears, full-scan virgin
+//! merge) and once on the decoded fast path — and cross-checks that
+//! `execs`, `clock_cycles` and `coverage_hash` are bit-identical. A
+//! mismatch is a determinism bug and fails the run outright.
+//!
+//! Modes:
+//! * default: all targets × {ClosureX, forkserver}, `CLOSUREX_BUDGET` or
+//!   the standard default budget;
+//! * `--smoke`: first two targets, small budget — the CI gate. In smoke
+//!   mode the aggregate decoded execs/sec is compared against the
+//!   checked-in floor (`results/BENCH_floor.json`); a drop of more than
+//!   20% below the floor exits nonzero.
+//!
+//! Writes `results/BENCH_throughput.json`.
+
+use aflrs::{run_campaign, CampaignConfig, CampaignResult};
+use bench::Mechanism;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Smoke-mode per-campaign cycle budget (big enough that the decoded
+/// engine's dispatch dominates, small enough for CI).
+const SMOKE_BUDGET: u64 = 4_000_000;
+
+#[derive(Serialize)]
+struct Row {
+    target: String,
+    mechanism: String,
+    execs: u64,
+    clock_cycles: u64,
+    coverage_hash: u64,
+    reference_secs: f64,
+    decoded_secs: f64,
+    reference_execs_per_sec: f64,
+    decoded_execs_per_sec: f64,
+    speedup: f64,
+    deterministic: bool,
+}
+
+#[derive(Serialize)]
+struct Aggregate {
+    total_execs: u64,
+    reference_execs_per_sec: f64,
+    decoded_execs_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    mode: String,
+    budget_cycles: u64,
+    rows: Vec<Row>,
+    aggregate: Aggregate,
+}
+
+fn campaign_cfg(budget: u64) -> CampaignConfig {
+    CampaignConfig {
+        budget_cycles: budget,
+        seed: 0xC0FFEE,
+        deterministic_stage: true,
+        stop_after_crashes: 0,
+        ..CampaignConfig::default()
+    }
+}
+
+/// One timed campaign on the requested engine. Executor construction is
+/// outside the timed window (decode happens once per module and is cached);
+/// the window covers exactly what a fuzzing campaign spends per test case.
+fn timed_run(
+    target: &targets::TargetSpec,
+    mech: Mechanism,
+    budget: u64,
+    reference: bool,
+) -> (CampaignResult, f64) {
+    vmos::set_reference_engine(reference);
+    let cfg = campaign_cfg(budget);
+    let seeds = (target.seeds)();
+    // Untimed warm-up campaign: caches, branch predictors and CPU
+    // frequency settle before either engine is on the clock.
+    {
+        let mut warm = mech.executor(target);
+        let _ = run_campaign(warm.as_mut(), &seeds, &cfg);
+    }
+    let mut ex = mech.executor(target);
+    let start = Instant::now();
+    let r = run_campaign(ex.as_mut(), &seeds, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    vmos::set_reference_engine(false);
+    (r, secs)
+}
+
+/// Pull a bare number out of a flat JSON object by key — the deserializer
+/// side of serde is stubbed in this build, so the floor file is parsed by
+/// string search.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget = if smoke { SMOKE_BUDGET } else { bench::budget() };
+    let targets: Vec<&targets::TargetSpec> = if smoke {
+        targets::all().into_iter().take(2).collect()
+    } else {
+        targets::all()
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("exec_throughput ({mode}): budget = {budget} cycles/campaign\n");
+
+    let mut rows = Vec::new();
+    let mut all_deterministic = true;
+    let (mut total_execs, mut ref_secs, mut dec_secs) = (0u64, 0.0f64, 0.0f64);
+    for t in &targets {
+        for mech in [Mechanism::ClosureX, Mechanism::ForkServer] {
+            let (ref_r, r_secs) = timed_run(t, mech, budget, true);
+            let (dec_r, d_secs) = timed_run(t, mech, budget, false);
+            let deterministic = ref_r.execs == dec_r.execs
+                && ref_r.clock_cycles == dec_r.clock_cycles
+                && ref_r.coverage_hash == dec_r.coverage_hash
+                && ref_r.edges_found == dec_r.edges_found
+                && ref_r.crashes.len() == dec_r.crashes.len();
+            if !deterministic {
+                all_deterministic = false;
+                eprintln!(
+                    "DETERMINISM VIOLATION: {} / {}: reference (execs={}, cycles={}, cov={:#x}) \
+                     != decoded (execs={}, cycles={}, cov={:#x})",
+                    t.name,
+                    mech.name(),
+                    ref_r.execs,
+                    ref_r.clock_cycles,
+                    ref_r.coverage_hash,
+                    dec_r.execs,
+                    dec_r.clock_cycles,
+                    dec_r.coverage_hash
+                );
+            }
+            let ref_eps = dec_r.execs as f64 / r_secs.max(1e-9);
+            let dec_eps = dec_r.execs as f64 / d_secs.max(1e-9);
+            eprintln!(
+                "  {} / {}: {} execs | reference {:.0}/s, decoded {:.0}/s ({:.2}x)",
+                t.name,
+                mech.name(),
+                dec_r.execs,
+                ref_eps,
+                dec_eps,
+                dec_eps / ref_eps.max(1e-9)
+            );
+            total_execs += dec_r.execs;
+            ref_secs += r_secs;
+            dec_secs += d_secs;
+            rows.push(Row {
+                target: t.name.to_string(),
+                mechanism: mech.name().to_string(),
+                execs: dec_r.execs,
+                clock_cycles: dec_r.clock_cycles,
+                coverage_hash: dec_r.coverage_hash,
+                reference_secs: r_secs,
+                decoded_secs: d_secs,
+                reference_execs_per_sec: ref_eps,
+                decoded_execs_per_sec: dec_eps,
+                speedup: dec_eps / ref_eps.max(1e-9),
+                deterministic,
+            });
+        }
+    }
+
+    let agg_ref = total_execs as f64 / ref_secs.max(1e-9);
+    let agg_dec = total_execs as f64 / dec_secs.max(1e-9);
+    let agg = Aggregate {
+        total_execs,
+        reference_execs_per_sec: agg_ref,
+        decoded_execs_per_sec: agg_dec,
+        speedup: agg_dec / agg_ref.max(1e-9),
+    };
+    println!(
+        "\nAggregate: {} execs | reference {:.0} execs/s | decoded {:.0} execs/s | speedup {:.2}x",
+        agg.total_execs, agg.reference_execs_per_sec, agg.decoded_execs_per_sec, agg.speedup
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.target.clone(),
+                r.mechanism.clone(),
+                r.execs.to_string(),
+                format!("{:.0}", r.reference_execs_per_sec),
+                format!("{:.0}", r.decoded_execs_per_sec),
+                format!("{:.2}", r.speedup),
+                r.deterministic.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        bench::markdown_table(
+            &[
+                "Target",
+                "Mechanism",
+                "Execs",
+                "Ref execs/s",
+                "Decoded execs/s",
+                "Speedup",
+                "Deterministic",
+            ],
+            &table
+        )
+    );
+    // Smoke mode writes to its own file so the CI gate never clobbers the
+    // blessed full-run report.
+    let report_name = if smoke {
+        "BENCH_throughput_smoke"
+    } else {
+        "BENCH_throughput"
+    };
+    bench::write_report(
+        report_name,
+        &Report {
+            mode: mode.to_string(),
+            budget_cycles: budget,
+            rows,
+            aggregate: agg,
+        },
+    );
+
+    if !all_deterministic {
+        eprintln!("FAIL: decoded engine diverged from the reference engine");
+        std::process::exit(1);
+    }
+
+    if smoke {
+        // Regression gate: compare against the checked-in floor. The floor
+        // is the decoded aggregate recorded when this benchmark was last
+        // blessed; a >20% drop on the same workload fails CI.
+        match std::fs::read_to_string("results/BENCH_floor.json")
+            .ok()
+            .and_then(|s| json_number(&s, "smoke_decoded_execs_per_sec"))
+        {
+            Some(floor) => {
+                let min = floor * 0.8;
+                if agg_dec < min {
+                    eprintln!(
+                        "FAIL: decoded throughput {agg_dec:.0} execs/s is more than 20% below \
+                         the checked-in floor {floor:.0} (minimum {min:.0})"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "Floor check passed: {agg_dec:.0} execs/s >= 80% of floor {floor:.0}."
+                );
+            }
+            None => {
+                eprintln!("(no results/BENCH_floor.json floor found; skipping regression gate)");
+            }
+        }
+    }
+}

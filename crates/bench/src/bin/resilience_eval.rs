@@ -196,36 +196,57 @@ fn main() {
     println!("Resilience evaluation: fault-injection sweep (budget = {budget} cycles)\n");
     let mut rows: Vec<Row> = Vec::new();
     let mut table = Vec::new();
-    for t in targets::all().into_iter().take(3) {
-        for &rate in &RATES {
-            for mech in [Mechanism::ClosureX, Mechanism::NaivePersistent] {
-                let row = run_cell(t, mech, rate, budget);
-                eprintln!(
-                    "  {} / {} @ {rate}: execs={} respawns={} divergences={} \
-                     false_crashes={} faults={} degr={}",
-                    row.target,
-                    row.mechanism,
-                    row.execs,
-                    row.respawns,
-                    row.divergences,
-                    row.false_crashes,
-                    row.harness_faults,
-                    row.degradation
-                );
-                table.push(vec![
-                    row.target.clone(),
-                    row.mechanism.clone(),
-                    format!("{rate}"),
-                    row.execs.to_string(),
-                    row.respawns.to_string(),
-                    row.divergences.to_string(),
-                    format!("{} (-{})", row.quarantined, row.quarantine_dropped),
-                    row.false_crashes.to_string(),
-                    row.degradation.clone(),
-                ]);
-                rows.push(row);
-            }
-        }
+    // The sweep grid is embarrassingly parallel: every cell builds its own
+    // executor and fault plane from (target, mechanism, rate) alone. Fan the
+    // cells out across threads and join in spawn order so rows, the table,
+    // and the JSON report come back in the same order as the serial loop.
+    let cells: Vec<(&targets::TargetSpec, Mechanism, f64)> = targets::all()
+        .into_iter()
+        .take(3)
+        .flat_map(|t| {
+            RATES.iter().flat_map(move |&rate| {
+                [Mechanism::ClosureX, Mechanism::NaivePersistent]
+                    .into_iter()
+                    .map(move |mech| (t, mech, rate))
+            })
+        })
+        .collect();
+    let cell_rows: Vec<Row> = std::thread::scope(|s| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|&(t, mech, rate)| s.spawn(move || run_cell(t, mech, rate, budget)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run_cell catches target panics itself"))
+            .collect()
+    });
+    for row in cell_rows {
+        eprintln!(
+            "  {} / {} @ {}: execs={} respawns={} divergences={} \
+             false_crashes={} faults={} degr={}",
+            row.target,
+            row.mechanism,
+            row.fault_rate,
+            row.execs,
+            row.respawns,
+            row.divergences,
+            row.false_crashes,
+            row.harness_faults,
+            row.degradation
+        );
+        table.push(vec![
+            row.target.clone(),
+            row.mechanism.clone(),
+            format!("{}", row.fault_rate),
+            row.execs.to_string(),
+            row.respawns.to_string(),
+            row.divergences.to_string(),
+            format!("{} (-{})", row.quarantined, row.quarantine_dropped),
+            row.false_crashes.to_string(),
+            row.degradation.clone(),
+        ]);
+        rows.push(row);
     }
     for row in run_leak_stress(budget) {
         table.push(vec![

@@ -81,24 +81,42 @@ pub fn budget() -> u64 {
         .unwrap_or(DEFAULT_BUDGET)
 }
 
-/// Run [`TRIALS`] campaigns of `mechanism` on `target`.
+/// Run [`TRIALS`] campaigns of `mechanism` on `target`, fanned out across
+/// one OS thread per trial.
+///
+/// Trials are fully independent — each builds its own executor and derives
+/// its RNG from `trial` alone — so parallelism cannot change any result.
+/// Handles are joined in spawn order, so the returned vector is in trial
+/// order regardless of which worker finishes first.
 ///
 /// A trial that panics (a wedged executor, a bad target) is dropped with a
 /// note on stderr rather than killing the whole table run — losing one
 /// sample beats losing the evening's sweep.
 pub fn run_trials(target: &TargetSpec, mechanism: Mechanism, budget: u64) -> Vec<CampaignResult> {
-    (0..TRIALS)
-        .filter_map(|trial| {
-            let cfg = CampaignConfig {
-                budget_cycles: budget,
-                seed: 0xC0FFEE + trial * 7919,
-                deterministic_stage: true,
-                stop_after_crashes: 0,
-                ..CampaignConfig::default()
-            };
-            run_trial_catching(target, mechanism, &cfg)
-        })
-        .collect()
+    // The engine switch is thread-local: carry the caller's choice (e.g.
+    // exec_throughput's reference runs) into every worker.
+    let reference = vmos::reference_engine();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..TRIALS)
+            .map(|trial| {
+                s.spawn(move || {
+                    vmos::set_reference_engine(reference);
+                    let cfg = CampaignConfig {
+                        budget_cycles: budget,
+                        seed: 0xC0FFEE + trial * 7919,
+                        deterministic_stage: true,
+                        stop_after_crashes: 0,
+                        ..CampaignConfig::default()
+                    };
+                    run_trial_catching(target, mechanism, &cfg)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().ok().flatten())
+            .collect()
+    })
 }
 
 /// Run one campaign, converting a panic anywhere in the executor or

@@ -6,11 +6,13 @@
 //! This is the fastest *correct* conventional mechanism and the baseline
 //! ClosureX is compared against throughout the paper's evaluation.
 
+use std::sync::Arc;
+
 use fir::Module;
 use passes::pipelines::baseline_pipeline;
 use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
+use vmos::{CallResult, CovMap, DecodedImage, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
 use crate::resilience::{HarnessError, ResilienceReport};
@@ -20,6 +22,7 @@ use crate::resilience::{HarnessError, ResilienceReport};
 pub struct ForkServerExecutor {
     os: Os,
     module: Module,
+    image: Arc<DecodedImage>,
     parent: Process,
     cov: CovMap,
     fuel: u64,
@@ -38,9 +41,11 @@ impl ForkServerExecutor {
         baseline_pipeline().run(&mut m)?;
         let mut os = Os::new();
         let (parent, setup_cycles) = os.spawn(&m);
+        let image = DecodedImage::cached(&m);
         Ok(ForkServerExecutor {
             os,
             module: m,
+            image,
             parent,
             cov: CovMap::new(),
             fuel: DEFAULT_FUEL,
@@ -83,7 +88,7 @@ impl Executor for ForkServerExecutor {
             }
         };
         child.cov_state.reset();
-        let machine = Machine::new(&self.module);
+        let machine = Machine::with_image(&self.module, &self.image);
         let out = {
             let mut ctx = HostCtx::new(&mut self.os, &mut self.cov);
             machine.call(&mut child, &mut ctx, "main", &[0, 0], self.fuel)

@@ -5,11 +5,13 @@
 //! image — and by far the slowest, since the whole binary image is reloaded
 //! every time.
 
+use std::sync::Arc;
+
 use fir::Module;
 use passes::pipelines::baseline_pipeline;
 use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os};
+use vmos::{CallResult, CovMap, DecodedImage, FaultPlan, FaultPlane, HostCtx, Machine, Os};
 
 use crate::checkpoint::ExecutorState;
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
@@ -20,6 +22,7 @@ use crate::resilience::{HarnessError, ResilienceReport};
 pub struct FreshProcessExecutor {
     os: Os,
     module: Module,
+    image: Arc<DecodedImage>,
     cov: CovMap,
     fuel: u64,
     harness_faults: u64,
@@ -33,9 +36,11 @@ impl FreshProcessExecutor {
     pub fn new(module: &Module) -> Result<Self, PassError> {
         let mut m = module.clone();
         baseline_pipeline().run(&mut m)?;
+        let image = DecodedImage::cached(&m);
         Ok(FreshProcessExecutor {
             os: Os::new(),
             module: m,
+            image,
             cov: CovMap::new(),
             fuel: DEFAULT_FUEL,
             harness_faults: 0,
@@ -73,7 +78,7 @@ impl Executor for FreshProcessExecutor {
                 };
             }
         };
-        let machine = Machine::new(&self.module);
+        let machine = Machine::with_image(&self.module, &self.image);
         let out = {
             let mut ctx = HostCtx::new(&mut self.os, &mut self.cov);
             machine.call(&mut p, &mut ctx, "main", &[0, 0], self.fuel)

@@ -17,11 +17,13 @@
 //! Construction applies the full ClosureX pass pipeline; no fuzzer or
 //! target modification is needed, mirroring the paper's AFL++ integration.
 
+use std::sync::Arc;
+
 use fir::{Module, Section};
 use passes::pipelines::closurex_pipeline;
 use passes::{PassError, PassReport, TARGET_MAIN};
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
+use vmos::{CallResult, CovMap, DecodedImage, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
 use crate::checkpoint::ExecutorState;
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
@@ -105,6 +107,7 @@ pub struct RestoreStats {
 pub struct ClosureXExecutor {
     os: Os,
     module: Module,
+    image: Arc<DecodedImage>,
     proc: Option<Process>,
     /// Ground-truth snapshot of `closure_global_section`.
     snapshot: Vec<u8>,
@@ -153,9 +156,11 @@ impl ClosureXExecutor {
     pub fn new(module: &Module, cfg: ClosureXConfig) -> Result<Self, PassError> {
         let mut m = module.clone();
         let pass_reports = closurex_pipeline().run(&mut m)?;
+        let image = DecodedImage::cached(&m);
         let mut ex = ClosureXExecutor {
             os: Os::new(),
             module: m,
+            image,
             proc: None,
             snapshot: Vec::new(),
             section: None,
@@ -201,7 +206,7 @@ impl ClosureXExecutor {
             self.os
                 .fs
                 .write_file(FUZZ_INPUT_PATH, self.cfg.warmup_input.clone());
-            let machine = Machine::new(&self.module);
+            let machine = Machine::with_image(&self.module, &self.image);
             let mut warm_cov = CovMap::new();
             let mut ctx = HostCtx::new(&mut self.os, &mut warm_cov);
             let _ = machine.call(&mut p, &mut ctx, TARGET_MAIN, &[0, 0], self.cfg.fuel);
@@ -410,7 +415,7 @@ impl ClosureXExecutor {
             }
         };
         child.cov_state.reset();
-        let machine = Machine::new(&self.module);
+        let machine = Machine::with_image(&self.module, &self.image);
         let out = {
             let mut ctx = match trace {
                 Some(t) => HostCtx::with_trace(&mut self.os, &mut self.cov, t),
@@ -488,7 +493,7 @@ impl ClosureXExecutor {
             );
         };
         p.cov_state.reset();
-        let machine = Machine::new(&self.module);
+        let machine = Machine::with_image(&self.module, &self.image);
         let out = {
             let mut ctx = match trace {
                 Some(t) => HostCtx::with_trace(&mut self.os, &mut self.cov, t),

@@ -11,11 +11,13 @@
 //! * any `exit()` call ends the process → expensive respawn, erasing the
 //!   throughput advantage on exit-heavy targets.
 
+use std::sync::Arc;
+
 use fir::Module;
 use passes::pipelines::baseline_pipeline;
 use passes::PassError;
 use vmos::fs::FUZZ_INPUT_PATH;
-use vmos::{CallResult, CovMap, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
+use vmos::{CallResult, CovMap, DecodedImage, FaultPlan, FaultPlane, HostCtx, Machine, Os, Process};
 
 use crate::executor::{ExecOutcome, ExecStatus, Executor, DEFAULT_FUEL};
 use crate::resilience::{HarnessError, ResilienceReport};
@@ -25,6 +27,7 @@ use crate::resilience::{HarnessError, ResilienceReport};
 pub struct NaivePersistentExecutor {
     os: Os,
     module: Module,
+    image: Arc<DecodedImage>,
     proc: Option<Process>,
     /// Pristine post-spawn image; restarts after exit/crash fork this
     /// (AFL++ restarts dead persistent children through its forkserver).
@@ -43,9 +46,11 @@ impl NaivePersistentExecutor {
     pub fn new(module: &Module) -> Result<Self, PassError> {
         let mut m = module.clone();
         baseline_pipeline().run(&mut m)?;
+        let image = DecodedImage::cached(&m);
         Ok(NaivePersistentExecutor {
             os: Os::new(),
             module: m,
+            image,
             proc: None,
             template: None,
             cov: CovMap::new(),
@@ -116,7 +121,7 @@ impl Executor for NaivePersistentExecutor {
             };
         };
         p.cov_state.reset();
-        let machine = Machine::new(&self.module);
+        let machine = Machine::with_image(&self.module, &self.image);
         let out = {
             let mut ctx = HostCtx::new(&mut self.os, &mut self.cov);
             machine.call(p, &mut ctx, "main", &[0, 0], self.fuel)

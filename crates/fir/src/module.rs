@@ -202,6 +202,27 @@ impl Module {
     pub fn inst_count(&self) -> usize {
         self.functions.iter().map(|f| f.inst_count()).sum()
     }
+
+    /// Content fingerprint of the module, used to key derived artifacts
+    /// (e.g. the decoded-bytecode image cache in `vmos`). Two structurally
+    /// equal modules always fingerprint equal; distinct modules collide
+    /// only if FNV-1a over their printed forms collides, and the printed
+    /// form round-trips the entire module (see `printer`), so every
+    /// semantic difference reaches the hash.
+    pub fn fingerprint(&self) -> u64 {
+        let text = crate::printer::print_module(self);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in text.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        // Fold in cheap structural counts so a (vanishingly unlikely)
+        // text-hash collision would still need matching shape.
+        h ^= (self.functions.len() as u64).rotate_left(17);
+        h ^= (self.globals.len() as u64).rotate_left(33);
+        h ^= (self.inst_count() as u64).rotate_left(49);
+        h
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,17 @@ use serde::{Deserialize, Serialize};
 pub const MAP_SIZE: usize = 1 << 16;
 
 /// A hitcount edge-coverage bitmap.
+///
+/// Alongside the 64 KiB byte map, the struct maintains a *sparse touched
+/// list*: the index of every slot that went 0 → nonzero since the last
+/// [`CovMap::clear`]. Because `map` is private and [`CovMap::hit`] is the
+/// only writer, the list is always exactly the set of nonzero slots —
+/// which lets `clear` and [`VirginMap::merge`] run in O(touched edges)
+/// instead of O(64 KiB) on the fast-engine path.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct CovMap {
     map: Vec<u8>,
+    touched: Vec<u16>,
 }
 
 impl Default for CovMap {
@@ -37,6 +45,7 @@ impl CovMap {
     pub fn new() -> Self {
         CovMap {
             map: vec![0; MAP_SIZE],
+            touched: Vec::new(),
         }
     }
 
@@ -44,6 +53,9 @@ impl CovMap {
     #[inline]
     pub fn hit(&mut self, edge_index: u16) {
         let slot = &mut self.map[edge_index as usize];
+        if *slot == 0 {
+            self.touched.push(edge_index);
+        }
         *slot = slot.saturating_add(1);
     }
 
@@ -52,9 +64,26 @@ impl CovMap {
         &self.map
     }
 
+    /// Indices touched since the last [`CovMap::clear`], in hit order.
+    pub fn touched(&self) -> &[u16] {
+        &self.touched
+    }
+
     /// Zero the map (between test cases).
+    ///
+    /// On the fast-engine path only the touched slots are zeroed; the
+    /// reference path wipes all 64 KiB like the pre-change engine did.
+    /// Both leave the map all-zero, so the choice is invisible to the
+    /// simulation.
     pub fn clear(&mut self) {
-        self.map.fill(0);
+        if crate::engine::reference_engine() {
+            self.map.fill(0);
+        } else {
+            for &i in &self.touched {
+                self.map[i as usize] = 0;
+            }
+        }
+        self.touched.clear();
     }
 
     /// Number of edges with a non-zero hitcount.
@@ -63,19 +92,55 @@ impl CovMap {
     }
 
     /// FNV-1a hash of the *bucketed* map — used as a cheap path identity.
+    ///
+    /// Bucketing runs word-at-a-time through [`classify_word`]; the FNV
+    /// fold itself is inherently per-byte, so the hash value is identical
+    /// to classifying byte-by-byte.
     pub fn classified_hash(&self) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
-        for &b in &self.map {
-            h ^= u64::from(classify_count(b));
-            h = h.wrapping_mul(0x100000001b3);
+        for chunk in self.map.chunks_exact(8) {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            for b in classify_word(word).to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
         }
         h
     }
 }
 
+/// AFL's hitcount buckets, precomputed for every possible count so the hot
+/// paths index a table instead of running [`classify_count_reference`]'s
+/// branch ladder.
+pub const COUNT_CLASS_LUT: [u8; 256] = {
+    let mut lut = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        lut[c] = match c {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 4,
+            4..=7 => 8,
+            8..=15 => 16,
+            16..=31 => 32,
+            32..=127 => 64,
+            _ => 128,
+        };
+        c += 1;
+    }
+    lut
+};
+
 /// AFL's hitcount bucketing: collapse counts into power-of-two-ish buckets
 /// so loop-iteration jitter doesn't register as new coverage.
+#[inline]
 pub fn classify_count(count: u8) -> u8 {
+    COUNT_CLASS_LUT[count as usize]
+}
+
+/// The original branchy bucketing, kept as a test oracle for the LUT.
+pub fn classify_count_reference(count: u8) -> u8 {
     match count {
         0 => 0,
         1 => 1,
@@ -87,6 +152,27 @@ pub fn classify_count(count: u8) -> u8 {
         32..=127 => 64,
         _ => 128,
     }
+}
+
+/// Classify all eight hitcount lanes of a little-endian `u64` at once
+/// (AFL++'s `classify_word`). Zero words — the overwhelmingly common case
+/// on a sparse map — return immediately.
+#[inline]
+pub fn classify_word(word: u64) -> u64 {
+    if word == 0 {
+        return 0;
+    }
+    let b = word.to_le_bytes();
+    u64::from_le_bytes([
+        COUNT_CLASS_LUT[b[0] as usize],
+        COUNT_CLASS_LUT[b[1] as usize],
+        COUNT_CLASS_LUT[b[2] as usize],
+        COUNT_CLASS_LUT[b[3] as usize],
+        COUNT_CLASS_LUT[b[4] as usize],
+        COUNT_CLASS_LUT[b[5] as usize],
+        COUNT_CLASS_LUT[b[6] as usize],
+        COUNT_CLASS_LUT[b[7] as usize],
+    ])
 }
 
 /// Tracks accumulated ("virgin") coverage across a whole campaign and
@@ -130,6 +216,32 @@ impl VirginMap {
     }
 
     fn merge_inner(&mut self, run: &CovMap, mut changed: Option<&mut Vec<(usize, u8)>>) -> bool {
+        if !crate::engine::reference_engine() {
+            // Fast path: the run's touched list is exactly its nonzero
+            // slots, so visiting it (sorted, to preserve the reference
+            // scan's index-ascending order — journal delta bytes depend on
+            // it) performs the identical sequence of byte merges in
+            // O(touched) instead of O(MAP_SIZE).
+            let mut idxs = run.touched.clone();
+            idxs.sort_unstable();
+            let mut new = false;
+            for idx in idxs {
+                let i = idx as usize;
+                let bucket = classify_count(run.map[i]);
+                let v = &mut self.virgin[i];
+                if *v & bucket != bucket {
+                    if *v == 0 {
+                        self.edges_found += 1;
+                    }
+                    *v |= bucket;
+                    new = true;
+                    if let Some(out) = changed.as_deref_mut() {
+                        out.push((i, *v));
+                    }
+                }
+            }
+            return new;
+        }
         let mut new = false;
         for (wi, chunk) in run.as_slice().chunks_exact(8).enumerate() {
             let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
@@ -312,6 +424,81 @@ mod tests {
         changed.clear();
         assert!(!a.merge_tracked(&run, &mut changed));
         assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn lut_matches_branchy_oracle_for_all_counts() {
+        for c in 0..=255u8 {
+            assert_eq!(
+                classify_count(c),
+                classify_count_reference(c),
+                "count {c}"
+            );
+            assert_eq!(COUNT_CLASS_LUT[c as usize], classify_count_reference(c));
+        }
+    }
+
+    #[test]
+    fn classify_word_matches_per_byte_classification() {
+        let words = [
+            0u64,
+            1,
+            0xFF,
+            0x0102_0304_0506_0708,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0x2020_0303_FF00_1001,
+        ];
+        for w in words {
+            let expect =
+                u64::from_le_bytes(w.to_le_bytes().map(classify_count_reference));
+            assert_eq!(classify_word(w), expect, "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn touched_list_is_exactly_the_nonzero_slots() {
+        let mut m = CovMap::new();
+        m.hit(9);
+        m.hit(9);
+        m.hit(3);
+        m.hit(60000);
+        let mut t = m.touched().to_vec();
+        t.sort_unstable();
+        assert_eq!(t, vec![3, 9, 60000], "no duplicates, every nonzero slot");
+        m.clear();
+        assert!(m.touched().is_empty());
+        assert_eq!(m.count_nonzero(), 0);
+        // Clearing on the reference path leaves the same all-zero state.
+        m.hit(7);
+        let _g = crate::engine::ReferenceEngineGuard::new();
+        m.clear();
+        assert_eq!(m.count_nonzero(), 0);
+        assert!(m.touched().is_empty());
+    }
+
+    #[test]
+    fn sparse_merge_matches_full_scan_merge() {
+        let mut run = CovMap::new();
+        // Hit in deliberately non-ascending order, with bucket variety.
+        for &e in &[5000u16, 12, 64001, 12, 300, 7, 7, 7, 7] {
+            run.hit(e);
+        }
+        let mut fast = VirginMap::new();
+        let mut fast_changed = Vec::new();
+        let fast_new = fast.merge_tracked(&run, &mut fast_changed);
+
+        let _g = crate::engine::ReferenceEngineGuard::new();
+        let mut slow = VirginMap::new();
+        let mut slow_changed = Vec::new();
+        let slow_new = slow.merge_tracked(&run, &mut slow_changed);
+
+        assert_eq!(fast_new, slow_new);
+        assert_eq!(fast, slow);
+        assert_eq!(
+            fast_changed, slow_changed,
+            "journal delta order must match the reference scan"
+        );
     }
 
     #[test]

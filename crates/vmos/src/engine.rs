@@ -1,0 +1,97 @@
+//! Engine selection: decoded fast path vs. reference interpreter.
+//!
+//! The decoded-bytecode engine (see [`crate::decoded`]) and the coverage
+//! fast paths are *host-speed* optimizations: they must leave every
+//! simulated observable — cycle counts, coverage hashes, crash sites,
+//! checkpoint bytes — bit-for-bit identical to the original tree-walking
+//! interpreter. To make that claim testable, the original engine survives
+//! as a **reference path** that can be selected two ways:
+//!
+//! * at compile time with `--features slow-interp`, which forces every
+//!   thread onto the reference path (the golden equivalence tests build
+//!   the workspace twice and compare results across binaries);
+//! * at run time, per thread, with [`set_reference_engine`] — used by the
+//!   in-process golden tests and by the `exec_throughput` bench, which
+//!   measures both engines in the same run to report the speedup.
+//!
+//! The switch is thread-local so parallel bench trials can pin different
+//! engines without racing each other.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FORCE_REFERENCE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Force (or stop forcing) the reference interpreter and the pre-change
+/// coverage scan on the **current thread**. No-op for other threads.
+pub fn set_reference_engine(on: bool) {
+    FORCE_REFERENCE.with(|c| c.set(on));
+}
+
+/// Is the current thread on the reference (pre-change) path? True when the
+/// `slow-interp` feature is compiled in or [`set_reference_engine`] was
+/// called with `true` on this thread.
+#[inline]
+pub fn reference_engine() -> bool {
+    cfg!(feature = "slow-interp") || FORCE_REFERENCE.with(Cell::get)
+}
+
+/// RAII guard: reference engine on while alive, restored on drop. Keeps
+/// tests from leaking the thread-local into later tests on a pooled
+/// thread.
+#[derive(Debug)]
+pub struct ReferenceEngineGuard {
+    prev: bool,
+}
+
+impl ReferenceEngineGuard {
+    /// Switch the current thread to the reference engine until drop.
+    pub fn new() -> Self {
+        let prev = FORCE_REFERENCE.with(Cell::get);
+        set_reference_engine(true);
+        ReferenceEngineGuard { prev }
+    }
+}
+
+impl Default for ReferenceEngineGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ReferenceEngineGuard {
+    fn drop(&mut self) {
+        set_reference_engine(self.prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_restores_previous_state() {
+        assert!(!reference_engine() || cfg!(feature = "slow-interp"));
+        {
+            let _g = ReferenceEngineGuard::new();
+            assert!(reference_engine());
+            {
+                let _inner = ReferenceEngineGuard::new();
+                assert!(reference_engine());
+            }
+            assert!(reference_engine(), "outer guard still active");
+        }
+        assert!(!reference_engine() || cfg!(feature = "slow-interp"));
+    }
+
+    #[test]
+    fn switch_is_thread_local() {
+        let _g = ReferenceEngineGuard::new();
+        let other = std::thread::spawn(reference_engine).join().unwrap();
+        assert!(
+            !other || cfg!(feature = "slow-interp"),
+            "other threads keep the default engine"
+        );
+    }
+}

@@ -52,12 +52,128 @@ fn arg(args: &[i64], i: usize) -> i64 {
     args.get(i).copied().unwrap_or(0)
 }
 
-/// Dispatch a host call. Returns `Ok(None)` when the name is unknown (the
-/// interpreter then reports an unresolved-symbol crash).
+/// The host functions the simulated libc implements, with the ClosureX
+/// wrapper aliases folded into the [`HostId::hooked`] flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostFn {
+    /// `malloc` / `closurex_malloc`.
+    Malloc,
+    /// `calloc` / `closurex_calloc`.
+    Calloc,
+    /// `realloc` / `closurex_realloc`.
+    Realloc,
+    /// `free` / `closurex_free`.
+    Free,
+    /// `memcpy` and `memmove` (identical in this machine).
+    Memcpy,
+    /// `memset`.
+    Memset,
+    /// `memcmp`.
+    Memcmp,
+    /// `strlen`.
+    Strlen,
+    /// `strcmp`.
+    Strcmp,
+    /// `fopen` / `closurex_fopen`.
+    Fopen,
+    /// `fclose` / `closurex_fclose`.
+    Fclose,
+    /// `fread`.
+    Fread,
+    /// `fgetc`.
+    Fgetc,
+    /// `fseek`.
+    Fseek,
+    /// `ftell`.
+    Ftell,
+    /// `feof`.
+    Feof,
+    /// `fsize` (stat analog).
+    Fsize,
+    /// `exit` and `_exit`.
+    Exit,
+    /// `closurex_exit_hook`.
+    ExitHook,
+    /// `abort`.
+    Abort,
+    /// `getpid`.
+    Getpid,
+    /// `rand`.
+    Rand,
+    /// `puts`.
+    Puts,
+    /// `putchar`.
+    Putchar,
+    /// `print_int`.
+    PrintInt,
+}
+
+/// A pre-bound host call: which function, and whether it was reached
+/// through its `closurex_*` wrapper alias (which charges the wrapper cost
+/// and updates [`crate::process::ClosureRt`] side-state).
+///
+/// The decoded engine resolves names to `HostId`s once at lowering time;
+/// the reference interpreter resolves per call via [`resolve`]. Both then
+/// run the same [`dispatch_id`], so semantics cannot diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostId {
+    /// Which host function.
+    pub fun: HostFn,
+    /// Reached via the `closurex_*` wrapper alias?
+    pub hooked: bool,
+}
+
+/// Resolve a call-site name to a host function id. `None` means unknown
+/// (the interpreter then reports an unresolved-symbol crash).
+pub fn resolve(name: &str) -> Option<HostId> {
+    use HostFn::*;
+    let plain = |fun| {
+        Some(HostId { fun, hooked: false })
+    };
+    let hooked = |fun| {
+        Some(HostId { fun, hooked: true })
+    };
+    match name {
+        "malloc" => plain(Malloc),
+        "closurex_malloc" => hooked(Malloc),
+        "calloc" => plain(Calloc),
+        "closurex_calloc" => hooked(Calloc),
+        "realloc" => plain(Realloc),
+        "closurex_realloc" => hooked(Realloc),
+        "free" => plain(Free),
+        "closurex_free" => hooked(Free),
+        "memcpy" | "memmove" => plain(Memcpy),
+        "memset" => plain(Memset),
+        "memcmp" => plain(Memcmp),
+        "strlen" => plain(Strlen),
+        "strcmp" => plain(Strcmp),
+        "fopen" => plain(Fopen),
+        "closurex_fopen" => hooked(Fopen),
+        "fclose" => plain(Fclose),
+        "closurex_fclose" => hooked(Fclose),
+        "fread" => plain(Fread),
+        "fgetc" => plain(Fgetc),
+        "fseek" => plain(Fseek),
+        "ftell" => plain(Ftell),
+        "feof" => plain(Feof),
+        "fsize" => plain(Fsize),
+        "exit" | "_exit" => plain(Exit),
+        "closurex_exit_hook" => plain(ExitHook),
+        "abort" => plain(Abort),
+        "getpid" => plain(Getpid),
+        "rand" => plain(Rand),
+        "puts" => plain(Puts),
+        "putchar" => plain(Putchar),
+        "print_int" => plain(PrintInt),
+        _ => None,
+    }
+}
+
+/// Dispatch a host call by name. Returns `Ok(None)` when the name is
+/// unknown (the interpreter then reports an unresolved-symbol crash).
 ///
 /// # Errors
 /// A [`Crash`] for detected memory/resource errors.
-#[allow(clippy::too_many_lines)]
 pub fn dispatch(
     name: &str,
     args: &[i64],
@@ -66,10 +182,29 @@ pub fn dispatch(
     site: (&str, u32),
     cycles: &mut u64,
 ) -> Result<Option<HostRet>, Crash> {
+    match resolve(name) {
+        Some(id) => dispatch_id(id, args, p, ctx, site, cycles),
+        None => Ok(None),
+    }
+}
+
+/// Dispatch a pre-bound host call (see [`resolve`]).
+///
+/// # Errors
+/// A [`Crash`] for detected memory/resource errors.
+#[allow(clippy::too_many_lines)]
+pub fn dispatch_id(
+    id: HostId,
+    args: &[i64],
+    p: &mut Process,
+    ctx: &mut HostCtx<'_>,
+    site: (&str, u32),
+    cycles: &mut u64,
+) -> Result<Option<HostRet>, Crash> {
     let cost = ctx.cost.clone();
-    let ret = match name {
+    let ret = match id.fun {
         // ---- malloc family -------------------------------------------
-        "malloc" | "closurex_malloc" => {
+        HostFn::Malloc => {
             *cycles += cost.host_malloc;
             if ctx.os.fault.roll(FaultKind::MallocNull) {
                 return Ok(Some(HostRet::Val(0))); // injected ENOMEM
@@ -79,7 +214,7 @@ pub fn dispatch(
                 .heap
                 .alloc(size)
                 .map_err(|e| heap_err_to_crash(e, site, "malloc"))?;
-            if name.starts_with("closurex_") {
+            if id.hooked {
                 *cycles += cost.closurex_wrapper;
                 if p.rt.enabled && !p.rt.in_init_phase {
                     p.rt.chunk_map.insert(ptr, size);
@@ -87,7 +222,7 @@ pub fn dispatch(
             }
             HostRet::Val(ptr as i64)
         }
-        "calloc" | "closurex_calloc" => {
+        HostFn::Calloc => {
             *cycles += cost.host_malloc;
             if ctx.os.fault.roll(FaultKind::MallocNull) {
                 return Ok(Some(HostRet::Val(0))); // injected ENOMEM
@@ -101,7 +236,7 @@ pub fn dispatch(
                 .map_err(|e| heap_err_to_crash(e, site, "calloc"))?;
             p.write_bytes(ptr, &vec![0u8; total as usize]);
             *cycles += cost.bulk(0, total);
-            if name.starts_with("closurex_") {
+            if id.hooked {
                 *cycles += cost.closurex_wrapper;
                 if p.rt.enabled && !p.rt.in_init_phase {
                     p.rt.chunk_map.insert(ptr, total);
@@ -109,7 +244,7 @@ pub fn dispatch(
             }
             HostRet::Val(ptr as i64)
         }
-        "realloc" | "closurex_realloc" => {
+        HostFn::Realloc => {
             *cycles += cost.host_malloc + cost.host_free;
             if ctx.os.fault.roll(FaultKind::MallocNull) {
                 // Injected ENOMEM: NULL return, original block left intact.
@@ -117,7 +252,7 @@ pub fn dispatch(
             }
             let old = arg(args, 0) as u64;
             let size = arg(args, 1).max(0) as u64;
-            let hooked = name.starts_with("closurex_");
+            let hooked = id.hooked;
             let new_ptr = if old == 0 {
                 p.heap
                     .alloc(size)
@@ -154,7 +289,7 @@ pub fn dispatch(
             }
             HostRet::Val(new_ptr as i64)
         }
-        "free" | "closurex_free" => {
+        HostFn::Free => {
             *cycles += cost.host_free;
             let ptr = arg(args, 0) as u64;
             if ptr == 0 {
@@ -163,7 +298,7 @@ pub fn dispatch(
             p.heap
                 .free(ptr)
                 .map_err(|e| heap_err_to_crash(e, site, "free"))?;
-            if name.starts_with("closurex_") {
+            if id.hooked {
                 *cycles += cost.closurex_wrapper;
                 p.rt.chunk_map.remove(&ptr);
             }
@@ -171,7 +306,7 @@ pub fn dispatch(
         }
 
         // ---- bulk memory ---------------------------------------------
-        "memcpy" | "memmove" => {
+        HostFn::Memcpy => {
             let (dst, src, n) = (arg(args, 0) as u64, arg(args, 1) as u64, arg(args, 2));
             if !(0..BULK_LIMIT).contains(&n) {
                 return Err(crash(
@@ -190,7 +325,7 @@ pub fn dispatch(
             *cycles += cost.bulk(2, n);
             HostRet::Val(dst as i64)
         }
-        "memset" => {
+        HostFn::Memset => {
             let (dst, c, n) = (arg(args, 0) as u64, arg(args, 1), arg(args, 2));
             if !(0..BULK_LIMIT).contains(&n) {
                 return Err(crash(
@@ -207,7 +342,7 @@ pub fn dispatch(
             *cycles += cost.bulk(2, n);
             HostRet::Val(dst as i64)
         }
-        "memcmp" => {
+        HostFn::Memcmp => {
             let (a, b, n) = (arg(args, 0) as u64, arg(args, 1) as u64, arg(args, 2));
             if !(0..BULK_LIMIT).contains(&n) {
                 return Err(crash(
@@ -232,14 +367,14 @@ pub fn dispatch(
             *cycles += cost.bulk(2, n);
             HostRet::Val(r)
         }
-        "strlen" => {
+        HostFn::Strlen => {
             let a = arg(args, 0) as u64;
             p.check_access(a, 1, false, site.0, site.1)?;
             let s = p.mem.read_cstr(a, 1 << 16);
             *cycles += cost.bulk(2, s.len() as u64);
             HostRet::Val(s.len() as i64)
         }
-        "strcmp" => {
+        HostFn::Strcmp => {
             let a = arg(args, 0) as u64;
             let b = arg(args, 1) as u64;
             p.check_access(a, 1, false, site.0, site.1)?;
@@ -255,7 +390,7 @@ pub fn dispatch(
         }
 
         // ---- stdio ----------------------------------------------------
-        "fopen" | "closurex_fopen" => {
+        HostFn::Fopen => {
             *cycles += cost.host_fopen;
             let path_ptr = arg(args, 0) as u64;
             p.check_access(path_ptr, 1, false, site.0, site.1)?;
@@ -280,7 +415,7 @@ pub fn dispatch(
                     ))
                 }
             };
-            if name.starts_with("closurex_") {
+            if id.hooked {
                 *cycles += cost.closurex_wrapper;
                 if p.rt.enabled {
                     if p.rt.in_init_phase {
@@ -292,7 +427,7 @@ pub fn dispatch(
             }
             HostRet::Val(handle as i64)
         }
-        "fclose" | "closurex_fclose" => {
+        HostFn::Fclose => {
             *cycles += cost.host_fclose;
             let h = arg(args, 0) as u64;
             if h == 0 {
@@ -317,14 +452,14 @@ pub fn dispatch(
                     format!("fclose of bad handle {h:#x}"),
                 ));
             }
-            if name.starts_with("closurex_") {
+            if id.hooked {
                 *cycles += cost.closurex_wrapper;
                 p.rt.open_files.retain(|&x| x != h);
                 p.rt.init_files.retain(|&x| x != h);
             }
             HostRet::Val(0)
         }
-        "fread" => {
+        HostFn::Fread => {
             let (buf, size, nmemb, h) = (
                 arg(args, 0) as u64,
                 arg(args, 1).max(0) as u64,
@@ -358,7 +493,7 @@ pub fn dispatch(
             *cycles += cost.bulk(4, n);
             HostRet::Val(n.checked_div(size).unwrap_or(0) as i64)
         }
-        "fgetc" => {
+        HostFn::Fgetc => {
             let h = arg(args, 0) as u64;
             if h == 0 {
                 return Err(crash(CrashKind::NullPtrDeref, site, "fgetc(NULL)".into()));
@@ -380,7 +515,7 @@ pub fn dispatch(
                 HostRet::Val(-1)
             }
         }
-        "fseek" => {
+        HostFn::Fseek => {
             let (h, off, whence) = (arg(args, 0) as u64, arg(args, 1), arg(args, 2));
             if h == 0 {
                 return Err(crash(CrashKind::NullPtrDeref, site, "fseek(NULL)".into()));
@@ -409,7 +544,7 @@ pub fn dispatch(
                 HostRet::Val(0)
             }
         }
-        "ftell" => {
+        HostFn::Ftell => {
             let h = arg(args, 0) as u64;
             *cycles += 2;
             match p.fds.get(h) {
@@ -417,7 +552,7 @@ pub fn dispatch(
                 None => HostRet::Val(-1),
             }
         }
-        "feof" => {
+        HostFn::Feof => {
             let h = arg(args, 0) as u64;
             *cycles += 2;
             match p.fds.get(h) {
@@ -428,7 +563,7 @@ pub fn dispatch(
                 None => HostRet::Val(1),
             }
         }
-        "fsize" => {
+        HostFn::Fsize => {
             // Convenience (stat analog) used by targets to size buffers.
             let h = arg(args, 0) as u64;
             *cycles += 2;
@@ -439,16 +574,16 @@ pub fn dispatch(
         }
 
         // ---- process control -------------------------------------------
-        "exit" | "_exit" => HostRet::Exit(arg(args, 0) as i32),
-        "closurex_exit_hook" => HostRet::ExitHook(arg(args, 0) as i32),
-        "abort" => {
+        HostFn::Exit => HostRet::Exit(arg(args, 0) as i32),
+        HostFn::ExitHook => HostRet::ExitHook(arg(args, 0) as i32),
+        HostFn::Abort => {
             return Err(crash(CrashKind::Abort, site, "abort() called".into()));
         }
-        "getpid" => HostRet::Val(i64::from(p.pid)),
-        "rand" => HostRet::Val((p.next_rand() & 0x7fff_ffff) as i64),
+        HostFn::Getpid => HostRet::Val(i64::from(p.pid)),
+        HostFn::Rand => HostRet::Val((p.next_rand() & 0x7fff_ffff) as i64),
 
         // ---- output -----------------------------------------------------
-        "puts" => {
+        HostFn::Puts => {
             let a = arg(args, 0) as u64;
             p.check_access(a, 1, false, site.0, site.1)?;
             let s = p.mem.read_cstr(a, 4096);
@@ -457,19 +592,18 @@ pub fn dispatch(
             *cycles += cost.bulk(2, s.len() as u64);
             HostRet::Val(0)
         }
-        "putchar" => {
+        HostFn::Putchar => {
             p.stdout.push(arg(args, 0) as u8);
             *cycles += 2;
             HostRet::Val(arg(args, 0))
         }
-        "print_int" => {
+        HostFn::PrintInt => {
             let s = arg(args, 0).to_string();
             p.stdout.extend_from_slice(s.as_bytes());
             *cycles += 2;
             HostRet::Val(0)
         }
 
-        _ => return Ok(None),
     };
     Ok(Some(ret))
 }

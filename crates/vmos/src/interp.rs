@@ -6,6 +6,7 @@ use fir::{BinOp, Inst, Module, Operand, Terminator};
 use crate::cost::CostModel;
 use crate::cov::CovMap;
 use crate::crash::{Crash, CrashKind};
+use crate::decoded::{DOp, DecodedImage};
 use crate::hostcalls::{self, HostRet};
 use crate::os::Os;
 use crate::process::{Frame, JmpCtx, Process, MAX_CALL_DEPTH, STACK_MAX_BYTES, STACK_TOP};
@@ -99,15 +100,37 @@ impl<'a> HostCtx<'a> {
 /// The interpreter for one module. Stateless: all mutable state lives in
 /// the [`Process`] and [`HostCtx`], so one machine can drive many processes
 /// (exactly how one kernel runs many forked children).
+///
+/// A machine built with [`Machine::new`] always runs the reference
+/// tree-walking interpreter. [`Machine::with_image`] attaches a
+/// [`DecodedImage`] and runs the pre-decoded fast engine instead — unless
+/// the thread is pinned to the reference path (see [`crate::engine`]).
+/// Both engines produce bit-identical simulated behavior.
 #[derive(Debug, Clone, Copy)]
 pub struct Machine<'m> {
     module: &'m Module,
+    image: Option<&'m DecodedImage>,
 }
 
 impl<'m> Machine<'m> {
-    /// Create a machine for `module`.
+    /// Create a machine for `module` (reference engine).
     pub fn new(module: &'m Module) -> Self {
-        Machine { module }
+        Machine {
+            module,
+            image: None,
+        }
+    }
+
+    /// Create a machine running `module` through its pre-decoded `image`.
+    ///
+    /// The caller is responsible for `image` being the lowering of
+    /// `module` (executors pair them via [`DecodedImage::cached`]).
+    pub fn with_image(module: &'m Module, image: &'m DecodedImage) -> Self {
+        debug_assert_eq!(image.funcs.len(), module.functions.len());
+        Machine {
+            module,
+            image: Some(image),
+        }
     }
 
     /// The module this machine executes.
@@ -147,7 +170,12 @@ impl<'m> Machine<'m> {
             saved_sp: p.sp,
             ret_dst: None,
         });
-        let out = self.run(p, ctx, base_depth, fuel);
+        let out = match self.image {
+            Some(img) if !crate::engine::reference_engine() => {
+                self.run_decoded(img, p, ctx, base_depth, fuel)
+            }
+            _ => self.run(p, ctx, base_depth, fuel),
+        };
         // On abnormal endings, unwind any frames this call pushed and
         // restore the stack pointer (the OS would reclaim them; the
         // ClosureX harness relies on this for stack restoration).
@@ -452,12 +480,320 @@ impl<'m> Machine<'m> {
             }
         }
     }
+
+    /// The decoded-bytecode execution loop.
+    ///
+    /// Mirrors [`Machine::run`] transition-for-transition: identical fuel
+    /// checks, cycle charges, crash sites, and frame/stack manipulation —
+    /// only the *representation* of the program differs. Frames keep
+    /// source `(block, ip)` coordinates so `setjmp` records, checkpoints,
+    /// and the reference engine all interoperate; the loop tracks a local
+    /// flat `pc` and syncs the top frame's coordinates at every
+    /// frame-stack transition (call, return, `longjmp`), which are the
+    /// only points the reference engine's eager coordinate updates are
+    /// observable.
+    #[allow(clippy::too_many_lines)]
+    fn run_decoded(
+        &self,
+        img: &DecodedImage,
+        p: &mut Process,
+        ctx: &mut HostCtx<'_>,
+        base_depth: usize,
+        fuel: u64,
+    ) -> CallOutcome {
+        let mut cycles: u64 = 0;
+        let mut insts: u64 = 0;
+        let inst_cost = ctx.cost.inst;
+
+        macro_rules! finish {
+            ($result:expr) => {
+                return CallOutcome {
+                    result: $result,
+                    cycles,
+                    insts,
+                }
+            };
+        }
+
+        let (mut fidx, mut pc) = {
+            let fr = p.frames.last().expect("non-empty frame stack");
+            let df = &img.funcs[fr.func.0 as usize];
+            (fr.func.0 as usize, df.flat_pc(fr.block, fr.ip))
+        };
+
+        loop {
+            if insts >= fuel {
+                finish!(CallResult::OutOfFuel);
+            }
+            debug_assert!(p.frames.len() > base_depth);
+            let df = &img.funcs[fidx];
+            insts += 1;
+            cycles += inst_cost;
+
+            macro_rules! crash_here {
+                ($kind:expr, $detail:expr) => {
+                    finish!(CallResult::Crashed(Crash {
+                        kind: $kind,
+                        function: df.name.clone(),
+                        block: df.block_of[pc as usize],
+                        detail: $detail,
+                    }))
+                };
+            }
+            macro_rules! set_reg {
+                ($dst:expr, $v:expr) => {
+                    p.frames.last_mut().expect("frame").regs[$dst as usize] = $v
+                };
+            }
+
+            match &df.ops[pc as usize] {
+                DOp::Const { dst, value } => {
+                    set_reg!(*dst, *value);
+                    pc += 1;
+                }
+                DOp::Mov { dst, src } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    fr.regs[*dst as usize] = reg_read(&fr.regs, *src);
+                    pc += 1;
+                }
+                DOp::Bin { op, dst, lhs, rhs } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let a = reg_read(&fr.regs, *lhs);
+                    let b = reg_read(&fr.regs, *rhs);
+                    match eval_bin(*op, a, b) {
+                        Ok(v) => fr.regs[*dst as usize] = v,
+                        Err(detail) => crash_here!(CrashKind::DivisionByZero, detail),
+                    }
+                    pc += 1;
+                }
+                DOp::Cmp {
+                    pred,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let v = i64::from(pred.eval(reg_read(&fr.regs, *lhs), reg_read(&fr.regs, *rhs)));
+                    fr.regs[*dst as usize] = v;
+                    pc += 1;
+                }
+                DOp::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let v = if reg_read(&fr.regs, *cond) != 0 {
+                        reg_read(&fr.regs, *if_true)
+                    } else {
+                        reg_read(&fr.regs, *if_false)
+                    };
+                    fr.regs[*dst as usize] = v;
+                    pc += 1;
+                }
+                DOp::Load { dst, addr, bytes } => {
+                    let a = read_op(p, *addr) as u64;
+                    if let Err(c) =
+                        p.check_access(a, *bytes, false, &df.name, df.block_of[pc as usize])
+                    {
+                        finish!(CallResult::Crashed(c));
+                    }
+                    let v = p.mem.read_uint(a, *bytes) as i64;
+                    set_reg!(*dst, v);
+                    pc += 1;
+                }
+                DOp::Store { addr, value, bytes } => {
+                    let fr = p.frames.last().expect("frame");
+                    let a = reg_read(&fr.regs, *addr) as u64;
+                    let v = reg_read(&fr.regs, *value);
+                    if let Err(c) =
+                        p.check_access(a, *bytes, true, &df.name, df.block_of[pc as usize])
+                    {
+                        finish!(CallResult::Crashed(c));
+                    }
+                    p.mem.write_uint(a, v as u64, *bytes);
+                    pc += 1;
+                }
+                DOp::AddrOf { dst, global } => {
+                    let a = p.globals.addr_of(*global).expect("verified global") as i64;
+                    set_reg!(*dst, a);
+                    pc += 1;
+                }
+                DOp::Alloca { dst, size, rounded } => {
+                    if p.sp < STACK_TOP - STACK_MAX_BYTES + rounded {
+                        crash_here!(
+                            CrashKind::StackOverflow,
+                            format!("alloca of {size} bytes")
+                        );
+                    }
+                    p.sp -= rounded;
+                    set_reg!(*dst, p.sp as i64);
+                    pc += 1;
+                }
+                DOp::CovEdge { id } => {
+                    let id = read_op(p, *id) as u16;
+                    let idx = p.cov_state.edge(id, ctx.cov);
+                    if let Some(tr) = ctx.trace.as_deref_mut() {
+                        tr.push(idx);
+                    }
+                    pc += 1;
+                }
+                DOp::Setjmp { dst, buf } => {
+                    let buf = read_op(p, *buf) as u64;
+                    let (block, ip) = df.coords(pc + 1);
+                    p.jmpbufs.insert(
+                        buf,
+                        JmpCtx {
+                            depth: p.frames.len(),
+                            block,
+                            ip,
+                            sp: p.sp,
+                            dst: *dst,
+                        },
+                    );
+                    if let Some(d) = dst {
+                        set_reg!(d.0, 0);
+                    }
+                    cycles += 4;
+                    pc += 1;
+                }
+                DOp::Longjmp { buf, val } => {
+                    let buf = read_op(p, *buf) as u64;
+                    let val = read_op(p, *val);
+                    let Some(jc) = p.jmpbufs.get(&buf).cloned() else {
+                        crash_here!(CrashKind::BadLongjmp, format!("no jmp_buf at {buf:#x}"));
+                    };
+                    if jc.depth > p.frames.len() || jc.depth <= base_depth {
+                        crash_here!(
+                            CrashKind::BadLongjmp,
+                            "jmp_buf frame no longer live".into()
+                        );
+                    }
+                    p.frames.truncate(jc.depth);
+                    let fr = p.frames.last_mut().expect("frame");
+                    fr.block = jc.block;
+                    fr.ip = jc.ip;
+                    if let Some(d) = jc.dst {
+                        fr.regs[d.0 as usize] = if val == 0 { 1 } else { val };
+                    }
+                    p.sp = jc.sp;
+                    cycles += 8;
+                    fidx = fr.func.0 as usize;
+                    pc = img.funcs[fidx].flat_pc(jc.block, jc.ip);
+                }
+                DOp::CallFn { dst, callee, args } => {
+                    if p.frames.len() >= MAX_CALL_DEPTH {
+                        crash_here!(
+                            CrashKind::StackOverflow,
+                            format!("call depth {}", p.frames.len())
+                        );
+                    }
+                    let cf = &img.funcs[callee.0 as usize];
+                    let mut regs = vec![0i64; cf.num_regs as usize];
+                    for (i, a) in args.iter().take(cf.num_params as usize).enumerate() {
+                        regs[i] = read_op(p, *a);
+                    }
+                    cycles += 2; // call/ret overhead
+                    // Sync the caller's resume coordinates before pushing.
+                    let (block, ip) = df.coords(pc + 1);
+                    let fr = p.frames.last_mut().expect("frame");
+                    fr.block = block;
+                    fr.ip = ip;
+                    p.frames.push(Frame {
+                        func: *callee,
+                        block: 0,
+                        ip: 0,
+                        regs,
+                        saved_sp: p.sp,
+                        ret_dst: *dst,
+                    });
+                    fidx = callee.0 as usize;
+                    pc = 0;
+                }
+                DOp::CallHost { dst, host, args } => {
+                    let argv: Vec<i64> = args.iter().map(|a| read_op(p, *a)).collect();
+                    let site = (df.name.as_str(), df.block_of[pc as usize]);
+                    match hostcalls::dispatch_id(*host, &argv, p, ctx, site, &mut cycles) {
+                        Ok(Some(HostRet::Val(v))) => {
+                            if let Some(d) = dst {
+                                set_reg!(d.0, v);
+                            }
+                        }
+                        Ok(Some(HostRet::Void)) => {}
+                        Ok(Some(HostRet::Exit(code))) => finish!(CallResult::Exited(code)),
+                        Ok(Some(HostRet::ExitHook(code))) => {
+                            finish!(CallResult::ExitHooked(code))
+                        }
+                        Ok(None) => unreachable!("pre-bound host calls always resolve"),
+                        Err(c) => finish!(CallResult::Crashed(c)),
+                    }
+                    pc += 1;
+                }
+                DOp::CallUnknown { name } => {
+                    crash_here!(CrashKind::Abort, format!("unresolved symbol '{name}'"));
+                }
+                DOp::Ret(v) => {
+                    let val = v.map(|o| read_op(p, o)).unwrap_or(0);
+                    let fr = p.frames.pop().expect("frame");
+                    p.sp = fr.saved_sp;
+                    if p.frames.len() == base_depth {
+                        finish!(CallResult::Return(val));
+                    }
+                    if let Some(d) = fr.ret_dst {
+                        set_reg!(d.0, val);
+                    }
+                    let top = p.frames.last().expect("frame");
+                    fidx = top.func.0 as usize;
+                    pc = img.funcs[fidx].flat_pc(top.block, top.ip);
+                }
+                DOp::Br(t) => pc = *t,
+                DOp::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    pc = if read_op(p, *cond) != 0 {
+                        *if_true
+                    } else {
+                        *if_false
+                    };
+                }
+                DOp::Switch {
+                    value,
+                    cases,
+                    default,
+                } => {
+                    let v = read_op(p, *value);
+                    pc = cases
+                        .iter()
+                        .find(|(cv, _)| *cv == v)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*default);
+                }
+                DOp::Unreachable => {
+                    crash_here!(CrashKind::UnreachableExecuted, String::new());
+                }
+            }
+        }
+    }
 }
 
 #[inline]
 fn read_op(p: &Process, o: Operand) -> i64 {
     match o {
         Operand::Reg(r) => p.frames.last().expect("frame").regs[r.0 as usize],
+        Operand::Imm(v) => v,
+    }
+}
+
+/// [`read_op`] against an already-fetched register file. The decoded loop
+/// borrows the top frame once per instruction and resolves every operand
+/// through this, instead of re-walking `frames.last()` per operand.
+#[inline]
+fn reg_read(regs: &[i64], o: Operand) -> i64 {
+    match o {
+        Operand::Reg(r) => regs[r.0 as usize],
         Operand::Imm(v) => v,
     }
 }

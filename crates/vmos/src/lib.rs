@@ -29,6 +29,8 @@
 pub mod cost;
 pub mod cov;
 pub mod crash;
+pub mod decoded;
+pub mod engine;
 pub mod fault;
 pub mod fd;
 pub mod fs;
@@ -47,6 +49,8 @@ mod proptests;
 pub use cost::CostModel;
 pub use cov::{CovMap, MAP_SIZE};
 pub use crash::{Crash, CrashKind};
+pub use decoded::DecodedImage;
+pub use engine::{reference_engine, set_reference_engine, ReferenceEngineGuard};
 pub use fault::{FaultKind, FaultPlan, FaultPlane};
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
 pub use os::{Os, OsError};

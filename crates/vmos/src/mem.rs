@@ -5,7 +5,9 @@
 //! copies it — exactly the mechanism whose cost the paper's forkserver
 //! baseline pays per test case.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 /// Page size in bytes (4 KiB, like Linux).
@@ -17,15 +19,66 @@ fn zero_page() -> Page {
     Arc::new([0u8; PAGE_SIZE as usize])
 }
 
+/// Deterministic FxHash-style hasher for page indices. Replaces the
+/// default SipHash `RandomState` — cheaper per lookup on the load/store
+/// hot path, and with no per-process random seed, so the table's behavior
+/// is a pure function of its inputs.
+#[derive(Debug, Default, Clone)]
+pub struct PageHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+}
+
+type PageMap = HashMap<u64, Page, BuildHasherDefault<PageHasher>>;
+
 /// A sparse, copy-on-write page table.
 ///
 /// Unmapped pages read as zeros and are materialized on first write.
 /// *Validity* of an access (is this address inside an object?) is not the
 /// page table's job — [`crate::process::Process::check_access`] performs
 /// region checks before touching memory.
+///
+/// # The read mini-TLB and CoW determinism
+///
+/// Reads keep a one-entry direct-mapped cache of the last page touched
+/// (`tlb`), skipping the hash lookup on the common sequential-access
+/// pattern. Because the cache holds an extra `Arc` reference, it could in
+/// principle perturb the `strong_count > 1` copy-on-write test that the
+/// teardown cycle charges depend on. Two rules make that impossible:
+///
+/// * a table's TLB only ever caches a page its *own* map currently holds —
+///   [`PageTable::write`] invalidates the TLB entry for a page before
+///   replacing the map entry, so the TLB can never outlive its map entry;
+/// * [`PageTable::write`] drops its own TLB reference *before* inspecting
+///   `strong_count`, so the count it sees is "maps holding this page, plus
+///   foreign TLBs whose maps also hold it" — which crosses the `> 1`
+///   threshold exactly when "maps holding this page" does.
+///
+/// Hence every CoW-fault decision, and therefore every simulated cycle
+/// count, is identical to the pre-TLB table.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    pages: HashMap<u64, Page>,
+    pages: PageMap,
+    /// Last page served by [`PageTable::read`]: `(page index, page)`.
+    tlb: RefCell<Option<(u64, Page)>>,
     /// CoW faults taken since the last [`PageTable::reset_fault_count`].
     cow_faults: u64,
 }
@@ -52,15 +105,36 @@ impl PageTable {
     }
 
     /// Duplicate the table the way `fork(2)` does: share all pages.
+    /// The child starts with a cold TLB.
     pub fn fork(&self) -> PageTable {
         PageTable {
             pages: self.pages.clone(),
+            tlb: RefCell::new(None),
             cow_faults: 0,
         }
     }
 
     /// Read `buf.len()` bytes starting at `addr`.
     pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let page_idx = addr / PAGE_SIZE;
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if in_page + buf.len() <= PAGE_SIZE as usize {
+            // Single-page fast path through the mini-TLB.
+            if let Some((ci, p)) = self.tlb.borrow().as_ref() {
+                if *ci == page_idx {
+                    buf.copy_from_slice(&p[in_page..in_page + buf.len()]);
+                    return;
+                }
+            }
+            match self.pages.get(&page_idx) {
+                Some(p) => {
+                    buf.copy_from_slice(&p[in_page..in_page + buf.len()]);
+                    *self.tlb.borrow_mut() = Some((page_idx, Arc::clone(p)));
+                }
+                None => buf.fill(0),
+            }
+            return;
+        }
         let mut a = addr;
         let mut off = 0;
         while off < buf.len() {
@@ -84,6 +158,14 @@ impl PageTable {
             let page_idx = a / PAGE_SIZE;
             let in_page = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            // Drop our own TLB reference to this page *before* the CoW
+            // strong-count test — see the type-level comment.
+            {
+                let mut tlb = self.tlb.borrow_mut();
+                if matches!(*tlb, Some((ci, _)) if ci == page_idx) {
+                    *tlb = None;
+                }
+            }
             let entry = self.pages.entry(page_idx).or_insert_with(zero_page);
             if Arc::strong_count(entry) > 1 {
                 // Copy-on-write fault: this page is shared with another
@@ -112,16 +194,29 @@ impl PageTable {
     }
 
     /// Read a NUL-terminated string (capped at `max` bytes).
+    ///
+    /// Works in page-sized runs — one table lookup per page, then a memchr
+    /// for the NUL inside the run — instead of one lookup per byte. An
+    /// unmapped page reads as zeros, i.e. an immediate terminator.
     pub fn read_cstr(&self, addr: u64, max: usize) -> Vec<u8> {
         let mut out = Vec::new();
         let mut a = addr;
         while out.len() < max {
-            let b = self.read_uint(a, 1) as u8;
-            if b == 0 {
-                break;
+            let page_idx = a / PAGE_SIZE;
+            let in_page = (a % PAGE_SIZE) as usize;
+            let run = ((PAGE_SIZE as usize) - in_page).min(max - out.len());
+            let Some(p) = self.pages.get(&page_idx) else {
+                return out;
+            };
+            let chunk = &p[in_page..in_page + run];
+            match chunk.iter().position(|&b| b == 0) {
+                Some(n) => {
+                    out.extend_from_slice(&chunk[..n]);
+                    return out;
+                }
+                None => out.extend_from_slice(chunk),
             }
-            out.push(b);
-            a += 1;
+            a += run as u64;
         }
         out
     }
@@ -213,5 +308,56 @@ mod tests {
         pt.write(0x200, b"hello\0world");
         assert_eq!(pt.read_cstr(0x200, 64), b"hello");
         assert_eq!(pt.read_cstr(0x200, 3), b"hel"); // cap respected
+    }
+
+    #[test]
+    fn cstr_spans_pages_and_stops_at_unmapped() {
+        let mut pt = PageTable::new();
+        // String crossing a page boundary, NUL on the second page.
+        let start = PAGE_SIZE - 4;
+        pt.write(start, b"abcdefgh\0tail");
+        assert_eq!(pt.read_cstr(start, 64), b"abcdefgh");
+        // Cap lands exactly on the boundary.
+        assert_eq!(pt.read_cstr(start, 4), b"abcd");
+        // No NUL before an unmapped page: the zero page terminates.
+        let mut q = PageTable::new();
+        let tail = PAGE_SIZE - 2;
+        q.write(tail, b"xy"); // fills to end of page 0; page 1 unmapped
+        assert_eq!(q.read_cstr(tail, 64), b"xy");
+        // Entirely unmapped → empty.
+        assert_eq!(q.read_cstr(0x9000, 64), b"");
+    }
+
+    #[test]
+    fn tlb_does_not_perturb_cow_fault_decisions() {
+        let mut parent = PageTable::new();
+        parent.write_uint(0x1000, 42, 8);
+        // Warm the parent's TLB on the page it will write next: without the
+        // invalidate-before-count rule this self-reference would fake a
+        // shared page and charge a spurious fault.
+        assert_eq!(parent.read_uint(0x1000, 8), 42);
+        parent.reset_fault_count();
+        parent.write_uint(0x1000, 43, 8);
+        assert_eq!(parent.cow_faults(), 0, "exclusive page must not fault");
+
+        // Shared page still faults exactly once even with both TLBs warm.
+        let mut child = parent.fork();
+        assert_eq!(child.read_uint(0x1000, 8), 43);
+        assert_eq!(parent.read_uint(0x1000, 8), 43);
+        child.write_uint(0x1000, 99, 8);
+        assert_eq!(child.cow_faults(), 1);
+        child.write_uint(0x1008, 7, 8);
+        assert_eq!(child.cow_faults(), 1, "page already private");
+        assert_eq!(parent.read_uint(0x1000, 8), 43);
+        assert_eq!(child.read_uint(0x1000, 8), 99);
+    }
+
+    #[test]
+    fn tlb_reads_see_writes_through_same_table() {
+        let mut pt = PageTable::new();
+        pt.write_uint(0x2000, 1, 8);
+        assert_eq!(pt.read_uint(0x2000, 8), 1); // TLB now warm
+        pt.write_uint(0x2000, 2, 8); // invalidates TLB entry
+        assert_eq!(pt.read_uint(0x2000, 8), 2, "no stale TLB read");
     }
 }

@@ -95,8 +95,24 @@ impl Os {
     /// `fork(2)`: duplicate a process copy-on-write. Returns the child and
     /// the cycles charged (scales with the parent's resident pages).
     pub fn fork(&mut self, parent: &Process) -> (Process, u64) {
-        let mut child = parent.clone();
-        child.mem = parent.mem.fork();
+        // Build the child around `mem.fork()` directly rather than cloning
+        // the parent wholesale and overwriting `mem` — the page table is
+        // the largest field, and the discarded clone was pure waste on the
+        // forkserver's per-test-case path.
+        let mut child = Process {
+            mem: parent.mem.fork(),
+            heap: parent.heap.clone(),
+            fds: parent.fds.clone(),
+            globals: parent.globals.clone(),
+            frames: parent.frames.clone(),
+            sp: parent.sp,
+            cov_state: parent.cov_state,
+            rt: parent.rt.clone(),
+            jmpbufs: parent.jmpbufs.clone(),
+            rng_state: parent.rng_state,
+            stdout: parent.stdout.clone(),
+            pid: parent.pid,
+        };
         child.pid = self.next_pid;
         self.next_pid += 1;
         let cycles = self.cost.fork(parent.mem.resident_pages());

@@ -1,0 +1,175 @@
+//! Golden equivalence: the decoded-bytecode engine must be observably
+//! indistinguishable from the reference AST-walking interpreter.
+//!
+//! "Observable" means everything a campaign can see or persist: execution
+//! counts, the simulated cycle clock, the accumulated coverage hash, crash
+//! sites, and the bytes of checkpoint snapshots (`ckpt-*`) and journals
+//! (`journal-*`). Two targets are exercised: `giftext` (bug-free, deep
+//! format loop) and `gpmf-parser` (planted bugs, so real crash sites flow
+//! through both engines).
+//!
+//! The reference path here is selected per-thread with
+//! [`vmos::ReferenceEngineGuard`]; building the whole workspace with
+//! `--features slow-interp` pins every thread to the same reference code
+//! and must make this test trivially pass (both sides then run the
+//! reference engine).
+
+use aflrs::checkpoint::{
+    resume_campaign, run_campaign_checkpointed, CampaignOutcome, CheckpointConfig,
+};
+use aflrs::{run_campaign, CampaignConfig, CampaignResult};
+use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+use vmos::ReferenceEngineGuard;
+
+const BUDGET: u64 = 3_000_000;
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        budget_cycles: BUDGET,
+        seed: 0xC0FFEE,
+        deterministic_stage: true,
+        stop_after_crashes: 0,
+        ..CampaignConfig::default()
+    }
+}
+
+fn campaign(target: &targets::TargetSpec, reference: bool) -> CampaignResult {
+    let _guard = reference.then(ReferenceEngineGuard::new);
+    let m = target.module();
+    let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
+    run_campaign(&mut ex, &(target.seeds)(), &cfg())
+}
+
+fn assert_observables_equal(a: &CampaignResult, b: &CampaignResult, what: &str) {
+    assert_eq!(a.execs, b.execs, "{what}: execs");
+    assert_eq!(a.clock_cycles, b.clock_cycles, "{what}: simulated clock");
+    assert_eq!(a.exec_cycles, b.exec_cycles, "{what}: exec cycles");
+    assert_eq!(a.mgmt_cycles, b.mgmt_cycles, "{what}: mgmt cycles");
+    assert_eq!(a.edges_found, b.edges_found, "{what}: edges");
+    assert_eq!(a.coverage_hash, b.coverage_hash, "{what}: coverage hash");
+    assert_eq!(a.queue_len, b.queue_len, "{what}: queue length");
+    assert_eq!(a.hangs, b.hangs, "{what}: hangs");
+    assert_eq!(a.queue_inputs, b.queue_inputs, "{what}: queue inputs");
+    assert_eq!(
+        format!("{:?}", a.crashes),
+        format!("{:?}", b.crashes),
+        "{what}: crash records (site, kind, input, discovery time)"
+    );
+}
+
+fn equivalence_on(target_name: &str) {
+    let t = targets::by_name(target_name).expect("bundled target");
+    let decoded = campaign(t, false);
+    let reference = campaign(t, true);
+    assert!(decoded.execs > 50, "campaign must actually run");
+    assert_observables_equal(&decoded, &reference, target_name);
+}
+
+#[test]
+fn giftext_campaign_is_bit_identical_across_engines() {
+    equivalence_on("giftext");
+}
+
+#[test]
+fn gpmf_campaign_with_crashes_is_bit_identical_across_engines() {
+    let t = targets::by_name("gpmf-parser").expect("bundled target");
+    let decoded = campaign(t, false);
+    let reference = campaign(t, true);
+    assert_observables_equal(&decoded, &reference, "gpmf-parser");
+    assert!(
+        !decoded.crashes.is_empty(),
+        "gpmf has planted bugs; the crash-site comparison must not be vacuous"
+    );
+}
+
+/// Collect `(file name, bytes)` of every checkpoint artifact in `dir`,
+/// sorted by name.
+fn checkpoint_files(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("checkpoint dir")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("cx-equiv-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn checkpoint_bytes_are_identical_across_engines() {
+    let t = targets::by_name("giftext").expect("bundled target");
+    let m = t.module();
+    let mut dirs = Vec::new();
+    for (tag, reference) in [("decoded", false), ("reference", true)] {
+        let _guard = reference.then(ReferenceEngineGuard::new);
+        let dir = temp_dir(tag);
+        let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
+        let ck = CheckpointConfig {
+            snapshot_every_execs: 50,
+            keep_snapshots: 1000, // keep everything: compare the full history
+            ..CheckpointConfig::new(&dir)
+        };
+        let out = run_campaign_checkpointed(&mut ex, None, &(t.seeds)(), &cfg(), &ck)
+            .expect("checkpointed campaign");
+        assert!(matches!(out, CampaignOutcome::Finished(_)));
+        dirs.push(dir);
+    }
+    let decoded = checkpoint_files(&dirs[0]);
+    let reference = checkpoint_files(&dirs[1]);
+    let names = |fs: &[(String, Vec<u8>)]| fs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&decoded), names(&reference), "same artifact set");
+    for ((name, da), (_, db)) in decoded.iter().zip(reference.iter()) {
+        assert_eq!(da, db, "checkpoint artifact {name} must be byte-identical");
+    }
+    assert!(
+        decoded.iter().any(|(n, _)| n.starts_with("ckpt-"))
+            && decoded.iter().any(|(n, _)| n.starts_with("journal-")),
+        "comparison must cover both snapshots and journals"
+    );
+    for d in dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn kill_and_resume_on_decoded_engine_matches_uninterrupted_reference() {
+    let t = targets::by_name("gpmf-parser").expect("bundled target");
+    let m = t.module();
+    let seeds = (t.seeds)();
+
+    // Ground truth: one uninterrupted run on the reference engine.
+    let reference = campaign(t, true);
+
+    // Decoded engine: kill mid-campaign (off the snapshot grid), resume.
+    let dir = temp_dir("resume");
+    let mut ck = CheckpointConfig {
+        snapshot_every_execs: 40,
+        ..CheckpointConfig::new(&dir)
+    };
+    ck.kill_after_execs = Some(97);
+    let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
+    let out = run_campaign_checkpointed(&mut ex, None, &seeds, &cfg(), &ck).expect("first leg");
+    let CampaignOutcome::Killed { execs } = out else {
+        panic!("kill_after_execs must fire before the budget runs out");
+    };
+    assert!(execs >= 97);
+
+    ck.kill_after_execs = None;
+    let mut ex2 = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
+    let (out2, _info) = resume_campaign(&mut ex2, None, &seeds, &cfg(), &ck).expect("resume");
+    let CampaignOutcome::Finished(resumed) = out2 else {
+        panic!("resumed campaign must finish");
+    };
+    assert_observables_equal(&resumed, &reference, "kill/resume round-trip");
+    let _ = std::fs::remove_dir_all(dir);
+}
