@@ -11,3 +11,8 @@ cargo run --release -p bench --bin checkpoint_eval -- --smoke
 # reference engine bit-for-bit, and aggregate decoded execs/sec must stay
 # within 20% of the blessed floor in results/BENCH_floor.json.
 cargo run --release -p bench --bin exec_throughput -- --smoke
+# Sharding correctness + scaling gate: shards in {1,2,4} must produce
+# bit-identical campaigns (including a sharded kill/resume round-trip), and
+# host-normalized scaling efficiency must stay within 40% of the blessed
+# floor in results/BENCH_shard_floor.json.
+cargo run --release -p bench --bin shard_eval -- --smoke

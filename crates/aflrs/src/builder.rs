@@ -1,0 +1,258 @@
+//! The unified campaign entry point.
+//!
+//! One builder replaces the four historical free functions
+//! (`run_campaign`, `run_campaign_with`, `run_campaign_checkpointed`,
+//! `resume_campaign`, all now deprecated thin wrappers):
+//!
+//! ```no_run
+//! # use aflrs::{Campaign, CampaignConfig, CheckpointConfig};
+//! # use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+//! # let m = minic::compile("t", "fn main() { return 0; }").unwrap();
+//! # let seeds = vec![b"seed".to_vec()];
+//! # let cfg = CampaignConfig::default();
+//! let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
+//! let result = Campaign::new(&seeds, &cfg)
+//!     .executor(&mut ex)
+//!     .checkpoint(CheckpointConfig::new("/tmp/ckpt"))
+//!     .run()
+//!     .unwrap();
+//! ```
+//!
+//! Sharded campaigns hand the builder an
+//! [`ExecutorFactory`](closurex::executor::ExecutorFactory) instead of a
+//! borrowed executor — each lane needs its own instance:
+//!
+//! ```ignore
+//! let result = Campaign::new(&seeds, &cfg).factory(&factory).shards(4).run()?;
+//! ```
+
+use closurex::executor::{Executor, ExecutorFactory};
+use closurex::resilience::HarnessError;
+
+use crate::campaign::{CampaignConfig, Driver, StepOutcome};
+use crate::checkpoint::{
+    resume_impl, run_checkpointed_impl, CampaignOutcome, CheckpointConfig, CheckpointError,
+    ResumeInfo,
+};
+use crate::shard::{
+    resume_sharded, run_sharded, ShardPlan, DEFAULT_LANES, DEFAULT_SYNC_EPOCHS,
+};
+
+/// Why a campaign could not run.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The builder was configured inconsistently.
+    Config(&'static str),
+    /// Checkpointing failed (I/O, corruption, target mismatch, …).
+    Checkpoint(CheckpointError),
+    /// The executor factory failed to build a lane executor.
+    Build(HarnessError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Config(msg) => write!(f, "campaign misconfigured: {msg}"),
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::Build(e) => write!(f, "executor factory failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+/// Builder-style campaign runner. See the module docs.
+///
+/// Exactly one of [`Campaign::executor`] (single-driver campaign) or
+/// [`Campaign::factory`] (sharded campaign) must be set. Everything else
+/// is optional: [`Campaign::checkpoint`] arms crash-safe persistence,
+/// [`Campaign::shards`]/[`Campaign::lanes`]/[`Campaign::sync_epochs`]
+/// shape the sharded decomposition (and require a factory when
+/// `shards > 1`).
+pub struct Campaign<'a> {
+    seeds: &'a [Vec<u8>],
+    cfg: CampaignConfig,
+    executor: Option<&'a mut dyn Executor>,
+    revalidator: Option<&'a mut dyn Executor>,
+    factory: Option<&'a dyn ExecutorFactory>,
+    checkpoint: Option<CheckpointConfig>,
+    shards: usize,
+    lanes: usize,
+    sync_epochs: u64,
+}
+
+impl<'a> Campaign<'a> {
+    /// Start describing a campaign over `seeds` with `cfg`.
+    pub fn new(seeds: &'a [Vec<u8>], cfg: &CampaignConfig) -> Self {
+        Campaign {
+            seeds,
+            cfg: cfg.clone(),
+            executor: None,
+            revalidator: None,
+            factory: None,
+            checkpoint: None,
+            shards: 1,
+            lanes: DEFAULT_LANES,
+            sync_epochs: DEFAULT_SYNC_EPOCHS,
+        }
+    }
+
+    /// Run on this (borrowed) executor — the single-driver mode.
+    pub fn executor(mut self, ex: &'a mut dyn Executor) -> Self {
+        self.executor = Some(ex);
+        self
+    }
+
+    /// Replay first-discovery crashes in this executor when
+    /// [`CampaignConfig::revalidate_crashes`] is set (single-driver mode;
+    /// sharded lanes build their own via
+    /// [`ExecutorFactory::build_revalidator`](closurex::executor::ExecutorFactory::build_revalidator)).
+    pub fn revalidator(mut self, rv: &'a mut dyn Executor) -> Self {
+        self.revalidator = Some(rv);
+        self
+    }
+
+    /// Build each lane's executor from this factory — the sharded mode.
+    pub fn factory(mut self, f: &'a dyn ExecutorFactory) -> Self {
+        self.factory = Some(f);
+        self
+    }
+
+    /// Arm crash-safe checkpointing. In sharded mode, snapshots land at
+    /// epoch barriers and [`CheckpointConfig::snapshot_every_execs`] is
+    /// ignored.
+    pub fn checkpoint(mut self, ck: CheckpointConfig) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// Worker threads for the sharded mode (clamped to `[1, lanes]`). A
+    /// pure throughput knob: any shard count produces bit-identical
+    /// results on the same lane decomposition.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Logical lanes the campaign decomposes into (the determinism unit;
+    /// default [`DEFAULT_LANES`]). Changing it changes the schedule.
+    pub fn lanes(mut self, n: usize) -> Self {
+        self.lanes = n.max(1);
+        self
+    }
+
+    /// Merge barriers across the budget (default [`DEFAULT_SYNC_EPOCHS`]).
+    pub fn sync_epochs(mut self, n: u64) -> Self {
+        self.sync_epochs = n.max(1);
+        self
+    }
+
+    fn plan(&self) -> ShardPlan {
+        ShardPlan {
+            lanes: self.lanes,
+            workers: self.shards.clamp(1, self.lanes),
+            sync_epochs: self.sync_epochs,
+        }
+    }
+
+    /// Run the campaign from scratch.
+    pub fn run(self) -> Result<CampaignOutcome, CampaignError> {
+        let plan = self.plan();
+        let Campaign {
+            seeds,
+            cfg,
+            executor,
+            revalidator,
+            factory,
+            checkpoint,
+            shards,
+            ..
+        } = self;
+        match (factory, executor) {
+            (Some(_), Some(_)) => Err(CampaignError::Config(
+                "provide an executor or a factory, not both",
+            )),
+            (Some(f), None) => run_sharded(f, seeds, &cfg, &plan, checkpoint.as_ref()),
+            (None, Some(ex)) => {
+                if shards > 1 {
+                    return Err(CampaignError::Config(
+                        "sharded campaigns build one executor per lane: use Campaign::factory",
+                    ));
+                }
+                match &checkpoint {
+                    Some(ck) => run_checkpointed_impl(ex, revalidator, seeds, &cfg, ck)
+                        .map_err(CampaignError::Checkpoint),
+                    None => {
+                        let mut d = Driver::new(ex, revalidator, seeds, &cfg, false);
+                        while d.step() == StepOutcome::Ran {}
+                        Ok(CampaignOutcome::Finished(d.finish()))
+                    }
+                }
+            }
+            (None, None) => Err(CampaignError::Config(
+                "campaign needs an executor or a factory",
+            )),
+        }
+    }
+
+    /// Resume a killed campaign from its checkpoint directory (which
+    /// [`Campaign::checkpoint`] must name). The executor (or factory) must
+    /// produce fresh instances over the same target module as the
+    /// original run.
+    pub fn resume(self) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
+        let plan = self.plan();
+        let Campaign {
+            seeds,
+            cfg,
+            executor,
+            revalidator,
+            factory,
+            checkpoint,
+            shards,
+            ..
+        } = self;
+        let Some(ck) = checkpoint else {
+            return Err(CampaignError::Config(
+                "resume needs a checkpoint directory: use Campaign::checkpoint",
+            ));
+        };
+        match (factory, executor) {
+            (Some(_), Some(_)) => Err(CampaignError::Config(
+                "provide an executor or a factory, not both",
+            )),
+            (Some(f), None) => resume_sharded(f, seeds, &cfg, &plan, &ck),
+            (None, Some(ex)) => {
+                if shards > 1 {
+                    return Err(CampaignError::Config(
+                        "sharded campaigns build one executor per lane: use Campaign::factory",
+                    ));
+                }
+                resume_impl(ex, revalidator, seeds, &cfg, &ck).map_err(CampaignError::Checkpoint)
+            }
+            (None, None) => Err(CampaignError::Config(
+                "campaign needs an executor or a factory",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misconfigured_builders_refuse_to_run() {
+        let seeds = vec![b"s".to_vec()];
+        let cfg = CampaignConfig::default();
+        let err = Campaign::new(&seeds, &cfg).run().unwrap_err();
+        assert!(matches!(err, CampaignError::Config(_)));
+        let err = Campaign::new(&seeds, &cfg).resume().unwrap_err();
+        assert!(matches!(err, CampaignError::Config(_)), "resume needs a dir");
+    }
+}

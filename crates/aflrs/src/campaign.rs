@@ -302,6 +302,7 @@ impl<'e> Driver<'e> {
         // crashes/ and hangs/ dirs); only clean coverage-increasing
         // inputs become queue seeds.
         let clean = matches!(out.status, ExecStatus::Exit(_));
+        let edges_before = self.virgin.edges_found();
         let new_cov = if self.track_deltas {
             self.virgin
                 .merge_tracked(self.executor.coverage(), &mut self.pending_virgin)
@@ -314,6 +315,10 @@ impl<'e> Driver<'e> {
                 exec_cycles: out.total_cycles(),
                 found_at: self.clock,
                 det_done: false,
+                // A brand-new edge (not just a new bucket) marks the entry
+                // favored; round-robin scheduling ignores the bit, so
+                // unsharded behavior is unchanged.
+                favored: self.virgin.edges_found() > edges_before,
             });
         }
     }
@@ -361,6 +366,7 @@ impl<'e> Driver<'e> {
                             exec_cycles: 1,
                             found_at: 0,
                             det_done: true,
+                            favored: false,
                         });
                     }
                     self.stage = Stage::Pick;
@@ -456,9 +462,10 @@ impl<'e> Driver<'e> {
         }
     }
 
-    /// Assemble the final [`CampaignResult`].
+    /// Assemble the final [`CampaignResult`]. The executor's own
+    /// [`closurex::ResilienceReport`] is embedded verbatim — no
+    /// field-by-field copying, one source of truth.
     pub(crate) fn finish(&mut self) -> CampaignResult {
-        let exec_report = self.executor.resilience();
         CampaignResult {
             executor: self.executor.name().to_string(),
             execs: self.execs,
@@ -472,31 +479,29 @@ impl<'e> Driver<'e> {
             exec_cycles: self.exec_cycles,
             queue_inputs: self.queue.inputs(),
             resilience: ResilienceCounters {
-                respawns: exec_report.respawns,
-                divergences: exec_report.divergences,
-                integrity_checks: exec_report.integrity_checks,
-                quarantined: exec_report.quarantined,
-                quarantine_dropped: exec_report.quarantine_dropped,
+                executor: self.executor.resilience(),
                 harness_faults: self.harness_faults,
                 retries: self.retries,
                 dropped_inputs: self.dropped_inputs,
                 watchdog_trips: self.watchdog_trips,
-                degradation: exec_report.degradation.name().to_string(),
             },
         }
     }
 }
 
 /// Run one campaign trial. See module docs.
+#[deprecated(note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).run()`")]
 pub fn run_campaign(
     executor: &mut dyn Executor,
     seeds: &[Vec<u8>],
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    run_campaign_with(executor, None, seeds, cfg)
+    let mut d = Driver::new(executor, None, seeds, cfg, false);
+    while d.step() == StepOutcome::Ran {}
+    d.finish()
 }
 
-/// [`run_campaign`] with an optional crash-revalidation executor. When
+/// `run_campaign` with an optional crash-revalidation executor. When
 /// [`CampaignConfig::revalidate_crashes`] is set, every first-discovery
 /// crash is replayed in `revalidator` — by convention a
 /// `FreshProcessExecutor` over the same target, whose fresh-process
@@ -504,6 +509,9 @@ pub fn run_campaign(
 /// against. Crashes that do not reproduce there are tagged
 /// [`CrashRecord::flaky`] (stale persistent-mode state is the usual
 /// culprit) but kept: a flaky crash may still be a real stateful bug.
+#[deprecated(
+    note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).revalidator(rv).run()`"
+)]
 pub fn run_campaign_with<'e>(
     executor: &'e mut dyn Executor,
     revalidator: Option<&'e mut dyn Executor>,
@@ -518,10 +526,20 @@ pub fn run_campaign_with<'e>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Campaign;
     use closurex::forkserver::ForkServerExecutor;
     use closurex::fresh::FreshProcessExecutor;
     use closurex::harness::{ClosureXConfig, ClosureXExecutor};
     use closurex::naive::NaivePersistentExecutor;
+
+    fn run(ex: &mut dyn Executor, seeds: &[Vec<u8>], cfg: &CampaignConfig) -> CampaignResult {
+        Campaign::new(seeds, cfg)
+            .executor(ex)
+            .run()
+            .unwrap()
+            .finished()
+            .expect("no kill configured")
+    }
 
     const TARGET: &str = r#"
         global total;
@@ -560,7 +578,7 @@ mod tests {
             stop_after_crashes: 1,
             ..CampaignConfig::default()
         };
-        let res = run_campaign(&mut ex, &[b"FAAA".to_vec()], &cfg);
+        let res = run(&mut ex, &[b"FAAA".to_vec()], &cfg);
         assert!(
             !res.crashes.is_empty(),
             "magic-byte crash should be found: edges={} execs={}",
@@ -584,9 +602,9 @@ mod tests {
             ..CampaignConfig::default()
         };
         let mut cx = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
-        let r_cx = run_campaign(&mut cx, &[b"AAAA".to_vec()], &cfg(5));
+        let r_cx = run(&mut cx, &[b"AAAA".to_vec()], &cfg(5));
         let mut fk = ForkServerExecutor::new(&m).unwrap();
-        let r_fk = run_campaign(&mut fk, &[b"AAAA".to_vec()], &cfg(5));
+        let r_fk = run(&mut fk, &[b"AAAA".to_vec()], &cfg(5));
         assert!(
             r_cx.execs > r_fk.execs * 2,
             "closurex {} execs vs forkserver {} execs",
@@ -606,9 +624,9 @@ mod tests {
             ..CampaignConfig::default()
         };
         let mut a = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
-        let ra = run_campaign(&mut a, &[b"seed".to_vec()], &cfg);
+        let ra = run(&mut a, &[b"seed".to_vec()], &cfg);
         let mut b = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
-        let rb = run_campaign(&mut b, &[b"seed".to_vec()], &cfg);
+        let rb = run(&mut b, &[b"seed".to_vec()], &cfg);
         assert_eq!(ra.execs, rb.execs);
         assert_eq!(ra.edges_found, rb.edges_found);
         assert_eq!(ra.coverage_hash, rb.coverage_hash);
@@ -625,7 +643,7 @@ mod tests {
             ..CampaignConfig::default()
         };
         let mut a = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
-        let ra = run_campaign(&mut a, &[b"seed".to_vec()], &cfg);
+        let ra = run(&mut a, &[b"seed".to_vec()], &cfg);
         let mut b = ClosureXExecutor::new(&m, ClosureXConfig::default()).unwrap();
         let mut d = Driver::new(&mut b, None, &[b"seed".to_vec()], &cfg, true);
         while d.step() == StepOutcome::Ran {}
@@ -655,7 +673,7 @@ mod tests {
                 retry_backoff_cycles: backoff,
                 ..CampaignConfig::default()
             };
-            run_campaign(&mut ex, &[b"X".to_vec()], &cfg)
+            run(&mut ex, &[b"X".to_vec()], &cfg)
         };
         let with = run(10_000);
         let with2 = run(10_000);
@@ -696,7 +714,13 @@ mod tests {
             revalidate_crashes: true,
             ..CampaignConfig::default()
         };
-        let res = run_campaign_with(&mut ex, Some(&mut rv), &[b"a".to_vec()], &cfg);
+        let res = Campaign::new(&[b"a".to_vec()], &cfg)
+            .executor(&mut ex)
+            .revalidator(&mut rv)
+            .run()
+            .unwrap()
+            .finished()
+            .unwrap();
         assert!(!res.crashes.is_empty(), "stale-state crash must fire");
         assert!(
             res.crashes[0].flaky,
@@ -716,7 +740,13 @@ mod tests {
             revalidate_crashes: true,
             ..CampaignConfig::default()
         };
-        let res = run_campaign_with(&mut ex, Some(&mut rv), &[b"FAAA".to_vec()], &cfg);
+        let res = Campaign::new(&[b"FAAA".to_vec()], &cfg)
+            .executor(&mut ex)
+            .revalidator(&mut rv)
+            .run()
+            .unwrap()
+            .finished()
+            .unwrap();
         assert!(!res.crashes.is_empty());
         assert!(
             !res.crashes[0].flaky,

@@ -62,13 +62,15 @@ use crate::queue::QueueEntry;
 use crate::stats::{CampaignResult, CrashRecord};
 
 /// Checkpoint format version; bump on any wire-layout change.
-const FORMAT_VERSION: u32 = 1;
+/// v2: queue entries carry the `favored` bit and the snapshot header embeds
+/// the target module's fingerprint.
+pub(crate) const FORMAT_VERSION: u32 = 2;
 /// Snapshot file magic.
 const SNAPSHOT_MAGIC: &[u8; 4] = b"CXCK";
 /// Journal file magic.
-const JOURNAL_MAGIC: &[u8; 4] = b"CXJL";
+pub(crate) const JOURNAL_MAGIC: &[u8; 4] = b"CXJL";
 /// Bytes before a journal's first record: magic + version + base execs.
-const JOURNAL_HEADER_LEN: u64 = 16;
+pub(crate) const JOURNAL_HEADER_LEN: u64 = 16;
 
 /// When checkpoint files are flushed to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -165,6 +167,15 @@ pub enum CheckpointError {
     NoUsableSnapshot,
     /// The executor refused to restore the checkpointed state.
     Executor(HarnessError),
+    /// The snapshot was written against a different target module: the
+    /// fingerprint embedded in its header does not match the executor's.
+    /// Resuming would replay decisions made for other code — refuse.
+    TargetMismatch {
+        /// Fingerprint in the snapshot header.
+        snapshot: u64,
+        /// Fingerprint of the module the executor actually runs.
+        executor: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -175,6 +186,10 @@ impl std::fmt::Display for CheckpointError {
                 write!(f, "no usable snapshot in checkpoint directory")
             }
             CheckpointError::Executor(e) => write!(f, "executor state restore failed: {e}"),
+            CheckpointError::TargetMismatch { snapshot, executor } => write!(
+                f,
+                "snapshot was written for module {snapshot:#018x}, executor runs {executor:#018x}"
+            ),
         }
     }
 }
@@ -248,6 +263,7 @@ fn encode_entry(e: &QueueEntry, w: &mut Writer) {
     w.put_u64(e.exec_cycles);
     w.put_u64(e.found_at);
     w.put_bool(e.det_done);
+    w.put_bool(e.favored);
 }
 
 fn decode_entry(r: &mut Reader<'_>) -> Result<QueueEntry, WireError> {
@@ -256,6 +272,7 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<QueueEntry, WireError> {
         exec_cycles: r.get_u64()?,
         found_at: r.get_u64()?,
         det_done: r.get_bool()?,
+        favored: r.get_bool()?,
     })
 }
 
@@ -330,7 +347,7 @@ pub(crate) struct Scalars {
 }
 
 impl Scalars {
-    fn capture(d: &Driver<'_>) -> Self {
+    pub(crate) fn capture(d: &Driver<'_>) -> Self {
         Scalars {
             stage: d.stage,
             clock: d.clock,
@@ -349,7 +366,7 @@ impl Scalars {
         }
     }
 
-    fn apply(&self, d: &mut Driver<'_>) {
+    pub(crate) fn apply(&self, d: &mut Driver<'_>) {
         d.stage = self.stage;
         d.clock = self.clock;
         d.execs = self.execs;
@@ -667,7 +684,7 @@ fn journal_path(dir: &Path, base: u64) -> PathBuf {
 }
 
 /// Parse `{prefix}-{12 digits}.bin` file names, returning the number.
-fn parse_numbered(name: &str, prefix: &str) -> Option<u64> {
+pub(crate) fn parse_numbered(name: &str, prefix: &str) -> Option<u64> {
     let rest = name.strip_prefix(prefix)?.strip_suffix(".bin")?;
     (rest.len() == 12 && rest.bytes().all(|b| b.is_ascii_digit()))
         .then(|| rest.parse().ok())
@@ -675,7 +692,7 @@ fn parse_numbered(name: &str, prefix: &str) -> Option<u64> {
 }
 
 /// All `{prefix}-N.bin` files in `dir`, sorted ascending by N.
-fn list_numbered(dir: &Path, prefix: &str) -> std::io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_numbered(dir: &Path, prefix: &str) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -687,53 +704,94 @@ fn list_numbered(dir: &Path, prefix: &str) -> std::io::Result<Vec<(u64, PathBuf)
     Ok(out)
 }
 
-/// Seal a snapshot payload with the magic + version + checksum header.
-pub(crate) fn seal_snapshot(payload: &[u8]) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(payload.len() + 24);
+/// Byte length of the sealed-snapshot header: magic + version + target
+/// fingerprint + checksum + payload length.
+pub(crate) const SNAPSHOT_HEADER_LEN: usize = 32;
+
+/// Seal a snapshot payload with the magic + version + target-fingerprint +
+/// checksum header. `fingerprint` is the executing module's
+/// `Module::fingerprint` (0 when the mechanism does not pin one); resume
+/// validates it against the freshly constructed executor so state recorded
+/// for one target can never be replayed onto another.
+pub(crate) fn seal_snapshot(payload: &[u8], fingerprint: u64) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + SNAPSHOT_HEADER_LEN);
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
     bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&fingerprint.to_le_bytes());
     bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     bytes.extend_from_slice(payload);
     bytes
 }
 
-/// Atomically write a snapshot: seal the payload with version + checksum,
-/// write to a temp file, optionally fsync, then rename into place.
-fn write_snapshot(dir: &Path, d: &Driver<'_>, fsync: FsyncPolicy) -> std::io::Result<()> {
-    let bytes = seal_snapshot(&SnapshotState::capture(d).encode());
-    let final_path = snapshot_path(dir, d.execs);
+/// Atomically write sealed snapshot bytes: write to a temp file, optionally
+/// fsync, then rename into place.
+pub(crate) fn write_sealed(final_path: &Path, bytes: &[u8], fsync: FsyncPolicy) -> std::io::Result<()> {
     let tmp = final_path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         if fsync != FsyncPolicy::Never {
             f.sync_data()?;
         }
     }
-    fs::rename(&tmp, &final_path)
+    fs::rename(&tmp, final_path)
 }
 
-/// Load and validate one snapshot file.
-pub(crate) fn load_snapshot(path: &Path) -> Result<SnapshotState, WireError> {
-    let bytes = fs::read(path).map_err(|_| WireError::Truncated)?;
-    if bytes.len() < 24 || &bytes[0..4] != SNAPSHOT_MAGIC {
+/// Capture + seal + atomically write one driver's snapshot.
+fn write_snapshot(dir: &Path, d: &Driver<'_>, fsync: FsyncPolicy) -> std::io::Result<()> {
+    let fp = d.executor.module_fingerprint().unwrap_or(0);
+    let bytes = seal_snapshot(&SnapshotState::capture(d).encode(), fp);
+    write_sealed(&snapshot_path(dir, d.execs), &bytes, fsync)
+}
+
+/// Validate a sealed snapshot's header + checksum, returning the embedded
+/// target fingerprint and the payload slice.
+pub(crate) fn open_sealed(bytes: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN || &bytes[0..4] != SNAPSHOT_MAGIC {
         return Err(WireError::Malformed("snapshot magic"));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     if version != FORMAT_VERSION {
         return Err(WireError::Malformed("snapshot version"));
     }
-    let checksum = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-    let payload = &bytes[24..];
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let payload = &bytes[SNAPSHOT_HEADER_LEN..];
     if len != payload.len() as u64 {
         return Err(WireError::Truncated);
     }
     if fnv1a(payload) != checksum {
         return Err(WireError::Malformed("snapshot checksum"));
     }
-    SnapshotState::decode(payload)
+    Ok((fingerprint, payload))
+}
+
+/// Load and validate one snapshot file, returning the state and the target
+/// fingerprint embedded in its header.
+pub(crate) fn load_snapshot(path: &Path) -> Result<(SnapshotState, u64), WireError> {
+    let bytes = fs::read(path).map_err(|_| WireError::Truncated)?;
+    let (fingerprint, payload) = open_sealed(&bytes)?;
+    Ok((SnapshotState::decode(payload)?, fingerprint))
+}
+
+/// Check a snapshot's embedded target fingerprint against the executor's.
+/// A mismatch is only detectable when both sides pin one (nonzero in the
+/// header, `Some` from the executor).
+pub(crate) fn check_target(
+    snapshot_fp: u64,
+    executor: &dyn Executor,
+) -> Result<(), CheckpointError> {
+    if let Some(fp) = executor.module_fingerprint() {
+        if snapshot_fp != 0 && snapshot_fp != fp {
+            return Err(CheckpointError::TargetMismatch {
+                snapshot: snapshot_fp,
+                executor: fp,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Delete snapshots beyond the newest `keep`, and journals that start
@@ -757,7 +815,7 @@ fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
 }
 
 /// The append side of the write-ahead journal.
-struct Journal {
+pub(crate) struct Journal {
     file: fs::File,
     fsync: FsyncPolicy,
 }
@@ -765,7 +823,14 @@ struct Journal {
 impl Journal {
     /// Create (truncating) the journal for snapshot `base`.
     fn create(dir: &Path, base: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
-        let mut file = fs::File::create(journal_path(dir, base))?;
+        Self::create_at(&journal_path(dir, base), base, fsync)
+    }
+
+    /// Create (truncating) a journal at an explicit path — the sharded
+    /// runner names its per-lane journals outside the `journal-{base}`
+    /// scheme but shares the format.
+    pub(crate) fn create_at(path: &Path, base: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
+        let mut file = fs::File::create(path)?;
         file.write_all(JOURNAL_MAGIC)?;
         file.write_all(&FORMAT_VERSION.to_le_bytes())?;
         file.write_all(&base.to_le_bytes())?;
@@ -777,7 +842,7 @@ impl Journal {
 
     /// Re-open an existing journal after replay, truncating away a torn
     /// tail (`valid_len` is the last byte replay validated).
-    fn reopen(path: &Path, valid_len: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
+    pub(crate) fn reopen(path: &Path, valid_len: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
         let file = fs::OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(valid_len)?;
         let mut file = file;
@@ -786,7 +851,7 @@ impl Journal {
     }
 
     /// Append one length- and checksum-framed record.
-    fn append(&mut self, rec: &DeltaRecord) -> std::io::Result<()> {
+    pub(crate) fn append(&mut self, rec: &DeltaRecord) -> std::io::Result<()> {
         let payload = rec.encode();
         self.file
             .write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -804,7 +869,7 @@ impl Journal {
 /// valid prefix, and whether a torn tail was dropped. A journal whose
 /// *header* is invalid yields `None` (it cannot be chained or appended to).
 #[allow(clippy::type_complexity)]
-fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<DeltaRecord>, u64, bool)> {
+pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<DeltaRecord>, u64, bool)> {
     let bytes = fs::read(path).ok()?;
     if bytes.len() < JOURNAL_HEADER_LEN as usize
         || &bytes[0..4] != JOURNAL_MAGIC
@@ -876,10 +941,9 @@ fn drive(
     }
 }
 
-/// Run a fresh campaign with crash-safe checkpointing. Parameters as
-/// [`crate::campaign::run_campaign_with`], plus the [`CheckpointConfig`]
-/// naming the on-disk checkpoint directory.
-pub fn run_campaign_checkpointed<'e>(
+/// Run a fresh campaign with crash-safe checkpointing (internal; the
+/// [`crate::Campaign`] builder and the deprecated wrapper dispatch here).
+pub(crate) fn run_checkpointed_impl<'e>(
     executor: &'e mut dyn Executor,
     revalidator: Option<&'e mut dyn Executor>,
     seeds: &[Vec<u8>],
@@ -891,6 +955,22 @@ pub fn run_campaign_checkpointed<'e>(
     write_snapshot(&ck.dir, &d, ck.fsync)?;
     let journal = Journal::create(&ck.dir, 0, ck.fsync)?;
     drive(d, ck, journal)
+}
+
+/// Run a fresh campaign with crash-safe checkpointing. Parameters as the
+/// deprecated `run_campaign_with`, plus the [`CheckpointConfig`] naming the
+/// on-disk checkpoint directory.
+#[deprecated(
+    note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).checkpoint(ck).run()`"
+)]
+pub fn run_campaign_checkpointed<'e>(
+    executor: &'e mut dyn Executor,
+    revalidator: Option<&'e mut dyn Executor>,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    ck: &CheckpointConfig,
+) -> Result<CampaignOutcome, CheckpointError> {
+    run_checkpointed_impl(executor, revalidator, seeds, cfg, ck)
 }
 
 /// Resume a killed campaign from its checkpoint directory. See the module
@@ -905,7 +985,22 @@ pub fn run_campaign_checkpointed<'e>(
 /// snapshots and torn journal tails are *not* errors — they are skipped
 /// (counted in [`ResumeInfo`]) and the campaign falls back to the newest
 /// state that validates.
+#[deprecated(
+    note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).checkpoint(ck).resume()`"
+)]
 pub fn resume_campaign<'e>(
+    executor: &'e mut dyn Executor,
+    revalidator: Option<&'e mut dyn Executor>,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    ck: &CheckpointConfig,
+) -> Result<(CampaignOutcome, ResumeInfo), CheckpointError> {
+    resume_impl(executor, revalidator, seeds, cfg, ck)
+}
+
+/// [`resume_campaign`]'s implementation (the [`crate::Campaign`] builder
+/// dispatches here).
+pub(crate) fn resume_impl<'e>(
     executor: &'e mut dyn Executor,
     revalidator: Option<&'e mut dyn Executor>,
     seeds: &[Vec<u8>],
@@ -917,16 +1012,20 @@ pub fn resume_campaign<'e>(
     let mut chosen = None;
     for (execs, path) in snaps.iter().rev() {
         match load_snapshot(path) {
-            Ok(state) => {
-                chosen = Some((*execs, state));
+            Ok((state, fp)) => {
+                chosen = Some((*execs, state, fp));
                 break;
             }
             Err(_) => info.corrupt_snapshots_skipped += 1,
         }
     }
-    let Some((snapshot_execs, state)) = chosen else {
+    let Some((snapshot_execs, state, snapshot_fp)) = chosen else {
         return Err(CheckpointError::NoUsableSnapshot);
     };
+    // Validate the target identity before touching any state: all
+    // snapshots in a directory share the module, so a mismatch is a
+    // caller error (wrong target), not corruption to fall back from.
+    check_target(snapshot_fp, &*executor)?;
     info.snapshot_execs = snapshot_execs;
 
     let mut d = Driver::new(executor, revalidator, seeds, cfg, true);
@@ -971,7 +1070,7 @@ pub fn resume_campaign<'e>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::run_campaign;
+    use crate::builder::Campaign;
     use closurex::harness::{ClosureXConfig, ClosureXExecutor};
     use fir::Module;
 
@@ -1031,17 +1130,41 @@ mod tests {
         serde_json::to_string(r).unwrap()
     }
 
+    fn run_plain(m: &Module, seeds: &[Vec<u8>]) -> CampaignResult {
+        Campaign::new(seeds, &cfg())
+            .executor(&mut executor(m))
+            .run()
+            .unwrap()
+            .finished()
+            .unwrap()
+    }
+
+    fn run_checkpointed(m: &Module, seeds: &[Vec<u8>], ck: &CheckpointConfig) -> CampaignOutcome {
+        Campaign::new(seeds, &cfg())
+            .executor(&mut executor(m))
+            .checkpoint(ck.clone())
+            .run()
+            .unwrap()
+    }
+
+    fn resume(m: &Module, seeds: &[Vec<u8>], ck: &CheckpointConfig) -> (CampaignOutcome, ResumeInfo) {
+        Campaign::new(seeds, &cfg())
+            .executor(&mut executor(m))
+            .checkpoint(ck.clone())
+            .resume()
+            .unwrap()
+    }
+
     #[test]
     fn checkpointed_run_equals_plain_run() {
         let m = module();
         let seeds = vec![b"seed".to_vec()];
-        let plain = run_campaign(&mut executor(&m), &seeds, &cfg());
+        let plain = run_plain(&m, &seeds);
 
         let dir = tmpdir("plain-eq");
         let mut ck = CheckpointConfig::new(&dir);
         ck.snapshot_every_execs = 50;
-        let out = run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck)
-            .unwrap()
+        let out = run_checkpointed(&m, &seeds, &ck)
             .finished()
             .expect("no kill configured");
         assert_eq!(
@@ -1056,18 +1179,17 @@ mod tests {
     fn kill_and_resume_reproduces_uninterrupted_result() {
         let m = module();
         let seeds = vec![b"seed".to_vec()];
-        let reference = run_campaign(&mut executor(&m), &seeds, &cfg());
+        let reference = run_plain(&m, &seeds);
 
         let dir = tmpdir("kill-resume");
         let mut ck = CheckpointConfig::new(&dir);
         ck.snapshot_every_execs = 40;
         ck.kill_after_execs = Some(97); // mid-journal, off the snapshot grid
-        let killed = run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck)
-            .unwrap();
+        let killed = run_checkpointed(&m, &seeds, &ck);
         assert!(matches!(killed, CampaignOutcome::Killed { execs: 97 }));
 
         ck.kill_after_execs = None;
-        let (out, info) = resume_campaign(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        let (out, info) = resume(&m, &seeds, &ck);
         assert_eq!(info.snapshot_execs, 80, "resumed from the last snapshot");
         assert_eq!(info.records_applied, 17, "journal tail replayed");
         assert_eq!(
@@ -1082,13 +1204,13 @@ mod tests {
     fn corrupt_newest_snapshot_falls_back_and_still_matches() {
         let m = module();
         let seeds = vec![b"seed".to_vec()];
-        let reference = run_campaign(&mut executor(&m), &seeds, &cfg());
+        let reference = run_plain(&m, &seeds);
 
         let dir = tmpdir("fallback");
         let mut ck = CheckpointConfig::new(&dir);
         ck.snapshot_every_execs = 40;
         ck.kill_after_execs = Some(90);
-        run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        run_checkpointed(&m, &seeds, &ck);
 
         // Flip a payload bit in the newest snapshot (execs=80).
         let newest = snapshot_path(&dir, 80);
@@ -1098,7 +1220,7 @@ mod tests {
         fs::write(&newest, &bytes).unwrap();
 
         ck.kill_after_execs = None;
-        let (out, info) = resume_campaign(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        let (out, info) = resume(&m, &seeds, &ck);
         assert_eq!(info.corrupt_snapshots_skipped, 1);
         assert_eq!(info.snapshot_execs, 40, "fell back one snapshot");
         assert!(info.records_applied >= 50, "chained journals across the gap");
@@ -1110,13 +1232,13 @@ mod tests {
     fn torn_journal_tail_is_dropped_not_fatal() {
         let m = module();
         let seeds = vec![b"seed".to_vec()];
-        let reference = run_campaign(&mut executor(&m), &seeds, &cfg());
+        let reference = run_plain(&m, &seeds);
 
         let dir = tmpdir("torn");
         let mut ck = CheckpointConfig::new(&dir);
         ck.snapshot_every_execs = 40;
         ck.kill_after_execs = Some(95);
-        run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        run_checkpointed(&m, &seeds, &ck);
 
         // Tear the live journal mid-record: chop off its last 5 bytes.
         let jpath = journal_path(&dir, 80);
@@ -1124,7 +1246,7 @@ mod tests {
         fs::write(&jpath, &bytes[..bytes.len() - 5]).unwrap();
 
         ck.kill_after_execs = None;
-        let (out, info) = resume_campaign(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        let (out, info) = resume(&m, &seeds, &ck);
         assert!(info.torn_tail, "the torn record must be detected");
         assert_eq!(
             fingerprint(&reference),
@@ -1139,9 +1261,15 @@ mod tests {
         let dir = tmpdir("empty");
         fs::create_dir_all(&dir).unwrap();
         let m = module();
-        let err = resume_campaign(&mut executor(&m), None, &[], &cfg(), &CheckpointConfig::new(&dir))
+        let err = Campaign::new(&[], &cfg())
+            .executor(&mut executor(&m))
+            .checkpoint(CheckpointConfig::new(&dir))
+            .resume()
             .unwrap_err();
-        assert!(matches!(err, CheckpointError::NoUsableSnapshot));
+        assert!(matches!(
+            err,
+            crate::builder::CampaignError::Checkpoint(CheckpointError::NoUsableSnapshot)
+        ));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1153,7 +1281,7 @@ mod tests {
         let mut ck = CheckpointConfig::new(&dir);
         ck.snapshot_every_execs = 25;
         ck.keep_snapshots = 2;
-        run_campaign_checkpointed(&mut executor(&m), None, &seeds, &cfg(), &ck).unwrap();
+        run_checkpointed(&m, &seeds, &ck);
         let snaps = list_numbered(&dir, "ckpt-").unwrap();
         assert!(
             snaps.len() <= 2,

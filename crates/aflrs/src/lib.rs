@@ -16,22 +16,29 @@
 //! measured differences come from the execution mechanism alone — the
 //! paper's controlled-comparison setup (§5.3).
 
+pub mod builder;
 pub mod campaign;
 pub mod checkpoint;
 pub mod mutate;
 pub mod mwu;
 pub mod queue;
+pub mod shard;
 pub mod stats;
 
 #[cfg(test)]
 mod proptests;
 
-pub use campaign::{run_campaign, run_campaign_with, CampaignConfig};
+pub use builder::{Campaign, CampaignError};
+pub use campaign::CampaignConfig;
+#[allow(deprecated)]
+pub use campaign::{run_campaign, run_campaign_with};
 pub use checkpoint::{
-    resume_campaign, run_campaign_checkpointed, CampaignOutcome, CheckpointConfig,
-    CheckpointError, FsyncPolicy, ResumeInfo,
+    CampaignOutcome, CheckpointConfig, CheckpointError, FsyncPolicy, ResumeInfo,
 };
-pub use stats::{CampaignResult, CrashRecord};
+#[allow(deprecated)]
+pub use checkpoint::{resume_campaign, run_campaign_checkpointed};
+pub use shard::{DEFAULT_LANES, DEFAULT_SYNC_EPOCHS};
+pub use stats::{CampaignResult, CrashRecord, ResilienceCounters};
 
 /// Simulated cycles per simulated second (used to convert campaign clocks
 /// into the paper's seconds / 24-hour framing).

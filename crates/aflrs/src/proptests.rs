@@ -4,18 +4,19 @@
 use proptest::prelude::*;
 
 use closurex::checkpoint::ExecutorState;
+use closurex::executor::{Executor, ExecutorFactory};
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
-use closurex::resilience::DegradationLevel;
+use closurex::resilience::{DegradationLevel, HarnessError};
 use vmos::cov::{VirginMap, MAP_SIZE};
 use vmos::{Crash, CrashKind};
 
-use crate::campaign::{run_campaign, CampaignConfig, Stage};
+use crate::builder::Campaign;
+use crate::campaign::{CampaignConfig, Stage};
 use crate::checkpoint::{
-    load_snapshot, resume_campaign, run_campaign_checkpointed, seal_snapshot, CheckpointConfig,
-    DeltaRecord, Scalars, SnapshotState,
+    load_snapshot, seal_snapshot, CheckpointConfig, DeltaRecord, Scalars, SnapshotState,
 };
 use crate::queue::QueueEntry;
-use crate::stats::CrashRecord;
+use crate::stats::{CampaignResult, CrashRecord};
 
 fn arb_stage() -> impl Strategy<Value = Stage> {
     prop_oneof![
@@ -68,13 +69,14 @@ fn arb_entry() -> impl Strategy<Value = QueueEntry> {
         prop::collection::vec(any::<u8>(), 0..40),
         any::<u32>(),
         any::<u32>(),
-        any::<bool>(),
+        (any::<bool>(), any::<bool>()),
     )
-        .prop_map(|(data, cyc, at, det)| QueueEntry {
+        .prop_map(|(data, cyc, at, (det, fav))| QueueEntry {
             data,
             exec_cycles: u64::from(cyc),
             found_at: u64::from(at),
             det_done: det,
+            favored: fav,
         })
 }
 
@@ -252,7 +254,7 @@ proptest! {
         state in arb_snapshot(),
         flip_bit in any::<u32>(),
     ) {
-        let mut sealed = seal_snapshot(&state.encode());
+        let mut sealed = seal_snapshot(&state.encode(), 0);
         let nbits = sealed.len() * 8;
         let bit = flip_bit as usize % nbits;
         sealed[bit / 8] ^= 1 << (bit % 8);
@@ -274,7 +276,7 @@ proptest! {
     /// panic.
     #[test]
     fn truncated_snapshot_rejected(state in arb_snapshot(), cut in any::<u32>()) {
-        let sealed = seal_snapshot(&state.encode());
+        let sealed = seal_snapshot(&state.encode(), 0);
         let keep = cut as usize % sealed.len(); // strictly shorter
         let dir = std::env::temp_dir().join(format!(
             "closurex-prop-trunc-{}-{}",
@@ -307,7 +309,12 @@ proptest! {
         let seeds = vec![b"go".to_vec()];
         let mk = || ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("boots");
 
-        let reference = run_campaign(&mut mk(), &seeds, &cfg);
+        let reference = Campaign::new(&seeds, &cfg)
+            .executor(&mut mk())
+            .run()
+            .expect("plain run")
+            .finished()
+            .expect("no kill");
 
         let dir = std::env::temp_dir().join(format!(
             "closurex-prop-kill-{}-{}-{}",
@@ -319,12 +326,18 @@ proptest! {
         let mut ck = CheckpointConfig::new(&dir);
         ck.snapshot_every_execs = 30;
         ck.kill_after_execs = Some(kill_at);
-        let first = run_campaign_checkpointed(&mut mk(), None, &seeds, &cfg, &ck)
+        let first = Campaign::new(&seeds, &cfg)
+            .executor(&mut mk())
+            .checkpoint(ck.clone())
+            .run()
             .expect("checkpointed run");
         ck.kill_after_execs = None;
         let out = match first {
             crate::checkpoint::CampaignOutcome::Killed { .. } => {
-                resume_campaign(&mut mk(), None, &seeds, &cfg, &ck)
+                Campaign::new(&seeds, &cfg)
+                    .executor(&mut mk())
+                    .checkpoint(ck.clone())
+                    .resume()
                     .expect("resume")
                     .0
             }
@@ -335,6 +348,56 @@ proptest! {
         prop_assert_eq!(
             serde_json::to_string(&reference).unwrap(),
             serde_json::to_string(&resumed).unwrap()
+        );
+    }
+}
+
+/// Builds one ClosureX executor per lane over a shared module.
+struct CxFactory<'m> {
+    module: &'m fir::Module,
+}
+
+impl ExecutorFactory for CxFactory<'_> {
+    fn build(&self) -> Result<Box<dyn Executor + Send>, HarnessError> {
+        ClosureXExecutor::new(self.module, ClosureXConfig::default())
+            .map(|ex| Box::new(ex) as Box<dyn Executor + Send>)
+            .map_err(|e| HarnessError::BootFailed(e.to_string()))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sharded merge is invariant under shard (worker) scheduling:
+    /// any worker count over the same lane decomposition yields the
+    /// bit-identical campaign result, because each lane's schedule is a
+    /// pure function of `(config, seeds, lane)` and every barrier merge is
+    /// either commutative (virgin-map OR) or applied in canonical lane
+    /// order — never in completion order.
+    #[test]
+    fn epoch_merge_invariant_under_worker_count(seed in 1u64..6, workers in 2usize..5) {
+        let module = minic::compile("t", RESUME_TARGET).expect("compiles");
+        let factory = CxFactory { module: &module };
+        let cfg = CampaignConfig {
+            budget_cycles: 2_000_000,
+            seed,
+            ..CampaignConfig::default()
+        };
+        let seeds = vec![b"go".to_vec(), b"CX!".to_vec()];
+        let run = |shards: usize| -> CampaignResult {
+            Campaign::new(&seeds, &cfg)
+                .factory(&factory)
+                .shards(shards)
+                .run()
+                .expect("sharded run")
+                .finished()
+                .expect("no kill configured")
+        };
+        let serial = run(1);
+        let parallel = run(workers);
+        prop_assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
         );
     }
 }

@@ -11,6 +11,11 @@ pub struct QueueEntry {
     pub found_at: u64,
     /// Whether the deterministic stage has run on it.
     pub det_done: bool,
+    /// True when the discovery execution found a brand-new edge (not just a
+    /// new hitcount bucket on a known edge). Scheduling ignores this; the
+    /// sharded merge sorts favored entries first within a sync epoch so the
+    /// canonical queue order is coverage-meaningful.
+    pub favored: bool,
 }
 
 /// The corpus of coverage-increasing inputs.
@@ -80,6 +85,20 @@ impl Queue {
     pub fn iter(&self) -> std::slice::Iter<'_, QueueEntry> {
         self.entries.iter()
     }
+
+    /// Entries appended at or after index `from` (a shard barrier collects
+    /// each lane's discoveries this way).
+    pub fn entries_from(&self, from: usize) -> &[QueueEntry] {
+        &self.entries[from.min(self.entries.len())..]
+    }
+
+    /// Replace the whole entry list, preserving the scheduling cursor —
+    /// shard barriers swap in the canonically merged global queue without
+    /// disturbing each lane's round-robin position (the cursor is a raw
+    /// counter, reduced modulo the length at pick time).
+    pub fn replace_entries(&mut self, entries: Vec<QueueEntry>) {
+        self.entries = entries;
+    }
 }
 
 impl<'a> IntoIterator for &'a Queue {
@@ -100,7 +119,21 @@ mod tests {
             exec_cycles: 10,
             found_at: 0,
             det_done: false,
+            favored: false,
         }
+    }
+
+    #[test]
+    fn replace_entries_keeps_cursor() {
+        let mut q = Queue::new();
+        q.push(entry(b"a"));
+        q.push(entry(b"b"));
+        assert_eq!(q.next_index(), Some(0));
+        q.replace_entries(vec![entry(b"a"), entry(b"b"), entry(b"c")]);
+        assert_eq!(q.cursor(), 1, "cursor survives the swap");
+        assert_eq!(q.next_index(), Some(1));
+        assert_eq!(q.entries_from(2).len(), 1);
+        assert_eq!(q.entries_from(99).len(), 0);
     }
 
     #[test]

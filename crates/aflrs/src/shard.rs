@@ -1,0 +1,840 @@
+//! Multi-worker campaign sharding with a deterministic merge protocol.
+//!
+//! A sharded campaign partitions the work of one logical campaign across
+//! **lanes** — independent mini-campaigns, each with its own executor
+//! instance (built from a [`closurex::executor::ExecutorFactory`]), its own
+//! lane-seeded RNG streams, a round-robin slice of the seed corpus, and an
+//! equal slice of the cycle budget. Lanes run concurrently on a pool of
+//! **worker** threads and synchronize at a fixed number of **sync epochs**:
+//! barriers where the coordinator merges every lane's discoveries into one
+//! global campaign state and hands the merged state back to every lane.
+//!
+//! # Why lanes ≠ workers
+//!
+//! The unit of determinism is the *lane*, not the thread. A campaign's
+//! behavior is a pure function of `(config, seeds, lanes, sync_epochs)`;
+//! the worker count only decides how many lanes run at once. That is what
+//! makes `shards=4` reproduce `shards=1` **bit-for-bit** — same coverage
+//! hash, same queue inputs, same crash records — on the same budget split:
+//! both execute the identical lane decomposition, and the merge below is
+//! insensitive to lane completion order.
+//!
+//! # The merge protocol
+//!
+//! At each barrier, lanes are folded in canonical lane order:
+//!
+//! * **Coverage** — the global virgin map is the commutative OR-union of
+//!   the lanes' maps ([`VirginMap::union_tracked`]); union order cannot
+//!   change the result.
+//! * **Queue** — each lane's entries discovered this epoch are collected,
+//!   sorted favored-first (brand-new edge beats new-bucket) with ties
+//!   broken by `(lane, discovery order)`, deduplicated by exact input
+//!   bytes, and appended to the global queue. Existing entries' `det_done`
+//!   flags are OR-ed across lanes.
+//! * **Crashes** — deduplicated by site; the canonical first-discovery
+//!   record is the earliest in `(epoch, lane)` order, and per-site hit
+//!   counts are summed across lanes.
+//! * **Cycle accounting** — execs, clock, hangs, and management/execution
+//!   cycles are summed per lane at the end ([`CampaignResult`] assembly).
+//!
+//! After the merge every lane receives the merged queue/coverage/crash
+//! state; a lane mid-`Det`/`Havoc` batch is bounced back to `Pick` (its
+//! entry index is stale against the merged queue — deterministically so,
+//! because barriers land at the same per-lane clock regardless of worker
+//! count).
+//!
+//! # Sharded checkpointing
+//!
+//! With a [`CheckpointConfig`], barriers double as checkpoints:
+//! `shard-ckpt-{epoch:06}.bin` holds every lane's post-merge snapshot
+//! (including exported executor state) sealed under the same
+//! fingerprint-carrying header as single-driver snapshots, and each lane
+//! journals its epoch executions to `shard-journal-{epoch:06}-{lane:03}.bin`.
+//! `CheckpointConfig::snapshot_every_execs` is ignored in sharded mode —
+//! the epoch barrier is the snapshot cadence. Resume loads the newest
+//! valid shard snapshot, rebuilds the lanes from the factory, replays each
+//! lane's journal for the interrupted epoch (truncating torn tails), and
+//! continues — reproducing the uninterrupted campaign exactly.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use closurex::executor::{Executor, ExecutorFactory};
+use vmos::cov::VirginMap;
+use vmos::wire::fnv1a;
+use vmos::{Reader, WireError, Writer};
+
+use crate::builder::CampaignError;
+use crate::campaign::{CampaignConfig, Driver, Stage, StepOutcome};
+use crate::checkpoint::{
+    check_target, open_sealed, read_journal, seal_snapshot, write_sealed, CampaignOutcome,
+    CheckpointConfig, CheckpointError, DeltaRecord, Journal, ResumeInfo, Scalars, SnapshotState,
+};
+use crate::queue::QueueEntry;
+use crate::stats::{CampaignResult, CrashRecord, ResilienceCounters};
+
+/// Default lane count: the campaign decomposes into this many independent
+/// mini-campaigns unless [`crate::Campaign::lanes`] overrides it.
+pub const DEFAULT_LANES: usize = 4;
+
+/// Default number of merge barriers per campaign.
+pub const DEFAULT_SYNC_EPOCHS: u64 = 8;
+
+/// How a sharded campaign decomposes and runs.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardPlan {
+    /// Logical lanes (determinism unit).
+    pub(crate) lanes: usize,
+    /// Worker threads (throughput knob; never affects results).
+    pub(crate) workers: usize,
+    /// Merge barriers across the budget.
+    pub(crate) sync_epochs: u64,
+}
+
+/// Mix a lane index into the campaign seed (splitmix64 finalizer), so each
+/// lane draws an independent mutation schedule while staying a pure
+/// function of `(seed, lane)`.
+fn lane_seed(seed: u64, lane: usize) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A lane's campaign config: an equal slice of the budget (the first
+/// `budget % lanes` lanes carry the remainder cycle each), a lane-mixed
+/// seed, and early-stop disabled — `stop_after_crashes` is a *global*
+/// predicate, checked against the merged crash list at barriers.
+fn lane_config(cfg: &CampaignConfig, lane: usize, lanes: usize) -> CampaignConfig {
+    let mut c = cfg.clone();
+    let n = lanes as u64;
+    c.budget_cycles = cfg.budget_cycles / n + u64::from((lane as u64) < cfg.budget_cycles % n);
+    c.seed = lane_seed(cfg.seed, lane);
+    c.stop_after_crashes = 0;
+    c
+}
+
+/// The lane clock at which epoch `epoch` (of `epochs`) ends. The final
+/// epoch runs to the exact lane budget.
+fn epoch_limit(budget: u64, epoch: u64, epochs: u64) -> u64 {
+    if epoch + 1 >= epochs {
+        budget
+    } else {
+        ((u128::from(budget) * u128::from(epoch + 1)) / u128::from(epochs)) as u64
+    }
+}
+
+/// One lane: an owned executor pair plus the campaign state carried across
+/// epochs. `state.exec_state` is always `None` here — the live executor
+/// *is* the executor state between barriers; it is only exported when a
+/// shard snapshot is written.
+struct Lane {
+    executor: Box<dyn Executor + Send>,
+    revalidator: Option<Box<dyn Executor + Send>>,
+    cfg: CampaignConfig,
+    seeds: Vec<Vec<u8>>,
+    state: SnapshotState,
+    journal: Option<Journal>,
+}
+
+/// Snapshot a driver for the inter-epoch handoff (no executor export).
+fn barrier_state(d: &Driver<'_>) -> SnapshotState {
+    SnapshotState {
+        scalars: Scalars::capture(d),
+        entries: d.queue.iter().cloned().collect(),
+        virgin: d.virgin.clone(),
+        crashes: d.crashes.clone(),
+        exec_state: None,
+    }
+}
+
+/// The shared kill switch for the simulated-SIGKILL torture hook: a global
+/// exec counter across all lanes, tripping a stop flag every lane polls.
+struct KillSwitch {
+    limit: u64,
+    execs: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl KillSwitch {
+    fn new(limit: u64, already_executed: u64) -> Self {
+        KillSwitch {
+            limit,
+            execs: AtomicU64::new(already_executed),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Count one journaled execution; returns `true` once the campaign
+    /// must stop (the kill may overshoot `limit` by in-flight lanes —
+    /// resume is kill-point agnostic, so that is harmless).
+    fn record_exec(&self) -> bool {
+        if self.execs.fetch_add(1, Ordering::SeqCst) + 1 >= self.limit {
+            self.stop.store(true, Ordering::SeqCst);
+        }
+        self.stopped()
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn execs(&self) -> u64 {
+        self.execs.load(Ordering::SeqCst)
+    }
+}
+
+/// Run one lane from its carried state to the epoch's clock limit,
+/// journaling each execution when checkpointing is on.
+fn run_lane_epoch(
+    lane: &mut Lane,
+    epoch: u64,
+    epochs: u64,
+    track: bool,
+    kill: Option<&KillSwitch>,
+) -> Result<(), CheckpointError> {
+    let limit = epoch_limit(lane.cfg.budget_cycles, epoch, epochs);
+    let revalidator = lane
+        .revalidator
+        .as_deref_mut()
+        .map(|r| r as &mut dyn Executor);
+    let mut d = Driver::new(lane.executor.as_mut(), revalidator, &lane.seeds, &lane.cfg, track);
+    lane.state.clone().apply(&mut d)?;
+    while d.clock < limit {
+        if kill.is_some_and(|k| k.stopped()) {
+            break;
+        }
+        if d.step() == StepOutcome::Finished {
+            break;
+        }
+        if track {
+            if let Some(j) = lane.journal.as_mut() {
+                j.append(&DeltaRecord::take(&mut d))?;
+            }
+        }
+        if kill.is_some_and(|k| k.record_exec()) {
+            break;
+        }
+    }
+    lane.state = barrier_state(&d);
+    Ok(())
+}
+
+/// Run one epoch across all lanes on the worker pool. Lane-to-worker
+/// assignment is a throughput detail: every lane runs its own
+/// deterministic schedule and the coordinator merges in lane order, so
+/// results cannot depend on it.
+fn run_epoch_parallel(
+    lanes: &mut [Lane],
+    epoch: u64,
+    epochs: u64,
+    workers: usize,
+    track: bool,
+    kill: Option<&KillSwitch>,
+) -> Result<(), CheckpointError> {
+    let reference = vmos::reference_engine();
+    let workers = workers.clamp(1, lanes.len().max(1));
+    let chunk = lanes.len().div_ceil(workers).max(1);
+    let mut results = Vec::with_capacity(lanes.len());
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for lane_chunk in lanes.chunks_mut(chunk) {
+            handles.push(s.spawn(move || {
+                // Worker threads inherit the coordinator's engine choice.
+                vmos::set_reference_engine(reference);
+                lane_chunk
+                    .iter_mut()
+                    .map(|l| run_lane_epoch(l, epoch, epochs, track, kill))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            results.extend(h.join().expect("lane worker panicked"));
+        }
+    });
+    results.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ())
+}
+
+/// The merged campaign state the coordinator owns between barriers.
+struct Global {
+    entries: Vec<QueueEntry>,
+    virgin: VirginMap,
+    crashes: Vec<CrashRecord>,
+    /// Exact-input dedup for the queue merge.
+    input_index: HashMap<Vec<u8>, usize>,
+    /// Site dedup for the crash merge. Lookup only — never iterated.
+    site_index: HashMap<(vmos::CrashKind, String, u32), usize>,
+}
+
+impl Global {
+    fn new() -> Self {
+        Global {
+            entries: Vec::new(),
+            virgin: VirginMap::new(),
+            crashes: Vec::new(),
+            input_index: HashMap::new(),
+            site_index: HashMap::new(),
+        }
+    }
+
+    /// Rebuild the global state from a barrier snapshot (every lane's
+    /// post-merge collections are identical; lane 0's copy is canonical).
+    fn from_state(st: &SnapshotState) -> Self {
+        let mut g = Global {
+            entries: st.entries.clone(),
+            virgin: st.virgin.clone(),
+            crashes: st.crashes.clone(),
+            input_index: HashMap::new(),
+            site_index: HashMap::new(),
+        };
+        for (i, e) in g.entries.iter().enumerate() {
+            g.input_index.entry(e.data.clone()).or_insert(i);
+        }
+        for (i, c) in g.crashes.iter().enumerate() {
+            g.site_index.entry(c.crash.site_key()).or_insert(i);
+        }
+        g
+    }
+
+    /// Fold every lane's epoch discoveries into the global state, then
+    /// hand the merged state back to each lane. See the module docs for
+    /// the protocol; each step is either commutative or applied in
+    /// canonical lane order, so the result is invariant under lane
+    /// completion (and worker) scheduling.
+    fn merge_epoch(&mut self, lanes: &mut [Lane]) {
+        let entry_prefix = self.entries.len();
+        let crash_prefix = self.crashes.len();
+
+        // Coverage: commutative OR-union.
+        let mut scratch = Vec::new();
+        for lane in lanes.iter() {
+            scratch.clear();
+            self.virgin.union_tracked(&lane.state.virgin, &mut scratch);
+        }
+
+        // det_done on the shared prefix: OR across lanes (a duplicate
+        // deterministic pass adds nothing, so "done anywhere" is "done").
+        for lane in lanes.iter() {
+            for (g, l) in self.entries[..entry_prefix]
+                .iter_mut()
+                .zip(&lane.state.entries)
+            {
+                if l.det_done {
+                    g.det_done = true;
+                }
+            }
+        }
+
+        // Queue: favored-first, ties in (lane, discovery) order, exact-
+        // input dedup. The sort is stable, so equal keys keep lane order.
+        let mut candidates: Vec<&QueueEntry> = Vec::new();
+        for lane in lanes.iter() {
+            let from = entry_prefix.min(lane.state.entries.len());
+            candidates.extend(&lane.state.entries[from..]);
+        }
+        candidates.sort_by_key(|e| !e.favored);
+        for e in candidates {
+            match self.input_index.get(&e.data) {
+                Some(&j) => {
+                    if e.det_done {
+                        self.entries[j].det_done = true;
+                    }
+                }
+                None => {
+                    self.input_index.insert(e.data.clone(), self.entries.len());
+                    self.entries.push(e.clone());
+                }
+            }
+        }
+
+        // Crashes: existing sites get the per-lane hit deltas summed (a
+        // lane's record started the epoch at the global count); new sites
+        // are appended at their earliest (lane-order) discovery, summing
+        // hits from lanes that found the same site independently.
+        let base: Vec<u64> = self.crashes[..crash_prefix].iter().map(|c| c.hits).collect();
+        let mut merged_hits = base.clone();
+        for lane in lanes.iter() {
+            for (j, b) in base.iter().enumerate() {
+                let lane_hits = lane.state.crashes.get(j).map_or(*b, |c| c.hits);
+                merged_hits[j] += lane_hits.saturating_sub(*b);
+            }
+            let from = crash_prefix.min(lane.state.crashes.len());
+            for c in &lane.state.crashes[from..] {
+                match self.site_index.get(&c.crash.site_key()) {
+                    Some(&j) => self.crashes[j].hits += c.hits,
+                    None => {
+                        self.site_index.insert(c.crash.site_key(), self.crashes.len());
+                        self.crashes.push(c.clone());
+                    }
+                }
+            }
+        }
+        for (j, h) in merged_hits.into_iter().enumerate() {
+            self.crashes[j].hits = h;
+        }
+
+        // Hand the merged state back; bounce stale mid-batch stages to
+        // Pick (their entry index predates the merge).
+        for lane in lanes.iter_mut() {
+            let st = &mut lane.state;
+            st.entries = self.entries.clone();
+            st.virgin = self.virgin.clone();
+            st.crashes = self.crashes.clone();
+            if matches!(st.scalars.stage, Stage::Det { .. } | Stage::Havoc { .. }) {
+                st.scalars.stage = Stage::Pick;
+            }
+        }
+    }
+}
+
+/// Assemble the final result: per-lane accounting summed, merged
+/// collections taken from the global state.
+fn assemble(lanes: &mut [Lane], global: &Global) -> CampaignResult {
+    let mut execs = 0;
+    let mut clock = 0;
+    let mut hangs = 0;
+    let mut mgmt_cycles = 0;
+    let mut exec_cycles = 0;
+    let mut resilience = ResilienceCounters::default();
+    for lane in lanes.iter() {
+        let s = &lane.state.scalars;
+        execs += s.execs;
+        clock += s.clock;
+        hangs += s.hangs;
+        mgmt_cycles += s.mgmt_cycles;
+        exec_cycles += s.exec_cycles;
+        resilience.absorb(&ResilienceCounters {
+            executor: lane.executor.resilience(),
+            harness_faults: s.harness_faults,
+            retries: s.retries,
+            dropped_inputs: s.dropped_inputs,
+            watchdog_trips: s.watchdog_trips,
+        });
+    }
+    CampaignResult {
+        executor: lanes
+            .first()
+            .map_or("sharded", |l| l.executor.name())
+            .to_string(),
+        execs,
+        clock_cycles: clock,
+        edges_found: global.virgin.edges_found(),
+        coverage_hash: fnv1a(global.virgin.as_bytes()),
+        crashes: global.crashes.clone(),
+        queue_len: global.entries.len(),
+        hangs,
+        mgmt_cycles,
+        exec_cycles,
+        queue_inputs: global.entries.iter().map(|e| e.data.clone()).collect(),
+        resilience,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded checkpoint files.
+// ---------------------------------------------------------------------------
+
+fn shard_snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("shard-ckpt-{epoch:06}.bin"))
+}
+
+fn shard_journal_path(dir: &Path, epoch: u64, lane: usize) -> PathBuf {
+    dir.join(format!("shard-journal-{epoch:06}-{lane:03}.bin"))
+}
+
+fn parse_shard_snapshot(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("shard-ckpt-")?.strip_suffix(".bin")?;
+    (rest.len() == 6 && rest.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| rest.parse().ok())
+        .flatten()
+}
+
+fn parse_shard_journal(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("shard-journal-")?.strip_suffix(".bin")?;
+    let (e, l) = rest.split_once('-')?;
+    let digits = |s: &str, n| s.len() == n && s.bytes().all(|b| b.is_ascii_digit());
+    (digits(e, 6) && digits(l, 3))
+        .then(|| Some((e.parse().ok()?, l.parse().ok()?)))
+        .flatten()
+}
+
+/// All `shard-ckpt-N.bin` files, sorted ascending by epoch.
+fn list_shard_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(n) = entry.file_name().to_str().and_then(parse_shard_snapshot) {
+            out.push((n, entry.path()));
+        }
+    }
+    out.sort_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+/// Write the barrier snapshot for `epoch`: every lane's state with its
+/// executor exported, sealed under the target fingerprint.
+fn write_shard_snapshot(
+    ck: &CheckpointConfig,
+    epoch: u64,
+    lanes: &mut [Lane],
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.put_u64(epoch);
+    w.put_usize(lanes.len());
+    for lane in lanes.iter_mut() {
+        let mut st = lane.state.clone();
+        st.exec_state = lane.executor.export_state();
+        w.put_bytes(&st.encode());
+    }
+    let fp = lanes
+        .first()
+        .and_then(|l| l.executor.module_fingerprint())
+        .unwrap_or(0);
+    let bytes = seal_snapshot(&w.into_bytes(), fp);
+    write_sealed(&shard_snapshot_path(&ck.dir, epoch), &bytes, ck.fsync)
+}
+
+/// Load and validate one shard snapshot: `(epoch, per-lane states, target
+/// fingerprint)`.
+#[allow(clippy::type_complexity)]
+fn load_shard_snapshot(path: &Path) -> Result<(u64, Vec<SnapshotState>, u64), WireError> {
+    let bytes = fs::read(path).map_err(|_| WireError::Truncated)?;
+    let (fp, payload) = open_sealed(&bytes)?;
+    let mut r = Reader::new(payload);
+    let epoch = r.get_u64()?;
+    let n = r.get_count()?;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        let buf = r.get_bytes()?;
+        states.push(SnapshotState::decode(&buf)?);
+    }
+    if !r.is_empty() {
+        return Err(WireError::Malformed("trailing shard snapshot bytes"));
+    }
+    Ok((epoch, states, fp))
+}
+
+/// Keep the newest `keep` shard snapshots; drop older ones and the
+/// journals of epochs nothing can resume from anymore.
+fn rotate_shards(dir: &Path, keep: usize) -> std::io::Result<()> {
+    let snaps = list_shard_snapshots(dir)?;
+    let keep = keep.max(1);
+    if snaps.len() <= keep {
+        return Ok(());
+    }
+    let cutoff = snaps[snaps.len() - keep].0;
+    for (_, path) in &snaps[..snaps.len() - keep] {
+        let _ = fs::remove_file(path);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some((e, _)) = entry.file_name().to_str().and_then(parse_shard_journal) {
+            if e < cutoff {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Open each lane's journal for `epoch`, based at the lane's current exec
+/// count.
+fn open_journals(
+    ck: &CheckpointConfig,
+    epoch: u64,
+    lanes: &mut [Lane],
+) -> Result<(), CheckpointError> {
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        lane.journal = Some(Journal::create_at(
+            &shard_journal_path(&ck.dir, epoch, i),
+            lane.state.scalars.execs,
+            ck.fsync,
+        )?);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The sharded campaign loop.
+// ---------------------------------------------------------------------------
+
+fn build_lanes(
+    factory: &dyn ExecutorFactory,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    lanes_n: usize,
+    track: bool,
+) -> Result<Vec<Lane>, CampaignError> {
+    let mut lanes = Vec::with_capacity(lanes_n);
+    for i in 0..lanes_n {
+        let mut executor = factory.build().map_err(CampaignError::Build)?;
+        let revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
+        let lane_cfg = lane_config(cfg, i, lanes_n);
+        let lane_seeds: Vec<Vec<u8>> = seeds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % lanes_n == i)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let state = barrier_state(&Driver::new(
+            executor.as_mut(),
+            None,
+            &lane_seeds,
+            &lane_cfg,
+            track,
+        ));
+        lanes.push(Lane {
+            executor,
+            revalidator,
+            cfg: lane_cfg,
+            seeds: lane_seeds,
+            state,
+            journal: None,
+        });
+    }
+    Ok(lanes)
+}
+
+/// Epoch loop shared by fresh runs and resumes.
+#[allow(clippy::too_many_arguments)]
+fn run_epochs(
+    lanes: &mut [Lane],
+    global: &mut Global,
+    start_epoch: u64,
+    epochs: u64,
+    cfg: &CampaignConfig,
+    plan: &ShardPlan,
+    ck: Option<&CheckpointConfig>,
+    kill: Option<&KillSwitch>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let track = ck.is_some();
+    for epoch in start_epoch..epochs {
+        run_epoch_parallel(lanes, epoch, epochs, plan.workers, track, kill)
+            .map_err(CampaignError::Checkpoint)?;
+        if let Some(k) = kill {
+            if k.stopped() {
+                // Simulated SIGKILL: stop right here — no barrier, no
+                // snapshot. The per-lane journals are all resume gets.
+                return Ok(CampaignOutcome::Killed { execs: k.execs() });
+            }
+        }
+        global.merge_epoch(lanes);
+        if let Some(ck) = ck {
+            for lane in lanes.iter_mut() {
+                lane.journal = None; // close the finished epoch's journals
+            }
+            write_shard_snapshot(ck, epoch + 1, lanes).map_err(CheckpointError::Io)?;
+            rotate_shards(&ck.dir, ck.keep_snapshots).map_err(CheckpointError::Io)?;
+            if epoch + 1 < epochs {
+                open_journals(ck, epoch + 1, lanes)?;
+            }
+        }
+        // The global early-stop predicate, evaluated on merged crashes.
+        if cfg.stop_after_crashes > 0 && global.crashes.len() >= cfg.stop_after_crashes {
+            break;
+        }
+    }
+    Ok(CampaignOutcome::Finished(assemble(lanes, global)))
+}
+
+/// Run a sharded campaign (see module docs). `ck` arms barrier
+/// checkpointing and the simulated-kill hook.
+pub(crate) fn run_sharded(
+    factory: &dyn ExecutorFactory,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    plan: &ShardPlan,
+    ck: Option<&CheckpointConfig>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let lanes_n = plan.lanes.max(1);
+    let epochs = plan.sync_epochs.max(1);
+    let track = ck.is_some();
+    let mut lanes = build_lanes(factory, seeds, cfg, lanes_n, track)?;
+    let mut global = Global::new();
+    let kill = ck
+        .and_then(|c| c.kill_after_execs)
+        .map(|k| KillSwitch::new(k, 0));
+    if let Some(ck) = ck {
+        fs::create_dir_all(&ck.dir).map_err(CheckpointError::Io)?;
+        write_shard_snapshot(ck, 0, &mut lanes).map_err(CheckpointError::Io)?;
+        open_journals(ck, 0, &mut lanes)?;
+    }
+    run_epochs(
+        &mut lanes,
+        &mut global,
+        0,
+        epochs,
+        cfg,
+        plan,
+        ck,
+        kill.as_ref(),
+    )
+}
+
+/// Resume a killed sharded campaign: newest valid shard snapshot, lanes
+/// rebuilt from the factory (fingerprint-checked), per-lane journal replay
+/// with torn tails truncated, then the remaining epochs.
+pub(crate) fn resume_sharded(
+    factory: &dyn ExecutorFactory,
+    seeds: &[Vec<u8>],
+    cfg: &CampaignConfig,
+    plan: &ShardPlan,
+    ck: &CheckpointConfig,
+) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
+    let lanes_n = plan.lanes.max(1);
+    let epochs = plan.sync_epochs.max(1);
+    let mut info = ResumeInfo::default();
+    let snaps = list_shard_snapshots(&ck.dir).map_err(CheckpointError::Io)?;
+    let mut chosen = None;
+    for (epoch, path) in snaps.iter().rev() {
+        match load_shard_snapshot(path) {
+            Ok((e, states, fp)) if e == *epoch => {
+                chosen = Some((e, states, fp));
+                break;
+            }
+            _ => info.corrupt_snapshots_skipped += 1,
+        }
+    }
+    let Some((epoch, states, fp)) = chosen else {
+        return Err(CampaignError::Checkpoint(CheckpointError::NoUsableSnapshot));
+    };
+    if states.len() != lanes_n {
+        return Err(CampaignError::Config(
+            "shard snapshot lane count disagrees with the configured lanes",
+        ));
+    }
+    info.snapshot_execs = states.iter().map(|s| s.scalars.execs).sum();
+
+    let mut global = Global::from_state(&states[0]);
+    let mut lanes = Vec::with_capacity(lanes_n);
+    let mut total_execs = 0;
+    for (i, st) in states.into_iter().enumerate() {
+        let mut executor = factory.build().map_err(CampaignError::Build)?;
+        if i == 0 {
+            // All lanes share the module: checking one copy suffices.
+            check_target(fp, &*executor).map_err(CampaignError::Checkpoint)?;
+        }
+        let mut revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
+        let lane_cfg = lane_config(cfg, i, lanes_n);
+        let lane_seeds: Vec<Vec<u8>> = seeds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % lanes_n == i)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let jpath = shard_journal_path(&ck.dir, epoch, i);
+        let base = st.scalars.execs;
+        let mut last_exec_state = st.exec_state.clone();
+        let rv = revalidator.as_deref_mut().map(|r| r as &mut dyn Executor);
+        let mut d = Driver::new(executor.as_mut(), rv, &lane_seeds, &lane_cfg, true);
+        st.apply(&mut d).map_err(CampaignError::Checkpoint)?;
+        let journal = if epoch < epochs {
+            match read_journal(&jpath, base) {
+                Some((records, valid_len, torn)) => {
+                    for rec in &records {
+                        rec.apply(&mut d);
+                        if rec.exec_state.is_some() {
+                            last_exec_state.clone_from(&rec.exec_state);
+                        }
+                        info.records_applied += 1;
+                    }
+                    if torn {
+                        info.torn_tail = true;
+                    }
+                    Some(Journal::reopen(&jpath, valid_len, ck.fsync).map_err(CheckpointError::Io)?)
+                }
+                // Killed before this lane's journal reached the disk:
+                // start it fresh from the snapshot base.
+                None => {
+                    Some(Journal::create_at(&jpath, base, ck.fsync).map_err(CheckpointError::Io)?)
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(es) = &last_exec_state {
+            d.executor
+                .restore_state(es)
+                .map_err(|e| CampaignError::Checkpoint(CheckpointError::Executor(e)))?;
+        }
+        total_execs += d.execs;
+        let state = barrier_state(&d);
+        drop(d);
+        lanes.push(Lane {
+            executor,
+            revalidator,
+            cfg: lane_cfg,
+            seeds: lane_seeds,
+            state,
+            journal,
+        });
+    }
+
+    let kill = ck
+        .kill_after_execs
+        .map(|k| KillSwitch::new(k, total_execs));
+    let outcome = run_epochs(
+        &mut lanes,
+        &mut global,
+        epoch,
+        epochs,
+        cfg,
+        plan,
+        Some(ck),
+        kill.as_ref(),
+    )?;
+    Ok((outcome, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_budgets_sum_to_total() {
+        let cfg = CampaignConfig {
+            budget_cycles: 1_000_003,
+            ..CampaignConfig::default()
+        };
+        let total: u64 = (0..3).map(|i| lane_config(&cfg, i, 3).budget_cycles).sum();
+        assert_eq!(total, 1_000_003);
+        assert_eq!(lane_config(&cfg, 0, 3).budget_cycles, 333_335);
+    }
+
+    #[test]
+    fn lane_seeds_distinct_and_stable() {
+        let a = lane_seed(42, 0);
+        let b = lane_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, lane_seed(42, 0), "pure function of (seed, lane)");
+    }
+
+    #[test]
+    fn epoch_limits_are_monotone_and_exact() {
+        let budget = 1_000_000;
+        let mut prev = 0;
+        for e in 0..8 {
+            let lim = epoch_limit(budget, e, 8);
+            assert!(lim >= prev);
+            prev = lim;
+        }
+        assert_eq!(epoch_limit(budget, 7, 8), budget, "final epoch is exact");
+    }
+
+    #[test]
+    fn shard_file_names_round_trip() {
+        assert_eq!(parse_shard_snapshot("shard-ckpt-000007.bin"), Some(7));
+        assert_eq!(parse_shard_snapshot("shard-ckpt-7.bin"), None);
+        assert_eq!(
+            parse_shard_journal("shard-journal-000003-002.bin"),
+            Some((3, 2))
+        );
+        assert_eq!(parse_shard_journal("shard-journal-3-2.bin"), None);
+        assert_eq!(parse_shard_journal("ckpt-000000000001.bin"), None);
+    }
+}

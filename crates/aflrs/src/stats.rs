@@ -29,22 +29,19 @@ impl CrashRecord {
     }
 }
 
-/// Resilience counters a campaign aggregates: how often the machinery
-/// (not the target) failed, and how the campaign recovered.
+/// Resilience counters a campaign aggregates: the executor's own lifetime
+/// report, embedded verbatim (one struct, one source of truth), plus the
+/// campaign-level recovery counters layered on top of it.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResilienceCounters {
-    /// Times the executor's process was re-created (crash/hang/divergence).
-    pub respawns: u64,
-    /// Restore divergences the executor's integrity check detected.
-    pub divergences: u64,
-    /// Integrity checks the executor performed.
-    pub integrity_checks: u64,
-    /// Inputs the executor quarantined after divergences.
-    pub quarantined: u64,
-    /// Quarantined inputs evicted past the executor's ring capacity — a
-    /// nonzero value flags the retained quarantine as a sample.
-    pub quarantine_dropped: u64,
-    /// Harness faults surfaced as `ExecStatus::Fault` during the campaign.
+    /// The executor's lifetime [`ResilienceReport`](closurex::ResilienceReport)
+    /// — respawns, divergences, integrity checks, quarantine accounting,
+    /// executor-observed harness faults, and the typed
+    /// [`DegradationLevel`](closurex::DegradationLevel).
+    pub executor: closurex::ResilienceReport,
+    /// Harness faults the *campaign* observed as `ExecStatus::Fault` (can
+    /// exceed `executor.harness_faults` when retries fault repeatedly on a
+    /// revalidator).
     pub harness_faults: u64,
     /// Inputs re-executed after a harness fault (bounded by
     /// `CampaignConfig::max_retries` each).
@@ -54,8 +51,32 @@ pub struct ResilienceCounters {
     /// Times the consecutive-hang watchdog tripped and abandoned a
     /// mutation batch.
     pub watchdog_trips: u64,
-    /// Final degradation level ("persistent" or "fork_per_exec").
-    pub degradation: String,
+}
+
+impl ResilienceCounters {
+    /// The executor's final degradation level, as a typed enum.
+    pub fn degradation(&self) -> closurex::DegradationLevel {
+        self.executor.degradation
+    }
+
+    /// Sum two lanes' counters (sharded campaigns aggregate per-lane
+    /// reports). The merged degradation is the worst across lanes:
+    /// `ForkPerExec` if any lane degraded.
+    pub fn absorb(&mut self, other: &ResilienceCounters) {
+        self.executor.respawns += other.executor.respawns;
+        self.executor.divergences += other.executor.divergences;
+        self.executor.integrity_checks += other.executor.integrity_checks;
+        self.executor.quarantined += other.executor.quarantined;
+        self.executor.quarantine_dropped += other.executor.quarantine_dropped;
+        self.executor.harness_faults += other.executor.harness_faults;
+        if other.executor.degradation == closurex::DegradationLevel::ForkPerExec {
+            self.executor.degradation = closurex::DegradationLevel::ForkPerExec;
+        }
+        self.harness_faults += other.harness_faults;
+        self.retries += other.retries;
+        self.dropped_inputs += other.dropped_inputs;
+        self.watchdog_trips += other.watchdog_trips;
+    }
 }
 
 /// Everything a finished campaign reports.

@@ -27,11 +27,10 @@
 
 use std::path::{Path, PathBuf};
 
-use aflrs::campaign::{run_campaign_with, CampaignConfig};
-use aflrs::checkpoint::{
-    resume_campaign, run_campaign_checkpointed, CampaignOutcome, CheckpointConfig, ResumeInfo,
+use aflrs::{
+    Campaign, CampaignConfig, CampaignError, CampaignOutcome, CampaignResult, CheckpointConfig,
+    ResumeInfo,
 };
-use aflrs::CampaignResult;
 use closurex::fresh::FreshProcessExecutor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
 use rand::rngs::SmallRng;
@@ -109,6 +108,28 @@ impl Lab {
         d
     }
 
+    /// One checkpointed campaign leg from scratch.
+    fn run_checkpointed(&self, ck: &CheckpointConfig) -> Result<CampaignOutcome, CampaignError> {
+        let mut ex = self.executor();
+        let mut rv = self.revalidator();
+        Campaign::new(&self.seeds, &self.cfg)
+            .executor(&mut ex)
+            .revalidator(&mut rv)
+            .checkpoint(ck.clone())
+            .run()
+    }
+
+    /// One resume leg from the checkpoint directory.
+    fn resume(&self, ck: &CheckpointConfig) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
+        let mut ex = self.executor();
+        let mut rv = self.revalidator();
+        Campaign::new(&self.seeds, &self.cfg)
+            .executor(&mut ex)
+            .revalidator(&mut rv)
+            .checkpoint(ck.clone())
+            .resume()
+    }
+
     /// Run to completion through a kill sequence: kill at each point in
     /// `kills` (ascending), resuming after each, then resume to the end.
     /// Returns the final result, the last leg's resume info, and whether
@@ -125,22 +146,9 @@ impl Lab {
             ck.kill_after_execs = Some(k);
             let leg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if started {
-                    resume_campaign(
-                        &mut self.executor(),
-                        Some(&mut self.revalidator()),
-                        &self.seeds,
-                        &self.cfg,
-                        &ck,
-                    )
+                    self.resume(&ck)
                 } else {
-                    run_campaign_checkpointed(
-                        &mut self.executor(),
-                        Some(&mut self.revalidator()),
-                        &self.seeds,
-                        &self.cfg,
-                        &ck,
-                    )
-                    .map(|o| (o, ResumeInfo::default()))
+                    self.run_checkpointed(&ck).map(|o| (o, ResumeInfo::default()))
                 }
             }));
             started = true;
@@ -156,15 +164,7 @@ impl Lab {
             }
         }
         ck.kill_after_execs = None;
-        let last = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            resume_campaign(
-                &mut self.executor(),
-                Some(&mut self.revalidator()),
-                &self.seeds,
-                &self.cfg,
-                &ck,
-            )
-        }));
+        let last = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.resume(&ck)));
         match last {
             Ok(Ok((outcome, i))) => (outcome.finished(), i, false),
             Ok(Err(e)) => {
@@ -215,12 +215,17 @@ fn main() {
     );
 
     // The ground truth: one uninterrupted, uncheckpointed campaign.
-    let reference = run_campaign_with(
-        &mut lab.executor(),
-        Some(&mut lab.revalidator()),
-        &lab.seeds,
-        &lab.cfg,
-    );
+    let reference = {
+        let mut ex = lab.executor();
+        let mut rv = lab.revalidator();
+        Campaign::new(&lab.seeds, &lab.cfg)
+            .executor(&mut ex)
+            .revalidator(&mut rv)
+            .run()
+            .expect("plain campaign config is always valid")
+            .finished()
+            .expect("no kill configured")
+    };
     let want = fingerprint(&reference);
     eprintln!(
         "  reference: execs={} edges={} crashes={} clock={}",
@@ -249,16 +254,11 @@ fn main() {
     {
         let mut ck = ck0.clone();
         ck.dir = lab.dir("overhead");
-        let out = run_campaign_checkpointed(
-            &mut lab.executor(),
-            Some(&mut lab.revalidator()),
-            &lab.seeds,
-            &lab.cfg,
-            &ck,
-        )
-        .expect("checkpointed run")
-        .finished()
-        .expect("no kill configured");
+        let out = lab
+            .run_checkpointed(&ck)
+            .expect("checkpointed run")
+            .finished()
+            .expect("no kill configured");
         record(Trial {
             scenario: "uninterrupted+checkpointing".into(),
             kills: vec![],
@@ -323,14 +323,7 @@ fn main() {
         let mut ck = ck0.clone();
         ck.dir = lab.dir(&format!("corrupt-{tag}"));
         ck.kill_after_execs = Some(k.max(1));
-        let _ = run_campaign_checkpointed(
-            &mut lab.executor(),
-            Some(&mut lab.revalidator()),
-            &lab.seeds,
-            &lab.cfg,
-            &ck,
-        )
-        .expect("checkpointed run");
+        let _ = lab.run_checkpointed(&ck).expect("checkpointed run");
         if let Some(path) = newest_snapshot(&ck.dir) {
             let bytes = std::fs::read(&path).expect("snapshot readable");
             let mutated = if damage == 0 {
@@ -344,15 +337,7 @@ fn main() {
             std::fs::write(&path, mutated).expect("snapshot writable");
         }
         ck.kill_after_execs = None;
-        let resumed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            resume_campaign(
-                &mut lab.executor(),
-                Some(&mut lab.revalidator()),
-                &lab.seeds,
-                &lab.cfg,
-                &ck,
-            )
-        }));
+        let resumed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lab.resume(&ck)));
         let (result, info, panicked) = match resumed {
             Ok(Ok((outcome, i))) => (outcome.finished(), i, false),
             Ok(Err(e)) => {

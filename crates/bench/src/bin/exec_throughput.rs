@@ -20,8 +20,9 @@
 //!
 //! Writes `results/BENCH_throughput.json`.
 
-use aflrs::{run_campaign, CampaignConfig, CampaignResult};
+use aflrs::{Campaign, CampaignConfig, CampaignResult};
 use bench::Mechanism;
+use closurex::executor::Executor;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -60,6 +61,16 @@ struct Report {
     aggregate: Aggregate,
 }
 
+/// One plain campaign through the builder.
+fn run(ex: &mut dyn Executor, seeds: &[Vec<u8>], cfg: &CampaignConfig) -> CampaignResult {
+    Campaign::new(seeds, cfg)
+        .executor(ex)
+        .run()
+        .expect("plain campaign config is always valid")
+        .finished()
+        .expect("no kill configured")
+}
+
 fn campaign_cfg(budget: u64) -> CampaignConfig {
     CampaignConfig {
         budget_cycles: budget,
@@ -86,28 +97,17 @@ fn timed_run(
     // frequency settle before either engine is on the clock.
     {
         let mut warm = mech.executor(target);
-        let _ = run_campaign(warm.as_mut(), &seeds, &cfg);
+        let _ = run(warm.as_mut(), &seeds, &cfg);
     }
     let mut ex = mech.executor(target);
     let start = Instant::now();
-    let r = run_campaign(ex.as_mut(), &seeds, &cfg);
+    let r = run(ex.as_mut(), &seeds, &cfg);
     let secs = start.elapsed().as_secs_f64();
     vmos::set_reference_engine(false);
     (r, secs)
 }
 
-/// Pull a bare number out of a flat JSON object by key — the deserializer
-/// side of serde is stubbed in this build, so the floor file is parsed by
-/// string search.
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
+use bench::json_number;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");

@@ -9,7 +9,7 @@
 //! each fired with the same per-roll probability. Writes
 //! `results/resilience_eval.json`.
 
-use aflrs::CampaignConfig;
+use aflrs::{Campaign, CampaignConfig, CampaignResult};
 use bench::{budget, Mechanism};
 use closurex::executor::Executor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
@@ -19,6 +19,16 @@ use vmos::FaultPlan;
 
 /// Per-roll fault probabilities swept (0.0 = control).
 const RATES: [f64; 4] = [0.0, 0.001, 0.005, 0.02];
+
+/// One plain (uncheckpointed, unkillable) campaign through the builder.
+fn run(ex: &mut dyn Executor, seeds: &[Vec<u8>], cfg: &CampaignConfig) -> CampaignResult {
+    Campaign::new(seeds, cfg)
+        .executor(ex)
+        .run()
+        .expect("plain campaign config is always valid")
+        .finished()
+        .expect("no kill configured")
+}
 
 #[derive(Serialize)]
 struct Row {
@@ -57,7 +67,8 @@ fn run_cell(target: &targets::TargetSpec, mech: Mechanism, rate: f64, budget: u6
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut ex = mech.executor(target);
         ex.inject_faults(FaultPlan::uniform(0xDEAD ^ rate.to_bits(), rate));
-        aflrs::run_campaign(ex.as_mut(), &(target.seeds)(), &cfg)
+        let seeds = (target.seeds)();
+        run(ex.as_mut(), &seeds, &cfg)
     }));
     match out {
         Ok(r) => Row {
@@ -71,16 +82,16 @@ fn run_cell(target: &targets::TargetSpec, mech: Mechanism, rate: f64, budget: u6
             clock_cycles: r.clock_cycles,
             crashes: r.crashes.len(),
             false_crashes: r.false_crashes(),
-            respawns: r.resilience.respawns,
-            divergences: r.resilience.divergences,
-            integrity_checks: r.resilience.integrity_checks,
-            quarantined: r.resilience.quarantined,
-            quarantine_dropped: r.resilience.quarantine_dropped,
+            respawns: r.resilience.executor.respawns,
+            divergences: r.resilience.executor.divergences,
+            integrity_checks: r.resilience.executor.integrity_checks,
+            quarantined: r.resilience.executor.quarantined,
+            quarantine_dropped: r.resilience.executor.quarantine_dropped,
             harness_faults: r.resilience.harness_faults,
             retries: r.resilience.retries,
             dropped_inputs: r.resilience.dropped_inputs,
             watchdog_trips: r.resilience.watchdog_trips,
-            degradation: r.resilience.degradation.clone(),
+            degradation: r.resilience.degradation().name().to_string(),
         },
         Err(_) => Row {
             target: target.name.to_string(),
@@ -151,7 +162,7 @@ fn run_leak_stress(budget: u64) -> Vec<Row> {
     ];
     for (label, ex) in &mut executors {
         ex.inject_faults(plan.clone());
-        let r = aflrs::run_campaign(ex.as_mut(), &seeds, &cfg);
+        let r = run(ex.as_mut(), &seeds, &cfg);
         let false_hits: u64 = r
             .crashes
             .iter()
@@ -163,9 +174,9 @@ fn run_leak_stress(budget: u64) -> Vec<Row> {
              divergences={} respawns={} degr={}",
             r.executor,
             r.execs,
-            r.resilience.divergences,
-            r.resilience.respawns,
-            r.resilience.degradation
+            r.resilience.executor.divergences,
+            r.resilience.executor.respawns,
+            r.resilience.degradation().name()
         );
         rows.push(Row {
             target: "quiet (fd-leak stress)".into(),
@@ -176,16 +187,16 @@ fn run_leak_stress(budget: u64) -> Vec<Row> {
             clock_cycles: r.clock_cycles,
             crashes: r.crashes.len(),
             false_crashes: r.false_crashes().max(false_hits as usize),
-            respawns: r.resilience.respawns,
-            divergences: r.resilience.divergences,
-            integrity_checks: r.resilience.integrity_checks,
-            quarantined: r.resilience.quarantined,
-            quarantine_dropped: r.resilience.quarantine_dropped,
+            respawns: r.resilience.executor.respawns,
+            divergences: r.resilience.executor.divergences,
+            integrity_checks: r.resilience.executor.integrity_checks,
+            quarantined: r.resilience.executor.quarantined,
+            quarantine_dropped: r.resilience.executor.quarantine_dropped,
             harness_faults: r.resilience.harness_faults,
             retries: r.resilience.retries,
             dropped_inputs: r.resilience.dropped_inputs,
             watchdog_trips: r.resilience.watchdog_trips,
-            degradation: r.resilience.degradation.clone(),
+            degradation: r.resilience.degradation().name().to_string(),
         });
     }
     rows

@@ -13,12 +13,13 @@
 //! significance lands — is what the harness reproduces.
 
 use aflrs::mwu::mann_whitney_u;
-use aflrs::{run_campaign, CampaignConfig, CampaignResult};
-use closurex::executor::Executor;
+use aflrs::{Campaign, CampaignConfig, CampaignResult};
+use closurex::executor::{Executor, ExecutorFactory};
 use closurex::forkserver::ForkServerExecutor;
 use closurex::fresh::FreshProcessExecutor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
 use closurex::naive::NaivePersistentExecutor;
+use closurex::resilience::HarnessError;
 use serde::Serialize;
 use targets::TargetSpec;
 
@@ -52,24 +53,56 @@ impl Mechanism {
         }
     }
 
+    /// Build an executor over an already-compiled module.
+    ///
+    /// # Errors
+    /// [`HarnessError::BootFailed`] when instrumentation fails (bundled
+    /// targets always pass).
+    pub fn build(self, module: &fir::Module) -> Result<Box<dyn Executor + Send>, HarnessError> {
+        let boot = |e: passes::PassError| HarnessError::BootFailed(e.to_string());
+        Ok(match self {
+            Mechanism::Fresh => Box::new(FreshProcessExecutor::new(module).map_err(boot)?),
+            Mechanism::ForkServer => Box::new(ForkServerExecutor::new(module).map_err(boot)?),
+            Mechanism::NaivePersistent => {
+                Box::new(NaivePersistentExecutor::new(module).map_err(boot)?)
+            }
+            Mechanism::ClosureX => {
+                Box::new(ClosureXExecutor::new(module, ClosureXConfig::default()).map_err(boot)?)
+            }
+        })
+    }
+
     /// Build the executor for a target.
     ///
     /// # Panics
     /// Panics if instrumentation fails (bundled targets always pass).
-    pub fn executor(self, target: &TargetSpec) -> Box<dyn Executor> {
-        let module = target.module();
-        match self {
-            Mechanism::Fresh => Box::new(FreshProcessExecutor::new(&module).expect("instrument")),
-            Mechanism::ForkServer => {
-                Box::new(ForkServerExecutor::new(&module).expect("instrument"))
-            }
-            Mechanism::NaivePersistent => {
-                Box::new(NaivePersistentExecutor::new(&module).expect("instrument"))
-            }
-            Mechanism::ClosureX => Box::new(
-                ClosureXExecutor::new(&module, ClosureXConfig::default()).expect("instrument"),
-            ),
+    pub fn executor(self, target: &TargetSpec) -> Box<dyn Executor + Send> {
+        self.build(&target.module()).expect("instrument")
+    }
+}
+
+/// An [`ExecutorFactory`] over a (mechanism, target) pair — what sharded
+/// campaigns hand to [`aflrs::Campaign::factory`] so every lane gets its
+/// own executor instance. Compiles the target once at construction; each
+/// [`ExecutorFactory::build`] instruments a fresh executor over it.
+pub struct MechanismFactory {
+    mechanism: Mechanism,
+    module: fir::Module,
+}
+
+impl MechanismFactory {
+    /// Compile `target` and wrap it for `mechanism`.
+    pub fn new(mechanism: Mechanism, target: &TargetSpec) -> Self {
+        MechanismFactory {
+            mechanism,
+            module: target.module(),
         }
+    }
+}
+
+impl ExecutorFactory for MechanismFactory {
+    fn build(&self) -> Result<Box<dyn Executor + Send>, HarnessError> {
+        self.mechanism.build(&self.module)
     }
 }
 
@@ -128,7 +161,13 @@ pub fn run_trial_catching(
 ) -> Option<CampaignResult> {
     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut ex = mechanism.executor(target);
-        run_campaign(ex.as_mut(), &(target.seeds)(), cfg)
+        let seeds = (target.seeds)();
+        Campaign::new(&seeds, cfg)
+            .executor(ex.as_mut())
+            .run()
+            .expect("plain campaign config is always valid")
+            .finished()
+            .expect("no kill configured")
     }));
     match res {
         Ok(r) => Some(r),
@@ -184,6 +223,19 @@ pub fn write_report<T: Serialize>(name: &str, value: &T) {
         let _ = std::fs::write(&path, json);
         eprintln!("(wrote {})", path.display());
     }
+}
+
+/// Pull a bare number out of a flat JSON object by key — the deserializer
+/// side of serde is stubbed in this build, so floor files are parsed by
+/// string search.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Render a markdown table.

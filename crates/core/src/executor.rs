@@ -105,6 +105,37 @@ pub trait Executor {
             "this execution mechanism cannot restore checkpointed state".into(),
         ))
     }
+
+    /// Fingerprint of the (instrumented) module this executor runs, as
+    /// produced by `Module::fingerprint`. Checkpoints embed it so resume
+    /// can validate the on-disk state against the target actually loaded.
+    /// Default: `None` — the mechanism does not pin a module identity.
+    fn module_fingerprint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Builds fresh, identically configured executor instances on demand — the
+/// contract a sharded campaign needs to give every worker lane its own
+/// executor for the same target. `Sync` because lanes are built from worker
+/// threads under `std::thread::scope`.
+pub trait ExecutorFactory: Sync {
+    /// Construct one executor instance.
+    ///
+    /// # Errors
+    /// [`HarnessError`] when the harness cannot be booted (e.g. the module
+    /// fails instrumentation).
+    fn build(&self) -> Result<Box<dyn Executor + Send>, HarnessError>;
+
+    /// Construct the crash revalidator paired with [`ExecutorFactory::build`]
+    /// (a fresh-process executor used to flaky-tag crashes), or `None` when
+    /// revalidation is not wanted. Default: `None`.
+    ///
+    /// # Errors
+    /// [`HarnessError`] when the revalidator cannot be booted.
+    fn build_revalidator(&self) -> Result<Option<Box<dyn Executor + Send>>, HarnessError> {
+        Ok(None)
+    }
 }
 
 #[cfg(test)]

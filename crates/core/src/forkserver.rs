@@ -29,6 +29,8 @@ pub struct ForkServerExecutor {
     /// One-time cost of bringing the forkserver up (binary load).
     setup_cycles: u64,
     harness_faults: u64,
+    /// Cached `Module::fingerprint` of the instrumented module.
+    fingerprint: u64,
 }
 
 impl ForkServerExecutor {
@@ -42,6 +44,7 @@ impl ForkServerExecutor {
         let mut os = Os::new();
         let (parent, setup_cycles) = os.spawn(&m);
         let image = DecodedImage::cached(&m);
+        let fingerprint = m.fingerprint();
         Ok(ForkServerExecutor {
             os,
             module: m,
@@ -51,6 +54,7 @@ impl ForkServerExecutor {
             fuel: DEFAULT_FUEL,
             setup_cycles,
             harness_faults: 0,
+            fingerprint,
         })
     }
 
@@ -129,6 +133,10 @@ impl Executor for ForkServerExecutor {
             harness_faults: self.harness_faults,
             ..ResilienceReport::default()
         }
+    }
+
+    fn module_fingerprint(&self) -> Option<u64> {
+        Some(self.fingerprint)
     }
 }
 

@@ -26,6 +26,9 @@ pub struct FreshProcessExecutor {
     cov: CovMap,
     fuel: u64,
     harness_faults: u64,
+    /// Cached `Module::fingerprint` of the instrumented module (the
+    /// computation walks the whole module, so it is done once at boot).
+    fingerprint: u64,
 }
 
 impl FreshProcessExecutor {
@@ -37,6 +40,7 @@ impl FreshProcessExecutor {
         let mut m = module.clone();
         baseline_pipeline().run(&mut m)?;
         let image = DecodedImage::cached(&m);
+        let fingerprint = m.fingerprint();
         Ok(FreshProcessExecutor {
             os: Os::new(),
             module: m,
@@ -44,6 +48,7 @@ impl FreshProcessExecutor {
             cov: CovMap::new(),
             fuel: DEFAULT_FUEL,
             harness_faults: 0,
+            fingerprint,
         })
     }
 
@@ -136,6 +141,10 @@ impl Executor for FreshProcessExecutor {
             .fault
             .restore_counters(state.fault_rolls, state.fault_injected);
         Ok(())
+    }
+
+    fn module_fingerprint(&self) -> Option<u64> {
+        Some(self.fingerprint)
     }
 }
 

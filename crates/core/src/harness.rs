@@ -145,6 +145,10 @@ pub struct ClosureXExecutor {
     harness_faults: u64,
     /// Current position on the degradation ladder.
     degradation: DegradationLevel,
+    /// Cached `Module::fingerprint` of the *transformed* module — the same
+    /// module the decoded-image cache is keyed by, so checkpoints written
+    /// against this executor validate against what actually runs.
+    fingerprint: u64,
 }
 
 impl ClosureXExecutor {
@@ -157,6 +161,7 @@ impl ClosureXExecutor {
         let mut m = module.clone();
         let pass_reports = closurex_pipeline().run(&mut m)?;
         let image = DecodedImage::cached(&m);
+        let fingerprint = m.fingerprint();
         let mut ex = ClosureXExecutor {
             os: Os::new(),
             module: m,
@@ -181,6 +186,7 @@ impl ClosureXExecutor {
             quarantine_dropped: 0,
             harness_faults: 0,
             degradation: DegradationLevel::Persistent,
+            fingerprint,
         };
         // The fault plane is still disabled at construction, so boot cannot
         // be refused here; if it ever is, the first run surfaces the fault.
@@ -733,6 +739,10 @@ impl Executor for ClosureXExecutor {
             self.proc = None;
         }
         Ok(())
+    }
+
+    fn module_fingerprint(&self) -> Option<u64> {
+        Some(self.fingerprint)
     }
 }
 

@@ -56,7 +56,7 @@ pub mod resilience;
 mod proptests;
 
 pub use checkpoint::ExecutorState;
-pub use executor::{ExecOutcome, ExecStatus, Executor};
+pub use executor::{ExecOutcome, ExecStatus, Executor, ExecutorFactory};
 pub use harness::{ClosureXConfig, ClosureXExecutor, RestoreStats, RestoreStrategy};
 pub use resilience::{
     DegradationLevel, HarnessError, IntegrityPolicy, ResilienceReport, RestoreDivergence,

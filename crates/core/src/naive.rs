@@ -36,6 +36,8 @@ pub struct NaivePersistentExecutor {
     fuel: u64,
     respawns: u64,
     harness_faults: u64,
+    /// Cached `Module::fingerprint` of the instrumented module.
+    fingerprint: u64,
 }
 
 impl NaivePersistentExecutor {
@@ -47,6 +49,7 @@ impl NaivePersistentExecutor {
         let mut m = module.clone();
         baseline_pipeline().run(&mut m)?;
         let image = DecodedImage::cached(&m);
+        let fingerprint = m.fingerprint();
         Ok(NaivePersistentExecutor {
             os: Os::new(),
             module: m,
@@ -57,6 +60,7 @@ impl NaivePersistentExecutor {
             fuel: DEFAULT_FUEL,
             respawns: 0,
             harness_faults: 0,
+            fingerprint,
         })
     }
 
@@ -166,6 +170,10 @@ impl Executor for NaivePersistentExecutor {
             harness_faults: self.harness_faults,
             ..ResilienceReport::default()
         }
+    }
+
+    fn module_fingerprint(&self) -> Option<u64> {
+        Some(self.fingerprint)
     }
 }
 

@@ -19,6 +19,8 @@
 //!   divergences (correctness preserved at forkserver speed);
 //! * [`ResilienceReport`] — the counters campaigns aggregate.
 
+use serde::{Deserialize, Serialize};
+
 /// A failure of the harness machinery itself — not the target. These used
 /// to be `expect()` panics; they now propagate as data so a fuzzing
 /// campaign can retry, degrade, or report instead of dying.
@@ -119,7 +121,7 @@ impl std::fmt::Display for RestoreDivergence {
 }
 
 /// Where on the continuum the executor currently operates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum DegradationLevel {
     /// Full ClosureX persistent mode (fine-grain restoration).
     #[default]
@@ -182,7 +184,7 @@ impl IntegrityPolicy {
 }
 
 /// Resilience counters an executor accumulates over its lifetime.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ResilienceReport {
     /// Times the process was re-created after a crash/hang/divergence.
     pub respawns: u64,

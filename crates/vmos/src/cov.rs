@@ -308,6 +308,55 @@ impl VirginMap {
         }
         *slot = value;
     }
+
+    /// OR `value` into one bucket byte, keeping the edge count consistent.
+    /// Unlike [`VirginMap::set_byte`] this can only grow coverage, which is
+    /// what a shard merge needs: OR-ing never discards bucket bits another
+    /// lane already contributed.
+    pub fn or_byte(&mut self, index: usize, value: u8) {
+        let slot = &mut self.virgin[index];
+        if *slot == 0 && value != 0 {
+            self.edges_found += 1;
+        }
+        *slot |= value;
+    }
+
+    /// OR another whole virgin map into `self`, recording `(index, merged
+    /// byte)` for every byte that changed. Returns `true` if anything
+    /// changed. Because bytewise OR is commutative and associative, the
+    /// final map is independent of the order lanes are unioned in — the
+    /// property the sharded campaign merge relies on.
+    ///
+    /// Scans in 64-bit words and skips words with no new bits, so unioning
+    /// a lane that found nothing new is O(MAP_SIZE / 8) word loads.
+    pub fn union_tracked(&mut self, other: &VirginMap, changed: &mut Vec<(usize, u8)>) -> bool {
+        let mut new = false;
+        for (wi, chunk) in other.virgin.chunks_exact(8).enumerate() {
+            let theirs = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            if theirs == 0 {
+                continue;
+            }
+            let base = wi * 8;
+            let ours =
+                u64::from_le_bytes(self.virgin[base..base + 8].try_into().expect("chunk of 8"));
+            if theirs & !ours == 0 {
+                continue;
+            }
+            for (k, &b) in chunk.iter().enumerate() {
+                let i = base + k;
+                let v = &mut self.virgin[i];
+                if b & !*v != 0 {
+                    if *v == 0 {
+                        self.edges_found += 1;
+                    }
+                    *v |= b;
+                    new = true;
+                    changed.push((i, *v));
+                }
+            }
+        }
+        new
+    }
 }
 
 /// The per-process coverage update state (AFL's `prev_loc`).
@@ -499,6 +548,66 @@ mod tests {
             fast_changed, slow_changed,
             "journal delta order must match the reference scan"
         );
+    }
+
+    #[test]
+    fn union_is_commutative_and_tracks_changes() {
+        let mut runs = [CovMap::new(), CovMap::new(), CovMap::new()];
+        for &e in &[5u16, 9000, 5, 77] {
+            runs[0].hit(e);
+        }
+        for &e in &[5u16, 42, 60000] {
+            runs[1].hit(e);
+        }
+        for _ in 0..40 {
+            runs[2].hit(5); // same edge, bigger bucket than lane 0/1
+        }
+        let lanes: Vec<VirginMap> = runs
+            .iter()
+            .map(|r| {
+                let mut v = VirginMap::new();
+                v.merge(r);
+                v
+            })
+            .collect();
+
+        // Union in two different orders: identical result.
+        let mut fwd = VirginMap::new();
+        let mut rev = VirginMap::new();
+        let mut fwd_changed = Vec::new();
+        for l in &lanes {
+            fwd.union_tracked(l, &mut fwd_changed);
+        }
+        for l in lanes.iter().rev() {
+            rev.union_tracked(l, &mut Vec::new());
+        }
+        assert_eq!(fwd, rev, "union must be lane-order-invariant");
+
+        // Replaying the changes through or_byte reproduces the union.
+        let mut replay = VirginMap::new();
+        for &(i, v) in &fwd_changed {
+            replay.or_byte(i, v);
+        }
+        assert_eq!(replay, fwd);
+
+        // Re-unioning an already-covered lane changes nothing.
+        let mut changed = Vec::new();
+        assert!(!fwd.union_tracked(&lanes[0], &mut changed));
+        assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn or_byte_never_loses_bits() {
+        let mut v = VirginMap::new();
+        v.or_byte(3, 0b0000_0100);
+        assert_eq!(v.edges_found(), 1);
+        v.or_byte(3, 0b0010_0000);
+        assert_eq!(v.as_bytes()[3], 0b0010_0100);
+        assert_eq!(v.edges_found(), 1, "same edge, more buckets");
+        v.or_byte(3, 0);
+        assert_eq!(v.as_bytes()[3], 0b0010_0100, "OR with zero is a no-op");
+        v.or_byte(9, 0);
+        assert_eq!(v.edges_found(), 1, "zero value does not count an edge");
     }
 
     #[test]

@@ -203,6 +203,41 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Encode a list of virgin-map byte patches `(index, merged byte)` — the
+/// coverage half of a shard merge record and of a journal delta. Each patch
+/// is a `u32` map index plus the byte value; the count is a `u64` prefix.
+pub fn put_byte_patches(w: &mut Writer, patches: &[(usize, u8)]) {
+    w.put_usize(patches.len());
+    for &(i, v) in patches {
+        w.put_u32(i as u32);
+        w.put_u8(v);
+    }
+}
+
+/// Decode a patch list written by [`put_byte_patches`], validating every
+/// index against [`MAP_SIZE`] so a corrupt record cannot index out of the
+/// map.
+///
+/// # Errors
+/// [`WireError`] on truncation or an out-of-range index.
+pub fn get_byte_patches(r: &mut Reader<'_>) -> Result<Vec<(usize, u8)>, WireError> {
+    let n = r.get_count()?;
+    // Each patch is 5 bytes; bound the count by the bytes that remain so a
+    // corrupt prefix cannot trigger a huge allocation.
+    if n > r.remaining() / 5 {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = r.get_u32()? as usize;
+        if i >= MAP_SIZE {
+            return Err(WireError::Malformed("patch index out of map"));
+        }
+        out.push((i, r.get_u8()?));
+    }
+    Ok(out)
+}
+
 impl CrashKind {
     /// Stable wire tag (checkpoint format v1; append-only).
     pub fn wire_tag(self) -> u8 {
@@ -403,6 +438,40 @@ mod tests {
         w.put_bytes(&[1, 2, 3]);
         let bytes = w.into_bytes();
         assert!(VirginMap::decode(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn byte_patches_round_trip_and_reject_corruption() {
+        let patches = vec![(0usize, 1u8), (65535, 0x80), (300, 0x24)];
+        let mut w = Writer::new();
+        put_byte_patches(&mut w, &patches);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_byte_patches(&mut r).unwrap(), patches);
+        assert!(r.is_empty());
+
+        // Truncation anywhere is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(get_byte_patches(&mut Reader::new(&bytes[..cut])).is_err());
+        }
+        // Out-of-map index is malformed.
+        let mut w = Writer::new();
+        w.put_usize(1);
+        w.put_u32(MAP_SIZE as u32);
+        w.put_u8(1);
+        let bad = w.into_bytes();
+        assert_eq!(
+            get_byte_patches(&mut Reader::new(&bad)).unwrap_err(),
+            WireError::Malformed("patch index out of map")
+        );
+        // A count claiming more patches than bytes remain cannot allocate.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 8);
+        let bomb = w.into_bytes();
+        assert_eq!(
+            get_byte_patches(&mut Reader::new(&bomb)).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

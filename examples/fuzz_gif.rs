@@ -4,9 +4,19 @@
 //!
 //! Run with: `cargo run --release --example fuzz_gif`
 
-use aflrs::{run_campaign, CampaignConfig};
+use aflrs::{Campaign, CampaignConfig, CampaignResult};
+use closurex::executor::Executor;
 use closurex::forkserver::ForkServerExecutor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
+
+fn run_campaign(ex: &mut dyn Executor, seeds: &[Vec<u8>], cfg: &CampaignConfig) -> CampaignResult {
+    Campaign::new(seeds, cfg)
+        .executor(ex)
+        .run()
+        .expect("campaign runs")
+        .finished()
+        .expect("no kill configured")
+}
 
 fn main() {
     let target = targets::by_name("giftext").expect("registered");

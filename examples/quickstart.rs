@@ -58,7 +58,13 @@ fn main() {
         stop_after_crashes: 1,
         ..aflrs::CampaignConfig::default()
     };
-    let result = aflrs::run_campaign(&mut ex, &[b"aaa".to_vec()], &cfg);
+    let seeds = vec![b"aaa".to_vec()];
+    let result = aflrs::Campaign::new(&seeds, &cfg)
+        .executor(&mut ex)
+        .run()
+        .expect("campaign runs")
+        .finished()
+        .expect("no kill configured");
     println!(
         "\ncampaign: {} execs, {} edges, {} crash site(s)",
         result.execs,

@@ -1,12 +1,22 @@
 //! Workspace integration tests: the full stack — MinC → passes → VM →
 //! executors → fuzzer — exercised across crate boundaries.
 
-use aflrs::{run_campaign, CampaignConfig};
+use aflrs::{Campaign, CampaignConfig, CampaignResult};
 use closurex::correctness::check_queue;
 use closurex::executor::{ExecStatus, Executor};
 use closurex::forkserver::ForkServerExecutor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
 use closurex::naive::NaivePersistentExecutor;
+
+/// One plain campaign through the unified builder.
+fn run_campaign(ex: &mut dyn Executor, seeds: &[Vec<u8>], cfg: &CampaignConfig) -> CampaignResult {
+    Campaign::new(seeds, cfg)
+        .executor(ex)
+        .run()
+        .expect("plain campaign config is always valid")
+        .finished()
+        .expect("no kill configured")
+}
 
 /// The paper's core claim, end to end: on the same stateful target, naive
 /// persistent mode diverges from fresh semantics, ClosureX does not, and

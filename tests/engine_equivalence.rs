@@ -14,10 +14,9 @@
 //! and must make this test trivially pass (both sides then run the
 //! reference engine).
 
-use aflrs::checkpoint::{
-    resume_campaign, run_campaign_checkpointed, CampaignOutcome, CheckpointConfig,
+use aflrs::{
+    Campaign, CampaignConfig, CampaignOutcome, CampaignResult, CheckpointConfig,
 };
-use aflrs::{run_campaign, CampaignConfig, CampaignResult};
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
 use vmos::ReferenceEngineGuard;
 
@@ -37,7 +36,13 @@ fn campaign(target: &targets::TargetSpec, reference: bool) -> CampaignResult {
     let _guard = reference.then(ReferenceEngineGuard::new);
     let m = target.module();
     let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
-    run_campaign(&mut ex, &(target.seeds)(), &cfg())
+    let seeds = (target.seeds)();
+    Campaign::new(&seeds, &cfg())
+        .executor(&mut ex)
+        .run()
+        .expect("plain campaign config is always valid")
+        .finished()
+        .expect("no kill configured")
 }
 
 fn assert_observables_equal(a: &CampaignResult, b: &CampaignResult, what: &str) {
@@ -119,7 +124,11 @@ fn checkpoint_bytes_are_identical_across_engines() {
             keep_snapshots: 1000, // keep everything: compare the full history
             ..CheckpointConfig::new(&dir)
         };
-        let out = run_campaign_checkpointed(&mut ex, None, &(t.seeds)(), &cfg(), &ck)
+        let seeds = (t.seeds)();
+        let out = Campaign::new(&seeds, &cfg())
+            .executor(&mut ex)
+            .checkpoint(ck)
+            .run()
             .expect("checkpointed campaign");
         assert!(matches!(out, CampaignOutcome::Finished(_)));
         dirs.push(dir);
@@ -158,7 +167,11 @@ fn kill_and_resume_on_decoded_engine_matches_uninterrupted_reference() {
     };
     ck.kill_after_execs = Some(97);
     let mut ex = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
-    let out = run_campaign_checkpointed(&mut ex, None, &seeds, &cfg(), &ck).expect("first leg");
+    let out = Campaign::new(&seeds, &cfg())
+        .executor(&mut ex)
+        .checkpoint(ck.clone())
+        .run()
+        .expect("first leg");
     let CampaignOutcome::Killed { execs } = out else {
         panic!("kill_after_execs must fire before the budget runs out");
     };
@@ -166,7 +179,11 @@ fn kill_and_resume_on_decoded_engine_matches_uninterrupted_reference() {
 
     ck.kill_after_execs = None;
     let mut ex2 = ClosureXExecutor::new(&m, ClosureXConfig::default()).expect("instrument");
-    let (out2, _info) = resume_campaign(&mut ex2, None, &seeds, &cfg(), &ck).expect("resume");
+    let (out2, _info) = Campaign::new(&seeds, &cfg())
+        .executor(&mut ex2)
+        .checkpoint(ck)
+        .resume()
+        .expect("resume");
     let CampaignOutcome::Finished(resumed) = out2 else {
         panic!("resumed campaign must finish");
     };
