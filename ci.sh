@@ -16,3 +16,9 @@ cargo run --release -p bench --bin exec_throughput -- --smoke
 # host-normalized scaling efficiency must stay within 40% of the blessed
 # floor in results/BENCH_shard_floor.json.
 cargo run --release -p bench --bin shard_eval -- --smoke
+# Lane-supervision gate: an injected worker panic / lane hang / barrier
+# timeout at any (lane, epoch) must be contained and recovered
+# bit-identically to the unfaulted run, repeated failures must degrade to
+# a retired lane (not an abort), and mean recovery overhead must stay
+# within 2x of the blessed floor in results/BENCH_supervision_floor.json.
+cargo run --release -p bench --bin supervision_eval -- --smoke

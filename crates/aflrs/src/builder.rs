@@ -37,6 +37,7 @@ use crate::checkpoint::{
 use crate::shard::{
     resume_sharded, run_sharded, ShardPlan, DEFAULT_LANES, DEFAULT_SYNC_EPOCHS,
 };
+use crate::supervise::SupervisorConfig;
 
 /// Why a campaign could not run.
 #[derive(Debug)]
@@ -47,6 +48,15 @@ pub enum CampaignError {
     Checkpoint(CheckpointError),
     /// The executor factory failed to build a lane executor.
     Build(HarnessError),
+    /// A worker thread died outside supervised lane execution — the one
+    /// failure the lane supervisor cannot contain or replay.
+    WorkerLost(&'static str),
+    /// Every lane exhausted its retry budget and was retired; there is no
+    /// live lane left to fold the remaining cycle budget into.
+    AllLanesLost {
+        /// The epoch at which the last live lane was retired.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -55,6 +65,11 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Config(msg) => write!(f, "campaign misconfigured: {msg}"),
             CampaignError::Checkpoint(e) => write!(f, "{e}"),
             CampaignError::Build(e) => write!(f, "executor factory failed: {e}"),
+            CampaignError::WorkerLost(msg) => write!(f, "worker pool failed: {msg}"),
+            CampaignError::AllLanesLost { epoch } => write!(
+                f,
+                "every lane degraded out by epoch {epoch}: no live lane remains"
+            ),
         }
     }
 }
@@ -85,6 +100,8 @@ pub struct Campaign<'a> {
     shards: usize,
     lanes: usize,
     sync_epochs: u64,
+    supervision: SupervisorConfig,
+    supervision_set: bool,
 }
 
 impl<'a> Campaign<'a> {
@@ -100,6 +117,8 @@ impl<'a> Campaign<'a> {
             shards: 1,
             lanes: DEFAULT_LANES,
             sync_epochs: DEFAULT_SYNC_EPOCHS,
+            supervision: SupervisorConfig::default(),
+            supervision_set: false,
         }
     }
 
@@ -153,6 +172,16 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Configure lane supervision (sharded mode only): retry budget, hang
+    /// deadline, and the orchestration fault-injection plan. Supervision
+    /// is always armed in sharded campaigns with benign defaults, so this
+    /// only needs calling to tune it — or to inject faults.
+    pub fn supervision(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervision = cfg;
+        self.supervision_set = true;
+        self
+    }
+
     fn plan(&self) -> ShardPlan {
         ShardPlan {
             lanes: self.lanes,
@@ -172,17 +201,24 @@ impl<'a> Campaign<'a> {
             factory,
             checkpoint,
             shards,
+            supervision,
+            supervision_set,
             ..
         } = self;
         match (factory, executor) {
             (Some(_), Some(_)) => Err(CampaignError::Config(
                 "provide an executor or a factory, not both",
             )),
-            (Some(f), None) => run_sharded(f, seeds, &cfg, &plan, checkpoint.as_ref()),
+            (Some(f), None) => run_sharded(f, seeds, &cfg, &plan, checkpoint.as_ref(), &supervision),
             (None, Some(ex)) => {
                 if shards > 1 {
                     return Err(CampaignError::Config(
                         "sharded campaigns build one executor per lane: use Campaign::factory",
+                    ));
+                }
+                if supervision_set {
+                    return Err(CampaignError::Config(
+                        "lane supervision applies to sharded campaigns: use Campaign::factory",
                     ));
                 }
                 match &checkpoint {
@@ -215,6 +251,8 @@ impl<'a> Campaign<'a> {
             factory,
             checkpoint,
             shards,
+            supervision,
+            supervision_set,
             ..
         } = self;
         let Some(ck) = checkpoint else {
@@ -226,11 +264,16 @@ impl<'a> Campaign<'a> {
             (Some(_), Some(_)) => Err(CampaignError::Config(
                 "provide an executor or a factory, not both",
             )),
-            (Some(f), None) => resume_sharded(f, seeds, &cfg, &plan, &ck),
+            (Some(f), None) => resume_sharded(f, seeds, &cfg, &plan, &ck, &supervision),
             (None, Some(ex)) => {
                 if shards > 1 {
                     return Err(CampaignError::Config(
                         "sharded campaigns build one executor per lane: use Campaign::factory",
+                    ));
+                }
+                if supervision_set {
+                    return Err(CampaignError::Config(
+                        "lane supervision applies to sharded campaigns: use Campaign::factory",
                     ));
                 }
                 resume_impl(ex, revalidator, seeds, &cfg, &ck).map_err(CampaignError::Checkpoint)

@@ -422,7 +422,17 @@ impl<'e> Driver<'e> {
                         self.stage = Stage::Pick;
                         continue;
                     }
-                    let m = self.det_cache.as_ref().expect("cache set above").1[mutant].clone();
+                    // Bounce, don't abort, if the cache slot is somehow
+                    // gone — the campaign control path must never panic.
+                    let Some(m) = self
+                        .det_cache
+                        .as_ref()
+                        .and_then(|(_, ms)| ms.get(mutant))
+                        .cloned()
+                    else {
+                        self.stage = Stage::Pick;
+                        continue;
+                    };
                     self.stage = Stage::Det {
                         entry,
                         mutant: mutant + 1,
@@ -484,6 +494,7 @@ impl<'e> Driver<'e> {
                 retries: self.retries,
                 dropped_inputs: self.dropped_inputs,
                 watchdog_trips: self.watchdog_trips,
+                supervision: Default::default(),
             },
         }
     }

@@ -156,6 +156,12 @@ pub struct ResumeInfo {
     pub corrupt_snapshots_skipped: u64,
     /// Whether a torn (checksum-failing) journal tail was dropped.
     pub torn_tail: bool,
+    /// Whether the process-wide decoded-image cache already held the
+    /// target's lowered image when the resume validated it (`false` also
+    /// when the mechanism does not use the decoded engine). Resume warms
+    /// the cache either way, so the replayed campaign never pays a lazy
+    /// mid-run lowering the original did not.
+    pub decoded_image_ready: bool,
 }
 
 /// Checkpointing failure.
@@ -745,19 +751,39 @@ fn write_snapshot(dir: &Path, d: &Driver<'_>, fsync: FsyncPolicy) -> std::io::Re
     write_sealed(&snapshot_path(dir, d.execs), &bytes, fsync)
 }
 
+/// Little-endian `u32` at `at`, as a wire error instead of a panicking
+/// `expect` — header parsing sits on the campaign control path, where a
+/// malformed file must surface as a typed error, never an abort.
+fn le_u32(bytes: &[u8], at: usize) -> Result<u32, WireError> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or(WireError::Truncated)
+}
+
+/// Little-endian `u64` at `at` (see [`le_u32`]).
+fn le_u64(bytes: &[u8], at: usize) -> Result<u64, WireError> {
+    bytes
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or(WireError::Truncated)
+}
+
 /// Validate a sealed snapshot's header + checksum, returning the embedded
 /// target fingerprint and the payload slice.
 pub(crate) fn open_sealed(bytes: &[u8]) -> Result<(u64, &[u8]), WireError> {
     if bytes.len() < SNAPSHOT_HEADER_LEN || &bytes[0..4] != SNAPSHOT_MAGIC {
         return Err(WireError::Malformed("snapshot magic"));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let version = le_u32(bytes, 4)?;
     if version != FORMAT_VERSION {
         return Err(WireError::Malformed("snapshot version"));
     }
-    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-    let len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let fingerprint = le_u64(bytes, 8)?;
+    let checksum = le_u64(bytes, 16)?;
+    let len = le_u64(bytes, 24)?;
     let payload = &bytes[SNAPSHOT_HEADER_LEN..];
     if len != payload.len() as u64 {
         return Err(WireError::Truncated);
@@ -794,9 +820,34 @@ pub(crate) fn check_target(
     Ok(())
 }
 
+/// Remove orphaned `*.tmp` files a crashed [`write_sealed`] left behind —
+/// the process died between `File::create` and the rename, so the file is
+/// garbage by construction (a completed write always renames). Swept on
+/// campaign start, resume, and every rotation, so failed atomic writes can
+/// never accumulate in the checkpoint directory. Only snapshot-shaped
+/// names are touched; anything else in the directory is not ours to
+/// delete.
+pub(crate) fn sweep_orphan_tmp(dir: &Path) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp")
+            && (name.starts_with("ckpt-") || name.starts_with("shard-ckpt-"))
+        {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
 /// Delete snapshots beyond the newest `keep`, and journals that start
 /// before the oldest kept snapshot (nothing can resume from them anymore).
 fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
+    sweep_orphan_tmp(dir)?;
     let snaps = list_numbered(dir, "ckpt-")?;
     let keep = keep.max(1);
     if snaps.len() <= keep {
@@ -873,8 +924,8 @@ pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<Delta
     let bytes = fs::read(path).ok()?;
     if bytes.len() < JOURNAL_HEADER_LEN as usize
         || &bytes[0..4] != JOURNAL_MAGIC
-        || u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) != FORMAT_VERSION
-        || u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) != expected_base
+        || le_u32(&bytes, 4).ok()? != FORMAT_VERSION
+        || le_u64(&bytes, 8).ok()? != expected_base
     {
         return None;
     }
@@ -886,8 +937,11 @@ pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<Delta
             torn = true;
             break;
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let (Ok(len), Ok(checksum)) = (le_u32(&bytes, pos), le_u64(&bytes, pos + 4)) else {
+            torn = true;
+            break;
+        };
+        let len = len as usize;
         let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
             torn = true;
             break;
@@ -951,6 +1005,7 @@ pub(crate) fn run_checkpointed_impl<'e>(
     ck: &CheckpointConfig,
 ) -> Result<CampaignOutcome, CheckpointError> {
     fs::create_dir_all(&ck.dir)?;
+    sweep_orphan_tmp(&ck.dir)?;
     let d = Driver::new(executor, revalidator, seeds, cfg, true);
     write_snapshot(&ck.dir, &d, ck.fsync)?;
     let journal = Journal::create(&ck.dir, 0, ck.fsync)?;
@@ -1008,6 +1063,7 @@ pub(crate) fn resume_impl<'e>(
     ck: &CheckpointConfig,
 ) -> Result<(CampaignOutcome, ResumeInfo), CheckpointError> {
     let mut info = ResumeInfo::default();
+    sweep_orphan_tmp(&ck.dir)?;
     let snaps = list_numbered(&ck.dir, "ckpt-")?;
     let mut chosen = None;
     for (execs, path) in snaps.iter().rev() {
@@ -1026,6 +1082,9 @@ pub(crate) fn resume_impl<'e>(
     // snapshots in a directory share the module, so a mismatch is a
     // caller error (wrong target), not corruption to fall back from.
     check_target(snapshot_fp, &*executor)?;
+    // Warm the decoded-image cache up front: the replayed campaign should
+    // never pay a lazy mid-run lowering the original did not.
+    info.decoded_image_ready = executor.warm_decoded_image().unwrap_or(false);
     info.snapshot_execs = snapshot_execs;
 
     let mut d = Driver::new(executor, revalidator, seeds, cfg, true);
@@ -1153,6 +1212,59 @@ mod tests {
             .checkpoint(ck.clone())
             .resume()
             .unwrap()
+    }
+
+    #[test]
+    fn orphan_tmp_files_swept_on_next_attempt() {
+        let dir = tmpdir("tmp-sweep");
+        fs::create_dir_all(&dir).unwrap();
+        // A crashed write_sealed leaves these behind; a foreign .tmp file
+        // is not ours to delete.
+        fs::write(dir.join("ckpt-000000000050.tmp"), b"torn").unwrap();
+        fs::write(dir.join("shard-ckpt-000002.tmp"), b"torn").unwrap();
+        fs::write(dir.join("unrelated.tmp"), b"keep").unwrap();
+        sweep_orphan_tmp(&dir).unwrap();
+        assert!(!dir.join("ckpt-000000000050.tmp").exists());
+        assert!(!dir.join("shard-ckpt-000002.tmp").exists());
+        assert!(dir.join("unrelated.tmp").exists());
+
+        // And the campaign entry points sweep implicitly: start a fresh
+        // checkpointed run in a directory holding another orphan.
+        fs::write(dir.join("ckpt-000000000099.tmp"), b"torn").unwrap();
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let ck = CheckpointConfig::new(&dir);
+        run_checkpointed(&m, &seeds, &ck);
+        assert!(
+            !dir.join("ckpt-000000000099.tmp").exists(),
+            "campaign start sweeps orphaned tmp files"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reports_decoded_image_cache_state() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let dir = tmpdir("decoded-warm");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 40;
+        ck.kill_after_execs = Some(60);
+        run_checkpointed(&m, &seeds, &ck);
+        ck.kill_after_execs = None;
+        let (_, info) = resume(&m, &seeds, &ck);
+        // Whether or not the cache was already warm (`decoded_image_ready`
+        // depends on test ordering in this process), after resume it must
+        // hold the module's lowered image.
+        let fp = executor(&m)
+            .module_fingerprint()
+            .expect("closurex pins a module identity");
+        assert!(
+            vmos::DecodedImage::cache_contains(fp),
+            "resume warmed the decoded-image cache (ready={})",
+            info.decoded_image_ready
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

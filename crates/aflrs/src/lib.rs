@@ -24,6 +24,7 @@ pub mod mwu;
 pub mod queue;
 pub mod shard;
 pub mod stats;
+pub mod supervise;
 
 #[cfg(test)]
 mod proptests;
@@ -39,6 +40,7 @@ pub use checkpoint::{
 pub use checkpoint::{resume_campaign, run_campaign_checkpointed};
 pub use shard::{DEFAULT_LANES, DEFAULT_SYNC_EPOCHS};
 pub use stats::{CampaignResult, CrashRecord, ResilienceCounters};
+pub use supervise::{LaneDegradation, LaneFault, SupervisionCounters, SupervisorConfig};
 
 /// Simulated cycles per simulated second (used to convert campaign clocks
 /// into the paper's seconds / 24-hour framing).

@@ -8,7 +8,7 @@ use closurex::executor::{Executor, ExecutorFactory};
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
 use closurex::resilience::{DegradationLevel, HarnessError};
 use vmos::cov::{VirginMap, MAP_SIZE};
-use vmos::{Crash, CrashKind};
+use vmos::{Crash, CrashKind, OrchFaultKind, OrchFaultPlan};
 
 use crate::builder::Campaign;
 use crate::campaign::{CampaignConfig, Stage};
@@ -17,6 +17,7 @@ use crate::checkpoint::{
 };
 use crate::queue::QueueEntry;
 use crate::stats::{CampaignResult, CrashRecord};
+use crate::supervise::SupervisorConfig;
 
 fn arb_stage() -> impl Strategy<Value = Stage> {
     prop_oneof![
@@ -398,6 +399,70 @@ proptest! {
         prop_assert_eq!(
             serde_json::to_string(&serial).unwrap(),
             serde_json::to_string(&parallel).unwrap()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Supervised recovery is exact: injecting a lane fault — a worker
+    /// panic or a lane hang, at *any* `(lane, epoch)` position, failing up
+    /// to `fires` consecutive attempts — yields a campaign result
+    /// bit-identical to the unfaulted run outside the supervision report,
+    /// and the report shows the faults were actually contained.
+    #[test]
+    fn supervised_recovery_is_exact(
+        seed in 1u64..5,
+        lane in 0u64..3,
+        epoch in 0u64..3,
+        panic_kind in any::<bool>(),
+        fires in 1u32..=2,
+    ) {
+        let module = minic::compile("t", RESUME_TARGET).expect("compiles");
+        let factory = CxFactory { module: &module };
+        let cfg = CampaignConfig {
+            budget_cycles: 2_000_000,
+            seed,
+            ..CampaignConfig::default()
+        };
+        let seeds = vec![b"go".to_vec(), b"CX!".to_vec()];
+        let run = |sup: Option<SupervisorConfig>| -> CampaignResult {
+            let mut c = Campaign::new(&seeds, &cfg)
+                .factory(&factory)
+                .lanes(3)
+                .sync_epochs(3)
+                .shards(2);
+            if let Some(s) = sup {
+                c = c.supervision(s);
+            }
+            c.run()
+                .expect("sharded run")
+                .finished()
+                .expect("no kill configured")
+        };
+        let clean = run(None);
+
+        let kind = if panic_kind {
+            OrchFaultKind::WorkerPanic
+        } else {
+            OrchFaultKind::LaneHang
+        };
+        let mut faults = OrchFaultPlan::at(lane, epoch, kind);
+        faults.targeted[0].fires = fires; // fires <= max_lane_retries: recovery converges
+        let faulted = run(Some(SupervisorConfig {
+            faults,
+            ..SupervisorConfig::default()
+        }));
+
+        prop_assert!(
+            faulted.resilience.supervision.faults_contained() >= u64::from(fires),
+            "injected faults were contained and counted"
+        );
+        prop_assert!(faulted.resilience.supervision.recovered >= 1);
+        prop_assert_eq!(
+            serde_json::to_string(&clean.sans_supervision()).unwrap(),
+            serde_json::to_string(&faulted.sans_supervision()).unwrap()
         );
     }
 }

@@ -64,15 +64,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use closurex::executor::{Executor, ExecutorFactory};
 use vmos::cov::VirginMap;
 use vmos::wire::fnv1a;
-use vmos::{Reader, WireError, Writer};
+use vmos::{OrchFaultKind, OrchFaultPlan, Reader, WireError, Writer};
 
 use crate::builder::CampaignError;
 use crate::campaign::{CampaignConfig, Driver, Stage, StepOutcome};
 use crate::checkpoint::{
-    check_target, open_sealed, read_journal, seal_snapshot, write_sealed, CampaignOutcome,
-    CheckpointConfig, CheckpointError, DeltaRecord, Journal, ResumeInfo, Scalars, SnapshotState,
+    check_target, open_sealed, read_journal, seal_snapshot, sweep_orphan_tmp, write_sealed,
+    CampaignOutcome, CheckpointConfig, CheckpointError, DeltaRecord, Journal, ResumeInfo, Scalars,
+    SnapshotState,
 };
 use crate::queue::QueueEntry;
+use crate::supervise::{
+    self, LaneDegradation, LaneFault, Supervisor, SupervisorConfig, INJECTED_PANIC_MARKER,
+};
 use crate::stats::{CampaignResult, CrashRecord, ResilienceCounters};
 
 /// Default lane count: the campaign decomposes into this many independent
@@ -186,46 +190,120 @@ impl KillSwitch {
     }
 }
 
+/// Supervision context for one lane-epoch attempt: which lane this is,
+/// which retry attempt, and how the supervisor watches it.
+struct LaneAttempt<'p> {
+    lane: u64,
+    attempt: u32,
+    faults: &'p OrchFaultPlan,
+    hang_deadline: u64,
+}
+
 /// Run one lane from its carried state to the epoch's clock limit,
 /// journaling each execution when checkpointing is on.
+///
+/// Supervised: the orchestration fault plan may decide this attempt fails
+/// (an injected panic unwinds out of here and is contained by the caller;
+/// an injected wedge stops stepping so the real hang detector trips), and
+/// the deterministic heartbeat declares a [`LaneFault::Hang`] after
+/// `hang_deadline` consecutive steps without simulated-clock progress.
+/// Detection charges **zero simulated cycles** — like checkpoint I/O, the
+/// supervisor lives outside the simulated clock, which is what keeps a
+/// recovered campaign bit-identical to an unfaulted one.
 fn run_lane_epoch(
     lane: &mut Lane,
     epoch: u64,
     epochs: u64,
     track: bool,
     kill: Option<&KillSwitch>,
-) -> Result<(), CheckpointError> {
+    watch: &LaneAttempt<'_>,
+) -> Result<Option<LaneFault>, CheckpointError> {
     let limit = epoch_limit(lane.cfg.budget_cycles, epoch, epochs);
+    let injected = watch.faults.decide(watch.lane, epoch, watch.attempt);
+    // Where in the epoch an injected panic/wedge lands (deterministic in
+    // the plan and the position; short epochs fire at the barrier below).
+    let trip_after = watch.faults.aux_bits(watch.lane, epoch, watch.attempt) % 16;
     let revalidator = lane
         .revalidator
         .as_deref_mut()
         .map(|r| r as &mut dyn Executor);
     let mut d = Driver::new(lane.executor.as_mut(), revalidator, &lane.seeds, &lane.cfg, track);
     lane.state.clone().apply(&mut d)?;
+    let mut steps: u64 = 0;
+    let mut stalled: u64 = 0;
+    let mut killed = false;
     while d.clock < limit {
         if kill.is_some_and(|k| k.stopped()) {
+            killed = true;
             break;
         }
-        if d.step() == StepOutcome::Finished {
-            break;
+        if injected == Some(OrchFaultKind::WorkerPanic) && steps >= trip_after {
+            panic!(
+                "{INJECTED_PANIC_MARKER} injected worker panic (lane {}, epoch {epoch}, \
+                 attempt {})",
+                watch.lane, watch.attempt
+            );
         }
-        if track {
-            if let Some(j) = lane.journal.as_mut() {
-                j.append(&DeltaRecord::take(&mut d))?;
+        let wedged = injected == Some(OrchFaultKind::LaneHang) && steps >= trip_after;
+        let progressed = if wedged {
+            // The injected hang stops the lane's simulated clock; the
+            // *real* deadline logic below is what declares the fault.
+            false
+        } else {
+            let before = d.clock;
+            if d.step() == StepOutcome::Finished {
+                break;
             }
-        }
-        if kill.is_some_and(|k| k.record_exec()) {
-            break;
+            steps += 1;
+            if track {
+                if let Some(j) = lane.journal.as_mut() {
+                    j.append(&DeltaRecord::take(&mut d))?;
+                }
+            }
+            if kill.is_some_and(|k| k.record_exec()) {
+                killed = true;
+                break;
+            }
+            d.clock > before
+        };
+        if progressed {
+            stalled = 0;
+        } else {
+            stalled += 1;
+            if stalled >= watch.hang_deadline {
+                return Ok(Some(LaneFault::Hang));
+            }
         }
     }
     lane.state = barrier_state(&d);
-    Ok(())
+    if killed {
+        // Simulated SIGKILL: the campaign is stopping wholesale; the
+        // supervisor has nothing left to recover this run.
+        return Ok(None);
+    }
+    // An epoch shorter than the in-loop trigger point still fails: the
+    // fault fires at the barrier handoff instead.
+    match injected {
+        Some(OrchFaultKind::WorkerPanic) => panic!(
+            "{INJECTED_PANIC_MARKER} injected worker panic at the barrier (lane {}, \
+             epoch {epoch}, attempt {})",
+            watch.lane, watch.attempt
+        ),
+        Some(OrchFaultKind::LaneHang) => Ok(Some(LaneFault::Hang)),
+        Some(OrchFaultKind::BarrierTimeout) => Ok(Some(LaneFault::BarrierTimeout)),
+        None => Ok(None),
+    }
 }
 
 /// Run one epoch across all lanes on the worker pool. Lane-to-worker
 /// assignment is a throughput detail: every lane runs its own
 /// deterministic schedule and the coordinator merges in lane order, so
 /// results cannot depend on it.
+///
+/// Every lane body runs contained: a panic (injected or organic) comes
+/// back as `Some(LaneFault::Panic)` in lane order, never as a worker-pool
+/// abort. Retired (degraded) lanes are skipped and keep their barrier
+/// state. Returns one fault slot per lane.
 fn run_epoch_parallel(
     lanes: &mut [Lane],
     epoch: u64,
@@ -233,28 +311,194 @@ fn run_epoch_parallel(
     workers: usize,
     track: bool,
     kill: Option<&KillSwitch>,
-) -> Result<(), CheckpointError> {
+    sup: &Supervisor,
+) -> Result<Vec<Option<LaneFault>>, CampaignError> {
+    supervise::install_quiet_panic_hook();
     let reference = vmos::reference_engine();
     let workers = workers.clamp(1, lanes.len().max(1));
     let chunk = lanes.len().div_ceil(workers).max(1);
-    let mut results = Vec::with_capacity(lanes.len());
+    let faults = &sup.cfg.faults;
+    let hang_deadline = sup.cfg.hang_deadline_ticks;
+    let dead = &sup.dead;
+    let mut collected: Vec<Result<Option<LaneFault>, CheckpointError>> =
+        Vec::with_capacity(lanes.len());
+    let mut worker_lost = false;
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
-        for lane_chunk in lanes.chunks_mut(chunk) {
+        for (ci, lane_chunk) in lanes.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
             handles.push(s.spawn(move || {
                 // Worker threads inherit the coordinator's engine choice.
                 vmos::set_reference_engine(reference);
                 lane_chunk
                     .iter_mut()
-                    .map(|l| run_lane_epoch(l, epoch, epochs, track, kill))
+                    .enumerate()
+                    .map(|(off, l)| {
+                        let idx = start + off;
+                        if dead.get(idx).copied().unwrap_or(false) {
+                            return Ok(None);
+                        }
+                        let watch = LaneAttempt {
+                            lane: idx as u64,
+                            attempt: 0,
+                            faults,
+                            hang_deadline,
+                        };
+                        match supervise::contain(|| {
+                            run_lane_epoch(l, epoch, epochs, track, kill, &watch)
+                        }) {
+                            Ok(r) => r,
+                            Err(payload) => Ok(Some(LaneFault::Panic(payload))),
+                        }
+                    })
                     .collect::<Vec<_>>()
             }));
         }
         for h in handles {
-            results.extend(h.join().expect("lane worker panicked"));
+            match h.join() {
+                Ok(rs) => collected.extend(rs),
+                Err(_) => worker_lost = true,
+            }
         }
     });
-    results.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ())
+    if worker_lost {
+        // Containment failed in a way `catch_unwind` could not see (e.g.
+        // a non-unwinding abort in the pool plumbing itself): typed, not
+        // an `expect` abort.
+        return Err(CampaignError::WorkerLost(
+            "a lane worker thread died outside supervised execution",
+        ));
+    }
+    collected
+        .into_iter()
+        .map(|r| r.map_err(CampaignError::Checkpoint))
+        .collect()
+}
+
+/// A lane's epoch-barrier recovery snapshot, minus the executor export
+/// (which the recovered executor was just restored from).
+fn stripped(snap: &SnapshotState) -> SnapshotState {
+    let mut st = snap.clone();
+    st.exec_state = None;
+    st
+}
+
+/// Rebuild a faulted lane from its epoch-barrier snapshot and re-run the
+/// epoch, retrying up to the supervisor's budget; past it, retire the lane
+/// and fold its unspent cycles into the live siblings (the degradation
+/// ladder — typed and reported, never a silent drop).
+///
+/// Recovery runs on the coordinator thread: re-runs are rare, lane order
+/// keeps them deterministic, and the rebuilt executor reuses the exact
+/// `export_state`/`restore_state` contract checkpoint resume is built on —
+/// so a recovered epoch replays the faulted one bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn recover_lane(
+    lanes: &mut [Lane],
+    idx: usize,
+    epoch: u64,
+    epochs: u64,
+    snap: &SnapshotState,
+    first_fault: LaneFault,
+    factory: &dyn ExecutorFactory,
+    ck: Option<&CheckpointConfig>,
+    kill: Option<&KillSwitch>,
+    sup: &mut Supervisor,
+) -> Result<(), CampaignError> {
+    let track = ck.is_some();
+    let restore_err =
+        |e| CampaignError::Checkpoint(CheckpointError::Executor(e));
+    let mut fault = first_fault;
+    let mut attempt: u32 = 1;
+    loop {
+        sup.counters.record(&fault);
+        if attempt > sup.cfg.max_lane_retries {
+            // Degradation: retire the lane at its barrier state. Rebuild
+            // its executor one last time so the final resilience report
+            // reads from a sane instance, then hand the unspent budget to
+            // the live siblings (even split, remainder on the first).
+            let reclaimed = lanes[idx]
+                .cfg
+                .budget_cycles
+                .saturating_sub(snap.scalars.clock);
+            let mut executor = factory.build().map_err(CampaignError::Build)?;
+            if let Some(es) = &snap.exec_state {
+                executor.restore_state(es).map_err(restore_err)?;
+            }
+            lanes[idx].executor = executor;
+            lanes[idx].revalidator =
+                factory.build_revalidator().map_err(CampaignError::Build)?;
+            lanes[idx].state = stripped(snap);
+            lanes[idx].journal = None;
+            sup.dead[idx] = true;
+            if sup.live() == 0 {
+                return Err(CampaignError::AllLanesLost { epoch });
+            }
+            let heirs: Vec<usize> = (0..lanes.len())
+                .filter(|&j| j != idx && !sup.dead[j])
+                .collect();
+            let share = reclaimed / heirs.len() as u64;
+            let rem = reclaimed % heirs.len() as u64;
+            for (k, &j) in heirs.iter().enumerate() {
+                lanes[j].cfg.budget_cycles += share + u64::from((k as u64) < rem);
+            }
+            sup.counters.degradations.push(LaneDegradation {
+                lane: idx as u64,
+                epoch,
+                attempts: u64::from(attempt),
+                reclaimed_cycles: reclaimed,
+                last_fault: fault.name().to_string(),
+            });
+            return Ok(());
+        }
+        // Quarantine + rebuild: fresh executor pair from the factory,
+        // restored to the barrier's exported state, lane state reset to
+        // the barrier copy, journal recreated (truncating the faulted
+        // attempt's partial records).
+        let mut executor = factory.build().map_err(CampaignError::Build)?;
+        if let Some(es) = &snap.exec_state {
+            executor.restore_state(es).map_err(restore_err)?;
+        }
+        lanes[idx].executor = executor;
+        lanes[idx].revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
+        lanes[idx].state = stripped(snap);
+        if let Some(ck) = ck {
+            lanes[idx].journal = Some(
+                Journal::create_at(
+                    &shard_journal_path(&ck.dir, epoch, idx),
+                    snap.scalars.execs,
+                    ck.fsync,
+                )
+                .map_err(CheckpointError::Io)?,
+            );
+        }
+        sup.counters.lane_rebuilds += 1;
+        let outcome = {
+            let watch = LaneAttempt {
+                lane: idx as u64,
+                attempt,
+                faults: &sup.cfg.faults,
+                hang_deadline: sup.cfg.hang_deadline_ticks,
+            };
+            let lane = &mut lanes[idx];
+            supervise::contain(|| run_lane_epoch(lane, epoch, epochs, track, kill, &watch))
+        };
+        match outcome {
+            Ok(Ok(None)) => {
+                sup.counters.recovered += 1;
+                return Ok(());
+            }
+            Ok(Ok(Some(f))) => {
+                fault = f;
+                attempt += 1;
+            }
+            Ok(Err(e)) => return Err(CampaignError::Checkpoint(e)),
+            Err(payload) => {
+                fault = LaneFault::Panic(payload);
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// The merged campaign state the coordinator owns between barriers.
@@ -390,8 +634,9 @@ impl Global {
 }
 
 /// Assemble the final result: per-lane accounting summed, merged
-/// collections taken from the global state.
-fn assemble(lanes: &mut [Lane], global: &Global) -> CampaignResult {
+/// collections taken from the global state. Retired lanes still count —
+/// their barrier-state scalars record the work done before retirement.
+fn assemble(lanes: &mut [Lane], global: &Global, sup: &Supervisor) -> CampaignResult {
     let mut execs = 0;
     let mut clock = 0;
     let mut hangs = 0;
@@ -411,8 +656,10 @@ fn assemble(lanes: &mut [Lane], global: &Global) -> CampaignResult {
             retries: s.retries,
             dropped_inputs: s.dropped_inputs,
             watchdog_trips: s.watchdog_trips,
+            supervision: Default::default(),
         });
     }
+    resilience.supervision = sup.counters.clone();
     CampaignResult {
         executor: lanes
             .first()
@@ -522,6 +769,7 @@ fn load_shard_snapshot(path: &Path) -> Result<(u64, Vec<SnapshotState>, u64), Wi
 /// Keep the newest `keep` shard snapshots; drop older ones and the
 /// journals of epochs nothing can resume from anymore.
 fn rotate_shards(dir: &Path, keep: usize) -> std::io::Result<()> {
+    sweep_orphan_tmp(dir)?;
     let snaps = list_shard_snapshots(dir)?;
     let keep = keep.max(1);
     if snaps.len() <= keep {
@@ -601,6 +849,13 @@ fn build_lanes(
 }
 
 /// Epoch loop shared by fresh runs and resumes.
+///
+/// Each epoch runs under supervision: before the lanes start, the
+/// coordinator captures a per-lane recovery snapshot (barrier state +
+/// exported executor state — the same pair a shard checkpoint persists);
+/// lanes that come back faulted are rebuilt and re-run from it before the
+/// merge, so the barrier only ever sees lane states a clean run would have
+/// produced. Snapshot capture and recovery charge no simulated cycles.
 #[allow(clippy::too_many_arguments)]
 fn run_epochs(
     lanes: &mut [Lane],
@@ -611,17 +866,39 @@ fn run_epochs(
     plan: &ShardPlan,
     ck: Option<&CheckpointConfig>,
     kill: Option<&KillSwitch>,
+    factory: &dyn ExecutorFactory,
+    sup: &mut Supervisor,
 ) -> Result<CampaignOutcome, CampaignError> {
     let track = ck.is_some();
     for epoch in start_epoch..epochs {
-        run_epoch_parallel(lanes, epoch, epochs, plan.workers, track, kill)
-            .map_err(CampaignError::Checkpoint)?;
+        // Recovery snapshots for this epoch: barrier state + executor
+        // export, per live lane. Dead lanes have nothing to recover.
+        let recovery: Vec<Option<SnapshotState>> = lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, l)| {
+                (!sup.dead[i]).then(|| {
+                    let mut st = l.state.clone();
+                    st.exec_state = l.executor.export_state();
+                    st
+                })
+            })
+            .collect();
+        let faults = run_epoch_parallel(lanes, epoch, epochs, plan.workers, track, kill, sup)?;
         if let Some(k) = kill {
             if k.stopped() {
                 // Simulated SIGKILL: stop right here — no barrier, no
-                // snapshot. The per-lane journals are all resume gets.
+                // snapshot, no recovery (resume replays the journals
+                // whatever state the faulted lane left them in).
                 return Ok(CampaignOutcome::Killed { execs: k.execs() });
             }
+        }
+        for (idx, fault) in faults.into_iter().enumerate() {
+            let Some(fault) = fault else { continue };
+            let Some(snap) = &recovery[idx] else { continue };
+            recover_lane(
+                lanes, idx, epoch, epochs, snap, fault, factory, ck, kill, sup,
+            )?;
         }
         global.merge_epoch(lanes);
         if let Some(ck) = ck {
@@ -639,28 +916,33 @@ fn run_epochs(
             break;
         }
     }
-    Ok(CampaignOutcome::Finished(assemble(lanes, global)))
+    Ok(CampaignOutcome::Finished(assemble(lanes, global, sup)))
 }
 
 /// Run a sharded campaign (see module docs). `ck` arms barrier
-/// checkpointing and the simulated-kill hook.
+/// checkpointing and the simulated-kill hook; `sup_cfg` configures lane
+/// supervision (always on — the defaults add no observable behavior to a
+/// fault-free run).
 pub(crate) fn run_sharded(
     factory: &dyn ExecutorFactory,
     seeds: &[Vec<u8>],
     cfg: &CampaignConfig,
     plan: &ShardPlan,
     ck: Option<&CheckpointConfig>,
+    sup_cfg: &SupervisorConfig,
 ) -> Result<CampaignOutcome, CampaignError> {
     let lanes_n = plan.lanes.max(1);
     let epochs = plan.sync_epochs.max(1);
     let track = ck.is_some();
     let mut lanes = build_lanes(factory, seeds, cfg, lanes_n, track)?;
     let mut global = Global::new();
+    let mut sup = Supervisor::new(sup_cfg.clone(), lanes_n);
     let kill = ck
         .and_then(|c| c.kill_after_execs)
         .map(|k| KillSwitch::new(k, 0));
     if let Some(ck) = ck {
         fs::create_dir_all(&ck.dir).map_err(CheckpointError::Io)?;
+        sweep_orphan_tmp(&ck.dir).map_err(CheckpointError::Io)?;
         write_shard_snapshot(ck, 0, &mut lanes).map_err(CheckpointError::Io)?;
         open_journals(ck, 0, &mut lanes)?;
     }
@@ -673,6 +955,8 @@ pub(crate) fn run_sharded(
         plan,
         ck,
         kill.as_ref(),
+        factory,
+        &mut sup,
     )
 }
 
@@ -685,10 +969,12 @@ pub(crate) fn resume_sharded(
     cfg: &CampaignConfig,
     plan: &ShardPlan,
     ck: &CheckpointConfig,
+    sup_cfg: &SupervisorConfig,
 ) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
     let lanes_n = plan.lanes.max(1);
     let epochs = plan.sync_epochs.max(1);
     let mut info = ResumeInfo::default();
+    sweep_orphan_tmp(&ck.dir).map_err(CheckpointError::Io)?;
     let snaps = list_shard_snapshots(&ck.dir).map_err(CheckpointError::Io)?;
     let mut chosen = None;
     for (epoch, path) in snaps.iter().rev() {
@@ -716,8 +1002,10 @@ pub(crate) fn resume_sharded(
     for (i, st) in states.into_iter().enumerate() {
         let mut executor = factory.build().map_err(CampaignError::Build)?;
         if i == 0 {
-            // All lanes share the module: checking one copy suffices.
+            // All lanes share the module: checking one copy suffices —
+            // and so does warming the process-wide decoded-image cache.
             check_target(fp, &*executor).map_err(CampaignError::Checkpoint)?;
+            info.decoded_image_ready = executor.warm_decoded_image().unwrap_or(false);
         }
         let mut revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
         let lane_cfg = lane_config(cfg, i, lanes_n);
@@ -778,6 +1066,10 @@ pub(crate) fn resume_sharded(
     let kill = ck
         .kill_after_execs
         .map(|k| KillSwitch::new(k, total_execs));
+    // Supervision state is in-memory only: a resume starts every lane live
+    // with fresh counters (retirement and fault tallies are part of the
+    // recovery *report*, not the persisted campaign state).
+    let mut sup = Supervisor::new(sup_cfg.clone(), lanes_n);
     let outcome = run_epochs(
         &mut lanes,
         &mut global,
@@ -787,6 +1079,8 @@ pub(crate) fn resume_sharded(
         plan,
         Some(ck),
         kill.as_ref(),
+        factory,
+        &mut sup,
     )?;
     Ok((outcome, info))
 }

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vmos::Crash;
 
+use crate::supervise::SupervisionCounters;
 use crate::CYCLES_PER_SECOND;
 
 /// First discovery of a deduplicated crash site.
@@ -51,6 +52,12 @@ pub struct ResilienceCounters {
     /// Times the consecutive-hang watchdog tripped and abandoned a
     /// mutation batch.
     pub watchdog_trips: u64,
+    /// Lane-supervision accounting (sharded campaigns): contained panics
+    /// and hangs, executor rebuilds, recoveries, and lane degradations.
+    /// Describes the *recovery process*, not the fuzzing outcome — a
+    /// recovered campaign matches its unfaulted twin everywhere except
+    /// this block (see [`CampaignResult::sans_supervision`]).
+    pub supervision: SupervisionCounters,
 }
 
 impl ResilienceCounters {
@@ -76,6 +83,7 @@ impl ResilienceCounters {
         self.retries += other.retries;
         self.dropped_inputs += other.dropped_inputs;
         self.watchdog_trips += other.watchdog_trips;
+        self.supervision.absorb(&other.supervision);
     }
 }
 
@@ -126,6 +134,18 @@ impl CampaignResult {
             return 0.0;
         }
         self.mgmt_cycles as f64 / total as f64
+    }
+
+    /// This result with the supervision block zeroed — the comparison key
+    /// for recovery equivalence. A supervised campaign that recovered from
+    /// injected faults necessarily *reports* those recoveries, so "bit-
+    /// identical to the unfaulted run" means: identical everywhere except
+    /// `resilience.supervision`, which is exactly what this projection
+    /// compares.
+    pub fn sans_supervision(&self) -> CampaignResult {
+        let mut r = self.clone();
+        r.resilience.supervision = SupervisionCounters::default();
+        r
     }
 
     /// Crashes that are resource-exhaustion false positives.

@@ -113,6 +113,16 @@ pub trait Executor {
     fn module_fingerprint(&self) -> Option<u64> {
         None
     }
+
+    /// Ensure the process-wide decoded-image cache holds this executor's
+    /// module, lowering it now if absent, and report whether it was
+    /// already present (`Some(true)` = warm hit, `Some(false)` = this call
+    /// paid for the lowering). Checkpoint resume calls this up front so
+    /// the replayed campaign never re-lowers lazily mid-run. Default:
+    /// `None` — the mechanism does not use the decoded engine.
+    fn warm_decoded_image(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// Builds fresh, identically configured executor instances on demand — the

@@ -146,6 +146,10 @@ impl Executor for FreshProcessExecutor {
     fn module_fingerprint(&self) -> Option<u64> {
         Some(self.fingerprint)
     }
+
+    fn warm_decoded_image(&self) -> Option<bool> {
+        Some(vmos::DecodedImage::warm(&self.module))
+    }
 }
 
 #[cfg(test)]

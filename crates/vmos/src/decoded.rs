@@ -180,13 +180,39 @@ impl DecodedImage {
     /// restore churn — and parallel bench trials over the same target —
     /// decode each module exactly once per process.
     pub fn cached(module: &Module) -> Arc<DecodedImage> {
-        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DecodedImage>>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut map = Self::cache().lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(module.fingerprint())
                 .or_insert_with(|| Arc::new(DecodedImage::new(module))),
         )
+    }
+
+    /// Is an image for `fingerprint` already in the process-wide cache?
+    /// Checkpoint resume uses this to report whether the decoded image was
+    /// ready before replay began.
+    pub fn cache_contains(fingerprint: u64) -> bool {
+        Self::cache()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(&fingerprint)
+    }
+
+    /// Ensure `module`'s decoded image is in the process-wide cache,
+    /// lowering it now if absent. Returns `true` when the image was
+    /// already present (a warm hit) and `false` when this call paid for
+    /// the lowering — resume paths call this eagerly so no campaign step
+    /// ever re-lowers lazily.
+    pub fn warm(module: &Module) -> bool {
+        let hit = Self::cache_contains(module.fingerprint());
+        if !hit {
+            let _ = Self::cached(module);
+        }
+        hit
+    }
+
+    fn cache() -> &'static Mutex<HashMap<u64, Arc<DecodedImage>>> {
+        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DecodedImage>>>> = OnceLock::new();
+        CACHE.get_or_init(|| Mutex::new(HashMap::new()))
     }
 }
 
@@ -445,5 +471,17 @@ mod tests {
         m3.function_mut("helper").unwrap().num_regs += 1;
         let i3 = DecodedImage::cached(&m3);
         assert!(!Arc::ptr_eq(&i1, &i3), "different module, different image");
+    }
+
+    #[test]
+    fn warm_populates_the_cache_and_reports_hits() {
+        let mut m = sample_module();
+        // A module no other test lowers, so the first warm is a miss.
+        m.function_mut("helper").unwrap().num_regs += 7;
+        let fp = m.fingerprint();
+        assert!(!DecodedImage::cache_contains(fp));
+        assert!(!DecodedImage::warm(&m), "first warm pays for the lowering");
+        assert!(DecodedImage::cache_contains(fp));
+        assert!(DecodedImage::warm(&m), "second warm is a cache hit");
     }
 }

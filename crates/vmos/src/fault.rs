@@ -235,6 +235,179 @@ impl FaultPlane {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Orchestration-layer faults.
+// ---------------------------------------------------------------------------
+
+/// Faults injected one level above the simulated OS: at the campaign
+/// orchestrator, where whole lane workers fail rather than individual
+/// hostcalls. These exercise the supervision layer the same way
+/// [`FaultPlan`] exercises executor-level resilience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrchFaultKind {
+    /// The lane worker panics mid-epoch (a wedged executor, a host bug).
+    WorkerPanic,
+    /// The lane stops making simulated-clock progress mid-epoch and must
+    /// be caught by the supervisor's heartbeat deadline.
+    LaneHang,
+    /// The lane finishes its epoch but its barrier handoff is lost, as if
+    /// the synchronization timed out; the epoch must be redone.
+    BarrierTimeout,
+}
+
+impl OrchFaultKind {
+    /// Every kind, in salt order.
+    pub const ALL: [OrchFaultKind; 3] = [
+        OrchFaultKind::WorkerPanic,
+        OrchFaultKind::LaneHang,
+        OrchFaultKind::BarrierTimeout,
+    ];
+
+    /// Stable short name for logs and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrchFaultKind::WorkerPanic => "worker_panic",
+            OrchFaultKind::LaneHang => "lane_hang",
+            OrchFaultKind::BarrierTimeout => "barrier_timeout",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            OrchFaultKind::WorkerPanic => 1,
+            OrchFaultKind::LaneHang => 2,
+            OrchFaultKind::BarrierTimeout => 3,
+        }
+    }
+}
+
+/// One targeted orchestration fault: fire `kind` at `(lane, epoch)` on the
+/// first `fires` consecutive attempts. `fires > 1` models a lane that
+/// keeps failing after being rebuilt — the supervisor's retry/degradation
+/// ladder is exercised by exactly this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrchFault {
+    /// Lane index the fault targets.
+    pub lane: u64,
+    /// Epoch the fault targets.
+    pub epoch: u64,
+    /// What goes wrong.
+    pub kind: OrchFaultKind,
+    /// Consecutive attempts (starting at 0) that fail before the lane
+    /// runs clean.
+    pub fires: u32,
+}
+
+/// A deterministic plan of orchestration faults: targeted `(lane, epoch)`
+/// hits plus per-kind probabilities rolled position-wise.
+///
+/// Unlike [`FaultPlane`], decisions here are keyed by *position*
+/// `(lane, epoch, attempt)` rather than by a shared roll counter: lanes
+/// run concurrently on worker threads, so a mutable sequence counter would
+/// make injection depend on thread scheduling. A pure function of the
+/// position keeps the same plan hitting the same lanes no matter how many
+/// workers run them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OrchFaultPlan {
+    /// Seed for the probabilistic rolls.
+    pub seed: u64,
+    /// P(worker panic) per lane-epoch attempt.
+    pub worker_panic: f64,
+    /// P(lane hang) per lane-epoch attempt.
+    pub lane_hang: f64,
+    /// P(barrier timeout) per lane-epoch attempt.
+    pub barrier_timeout: f64,
+    /// Targeted faults, checked before the probabilistic rolls (first
+    /// match wins).
+    pub targeted: Vec<OrchFault>,
+}
+
+impl OrchFaultPlan {
+    /// No orchestration faults (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single targeted fault firing once at `(lane, epoch)`.
+    pub fn at(lane: u64, epoch: u64, kind: OrchFaultKind) -> Self {
+        OrchFaultPlan {
+            targeted: vec![OrchFault {
+                lane,
+                epoch,
+                kind,
+                fires: 1,
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// Every kind at the same probabilistic `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        OrchFaultPlan {
+            seed,
+            worker_panic: rate,
+            lane_hang: rate,
+            barrier_timeout: rate,
+            targeted: Vec::new(),
+        }
+    }
+
+    /// Probability configured for `kind`.
+    pub fn rate(&self, kind: OrchFaultKind) -> f64 {
+        match kind {
+            OrchFaultKind::WorkerPanic => self.worker_panic,
+            OrchFaultKind::LaneHang => self.lane_hang,
+            OrchFaultKind::BarrierTimeout => self.barrier_timeout,
+        }
+    }
+
+    /// Does this plan never inject anything?
+    pub fn is_none(&self) -> bool {
+        self.targeted.is_empty() && OrchFaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+
+    fn position_bits(&self, lane: u64, epoch: u64, attempt: u32, salt: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ epoch.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ u64::from(attempt).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                ^ salt.wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+        )
+    }
+
+    /// Should a fault hit this `(lane, epoch, attempt)`? Targeted faults
+    /// win over probabilistic rolls; kinds roll in [`OrchFaultKind::ALL`]
+    /// order. Pure in the plan and the position — re-deciding the same
+    /// position always answers the same.
+    pub fn decide(&self, lane: u64, epoch: u64, attempt: u32) -> Option<OrchFaultKind> {
+        for t in &self.targeted {
+            if t.lane == lane && t.epoch == epoch && attempt < t.fires {
+                return Some(t.kind);
+            }
+        }
+        for &k in &OrchFaultKind::ALL {
+            let p = self.rate(k);
+            if p <= 0.0 {
+                continue;
+            }
+            let bits = self.position_bits(lane, epoch, attempt, k.salt());
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < p {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Deterministic auxiliary bits for a decided fault — e.g. how many
+    /// steps into the epoch the panic or wedge lands. Salted differently
+    /// from the decision rolls so the two draws are independent.
+    pub fn aux_bits(&self, lane: u64, epoch: u64, attempt: u32) -> u64 {
+        self.position_bits(lane, epoch, attempt, 0x5C5C)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +483,72 @@ mod tests {
         assert_eq!(f.total(), 0);
         let second: Vec<bool> = (0..64).map(|_| f.roll(FaultKind::FopenFail)).collect();
         assert_eq!(first, second, "reset must replay the same stream");
+    }
+
+    #[test]
+    fn orch_plan_none_never_decides() {
+        let p = OrchFaultPlan::none();
+        assert!(p.is_none());
+        for lane in 0..8 {
+            for epoch in 0..8 {
+                for attempt in 0..4 {
+                    assert_eq!(p.decide(lane, epoch, attempt), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orch_targeted_fault_fires_then_clears() {
+        let p = OrchFaultPlan {
+            targeted: vec![OrchFault {
+                lane: 2,
+                epoch: 1,
+                kind: OrchFaultKind::LaneHang,
+                fires: 2,
+            }],
+            ..OrchFaultPlan::default()
+        };
+        assert!(!p.is_none());
+        assert_eq!(p.decide(2, 1, 0), Some(OrchFaultKind::LaneHang));
+        assert_eq!(p.decide(2, 1, 1), Some(OrchFaultKind::LaneHang));
+        assert_eq!(p.decide(2, 1, 2), None, "retry past `fires` runs clean");
+        assert_eq!(p.decide(2, 0, 0), None, "other epochs untouched");
+        assert_eq!(p.decide(1, 1, 0), None, "other lanes untouched");
+    }
+
+    #[test]
+    fn orch_decisions_are_position_pure() {
+        let p = OrchFaultPlan::uniform(0xFEED, 0.35);
+        let sweep = || {
+            let mut v = Vec::new();
+            for lane in 0..6 {
+                for epoch in 0..6 {
+                    for attempt in 0..3 {
+                        v.push(p.decide(lane, epoch, attempt));
+                    }
+                }
+            }
+            v
+        };
+        assert_eq!(sweep(), sweep(), "same plan, same positions, same answer");
+        let hits = sweep().iter().filter(|d| d.is_some()).count();
+        assert!(hits > 0, "a 35% uniform plan must hit something in 108 cells");
+        let other = OrchFaultPlan::uniform(0xBEEF, 0.35);
+        let mut differs = false;
+        for lane in 0..6 {
+            for epoch in 0..6 {
+                differs |= p.decide(lane, epoch, 0) != other.decide(lane, epoch, 0);
+            }
+        }
+        assert!(differs, "the seed must matter");
+    }
+
+    #[test]
+    fn orch_aux_bits_vary_by_position() {
+        let p = OrchFaultPlan::uniform(7, 1.0);
+        assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(0, 0, 1));
+        assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(1, 0, 0));
+        assert_eq!(p.aux_bits(3, 2, 1), p.aux_bits(3, 2, 1));
     }
 }

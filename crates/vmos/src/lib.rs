@@ -51,7 +51,7 @@ pub use cov::{CovMap, MAP_SIZE};
 pub use crash::{Crash, CrashKind};
 pub use decoded::DecodedImage;
 pub use engine::{reference_engine, set_reference_engine, ReferenceEngineGuard};
-pub use fault::{FaultKind, FaultPlan, FaultPlane};
+pub use fault::{FaultKind, FaultPlan, FaultPlane, OrchFault, OrchFaultKind, OrchFaultPlan};
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
 pub use os::{Os, OsError};
 pub use process::Process;
