@@ -22,3 +22,9 @@ cargo run --release -p bench --bin shard_eval -- --smoke
 # a retired lane (not an abort), and mean recovery overhead must stay
 # within 2x of the blessed floor in results/BENCH_supervision_floor.json.
 cargo run --release -p bench --bin supervision_eval -- --smoke
+# Process-isolation gate: lane-per-process campaigns must be bit-identical
+# to the in-process engine, every injected worker death (abort, OOM kill,
+# stall, corrupted frame) must be contained and recovered exactly, and
+# non-stall recovery overhead must stay within 2x of the blessed floor in
+# results/BENCH_proc_floor.json.
+cargo run --release -p bench --bin proc_eval -- --smoke

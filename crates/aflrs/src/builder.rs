@@ -39,6 +39,25 @@ use crate::shard::{
 };
 use crate::supervise::SupervisorConfig;
 
+/// Where a sharded campaign's lanes execute.
+///
+/// A pure containment knob: both modes run the same lane schedule and
+/// produce bit-identical [`crate::stats::CampaignResult`]s (modulo
+/// supervision counters, which record *how* faults were contained, not
+/// *what* the campaign found).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Isolation {
+    /// Lanes run on worker threads inside this process (the default).
+    #[default]
+    InProcess,
+    /// Each lane runs in a supervised child process speaking a
+    /// checksum-framed pipe protocol — a crashed, killed, or wedged lane
+    /// cannot take the campaign down with it. Requires a factory whose
+    /// [`closurex::executor::ExecutorFactory::worker_spec`] is `Some` and
+    /// a binary whose `main` calls [`crate::proc::worker_main_hook`].
+    Process,
+}
+
 /// Why a campaign could not run.
 #[derive(Debug)]
 pub enum CampaignError {
@@ -102,6 +121,7 @@ pub struct Campaign<'a> {
     sync_epochs: u64,
     supervision: SupervisorConfig,
     supervision_set: bool,
+    isolation: Isolation,
 }
 
 impl<'a> Campaign<'a> {
@@ -119,6 +139,7 @@ impl<'a> Campaign<'a> {
             sync_epochs: DEFAULT_SYNC_EPOCHS,
             supervision: SupervisorConfig::default(),
             supervision_set: false,
+            isolation: Isolation::default(),
         }
     }
 
@@ -182,6 +203,14 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Choose where lanes execute (sharded mode only; default
+    /// [`Isolation::InProcess`]). [`Isolation::Process`] runs each lane in
+    /// a supervised child process — see [`crate::proc`].
+    pub fn isolation(mut self, iso: Isolation) -> Self {
+        self.isolation = iso;
+        self
+    }
+
     fn plan(&self) -> ShardPlan {
         ShardPlan {
             lanes: self.lanes,
@@ -203,14 +232,27 @@ impl<'a> Campaign<'a> {
             shards,
             supervision,
             supervision_set,
+            isolation,
             ..
         } = self;
         match (factory, executor) {
             (Some(_), Some(_)) => Err(CampaignError::Config(
                 "provide an executor or a factory, not both",
             )),
-            (Some(f), None) => run_sharded(f, seeds, &cfg, &plan, checkpoint.as_ref(), &supervision),
+            (Some(f), None) => match isolation {
+                Isolation::InProcess => {
+                    run_sharded(f, seeds, &cfg, &plan, checkpoint.as_ref(), &supervision)
+                }
+                Isolation::Process => {
+                    crate::proc::run_proc(f, seeds, &cfg, &plan, checkpoint.as_ref(), &supervision)
+                }
+            },
             (None, Some(ex)) => {
+                if isolation == Isolation::Process {
+                    return Err(CampaignError::Config(
+                        "process isolation spawns one child per lane: use Campaign::factory",
+                    ));
+                }
                 if shards > 1 {
                     return Err(CampaignError::Config(
                         "sharded campaigns build one executor per lane: use Campaign::factory",
@@ -253,6 +295,7 @@ impl<'a> Campaign<'a> {
             shards,
             supervision,
             supervision_set,
+            isolation,
             ..
         } = self;
         let Some(ck) = checkpoint else {
@@ -264,8 +307,18 @@ impl<'a> Campaign<'a> {
             (Some(_), Some(_)) => Err(CampaignError::Config(
                 "provide an executor or a factory, not both",
             )),
-            (Some(f), None) => resume_sharded(f, seeds, &cfg, &plan, &ck, &supervision),
+            (Some(f), None) => match isolation {
+                Isolation::InProcess => resume_sharded(f, seeds, &cfg, &plan, &ck, &supervision),
+                Isolation::Process => {
+                    crate::proc::resume_proc(f, seeds, &cfg, &plan, &ck, &supervision)
+                }
+            },
             (None, Some(ex)) => {
+                if isolation == Isolation::Process {
+                    return Err(CampaignError::Config(
+                        "process isolation spawns one child per lane: use Campaign::factory",
+                    ));
+                }
                 if shards > 1 {
                     return Err(CampaignError::Config(
                         "sharded campaigns build one executor per lane: use Campaign::factory",

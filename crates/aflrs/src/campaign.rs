@@ -78,6 +78,35 @@ impl Default for CampaignConfig {
     }
 }
 
+impl CampaignConfig {
+    /// Encode for transfer to a worker process — a lane's behavior is a
+    /// pure function of its config, so the child must receive every field.
+    pub(crate) fn encode(&self, w: &mut vmos::Writer) {
+        w.put_u64(self.budget_cycles);
+        w.put_u64(self.seed);
+        w.put_bool(self.deterministic_stage);
+        w.put_usize(self.stop_after_crashes);
+        w.put_u32(self.max_retries);
+        w.put_u64(self.max_consecutive_hangs);
+        w.put_u64(self.retry_backoff_cycles);
+        w.put_bool(self.revalidate_crashes);
+    }
+
+    /// Decode a config written by [`CampaignConfig::encode`].
+    pub(crate) fn decode(r: &mut vmos::Reader<'_>) -> Result<Self, vmos::WireError> {
+        Ok(CampaignConfig {
+            budget_cycles: r.get_u64()?,
+            seed: r.get_u64()?,
+            deterministic_stage: r.get_bool()?,
+            stop_after_crashes: r.get_count()?,
+            max_retries: r.get_u32()?,
+            max_consecutive_hangs: r.get_u64()?,
+            retry_backoff_cycles: r.get_u64()?,
+            revalidate_crashes: r.get_bool()?,
+        })
+    }
+}
+
 /// Where in the campaign loop the driver stands. Every variant carries the
 /// indices needed to resume mid-stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

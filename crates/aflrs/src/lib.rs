@@ -21,6 +21,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod mutate;
 pub mod mwu;
+pub mod proc;
 pub mod queue;
 pub mod shard;
 pub mod stats;
@@ -29,7 +30,7 @@ pub mod supervise;
 #[cfg(test)]
 mod proptests;
 
-pub use builder::{Campaign, CampaignError};
+pub use builder::{Campaign, CampaignError, Isolation};
 pub use campaign::CampaignConfig;
 #[allow(deprecated)]
 pub use campaign::{run_campaign, run_campaign_with};
@@ -38,6 +39,7 @@ pub use checkpoint::{
 };
 #[allow(deprecated)]
 pub use checkpoint::{resume_campaign, run_campaign_checkpointed};
+pub use proc::{worker_main_hook, WORKER_ENV};
 pub use shard::{DEFAULT_LANES, DEFAULT_SYNC_EPOCHS};
 pub use stats::{CampaignResult, CrashRecord, ResilienceCounters};
 pub use supervise::{LaneDegradation, LaneFault, SupervisionCounters, SupervisorConfig};

@@ -111,7 +111,7 @@ fn lane_seed(seed: u64, lane: usize) -> u64 {
 /// `budget % lanes` lanes carry the remainder cycle each), a lane-mixed
 /// seed, and early-stop disabled — `stop_after_crashes` is a *global*
 /// predicate, checked against the merged crash list at barriers.
-fn lane_config(cfg: &CampaignConfig, lane: usize, lanes: usize) -> CampaignConfig {
+pub(crate) fn lane_config(cfg: &CampaignConfig, lane: usize, lanes: usize) -> CampaignConfig {
     let mut c = cfg.clone();
     let n = lanes as u64;
     c.budget_cycles = cfg.budget_cycles / n + u64::from((lane as u64) < cfg.budget_cycles % n);
@@ -134,17 +134,17 @@ fn epoch_limit(budget: u64, epoch: u64, epochs: u64) -> u64 {
 /// epochs. `state.exec_state` is always `None` here — the live executor
 /// *is* the executor state between barriers; it is only exported when a
 /// shard snapshot is written.
-struct Lane {
-    executor: Box<dyn Executor + Send>,
-    revalidator: Option<Box<dyn Executor + Send>>,
-    cfg: CampaignConfig,
-    seeds: Vec<Vec<u8>>,
-    state: SnapshotState,
-    journal: Option<Journal>,
+pub(crate) struct Lane {
+    pub(crate) executor: Box<dyn Executor + Send>,
+    pub(crate) revalidator: Option<Box<dyn Executor + Send>>,
+    pub(crate) cfg: CampaignConfig,
+    pub(crate) seeds: Vec<Vec<u8>>,
+    pub(crate) state: SnapshotState,
+    pub(crate) journal: Option<Journal>,
 }
 
 /// Snapshot a driver for the inter-epoch handoff (no executor export).
-fn barrier_state(d: &Driver<'_>) -> SnapshotState {
+pub(crate) fn barrier_state(d: &Driver<'_>) -> SnapshotState {
     SnapshotState {
         scalars: Scalars::capture(d),
         entries: d.queue.iter().cloned().collect(),
@@ -156,14 +156,14 @@ fn barrier_state(d: &Driver<'_>) -> SnapshotState {
 
 /// The shared kill switch for the simulated-SIGKILL torture hook: a global
 /// exec counter across all lanes, tripping a stop flag every lane polls.
-struct KillSwitch {
+pub(crate) struct KillSwitch {
     limit: u64,
     execs: AtomicU64,
     stop: AtomicBool,
 }
 
 impl KillSwitch {
-    fn new(limit: u64, already_executed: u64) -> Self {
+    pub(crate) fn new(limit: u64, already_executed: u64) -> Self {
         KillSwitch {
             limit,
             execs: AtomicU64::new(already_executed),
@@ -174,29 +174,29 @@ impl KillSwitch {
     /// Count one journaled execution; returns `true` once the campaign
     /// must stop (the kill may overshoot `limit` by in-flight lanes —
     /// resume is kill-point agnostic, so that is harmless).
-    fn record_exec(&self) -> bool {
+    pub(crate) fn record_exec(&self) -> bool {
         if self.execs.fetch_add(1, Ordering::SeqCst) + 1 >= self.limit {
             self.stop.store(true, Ordering::SeqCst);
         }
         self.stopped()
     }
 
-    fn stopped(&self) -> bool {
+    pub(crate) fn stopped(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
 
-    fn execs(&self) -> u64 {
+    pub(crate) fn execs(&self) -> u64 {
         self.execs.load(Ordering::SeqCst)
     }
 }
 
 /// Supervision context for one lane-epoch attempt: which lane this is,
 /// which retry attempt, and how the supervisor watches it.
-struct LaneAttempt<'p> {
-    lane: u64,
-    attempt: u32,
-    faults: &'p OrchFaultPlan,
-    hang_deadline: u64,
+pub(crate) struct LaneAttempt<'p> {
+    pub(crate) lane: u64,
+    pub(crate) attempt: u32,
+    pub(crate) faults: &'p OrchFaultPlan,
+    pub(crate) hang_deadline: u64,
 }
 
 /// Run one lane from its carried state to the epoch's clock limit,
@@ -210,7 +210,7 @@ struct LaneAttempt<'p> {
 /// Detection charges **zero simulated cycles** — like checkpoint I/O, the
 /// supervisor lives outside the simulated clock, which is what keeps a
 /// recovered campaign bit-identical to an unfaulted one.
-fn run_lane_epoch(
+pub(crate) fn run_lane_epoch(
     lane: &mut Lane,
     epoch: u64,
     epochs: u64,
@@ -377,7 +377,7 @@ fn run_epoch_parallel(
 
 /// A lane's epoch-barrier recovery snapshot, minus the executor export
 /// (which the recovered executor was just restored from).
-fn stripped(snap: &SnapshotState) -> SnapshotState {
+pub(crate) fn stripped(snap: &SnapshotState) -> SnapshotState {
     let mut st = snap.clone();
     st.exec_state = None;
     st
@@ -502,10 +502,10 @@ fn recover_lane(
 }
 
 /// The merged campaign state the coordinator owns between barriers.
-struct Global {
-    entries: Vec<QueueEntry>,
-    virgin: VirginMap,
-    crashes: Vec<CrashRecord>,
+pub(crate) struct Global {
+    pub(crate) entries: Vec<QueueEntry>,
+    pub(crate) virgin: VirginMap,
+    pub(crate) crashes: Vec<CrashRecord>,
     /// Exact-input dedup for the queue merge.
     input_index: HashMap<Vec<u8>, usize>,
     /// Site dedup for the crash merge. Lookup only — never iterated.
@@ -513,7 +513,7 @@ struct Global {
 }
 
 impl Global {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Global {
             entries: Vec::new(),
             virgin: VirginMap::new(),
@@ -525,7 +525,7 @@ impl Global {
 
     /// Rebuild the global state from a barrier snapshot (every lane's
     /// post-merge collections are identical; lane 0's copy is canonical).
-    fn from_state(st: &SnapshotState) -> Self {
+    pub(crate) fn from_state(st: &SnapshotState) -> Self {
         let mut g = Global {
             entries: st.entries.clone(),
             virgin: st.virgin.clone(),
@@ -548,23 +548,29 @@ impl Global {
     /// canonical lane order, so the result is invariant under lane
     /// completion (and worker) scheduling.
     fn merge_epoch(&mut self, lanes: &mut [Lane]) {
+        let mut states: Vec<&mut SnapshotState> =
+            lanes.iter_mut().map(|l| &mut l.state).collect();
+        self.merge_epoch_states(&mut states);
+    }
+
+    /// The merge protocol itself, on bare barrier states — the substrate
+    /// shared by in-process lanes (above) and lane-per-process campaigns,
+    /// whose barrier states arrive over a pipe instead of a `Lane`.
+    pub(crate) fn merge_epoch_states(&mut self, states: &mut [&mut SnapshotState]) {
         let entry_prefix = self.entries.len();
         let crash_prefix = self.crashes.len();
 
         // Coverage: commutative OR-union.
         let mut scratch = Vec::new();
-        for lane in lanes.iter() {
+        for st in states.iter() {
             scratch.clear();
-            self.virgin.union_tracked(&lane.state.virgin, &mut scratch);
+            self.virgin.union_tracked(&st.virgin, &mut scratch);
         }
 
         // det_done on the shared prefix: OR across lanes (a duplicate
         // deterministic pass adds nothing, so "done anywhere" is "done").
-        for lane in lanes.iter() {
-            for (g, l) in self.entries[..entry_prefix]
-                .iter_mut()
-                .zip(&lane.state.entries)
-            {
+        for st in states.iter() {
+            for (g, l) in self.entries[..entry_prefix].iter_mut().zip(&st.entries) {
                 if l.det_done {
                     g.det_done = true;
                 }
@@ -574,9 +580,9 @@ impl Global {
         // Queue: favored-first, ties in (lane, discovery) order, exact-
         // input dedup. The sort is stable, so equal keys keep lane order.
         let mut candidates: Vec<&QueueEntry> = Vec::new();
-        for lane in lanes.iter() {
-            let from = entry_prefix.min(lane.state.entries.len());
-            candidates.extend(&lane.state.entries[from..]);
+        for st in states.iter() {
+            let from = entry_prefix.min(st.entries.len());
+            candidates.extend(&st.entries[from..]);
         }
         candidates.sort_by_key(|e| !e.favored);
         for e in candidates {
@@ -599,13 +605,13 @@ impl Global {
         // hits from lanes that found the same site independently.
         let base: Vec<u64> = self.crashes[..crash_prefix].iter().map(|c| c.hits).collect();
         let mut merged_hits = base.clone();
-        for lane in lanes.iter() {
+        for st in states.iter() {
             for (j, b) in base.iter().enumerate() {
-                let lane_hits = lane.state.crashes.get(j).map_or(*b, |c| c.hits);
+                let lane_hits = st.crashes.get(j).map_or(*b, |c| c.hits);
                 merged_hits[j] += lane_hits.saturating_sub(*b);
             }
-            let from = crash_prefix.min(lane.state.crashes.len());
-            for c in &lane.state.crashes[from..] {
+            let from = crash_prefix.min(st.crashes.len());
+            for c in &st.crashes[from..] {
                 match self.site_index.get(&c.crash.site_key()) {
                     Some(&j) => self.crashes[j].hits += c.hits,
                     None => {
@@ -621,8 +627,7 @@ impl Global {
 
         // Hand the merged state back; bounce stale mid-batch stages to
         // Pick (their entry index predates the merge).
-        for lane in lanes.iter_mut() {
-            let st = &mut lane.state;
+        for st in states.iter_mut() {
             st.entries = self.entries.clone();
             st.virgin = self.virgin.clone();
             st.crashes = self.crashes.clone();
@@ -637,21 +642,37 @@ impl Global {
 /// collections taken from the global state. Retired lanes still count —
 /// their barrier-state scalars record the work done before retirement.
 fn assemble(lanes: &mut [Lane], global: &Global, sup: &Supervisor) -> CampaignResult {
+    let states: Vec<&SnapshotState> = lanes.iter().map(|l| &l.state).collect();
+    let reports: Vec<_> = lanes.iter().map(|l| l.executor.resilience()).collect();
+    let name = lanes.first().map_or("sharded", |l| l.executor.name());
+    assemble_parts(&states, &reports, name, global, sup)
+}
+
+/// [`assemble`] on bare parts: barrier states plus each lane's lifetime
+/// resilience report. Lane-per-process campaigns collect both over the
+/// wire, so the result assembly cannot require live executors.
+pub(crate) fn assemble_parts(
+    states: &[&SnapshotState],
+    reports: &[closurex::resilience::ResilienceReport],
+    executor_name: &str,
+    global: &Global,
+    sup: &Supervisor,
+) -> CampaignResult {
     let mut execs = 0;
     let mut clock = 0;
     let mut hangs = 0;
     let mut mgmt_cycles = 0;
     let mut exec_cycles = 0;
     let mut resilience = ResilienceCounters::default();
-    for lane in lanes.iter() {
-        let s = &lane.state.scalars;
+    for (st, report) in states.iter().zip(reports) {
+        let s = &st.scalars;
         execs += s.execs;
         clock += s.clock;
         hangs += s.hangs;
         mgmt_cycles += s.mgmt_cycles;
         exec_cycles += s.exec_cycles;
         resilience.absorb(&ResilienceCounters {
-            executor: lane.executor.resilience(),
+            executor: report.clone(),
             harness_faults: s.harness_faults,
             retries: s.retries,
             dropped_inputs: s.dropped_inputs,
@@ -661,10 +682,7 @@ fn assemble(lanes: &mut [Lane], global: &Global, sup: &Supervisor) -> CampaignRe
     }
     resilience.supervision = sup.counters.clone();
     CampaignResult {
-        executor: lanes
-            .first()
-            .map_or("sharded", |l| l.executor.name())
-            .to_string(),
+        executor: executor_name.to_string(),
         execs,
         clock_cycles: clock,
         edges_found: global.virgin.edges_found(),
@@ -683,11 +701,11 @@ fn assemble(lanes: &mut [Lane], global: &Global, sup: &Supervisor) -> CampaignRe
 // Sharded checkpoint files.
 // ---------------------------------------------------------------------------
 
-fn shard_snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+pub(crate) fn shard_snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("shard-ckpt-{epoch:06}.bin"))
 }
 
-fn shard_journal_path(dir: &Path, epoch: u64, lane: usize) -> PathBuf {
+pub(crate) fn shard_journal_path(dir: &Path, epoch: u64, lane: usize) -> PathBuf {
     dir.join(format!("shard-journal-{epoch:06}-{lane:03}.bin"))
 }
 
@@ -708,7 +726,7 @@ fn parse_shard_journal(name: &str) -> Option<(u64, usize)> {
 }
 
 /// All `shard-ckpt-N.bin` files, sorted ascending by epoch.
-fn list_shard_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_shard_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -727,18 +745,36 @@ fn write_shard_snapshot(
     epoch: u64,
     lanes: &mut [Lane],
 ) -> std::io::Result<()> {
-    let mut w = Writer::new();
-    w.put_u64(epoch);
-    w.put_usize(lanes.len());
-    for lane in lanes.iter_mut() {
-        let mut st = lane.state.clone();
-        st.exec_state = lane.executor.export_state();
-        w.put_bytes(&st.encode());
-    }
+    let states: Vec<SnapshotState> = lanes
+        .iter_mut()
+        .map(|lane| {
+            let mut st = lane.state.clone();
+            st.exec_state = lane.executor.export_state();
+            st
+        })
+        .collect();
     let fp = lanes
         .first()
         .and_then(|l| l.executor.module_fingerprint())
         .unwrap_or(0);
+    write_shard_snapshot_states(ck, epoch, &states, fp)
+}
+
+/// [`write_shard_snapshot`] on pre-exported states — lane-per-process
+/// campaigns receive each lane's state (executor export included) over the
+/// wire and persist it from the supervisor side.
+pub(crate) fn write_shard_snapshot_states(
+    ck: &CheckpointConfig,
+    epoch: u64,
+    states: &[SnapshotState],
+    fp: u64,
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.put_u64(epoch);
+    w.put_usize(states.len());
+    for st in states {
+        w.put_bytes(&st.encode());
+    }
     let bytes = seal_snapshot(&w.into_bytes(), fp);
     write_sealed(&shard_snapshot_path(&ck.dir, epoch), &bytes, ck.fsync)
 }
@@ -746,7 +782,9 @@ fn write_shard_snapshot(
 /// Load and validate one shard snapshot: `(epoch, per-lane states, target
 /// fingerprint)`.
 #[allow(clippy::type_complexity)]
-fn load_shard_snapshot(path: &Path) -> Result<(u64, Vec<SnapshotState>, u64), WireError> {
+pub(crate) fn load_shard_snapshot(
+    path: &Path,
+) -> Result<(u64, Vec<SnapshotState>, u64), WireError> {
     let bytes = fs::read(path).map_err(|_| WireError::Truncated)?;
     let (fp, payload) = open_sealed(&bytes)?;
     let mut r = Reader::new(payload);
@@ -768,7 +806,7 @@ fn load_shard_snapshot(path: &Path) -> Result<(u64, Vec<SnapshotState>, u64), Wi
 
 /// Keep the newest `keep` shard snapshots; drop older ones and the
 /// journals of epochs nothing can resume from anymore.
-fn rotate_shards(dir: &Path, keep: usize) -> std::io::Result<()> {
+pub(crate) fn rotate_shards(dir: &Path, keep: usize) -> std::io::Result<()> {
     sweep_orphan_tmp(dir)?;
     let snaps = list_shard_snapshots(dir)?;
     let keep = keep.max(1);

@@ -38,7 +38,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
 
 use serde::{Deserialize, Serialize};
-use vmos::OrchFaultPlan;
+use vmos::{OrchFaultPlan, ProcFaultPlan};
 
 /// Marker embedded in injected panic payloads (diagnostics only — the
 /// supervisor treats injected and organic panics identically).
@@ -56,6 +56,17 @@ pub struct SupervisorConfig {
     pub hang_deadline_ticks: u64,
     /// Orchestration-layer fault injection plan (default: none).
     pub faults: OrchFaultPlan,
+    /// Process-layer fault injection plan, honored only by
+    /// `Isolation::Process` campaigns (default: none). In-process
+    /// campaigns ignore it — there is no process to kill.
+    pub proc_faults: ProcFaultPlan,
+    /// Wall-clock milliseconds the supervisor waits for a worker frame
+    /// before declaring the worker stalled, killing, and respawning it.
+    /// Unlike [`SupervisorConfig::hang_deadline_ticks`] this is real time:
+    /// a wedged *process* makes no simulated-clock progress the parent
+    /// could observe. Recovery stays deterministic because the re-run is,
+    /// whatever the wall-clock moment the deadline fired.
+    pub read_deadline_ms: u64,
 }
 
 impl Default for SupervisorConfig {
@@ -64,6 +75,8 @@ impl Default for SupervisorConfig {
             max_lane_retries: 2,
             hang_deadline_ticks: 2048,
             faults: OrchFaultPlan::none(),
+            proc_faults: ProcFaultPlan::none(),
+            read_deadline_ms: 10_000,
         }
     }
 }
@@ -77,6 +90,19 @@ pub enum LaneFault {
     Hang,
     /// The lane finished its epoch but the barrier handoff was lost.
     BarrierTimeout,
+    /// The lane's worker process died to a signal (SIGKILL, SIGABRT, …).
+    Signal(i32),
+    /// The lane's worker process exited with a nonzero status mid-epoch
+    /// (e.g. the conventional OOM-kill status 137).
+    Exit(i32),
+    /// The worker's pipe closed without a status — the process vanished.
+    PipeEof,
+    /// The worker sent a frame that failed checksum/framing validation;
+    /// its state is untrusted and the process is replaced.
+    FrameCorrupt,
+    /// The worker missed the supervisor's wall-clock read deadline and
+    /// was killed.
+    Deadline,
 }
 
 impl LaneFault {
@@ -86,6 +112,11 @@ impl LaneFault {
             LaneFault::Panic(_) => "panic",
             LaneFault::Hang => "hang",
             LaneFault::BarrierTimeout => "barrier_timeout",
+            LaneFault::Signal(_) => "signal",
+            LaneFault::Exit(_) => "exit",
+            LaneFault::PipeEof => "pipe_eof",
+            LaneFault::FrameCorrupt => "frame_corrupt",
+            LaneFault::Deadline => "deadline",
         }
     }
 }
@@ -96,6 +127,11 @@ impl std::fmt::Display for LaneFault {
             LaneFault::Panic(msg) => write!(f, "panic: {msg}"),
             LaneFault::Hang => write!(f, "hang past the heartbeat deadline"),
             LaneFault::BarrierTimeout => write!(f, "barrier handoff timed out"),
+            LaneFault::Signal(sig) => write!(f, "worker killed by signal {sig}"),
+            LaneFault::Exit(code) => write!(f, "worker exited with status {code}"),
+            LaneFault::PipeEof => write!(f, "worker pipe closed unexpectedly"),
+            LaneFault::FrameCorrupt => write!(f, "worker sent a corrupt frame"),
+            LaneFault::Deadline => write!(f, "worker missed the read deadline"),
         }
     }
 }
@@ -133,6 +169,19 @@ pub struct SupervisionCounters {
     pub lane_rebuilds: u64,
     /// Lane-epochs successfully re-executed from their barrier snapshot.
     pub recovered: u64,
+    /// Worker processes that died to a signal (process isolation only).
+    pub worker_signals: u64,
+    /// Worker processes that exited nonzero mid-epoch.
+    pub worker_exits: u64,
+    /// Worker pipes that closed without a status.
+    pub pipe_eofs: u64,
+    /// Corrupt frames received from workers.
+    pub frame_corruptions: u64,
+    /// Workers killed for missing the wall-clock read deadline.
+    pub deadline_kills: u64,
+    /// Per-lane worker respawn counts (`lane_respawns[i]` = times lane
+    /// `i`'s process was replaced). Empty for in-process campaigns.
+    pub lane_respawns: Vec<u64>,
     /// Lanes retired after exhausting their retry budget.
     pub degradations: Vec<LaneDegradation>,
 }
@@ -144,17 +193,40 @@ impl SupervisionCounters {
             LaneFault::Panic(_) => self.lane_panics += 1,
             LaneFault::Hang => self.lane_hangs += 1,
             LaneFault::BarrierTimeout => self.barrier_timeouts += 1,
+            LaneFault::Signal(_) => self.worker_signals += 1,
+            LaneFault::Exit(_) => self.worker_exits += 1,
+            LaneFault::PipeEof => self.pipe_eofs += 1,
+            LaneFault::FrameCorrupt => self.frame_corruptions += 1,
+            LaneFault::Deadline => self.deadline_kills += 1,
         }
+    }
+
+    /// Tally one worker-process respawn for `lane`.
+    pub(crate) fn record_respawn(&mut self, lane: usize) {
+        if self.lane_respawns.len() <= lane {
+            self.lane_respawns.resize(lane + 1, 0);
+        }
+        self.lane_respawns[lane] += 1;
     }
 
     /// Total faults contained (each was an abort before supervision).
     pub fn faults_contained(&self) -> u64 {
-        self.lane_panics + self.lane_hangs + self.barrier_timeouts
+        self.lane_panics
+            + self.lane_hangs
+            + self.barrier_timeouts
+            + self.worker_signals
+            + self.worker_exits
+            + self.pipe_eofs
+            + self.frame_corruptions
+            + self.deadline_kills
     }
 
     /// Did the supervisor do anything at all?
     pub fn is_quiet(&self) -> bool {
-        self.faults_contained() == 0 && self.lane_rebuilds == 0 && self.degradations.is_empty()
+        self.faults_contained() == 0
+            && self.lane_rebuilds == 0
+            && self.lane_respawns.iter().all(|&n| n == 0)
+            && self.degradations.is_empty()
     }
 
     /// Fold another campaign's (or lane set's) counters into this one.
@@ -164,6 +236,17 @@ impl SupervisionCounters {
         self.barrier_timeouts += other.barrier_timeouts;
         self.lane_rebuilds += other.lane_rebuilds;
         self.recovered += other.recovered;
+        self.worker_signals += other.worker_signals;
+        self.worker_exits += other.worker_exits;
+        self.pipe_eofs += other.pipe_eofs;
+        self.frame_corruptions += other.frame_corruptions;
+        self.deadline_kills += other.deadline_kills;
+        if self.lane_respawns.len() < other.lane_respawns.len() {
+            self.lane_respawns.resize(other.lane_respawns.len(), 0);
+        }
+        for (mine, theirs) in self.lane_respawns.iter_mut().zip(&other.lane_respawns) {
+            *mine += theirs;
+        }
         self.degradations.extend(other.degradations.iter().cloned());
     }
 }
@@ -275,7 +358,43 @@ mod tests {
         assert_eq!(LaneFault::Panic(String::new()).name(), "panic");
         assert_eq!(LaneFault::Hang.name(), "hang");
         assert_eq!(LaneFault::BarrierTimeout.name(), "barrier_timeout");
+        assert_eq!(LaneFault::Signal(9).name(), "signal");
+        assert_eq!(LaneFault::Exit(137).name(), "exit");
+        assert_eq!(LaneFault::PipeEof.name(), "pipe_eof");
+        assert_eq!(LaneFault::FrameCorrupt.name(), "frame_corrupt");
+        assert_eq!(LaneFault::Deadline.name(), "deadline");
         assert_eq!(format!("{}", LaneFault::Hang), "hang past the heartbeat deadline");
+        assert_eq!(format!("{}", LaneFault::Signal(9)), "worker killed by signal 9");
+    }
+
+    #[test]
+    fn process_faults_count_and_respawns_tally() {
+        let mut c = SupervisionCounters::default();
+        for f in [
+            LaneFault::Signal(9),
+            LaneFault::Exit(137),
+            LaneFault::PipeEof,
+            LaneFault::FrameCorrupt,
+            LaneFault::Deadline,
+        ] {
+            c.record(&f);
+        }
+        assert_eq!(c.faults_contained(), 5);
+        assert!(!c.is_quiet());
+        c.record_respawn(2);
+        c.record_respawn(2);
+        c.record_respawn(0);
+        assert_eq!(c.lane_respawns, vec![1, 0, 2]);
+        let mut sum = SupervisionCounters::default();
+        sum.absorb(&c);
+        sum.absorb(&c);
+        assert_eq!(sum.lane_respawns, vec![2, 0, 4]);
+        assert_eq!(sum.deadline_kills, 2);
+        let quiet = SupervisionCounters {
+            lane_respawns: vec![0, 0],
+            ..SupervisionCounters::default()
+        };
+        assert!(quiet.is_quiet(), "zero respawn entries stay quiet");
     }
 
     #[test]

@@ -53,6 +53,28 @@ impl Mechanism {
         }
     }
 
+    /// Stable wire tag for worker specs (see
+    /// [`MechanismFactory::worker_spec`]).
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Mechanism::Fresh => 0,
+            Mechanism::ForkServer => 1,
+            Mechanism::NaivePersistent => 2,
+            Mechanism::ClosureX => 3,
+        }
+    }
+
+    /// Inverse of [`Mechanism::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Mechanism::Fresh,
+            1 => Mechanism::ForkServer,
+            2 => Mechanism::NaivePersistent,
+            3 => Mechanism::ClosureX,
+            _ => return None,
+        })
+    }
+
     /// Build an executor over an already-compiled module.
     ///
     /// # Errors
@@ -87,6 +109,7 @@ impl Mechanism {
 /// [`ExecutorFactory::build`] instruments a fresh executor over it.
 pub struct MechanismFactory {
     mechanism: Mechanism,
+    target_name: &'static str,
     module: fir::Module,
 }
 
@@ -95,6 +118,7 @@ impl MechanismFactory {
     pub fn new(mechanism: Mechanism, target: &TargetSpec) -> Self {
         MechanismFactory {
             mechanism,
+            target_name: target.name,
             module: target.module(),
         }
     }
@@ -104,6 +128,39 @@ impl ExecutorFactory for MechanismFactory {
     fn build(&self) -> Result<Box<dyn Executor + Send>, HarnessError> {
         self.mechanism.build(&self.module)
     }
+
+    /// Process-isolated campaigns ship `(mechanism tag, target name)` to
+    /// each worker; the worker's [`factory_from_spec`] recompiles the
+    /// bundled target by name — bit-identical modules on both sides.
+    fn worker_spec(&self) -> Option<Vec<u8>> {
+        let mut w = vmos::Writer::new();
+        w.put_u8(self.mechanism.wire_tag());
+        w.put_str(self.target_name);
+        Some(w.into_bytes())
+    }
+}
+
+/// Rebuild the factory a [`MechanismFactory::worker_spec`] describes — the
+/// parser a `proc` worker entrypoint hands to
+/// [`aflrs::worker_main_hook`].
+///
+/// # Errors
+/// A human-readable message when the spec bytes are malformed, name an
+/// unknown mechanism tag, or name a target this build does not bundle.
+pub fn factory_from_spec(spec: &[u8]) -> Result<Box<dyn ExecutorFactory>, String> {
+    let mut r = vmos::Reader::new(spec);
+    let tag = r.get_u8().map_err(|e| format!("bad worker spec: {e:?}"))?;
+    let name = r
+        .get_str()
+        .map_err(|e| format!("bad worker spec: {e:?}"))?;
+    if !r.is_empty() {
+        return Err("bad worker spec: trailing bytes".to_string());
+    }
+    let mechanism =
+        Mechanism::from_wire_tag(tag).ok_or_else(|| format!("unknown mechanism tag {tag}"))?;
+    let target =
+        targets::by_name(&name).ok_or_else(|| format!("unknown target {name:?} in worker spec"))?;
+    Ok(Box::new(MechanismFactory::new(mechanism, target)))
 }
 
 /// Per-trial budget: `CLOSUREX_BUDGET` env var or [`DEFAULT_BUDGET`].

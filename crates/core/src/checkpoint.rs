@@ -27,7 +27,7 @@
 
 use vmos::{Reader, WireError, Writer};
 
-use crate::resilience::DegradationLevel;
+use crate::resilience::{DegradationLevel, ResilienceReport};
 
 impl DegradationLevel {
     /// Stable wire tag (checkpoint format v1; append-only).
@@ -149,6 +149,37 @@ impl ExecutorState {
     }
 }
 
+impl ResilienceReport {
+    /// Encode into `w` — out-of-process lanes ship their lifetime
+    /// resilience counters to the supervisor over this codec at every
+    /// barrier.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.respawns);
+        w.put_u64(self.divergences);
+        w.put_u64(self.integrity_checks);
+        w.put_u64(self.quarantined);
+        w.put_u64(self.quarantine_dropped);
+        w.put_u64(self.harness_faults);
+        w.put_u8(self.degradation.wire_tag());
+    }
+
+    /// Decode from `r`.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncated or malformed bytes — never panics.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ResilienceReport {
+            respawns: r.get_u64()?,
+            divergences: r.get_u64()?,
+            integrity_checks: r.get_u64()?,
+            quarantined: r.get_u64()?,
+            quarantine_dropped: r.get_u64()?,
+            harness_faults: r.get_u64()?,
+            degradation: DegradationLevel::from_wire_tag(r.get_u8()?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +254,29 @@ mod tests {
         // huge value; decode must reject it without allocating.
         bytes[42..50].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(ExecutorState::decode(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn resilience_report_round_trips() {
+        let r = ResilienceReport {
+            respawns: 2,
+            divergences: 1,
+            integrity_checks: 64,
+            quarantined: 3,
+            quarantine_dropped: 1,
+            harness_faults: 5,
+            degradation: DegradationLevel::ForkPerExec,
+        };
+        for report in [ResilienceReport::default(), r] {
+            let mut w = Writer::new();
+            report.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut rd = Reader::new(&bytes);
+            assert_eq!(ResilienceReport::decode(&mut rd).unwrap(), report);
+            assert!(rd.is_empty());
+            for cut in 0..bytes.len() {
+                assert!(ResilienceReport::decode(&mut Reader::new(&bytes[..cut])).is_err());
+            }
+        }
     }
 }

@@ -146,6 +146,15 @@ pub trait ExecutorFactory: Sync {
     fn build_revalidator(&self) -> Result<Option<Box<dyn Executor + Send>>, HarnessError> {
         Ok(None)
     }
+
+    /// A self-contained byte recipe from which a *worker process* can
+    /// reconstruct an equivalent factory (lane-per-process campaigns ship
+    /// it to each child over the wire; the child's entrypoint parses it
+    /// back into a factory). Default: `None` — the factory only works
+    /// in-process, and `Isolation::Process` campaigns refuse it up front.
+    fn worker_spec(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 #[cfg(test)]

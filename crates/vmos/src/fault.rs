@@ -406,6 +406,330 @@ impl OrchFaultPlan {
     pub fn aux_bits(&self, lane: u64, epoch: u64, attempt: u32) -> u64 {
         self.position_bits(lane, epoch, attempt, 0x5C5C)
     }
+
+    /// Encode the plan for transfer to a worker process (stable wire
+    /// format; a worker must inject exactly the faults its in-process twin
+    /// would).
+    pub fn encode(&self, w: &mut crate::wire::Writer) {
+        w.put_u64(self.seed);
+        w.put_u64(self.worker_panic.to_bits());
+        w.put_u64(self.lane_hang.to_bits());
+        w.put_u64(self.barrier_timeout.to_bits());
+        w.put_usize(self.targeted.len());
+        for t in &self.targeted {
+            w.put_u64(t.lane);
+            w.put_u64(t.epoch);
+            w.put_u8(t.kind.wire_tag());
+            w.put_u32(t.fires);
+        }
+    }
+
+    /// Decode a plan written by [`OrchFaultPlan::encode`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError`] on truncated or malformed bytes.
+    pub fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let seed = r.get_u64()?;
+        let worker_panic = f64::from_bits(r.get_u64()?);
+        let lane_hang = f64::from_bits(r.get_u64()?);
+        let barrier_timeout = f64::from_bits(r.get_u64()?);
+        let n = r.get_count()?;
+        // Each targeted fault is 21 bytes on the wire.
+        if n > r.remaining() / 21 {
+            return Err(crate::wire::WireError::Truncated);
+        }
+        let mut targeted = Vec::with_capacity(n);
+        for _ in 0..n {
+            targeted.push(OrchFault {
+                lane: r.get_u64()?,
+                epoch: r.get_u64()?,
+                kind: OrchFaultKind::from_wire_tag(r.get_u8()?)?,
+                fires: r.get_u32()?,
+            });
+        }
+        Ok(OrchFaultPlan {
+            seed,
+            worker_panic,
+            lane_hang,
+            barrier_timeout,
+            targeted,
+        })
+    }
+}
+
+impl OrchFaultKind {
+    /// Stable wire tag for plan transfer.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            OrchFaultKind::WorkerPanic => 0,
+            OrchFaultKind::LaneHang => 1,
+            OrchFaultKind::BarrierTimeout => 2,
+        }
+    }
+
+    /// Inverse of [`OrchFaultKind::wire_tag`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError::Malformed`] on an unknown tag.
+    pub fn from_wire_tag(tag: u8) -> Result<Self, crate::wire::WireError> {
+        Ok(match tag {
+            0 => OrchFaultKind::WorkerPanic,
+            1 => OrchFaultKind::LaneHang,
+            2 => OrchFaultKind::BarrierTimeout,
+            _ => return Err(crate::wire::WireError::Malformed("orch fault tag")),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-isolation faults.
+// ---------------------------------------------------------------------------
+
+/// Faults that kill or corrupt a whole worker *process* rather than a lane
+/// thread — the hazards lane-per-process isolation exists to contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcFaultKind {
+    /// The supervisor SIGKILLs the worker mid-epoch (models an external
+    /// OOM-killer or operator kill: the child gets no chance to clean up).
+    Kill,
+    /// The worker aborts mid-epoch (`abort()` — a heap-corruption check,
+    /// a failed assertion).
+    Abort,
+    /// The worker exits with the conventional OOM status (137) mid-epoch.
+    Oom,
+    /// The worker stops responding mid-epoch and must be caught by the
+    /// supervisor's wall-clock read deadline.
+    Stall,
+    /// The worker completes its epoch but its barrier frame arrives
+    /// corrupted (torn or bit-flipped on the pipe).
+    GarbageFrame,
+}
+
+impl ProcFaultKind {
+    /// Every kind, in salt order.
+    pub const ALL: [ProcFaultKind; 5] = [
+        ProcFaultKind::Kill,
+        ProcFaultKind::Abort,
+        ProcFaultKind::Oom,
+        ProcFaultKind::Stall,
+        ProcFaultKind::GarbageFrame,
+    ];
+
+    /// Stable short name for logs and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcFaultKind::Kill => "kill",
+            ProcFaultKind::Abort => "abort",
+            ProcFaultKind::Oom => "oom",
+            ProcFaultKind::Stall => "stall",
+            ProcFaultKind::GarbageFrame => "garbage_frame",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            ProcFaultKind::Kill => 11,
+            ProcFaultKind::Abort => 12,
+            ProcFaultKind::Oom => 13,
+            ProcFaultKind::Stall => 14,
+            ProcFaultKind::GarbageFrame => 15,
+        }
+    }
+
+    /// Stable wire tag for plan transfer.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            ProcFaultKind::Kill => 0,
+            ProcFaultKind::Abort => 1,
+            ProcFaultKind::Oom => 2,
+            ProcFaultKind::Stall => 3,
+            ProcFaultKind::GarbageFrame => 4,
+        }
+    }
+
+    /// Inverse of [`ProcFaultKind::wire_tag`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError::Malformed`] on an unknown tag.
+    pub fn from_wire_tag(tag: u8) -> Result<Self, crate::wire::WireError> {
+        Ok(match tag {
+            0 => ProcFaultKind::Kill,
+            1 => ProcFaultKind::Abort,
+            2 => ProcFaultKind::Oom,
+            3 => ProcFaultKind::Stall,
+            4 => ProcFaultKind::GarbageFrame,
+            _ => return Err(crate::wire::WireError::Malformed("proc fault tag")),
+        })
+    }
+}
+
+/// One targeted process fault, mirroring [`OrchFault`] at the process
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcFault {
+    /// Lane (= worker process) index the fault targets.
+    pub lane: u64,
+    /// Epoch the fault targets.
+    pub epoch: u64,
+    /// What goes wrong.
+    pub kind: ProcFaultKind,
+    /// Consecutive attempts (starting at 0) that fail before the worker
+    /// runs clean.
+    pub fires: u32,
+}
+
+/// A deterministic plan of process-level faults. Decisions are pure in
+/// `(lane, epoch, attempt)` for the same scheduling-independence reasons
+/// as [`OrchFaultPlan`]; the supervisor and the targeted worker both
+/// evaluate the same plan and agree on what fires where.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcFaultPlan {
+    /// Seed for the probabilistic rolls.
+    pub seed: u64,
+    /// P(SIGKILL from the supervisor) per lane-epoch attempt.
+    pub kill: f64,
+    /// P(worker abort) per lane-epoch attempt.
+    pub abort: f64,
+    /// P(worker OOM exit) per lane-epoch attempt.
+    pub oom: f64,
+    /// P(worker stall) per lane-epoch attempt.
+    pub stall: f64,
+    /// P(corrupted barrier frame) per lane-epoch attempt.
+    pub garbage_frame: f64,
+    /// Targeted faults, checked before the probabilistic rolls (first
+    /// match wins).
+    pub targeted: Vec<ProcFault>,
+}
+
+impl ProcFaultPlan {
+    /// No process faults (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single targeted fault firing once at `(lane, epoch)`.
+    pub fn at(lane: u64, epoch: u64, kind: ProcFaultKind) -> Self {
+        ProcFaultPlan {
+            targeted: vec![ProcFault {
+                lane,
+                epoch,
+                kind,
+                fires: 1,
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// Probability configured for `kind`.
+    pub fn rate(&self, kind: ProcFaultKind) -> f64 {
+        match kind {
+            ProcFaultKind::Kill => self.kill,
+            ProcFaultKind::Abort => self.abort,
+            ProcFaultKind::Oom => self.oom,
+            ProcFaultKind::Stall => self.stall,
+            ProcFaultKind::GarbageFrame => self.garbage_frame,
+        }
+    }
+
+    /// Does this plan never inject anything?
+    pub fn is_none(&self) -> bool {
+        self.targeted.is_empty() && ProcFaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+
+    fn position_bits(&self, lane: u64, epoch: u64, attempt: u32, salt: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ epoch.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ u64::from(attempt).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                ^ salt.wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+        )
+    }
+
+    /// Should a process fault hit this `(lane, epoch, attempt)`? Targeted
+    /// faults win; kinds roll in [`ProcFaultKind::ALL`] order. Pure in the
+    /// plan and the position.
+    pub fn decide(&self, lane: u64, epoch: u64, attempt: u32) -> Option<ProcFaultKind> {
+        for t in &self.targeted {
+            if t.lane == lane && t.epoch == epoch && attempt < t.fires {
+                return Some(t.kind);
+            }
+        }
+        for &k in &ProcFaultKind::ALL {
+            let p = self.rate(k);
+            if p <= 0.0 {
+                continue;
+            }
+            let bits = self.position_bits(lane, epoch, attempt, k.salt());
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < p {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Deterministic auxiliary bits for a decided fault — how many steps
+    /// into the epoch the process dies or wedges.
+    pub fn aux_bits(&self, lane: u64, epoch: u64, attempt: u32) -> u64 {
+        self.position_bits(lane, epoch, attempt, 0x7A7A)
+    }
+
+    /// Encode the plan for transfer to a worker process.
+    pub fn encode(&self, w: &mut crate::wire::Writer) {
+        w.put_u64(self.seed);
+        w.put_u64(self.kill.to_bits());
+        w.put_u64(self.abort.to_bits());
+        w.put_u64(self.oom.to_bits());
+        w.put_u64(self.stall.to_bits());
+        w.put_u64(self.garbage_frame.to_bits());
+        w.put_usize(self.targeted.len());
+        for t in &self.targeted {
+            w.put_u64(t.lane);
+            w.put_u64(t.epoch);
+            w.put_u8(t.kind.wire_tag());
+            w.put_u32(t.fires);
+        }
+    }
+
+    /// Decode a plan written by [`ProcFaultPlan::encode`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError`] on truncated or malformed bytes.
+    pub fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let seed = r.get_u64()?;
+        let kill = f64::from_bits(r.get_u64()?);
+        let abort = f64::from_bits(r.get_u64()?);
+        let oom = f64::from_bits(r.get_u64()?);
+        let stall = f64::from_bits(r.get_u64()?);
+        let garbage_frame = f64::from_bits(r.get_u64()?);
+        let n = r.get_count()?;
+        if n > r.remaining() / 21 {
+            return Err(crate::wire::WireError::Truncated);
+        }
+        let mut targeted = Vec::with_capacity(n);
+        for _ in 0..n {
+            targeted.push(ProcFault {
+                lane: r.get_u64()?,
+                epoch: r.get_u64()?,
+                kind: ProcFaultKind::from_wire_tag(r.get_u8()?)?,
+                fires: r.get_u32()?,
+            });
+        }
+        Ok(ProcFaultPlan {
+            seed,
+            kill,
+            abort,
+            oom,
+            stall,
+            garbage_frame,
+            targeted,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -550,5 +874,108 @@ mod tests {
         assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(0, 0, 1));
         assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(1, 0, 0));
         assert_eq!(p.aux_bits(3, 2, 1), p.aux_bits(3, 2, 1));
+    }
+
+    #[test]
+    fn orch_plan_round_trips_on_the_wire() {
+        let mut p = OrchFaultPlan::uniform(0xABCD, 0.125);
+        p.targeted.push(OrchFault {
+            lane: 3,
+            epoch: 9,
+            kind: OrchFaultKind::BarrierTimeout,
+            fires: 4,
+        });
+        let mut w = crate::wire::Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::wire::Reader::new(&bytes);
+        assert_eq!(OrchFaultPlan::decode(&mut r).unwrap(), p);
+        assert!(r.is_empty());
+        for cut in 0..bytes.len() {
+            let mut r = crate::wire::Reader::new(&bytes[..cut]);
+            assert!(OrchFaultPlan::decode(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn proc_targeted_fault_fires_then_clears() {
+        let p = ProcFaultPlan::at(1, 2, ProcFaultKind::Abort);
+        assert!(!p.is_none());
+        assert_eq!(p.decide(1, 2, 0), Some(ProcFaultKind::Abort));
+        assert_eq!(p.decide(1, 2, 1), None, "retry runs clean");
+        assert_eq!(p.decide(1, 1, 0), None);
+        assert_eq!(p.decide(0, 2, 0), None);
+        assert!(ProcFaultPlan::none().is_none());
+    }
+
+    #[test]
+    fn proc_decisions_are_position_pure_and_seeded() {
+        let p = ProcFaultPlan {
+            seed: 0x1234,
+            kill: 0.3,
+            abort: 0.3,
+            oom: 0.3,
+            stall: 0.3,
+            garbage_frame: 0.3,
+            targeted: Vec::new(),
+        };
+        let sweep = || {
+            let mut v = Vec::new();
+            for lane in 0..6 {
+                for epoch in 0..6 {
+                    v.push(p.decide(lane, epoch, 0));
+                }
+            }
+            v
+        };
+        assert_eq!(sweep(), sweep());
+        assert!(sweep().iter().any(Option::is_some));
+        let other = ProcFaultPlan {
+            seed: 0x4321,
+            ..p.clone()
+        };
+        assert!(
+            (0..6).any(|l| (0..6).any(|e| p.decide(l, e, 0) != other.decide(l, e, 0))),
+            "the seed must matter"
+        );
+        assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(0, 1, 0));
+    }
+
+    #[test]
+    fn proc_plan_round_trips_on_the_wire() {
+        let mut p = ProcFaultPlan {
+            seed: 7,
+            kill: 0.5,
+            ..ProcFaultPlan::default()
+        };
+        p.targeted.push(ProcFault {
+            lane: 0,
+            epoch: 1,
+            kind: ProcFaultKind::GarbageFrame,
+            fires: 2,
+        });
+        let mut w = crate::wire::Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::wire::Reader::new(&bytes);
+        assert_eq!(ProcFaultPlan::decode(&mut r).unwrap(), p);
+        assert!(r.is_empty());
+        for cut in 0..bytes.len() {
+            let mut r = crate::wire::Reader::new(&bytes[..cut]);
+            assert!(ProcFaultPlan::decode(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn proc_fault_tags_round_trip() {
+        for kind in ProcFaultKind::ALL {
+            assert_eq!(ProcFaultKind::from_wire_tag(kind.wire_tag()).unwrap(), kind);
+            assert!(!kind.name().is_empty());
+        }
+        assert!(ProcFaultKind::from_wire_tag(99).is_err());
+        for kind in OrchFaultKind::ALL {
+            assert_eq!(OrchFaultKind::from_wire_tag(kind.wire_tag()).unwrap(), kind);
+        }
+        assert!(OrchFaultKind::from_wire_tag(99).is_err());
     }
 }

@@ -51,8 +51,14 @@ pub use cov::{CovMap, MAP_SIZE};
 pub use crash::{Crash, CrashKind};
 pub use decoded::DecodedImage;
 pub use engine::{reference_engine, set_reference_engine, ReferenceEngineGuard};
-pub use fault::{FaultKind, FaultPlan, FaultPlane, OrchFault, OrchFaultKind, OrchFaultPlan};
+pub use fault::{
+    FaultKind, FaultPlan, FaultPlane, OrchFault, OrchFaultKind, OrchFaultPlan, ProcFault,
+    ProcFaultKind, ProcFaultPlan,
+};
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
 pub use os::{Os, OsError};
 pub use process::Process;
-pub use wire::{Reader, WireError, Writer};
+pub use wire::{
+    read_frame, write_frame, FrameError, Reader, WireError, Writer, FRAME_HEADER_LEN, FRAME_MAGIC,
+    MAX_FRAME_LEN,
+};
