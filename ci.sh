@@ -28,3 +28,10 @@ cargo run --release -p bench --bin supervision_eval -- --smoke
 # non-stall recovery overhead must stay within 2x of the blessed floor in
 # results/BENCH_proc_floor.json.
 cargo run --release -p bench --bin proc_eval -- --smoke
+# Storage fault-plane gate: every injected disk fault (ENOSPC, EIO, short
+# write, crash-at-boundary, lost rename, bitrot) at every probed I/O
+# boundary, on both isolation modes, must end in a sanctioned state —
+# retried, degraded with a typed report, or killed and resumed
+# bit-identically — and the clean-path checkpoint overhead must stay
+# within 2x of the blessed ceiling in results/BENCH_storage_floor.json.
+cargo run --release -p bench --bin storage_eval -- --smoke

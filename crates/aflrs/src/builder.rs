@@ -122,6 +122,7 @@ pub struct Campaign<'a> {
     supervision: SupervisorConfig,
     supervision_set: bool,
     isolation: Isolation,
+    disk_faults: Option<vmos::DiskFaultPlan>,
 }
 
 impl<'a> Campaign<'a> {
@@ -140,6 +141,7 @@ impl<'a> Campaign<'a> {
             supervision: SupervisorConfig::default(),
             supervision_set: false,
             isolation: Isolation::default(),
+            disk_faults: None,
         }
     }
 
@@ -203,6 +205,30 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Inject deterministic storage faults into every checkpoint I/O
+    /// operation (only meaningful with [`Campaign::checkpoint`] — the plan
+    /// rides in [`CheckpointConfig::disk_faults`]; set here it wins over
+    /// the config's own field regardless of call order). See
+    /// [`vmos::DiskFaultPlan`] for the fault vocabulary and
+    /// [`crate::StorageCounters`] for what the recovery ladder reports.
+    pub fn storage_faults(mut self, plan: vmos::DiskFaultPlan) -> Self {
+        self.disk_faults = Some(plan);
+        self
+    }
+
+    /// The checkpoint config with the builder-level fault plan folded in.
+    fn armed_checkpoint(
+        checkpoint: Option<CheckpointConfig>,
+        disk_faults: Option<vmos::DiskFaultPlan>,
+    ) -> Option<CheckpointConfig> {
+        checkpoint.map(|mut ck| {
+            if let Some(plan) = disk_faults {
+                ck.disk_faults = plan;
+            }
+            ck
+        })
+    }
+
     /// Choose where lanes execute (sharded mode only; default
     /// [`Isolation::InProcess`]). [`Isolation::Process`] runs each lane in
     /// a supervised child process — see [`crate::proc`].
@@ -233,8 +259,10 @@ impl<'a> Campaign<'a> {
             supervision,
             supervision_set,
             isolation,
+            disk_faults,
             ..
         } = self;
+        let checkpoint = Self::armed_checkpoint(checkpoint, disk_faults);
         match (factory, executor) {
             (Some(_), Some(_)) => Err(CampaignError::Config(
                 "provide an executor or a factory, not both",
@@ -296,9 +324,10 @@ impl<'a> Campaign<'a> {
             supervision,
             supervision_set,
             isolation,
+            disk_faults,
             ..
         } = self;
-        let Some(ck) = checkpoint else {
+        let Some(ck) = Self::armed_checkpoint(checkpoint, disk_faults) else {
             return Err(CampaignError::Config(
                 "resume needs a checkpoint directory: use Campaign::checkpoint",
             ));

@@ -524,6 +524,7 @@ impl<'e> Driver<'e> {
                 dropped_inputs: self.dropped_inputs,
                 watchdog_trips: self.watchdog_trips,
                 supervision: Default::default(),
+                storage: Default::default(),
             },
         }
     }

@@ -55,11 +55,12 @@ use closurex::resilience::HarnessError;
 use rand::rngs::SmallRng;
 use vmos::cov::VirginMap;
 use vmos::wire::fnv1a;
-use vmos::{Crash, Reader, WireError, Writer};
+use vmos::{Crash, DiskFaultPlan, Reader, WireError, Writer};
 
 use crate::campaign::{CampaignConfig, Driver, Stage, StepOutcome};
 use crate::queue::QueueEntry;
 use crate::stats::{CampaignResult, CrashRecord};
+use crate::storage::{faulted_create, flip_bit, fsync_dir, Injected, OpOutcome, Storage};
 
 /// Checkpoint format version; bump on any wire-layout change.
 /// v2: queue entries carry the `favored` bit and the snapshot header embeds
@@ -105,10 +106,23 @@ pub struct CheckpointConfig {
     /// [`CampaignOutcome::Killed`]. Test-harness hook for the
     /// kill-and-resume torture evaluation.
     pub kill_after_execs: Option<u64>,
+    /// Deterministic storage fault injection (disabled by default). Every
+    /// checkpoint I/O operation consults this plan; see
+    /// [`vmos::DiskFaultPlan`] and the [`crate::storage`] recovery ladder.
+    pub disk_faults: DiskFaultPlan,
+    /// Retry budget for transient storage errors before the affected
+    /// stream degrades to in-memory checkpointing.
+    pub storage_retries: u32,
+    /// Base simulated-cycle delay for the storage retry backoff (doubled
+    /// per attempt, plus seeded jitter). Accounted in
+    /// [`crate::StorageCounters::backoff_cycles`], never charged to the
+    /// campaign clock.
+    pub storage_backoff_cycles: u64,
 }
 
 impl CheckpointConfig {
-    /// Defaults: snapshot every 2000 execs, keep 2, fsync on snapshot.
+    /// Defaults: snapshot every 2000 execs, keep 2, fsync on snapshot,
+    /// no fault injection, 3 retries over a 2000-cycle backoff base.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         CheckpointConfig {
             dir: dir.into(),
@@ -116,8 +130,17 @@ impl CheckpointConfig {
             keep_snapshots: 2,
             fsync: FsyncPolicy::default(),
             kill_after_execs: None,
+            disk_faults: DiskFaultPlan::none(),
+            storage_retries: 3,
+            storage_backoff_cycles: 2_000,
         }
     }
+}
+
+/// The storage plane a config describes: its fault plan plus retry and
+/// backoff budgets, bound to stream 0 (the coordinator control plane).
+pub(crate) fn storage_for(ck: &CheckpointConfig) -> Storage {
+    Storage::new(ck.disk_faults.clone(), ck.storage_retries, ck.storage_backoff_cycles)
 }
 
 /// How a checkpointed campaign ended.
@@ -154,8 +177,13 @@ pub struct ResumeInfo {
     /// Snapshots that failed validation (corrupt / truncated / wrong
     /// version) and were skipped in favor of an older one.
     pub corrupt_snapshots_skipped: u64,
-    /// Whether a torn (checksum-failing) journal tail was dropped.
-    pub torn_tail: bool,
+    /// Journal records dropped because they sat in (or beyond) a torn or
+    /// checksum-failing region. Silent journal loss is observable: each
+    /// dropped record is one execution resume will re-run.
+    pub torn_records: u64,
+    /// Corrupt snapshot generations rewritten during replay from an older
+    /// good generation plus the journal chain (scrub-and-repair).
+    pub snapshots_repaired: u64,
     /// Whether the process-wide decoded-image cache already held the
     /// target's lowered image when the resume validated it (`false` also
     /// when the mechanism does not use the decoded engine). Resume warms
@@ -730,25 +758,80 @@ pub(crate) fn seal_snapshot(payload: &[u8], fingerprint: u64) -> Vec<u8> {
     bytes
 }
 
-/// Atomically write sealed snapshot bytes: write to a temp file, optionally
-/// fsync, then rename into place.
-pub(crate) fn write_sealed(final_path: &Path, bytes: &[u8], fsync: FsyncPolicy) -> std::io::Result<()> {
+/// Atomically write sealed snapshot bytes through the storage plane:
+/// write to a temp file, optionally fsync it, rename into place, then
+/// fsync the parent directory so the rename itself is durable (without
+/// the directory fsync a power loss can lose the committed dirent — the
+/// classic rename-without-dir-fsync bug). Each of those four steps is one
+/// storage operation: a distinct retry scope, kill point, and fault-grid
+/// cell.
+pub(crate) fn write_sealed(
+    storage: &Storage,
+    final_path: &Path,
+    bytes: &[u8],
+    fsync: FsyncPolicy,
+) -> OpOutcome {
     let tmp = final_path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        if fsync != FsyncPolicy::Never {
-            f.sync_data()?;
+    // Op: write the temp file (recreated from scratch per attempt, so
+    // retries after a short write are idempotent).
+    let o = storage.op(false, |inj| faulted_create(&tmp, bytes, inj));
+    if o != OpOutcome::Done {
+        return o;
+    }
+    if fsync != FsyncPolicy::Never {
+        // Op: flush the payload to stable storage.
+        let o = storage.op(false, |inj| {
+            if let Injected::Bitrot(aux) = inj {
+                crate::storage::flip_bit_in_file(&tmp, *aux)?;
+            }
+            fs::File::open(&tmp)?.sync_data()
+        });
+        if o != OpOutcome::Done {
+            return o;
         }
     }
-    fs::rename(&tmp, final_path)
+    // Op: commit by rename. An injected partial/lost outcome leaves the
+    // rename undone (the syscall never took effect); a retry after an
+    // already-committed rename is a no-op.
+    let o = storage.op(true, |inj| match inj {
+        Injected::SkipRename | Injected::Partial(_) => Ok(()),
+        Injected::Bitrot(aux) => {
+            fs::rename(&tmp, final_path)?;
+            crate::storage::flip_bit_in_file(final_path, *aux)
+        }
+        Injected::None => match fs::rename(&tmp, final_path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && final_path.is_file() => Ok(()),
+            r => r,
+        },
+    });
+    if o != OpOutcome::Done {
+        return o;
+    }
+    if fsync != FsyncPolicy::Never {
+        if let Some(parent) = final_path.parent() {
+            // Op: make the rename durable. A crash at this boundary models
+            // power loss after rename but before the dirent reached the
+            // platter with the entry surviving; `rename_lost` at the
+            // previous op models it not surviving.
+            let o = storage.op(false, |inj| {
+                if let Injected::Bitrot(aux) = inj {
+                    crate::storage::flip_bit_in_file(final_path, *aux)?;
+                }
+                fsync_dir(parent)
+            });
+            if o != OpOutcome::Done {
+                return o;
+            }
+        }
+    }
+    OpOutcome::Done
 }
 
 /// Capture + seal + atomically write one driver's snapshot.
-fn write_snapshot(dir: &Path, d: &Driver<'_>, fsync: FsyncPolicy) -> std::io::Result<()> {
+fn write_snapshot(storage: &Storage, dir: &Path, d: &Driver<'_>, fsync: FsyncPolicy) -> OpOutcome {
     let fp = d.executor.module_fingerprint().unwrap_or(0);
     let bytes = seal_snapshot(&SnapshotState::capture(d).encode(), fp);
-    write_sealed(&snapshot_path(dir, d.execs), &bytes, fsync)
+    write_sealed(storage, &snapshot_path(dir, d.execs), &bytes, fsync)
 }
 
 /// Little-endian `u32` at `at`, as a wire error instead of a panicking
@@ -827,100 +910,226 @@ pub(crate) fn check_target(
 /// never accumulate in the checkpoint directory. Only snapshot-shaped
 /// names are touched; anything else in the directory is not ours to
 /// delete.
-pub(crate) fn sweep_orphan_tmp(dir: &Path) -> std::io::Result<()> {
-    if !dir.is_dir() {
-        return Ok(());
-    }
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if name.ends_with(".tmp")
-            && (name.starts_with("ckpt-") || name.starts_with("shard-ckpt-"))
-        {
-            let _ = fs::remove_file(entry.path());
+/// Sweeping is cleanup, not correctness: every failure (an unreadable
+/// directory, an undeletable file) is a counted
+/// [`StorageCounters::sweep_warnings`](crate::StorageCounters) warning,
+/// never an error into campaign start or resume.
+pub(crate) fn sweep_orphan_tmp(storage: &Storage, dir: &Path) -> OpOutcome {
+    let mut failed = 0u64;
+    let o = storage.cleanup_op(|_| {
+        if !dir.is_dir() {
+            return Ok(());
         }
+        for entry in fs::read_dir(dir)? {
+            let Ok(entry) = entry else {
+                failed += 1;
+                continue;
+            };
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp")
+                && (name.starts_with("ckpt-") || name.starts_with("shard-ckpt-"))
+                && fs::remove_file(entry.path()).is_err()
+            {
+                failed += 1;
+            }
+        }
+        Ok(())
+    });
+    if failed > 0 {
+        storage.note_sweep_warnings(failed);
     }
-    Ok(())
+    o
 }
 
 /// Delete snapshots beyond the newest `keep`, and journals that start
 /// before the oldest kept snapshot (nothing can resume from them anymore).
-fn rotate(dir: &Path, keep: usize) -> std::io::Result<()> {
-    sweep_orphan_tmp(dir)?;
-    let snaps = list_numbered(dir, "ckpt-")?;
-    let keep = keep.max(1);
-    if snaps.len() <= keep {
-        return Ok(());
+/// Unlink failures are counted warnings (a file we failed to delete today
+/// is retried by the next rotation); successful unlinks are made durable
+/// with a directory fsync.
+fn rotate(storage: &Storage, dir: &Path, keep: usize, fsync: FsyncPolicy) -> OpOutcome {
+    let o = sweep_orphan_tmp(storage, dir);
+    if o.crashed() {
+        return o;
     }
-    let cutoff = snaps[snaps.len() - keep].0;
-    for (n, path) in &snaps[..snaps.len() - keep] {
-        let _ = (n, fs::remove_file(path));
-    }
-    for (base, path) in list_numbered(dir, "journal-")? {
-        if base < cutoff {
-            let _ = fs::remove_file(path);
+    let mut failed = 0u64;
+    let mut removed = false;
+    let o = storage.cleanup_op(|_| {
+        let snaps = list_numbered(dir, "ckpt-")?;
+        let keep = keep.max(1);
+        if snaps.len() <= keep {
+            return Ok(());
         }
+        let cutoff = snaps[snaps.len() - keep].0;
+        for (_, path) in &snaps[..snaps.len() - keep] {
+            match fs::remove_file(path) {
+                Ok(()) => removed = true,
+                Err(_) => failed += 1,
+            }
+        }
+        for (base, path) in list_numbered(dir, "journal-")? {
+            if base < cutoff {
+                match fs::remove_file(&path) {
+                    Ok(()) => removed = true,
+                    Err(_) => failed += 1,
+                }
+            }
+        }
+        Ok(())
+    });
+    if failed > 0 {
+        storage.note_sweep_warnings(failed);
     }
-    Ok(())
+    if o.crashed() {
+        return o;
+    }
+    if removed && fsync != FsyncPolicy::Never {
+        // Op: unlinks are directory mutations too — make them durable.
+        return storage.op(false, |_| fsync_dir(dir));
+    }
+    o
 }
 
-/// The append side of the write-ahead journal.
+/// The append side of the write-ahead journal. All I/O routes through the
+/// storage plane: `file` is `None` when the journal's stream degraded
+/// before (or at) creation — appends then skip, counted, and the campaign
+/// continues with in-memory state only.
 pub(crate) struct Journal {
-    file: fs::File,
+    file: Option<fs::File>,
     fsync: FsyncPolicy,
+    storage: Storage,
 }
 
 impl Journal {
     /// Create (truncating) the journal for snapshot `base`.
-    fn create(dir: &Path, base: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
-        Self::create_at(&journal_path(dir, base), base, fsync)
+    fn create(storage: &Storage, dir: &Path, base: u64, fsync: FsyncPolicy) -> (Self, OpOutcome) {
+        Self::create_at(storage, &journal_path(dir, base), base, fsync)
     }
 
     /// Create (truncating) a journal at an explicit path — the sharded
     /// runner names its per-lane journals outside the `journal-{base}`
     /// scheme but shares the format.
-    pub(crate) fn create_at(path: &Path, base: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
-        let mut file = fs::File::create(path)?;
-        file.write_all(JOURNAL_MAGIC)?;
-        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
-        file.write_all(&base.to_le_bytes())?;
-        if fsync != FsyncPolicy::Never {
-            file.sync_data()?;
-        }
-        Ok(Journal { file, fsync })
+    pub(crate) fn create_at(
+        storage: &Storage,
+        path: &Path,
+        base: u64,
+        fsync: FsyncPolicy,
+    ) -> (Self, OpOutcome) {
+        let mut header = Vec::with_capacity(JOURNAL_HEADER_LEN as usize);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&base.to_le_bytes());
+        let mut file = None;
+        let o = storage.op(false, |inj| {
+            file = None; // discard any handle from a failed attempt
+            faulted_create(path, &header, inj)?;
+            let mut f = fs::OpenOptions::new().write(true).open(path)?;
+            f.seek(SeekFrom::End(0))?;
+            if fsync != FsyncPolicy::Never {
+                f.sync_data()?;
+            }
+            file = Some(f);
+            Ok(())
+        });
+        let file = if o == OpOutcome::Done { file } else { None };
+        (
+            Journal {
+                file,
+                fsync,
+                storage: storage.clone(),
+            },
+            o,
+        )
     }
 
     /// Re-open an existing journal after replay, truncating away a torn
     /// tail (`valid_len` is the last byte replay validated).
-    pub(crate) fn reopen(path: &Path, valid_len: u64, fsync: FsyncPolicy) -> std::io::Result<Self> {
-        let file = fs::OpenOptions::new().read(true).write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
-        Ok(Journal { file, fsync })
+    pub(crate) fn reopen(
+        storage: &Storage,
+        path: &Path,
+        valid_len: u64,
+        fsync: FsyncPolicy,
+    ) -> (Self, OpOutcome) {
+        let mut file = None;
+        let o = storage.op(false, |inj| {
+            file = None;
+            let f = fs::OpenOptions::new().read(true).write(true).open(path)?;
+            f.set_len(valid_len)?;
+            let mut f = f;
+            f.seek(SeekFrom::End(0))?;
+            if let Injected::Bitrot(aux) = inj {
+                crate::storage::flip_bit_in_file(path, *aux)?;
+            }
+            file = Some(f);
+            Ok(())
+        });
+        let file = if o == OpOutcome::Done { file } else { None };
+        (
+            Journal {
+                file,
+                fsync,
+                storage: storage.clone(),
+            },
+            o,
+        )
     }
 
-    /// Append one length- and checksum-framed record.
-    pub(crate) fn append(&mut self, rec: &DeltaRecord) -> std::io::Result<()> {
+    /// Append one length- and checksum-framed record. One storage
+    /// operation: a retry truncates back to the record start first, so a
+    /// short write never leaves garbage in front of the re-written frame.
+    pub(crate) fn append(&mut self, rec: &DeltaRecord) -> OpOutcome {
         let payload = rec.encode();
-        self.file
-            .write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.file.write_all(&fnv1a(&payload).to_le_bytes())?;
-        self.file.write_all(&payload)?;
-        if self.fsync == FsyncPolicy::EveryRecord {
-            self.file.sync_data()?;
-        }
-        Ok(())
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let start = match self.file.as_mut() {
+            Some(f) => f.stream_position().ok(),
+            None => None,
+        };
+        let file = &mut self.file;
+        let fsync = self.fsync;
+        self.storage.op(false, |inj| {
+            let (Some(f), Some(start)) = (file.as_mut(), start) else {
+                return Ok(());
+            };
+            f.set_len(start)?;
+            f.seek(SeekFrom::Start(start))?;
+            match inj {
+                Injected::Partial(aux) => {
+                    let keep = (*aux as usize) % (frame.len() + 1);
+                    f.write_all(&frame[..keep])
+                }
+                Injected::Bitrot(aux) => {
+                    let mut rotted = frame.clone();
+                    flip_bit(&mut rotted, *aux);
+                    f.write_all(&rotted)?;
+                    if fsync == FsyncPolicy::EveryRecord {
+                        f.sync_data()?;
+                    }
+                    Ok(())
+                }
+                _ => {
+                    f.write_all(&frame)?;
+                    if fsync == FsyncPolicy::EveryRecord {
+                        f.sync_data()?;
+                    }
+                    Ok(())
+                }
+            }
+        })
     }
 }
 
 /// Read a journal, validating the header against `expected_base` and every
 /// record's checksum. Returns the decoded records, the byte length of the
-/// valid prefix, and whether a torn tail was dropped. A journal whose
+/// valid prefix, and how many records beyond it were dropped (0 = clean).
+/// The dropped count is exact when the bad record's length field still
+/// walks the buffer (a payload bit flip) and a lower bound of 1 when
+/// framing itself is destroyed (a true torn tail). A journal whose
 /// *header* is invalid yields `None` (it cannot be chained or appended to).
 #[allow(clippy::type_complexity)]
-pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<DeltaRecord>, u64, bool)> {
+pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<DeltaRecord>, u64, u64)> {
     let bytes = fs::read(path).ok()?;
     if bytes.len() < JOURNAL_HEADER_LEN as usize
         || &bytes[0..4] != JOURNAL_MAGIC
@@ -931,33 +1140,50 @@ pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<Delta
     }
     let mut records = Vec::new();
     let mut pos = JOURNAL_HEADER_LEN as usize;
-    let mut torn = false;
+    let mut dropped = 0u64;
     while pos < bytes.len() {
         if pos + 12 > bytes.len() {
-            torn = true;
+            dropped = 1; // partial frame header: one interrupted record
             break;
         }
-        let (Ok(len), Ok(checksum)) = (le_u32(&bytes, pos), le_u64(&bytes, pos + 4)) else {
-            torn = true;
-            break;
-        };
-        let len = len as usize;
+        let len = le_u32(&bytes, pos).ok()? as usize;
+        let checksum = le_u64(&bytes, pos + 4).ok()?;
         let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
-            torn = true;
+            dropped = 1; // frame overruns the file: one torn record
             break;
         };
-        if fnv1a(payload) != checksum {
-            torn = true;
-            break;
-        }
-        let Ok(rec) = DeltaRecord::decode(payload) else {
-            torn = true;
+        let rec = (fnv1a(payload) == checksum)
+            .then(|| DeltaRecord::decode(payload).ok())
+            .flatten();
+        let Some(rec) = rec else {
+            // The frame walks but its payload is bad (bit rot, not a torn
+            // write). Count it and every still-framed record behind it —
+            // replay cannot safely resync past corruption, but the loss
+            // must be observable.
+            dropped = 1 + count_framed(&bytes, pos + 12 + len);
             break;
         };
         records.push(rec);
         pos += 12 + len;
     }
-    Some((records, pos as u64, torn))
+    Some((records, pos as u64, dropped))
+}
+
+/// Count length-framed records from `pos` to the end of the buffer,
+/// stopping at the first frame that does not fit. Used only to size the
+/// loss behind a corrupt record — nothing here is replayed.
+fn count_framed(bytes: &[u8], mut pos: usize) -> u64 {
+    let mut n = 0;
+    while pos + 12 <= bytes.len() {
+        let Ok(len) = le_u32(bytes, pos) else { break };
+        let end = pos + 12 + len as usize;
+        if end > bytes.len() {
+            break;
+        }
+        n += 1;
+        pos = end;
+    }
+    n
 }
 
 // ---------------------------------------------------------------------------
@@ -965,21 +1191,30 @@ pub(crate) fn read_journal(path: &Path, expected_base: u64) -> Option<(Vec<Delta
 // ---------------------------------------------------------------------------
 
 /// Step the driver to completion (or the simulated kill), journaling each
-/// execution and snapshotting on cadence.
+/// execution and snapshotting on cadence. A storage operation that hits an
+/// injected crash boundary stops the run exactly like the simulated
+/// SIGKILL — whatever reached the files is all resume gets.
 fn drive(
     mut d: Driver<'_>,
     ck: &CheckpointConfig,
+    storage: &Storage,
     mut journal: Journal,
 ) -> Result<CampaignOutcome, CheckpointError> {
     loop {
         if d.step() == StepOutcome::Finished {
-            let result = d.finish();
+            let mut result = d.finish();
             // A final snapshot so a finished directory is self-describing.
-            write_snapshot(&ck.dir, &d, ck.fsync)?;
-            rotate(&ck.dir, ck.keep_snapshots)?;
+            if write_snapshot(storage, &ck.dir, &d, ck.fsync).crashed()
+                || rotate(storage, &ck.dir, ck.keep_snapshots, ck.fsync).crashed()
+            {
+                return Ok(CampaignOutcome::Killed { execs: d.execs });
+            }
+            result.resilience.storage = storage.counters();
             return Ok(CampaignOutcome::Finished(result));
         }
-        journal.append(&DeltaRecord::take(&mut d))?;
+        if journal.append(&DeltaRecord::take(&mut d)).crashed() {
+            return Ok(CampaignOutcome::Killed { execs: d.execs });
+        }
         if let Some(k) = ck.kill_after_execs {
             if d.execs >= k {
                 // Simulated SIGKILL: stop right here — no snapshot, no
@@ -988,9 +1223,16 @@ fn drive(
             }
         }
         if ck.snapshot_every_execs > 0 && d.execs.is_multiple_of(ck.snapshot_every_execs) {
-            write_snapshot(&ck.dir, &d, ck.fsync)?;
-            rotate(&ck.dir, ck.keep_snapshots)?;
-            journal = Journal::create(&ck.dir, d.execs, ck.fsync)?;
+            if write_snapshot(storage, &ck.dir, &d, ck.fsync).crashed()
+                || rotate(storage, &ck.dir, ck.keep_snapshots, ck.fsync).crashed()
+            {
+                return Ok(CampaignOutcome::Killed { execs: d.execs });
+            }
+            let (j, o) = Journal::create(storage, &ck.dir, d.execs, ck.fsync);
+            if o.crashed() {
+                return Ok(CampaignOutcome::Killed { execs: d.execs });
+            }
+            journal = j;
         }
     }
 }
@@ -1004,12 +1246,24 @@ pub(crate) fn run_checkpointed_impl<'e>(
     cfg: &CampaignConfig,
     ck: &CheckpointConfig,
 ) -> Result<CampaignOutcome, CheckpointError> {
-    fs::create_dir_all(&ck.dir)?;
-    sweep_orphan_tmp(&ck.dir)?;
+    let storage = storage_for(ck);
+    // Even directory creation rides the ladder: if the checkpoint
+    // directory cannot be made, the campaign degrades to in-memory
+    // checkpointing instead of refusing to start.
+    if storage.op(false, |_| fs::create_dir_all(&ck.dir)).crashed()
+        || sweep_orphan_tmp(&storage, &ck.dir).crashed()
+    {
+        return Ok(CampaignOutcome::Killed { execs: 0 });
+    }
     let d = Driver::new(executor, revalidator, seeds, cfg, true);
-    write_snapshot(&ck.dir, &d, ck.fsync)?;
-    let journal = Journal::create(&ck.dir, 0, ck.fsync)?;
-    drive(d, ck, journal)
+    if write_snapshot(&storage, &ck.dir, &d, ck.fsync).crashed() {
+        return Ok(CampaignOutcome::Killed { execs: 0 });
+    }
+    let (journal, o) = Journal::create(&storage, &ck.dir, 0, ck.fsync);
+    if o.crashed() {
+        return Ok(CampaignOutcome::Killed { execs: 0 });
+    }
+    drive(d, ck, &storage, journal)
 }
 
 /// Run a fresh campaign with crash-safe checkpointing. Parameters as the
@@ -1062,17 +1316,28 @@ pub(crate) fn resume_impl<'e>(
     cfg: &CampaignConfig,
     ck: &CheckpointConfig,
 ) -> Result<(CampaignOutcome, ResumeInfo), CheckpointError> {
+    let storage = storage_for(ck);
     let mut info = ResumeInfo::default();
-    sweep_orphan_tmp(&ck.dir)?;
-    let snaps = list_numbered(&ck.dir, "ckpt-")?;
+    if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
+        return Ok((CampaignOutcome::Killed { execs: 0 }, info));
+    }
+    // Scrub: checksum-verify generations newest-first. Corrupt ones are
+    // skipped (and remembered — replay repairs any it walks back over);
+    // an unreadable directory is simply a directory with no snapshots.
+    let snaps = list_numbered(&ck.dir, "ckpt-").unwrap_or_default();
     let mut chosen = None;
+    let mut corrupt: Vec<(u64, PathBuf)> = Vec::new();
     for (execs, path) in snaps.iter().rev() {
         match load_snapshot(path) {
             Ok((state, fp)) => {
                 chosen = Some((*execs, state, fp));
                 break;
             }
-            Err(_) => info.corrupt_snapshots_skipped += 1,
+            Err(_) => {
+                info.corrupt_snapshots_skipped += 1;
+                storage.note_corrupt_snapshot();
+                corrupt.push((*execs, path.clone()));
+            }
         }
     }
     let Some((snapshot_execs, state, snapshot_fp)) = chosen else {
@@ -1093,12 +1358,12 @@ pub(crate) fn resume_impl<'e>(
 
     // Chain journals forward from the snapshot: journal-{B} covers
     // executions B..B', where B' is the next snapshot's base.
-    let mut journals = list_numbered(&ck.dir, "journal-")?;
+    let mut journals = list_numbered(&ck.dir, "journal-").unwrap_or_default();
     let mut tail: Option<(PathBuf, u64)> = None;
     let mut current = snapshot_execs;
     while let Some(pos) = journals.iter().position(|(b, _)| *b == current) {
         let (_, path) = journals.remove(pos);
-        let Some((records, valid_len, torn)) = read_journal(&path, current) else {
+        let Some((records, valid_len, dropped)) = read_journal(&path, current) else {
             break;
         };
         for rec in &records {
@@ -1107,11 +1372,33 @@ pub(crate) fn resume_impl<'e>(
                 last_exec_state.clone_from(&rec.exec_state);
             }
             info.records_applied += 1;
+            // Repair: replay has rebuilt the exact state a corrupt
+            // generation snapshotted — re-seal and rewrite it. Snapshot
+            // serialization is deterministic, so the repaired file is
+            // byte-identical to the one that rotted.
+            while let Some(idx) = corrupt.iter().position(|(e, _)| *e == d.execs) {
+                let (_, cpath) = corrupt.remove(idx);
+                let repaired = SnapshotState {
+                    scalars: Scalars::capture(&d),
+                    entries: d.queue.iter().cloned().collect(),
+                    virgin: d.virgin.clone(),
+                    crashes: d.crashes.clone(),
+                    exec_state: last_exec_state.clone(),
+                };
+                let fp = d.executor.module_fingerprint().unwrap_or(0);
+                let bytes = seal_snapshot(&repaired.encode(), fp);
+                if write_sealed(&storage, &cpath, &bytes, ck.fsync).crashed() {
+                    return Ok((CampaignOutcome::Killed { execs: d.execs }, info));
+                }
+                info.snapshots_repaired += 1;
+                storage.note_snapshot_repaired();
+            }
         }
         current = d.execs;
         tail = Some((path, valid_len));
-        if torn {
-            info.torn_tail = true;
+        if dropped > 0 {
+            info.torn_records += dropped;
+            storage.note_torn_records(dropped);
             break;
         }
     }
@@ -1119,11 +1406,14 @@ pub(crate) fn resume_impl<'e>(
         d.executor.restore_state(es).map_err(CheckpointError::Executor)?;
     }
 
-    let journal = match tail {
-        Some((path, valid_len)) => Journal::reopen(&path, valid_len, ck.fsync)?,
-        None => Journal::create(&ck.dir, current, ck.fsync)?,
+    let (journal, o) = match tail {
+        Some((path, valid_len)) => Journal::reopen(&storage, &path, valid_len, ck.fsync),
+        None => Journal::create(&storage, &ck.dir, current, ck.fsync),
     };
-    drive(d, ck, journal).map(|outcome| (outcome, info))
+    if o.crashed() {
+        return Ok((CampaignOutcome::Killed { execs: d.execs }, info));
+    }
+    drive(d, ck, &storage, journal).map(|outcome| (outcome, info))
 }
 
 #[cfg(test)]
@@ -1223,7 +1513,7 @@ mod tests {
         fs::write(dir.join("ckpt-000000000050.tmp"), b"torn").unwrap();
         fs::write(dir.join("shard-ckpt-000002.tmp"), b"torn").unwrap();
         fs::write(dir.join("unrelated.tmp"), b"keep").unwrap();
-        sweep_orphan_tmp(&dir).unwrap();
+        sweep_orphan_tmp(&Storage::quiet(), &dir);
         assert!(!dir.join("ckpt-000000000050.tmp").exists());
         assert!(!dir.join("shard-ckpt-000002.tmp").exists());
         assert!(dir.join("unrelated.tmp").exists());
@@ -1336,7 +1626,14 @@ mod tests {
         assert_eq!(info.corrupt_snapshots_skipped, 1);
         assert_eq!(info.snapshot_execs, 40, "fell back one snapshot");
         assert!(info.records_applied >= 50, "chained journals across the gap");
-        assert_eq!(fingerprint(&reference), fingerprint(&out.finished().unwrap()));
+        assert_eq!(
+            info.snapshots_repaired, 1,
+            "replay walked back over the corrupt generation and repaired it"
+        );
+        let result = out.finished().unwrap();
+        assert_eq!(result.resilience.storage.corrupt_snapshots, 1);
+        assert_eq!(result.resilience.storage.snapshots_repaired, 1);
+        assert_eq!(fingerprint(&reference), fingerprint(&result.sans_storage()));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1359,10 +1656,12 @@ mod tests {
 
         ck.kill_after_execs = None;
         let (out, info) = resume(&m, &seeds, &ck);
-        assert!(info.torn_tail, "the torn record must be detected");
+        assert_eq!(info.torn_records, 1, "the torn record must be counted");
+        let result = out.finished().unwrap();
+        assert_eq!(result.resilience.storage.torn_records_dropped, 1);
         assert_eq!(
             fingerprint(&reference),
-            fingerprint(&out.finished().unwrap()),
+            fingerprint(&result.sans_storage()),
             "the torn execution is simply re-run"
         );
         let _ = fs::remove_dir_all(&dir);
@@ -1382,6 +1681,37 @@ mod tests {
             err,
             crate::builder::CampaignError::Checkpoint(CheckpointError::NoUsableSnapshot)
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_storage_degrades_to_in_memory_not_dead() {
+        let m = module();
+        let seeds = vec![b"seed".to_vec()];
+        let plain = run_plain(&m, &seeds);
+
+        // Every storage operation fails, forever: the campaign must drop
+        // to in-memory checkpointing and still produce the exact result.
+        let dir = tmpdir("degrade");
+        let mut ck = CheckpointConfig::new(&dir);
+        ck.snapshot_every_execs = 50;
+        ck.disk_faults = vmos::DiskFaultPlan::uniform_transient(7, 1.0);
+        let out = run_checkpointed(&m, &seeds, &ck)
+            .finished()
+            .expect("storage failure must degrade, never kill the campaign");
+        let st = &out.resilience.storage;
+        assert!(
+            !st.degradations.is_empty(),
+            "past the retry budget the stream must surface a typed degradation"
+        );
+        assert_eq!(st.degradations[0].stream, 0);
+        assert!(st.transient_faults > 0 && st.retries > 0 && st.backoff_cycles > 0);
+        assert!(st.writes_skipped > 0, "later ops skip without touching disk");
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&out.sans_storage()),
+            "degraded checkpointing must not perturb the campaign"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -25,6 +25,7 @@ pub mod proc;
 pub mod queue;
 pub mod shard;
 pub mod stats;
+pub mod storage;
 pub mod supervise;
 
 #[cfg(test)]
@@ -42,6 +43,7 @@ pub use checkpoint::{resume_campaign, run_campaign_checkpointed};
 pub use proc::{worker_main_hook, WORKER_ENV};
 pub use shard::{DEFAULT_LANES, DEFAULT_SYNC_EPOCHS};
 pub use stats::{CampaignResult, CrashRecord, ResilienceCounters};
+pub use storage::{StorageCounters, StorageDegradation};
 pub use supervise::{LaneDegradation, LaneFault, SupervisionCounters, SupervisorConfig};
 
 /// Simulated cycles per simulated second (used to convert campaign clocks

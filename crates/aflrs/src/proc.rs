@@ -53,12 +53,12 @@ use closurex::checkpoint::ExecutorState;
 use closurex::executor::ExecutorFactory;
 use closurex::resilience::ResilienceReport;
 use vmos::wire::{read_frame, write_frame, FrameError, FRAME_MAGIC, MAX_FRAME_LEN};
-use vmos::{OrchFaultPlan, ProcFaultKind, ProcFaultPlan, Reader, WireError, Writer};
+use vmos::{DiskFaultPlan, OrchFaultPlan, ProcFaultKind, ProcFaultPlan, Reader, WireError, Writer};
 
 use crate::builder::CampaignError;
 use crate::campaign::{CampaignConfig, Driver};
 use crate::checkpoint::{
-    check_target, read_journal, sweep_orphan_tmp, CampaignOutcome, CheckpointConfig,
+    check_target, read_journal, storage_for, sweep_orphan_tmp, CampaignOutcome, CheckpointConfig,
     CheckpointError, FsyncPolicy, Journal, ResumeInfo, SnapshotState,
 };
 use crate::shard::{
@@ -66,6 +66,7 @@ use crate::shard::{
     rotate_shards, run_lane_epoch, shard_journal_path, stripped, write_shard_snapshot_states,
     Global, KillSwitch, Lane, LaneAttempt, ShardPlan,
 };
+use crate::storage::{OpOutcome, Storage, StorageCounters};
 use crate::supervise::{self, LaneFault, Supervisor, SupervisorConfig};
 
 /// Environment variable marking a process as a spawned worker lane.
@@ -152,6 +153,14 @@ struct Hello {
     /// Process-layer fault plan: the child performs its own abort / OOM /
     /// stall / garbage-frame sabotage; `Kill` is the parent's job.
     proc_faults: ProcFaultPlan,
+    /// Storage fault plan: the child mediates its own journal I/O through
+    /// a [`Storage`] bound to stream `1 + lane`, exactly where the
+    /// in-process engine injects.
+    disk_faults: DiskFaultPlan,
+    /// Transient-storage-error retry budget (see `CheckpointConfig`).
+    storage_retries: u32,
+    /// Storage retry backoff base in simulated cycles.
+    storage_backoff_cycles: u64,
     /// Executor state to restore after building (respawn recovery and
     /// checkpoint resume); `None` on a fresh first spawn.
     exec_restore: Option<ExecutorState>,
@@ -173,6 +182,9 @@ fn encode_hello(h: &Hello) -> Vec<u8> {
     h.faults.encode(&mut w);
     w.put_u64(h.hang_deadline_ticks);
     h.proc_faults.encode(&mut w);
+    h.disk_faults.encode(&mut w);
+    w.put_u32(h.storage_retries);
+    w.put_u64(h.storage_backoff_cycles);
     put_exec_state(&mut w, &h.exec_restore);
     w.into_bytes()
 }
@@ -197,6 +209,9 @@ fn decode_hello(bytes: &[u8]) -> Result<Hello, WireError> {
     let faults = OrchFaultPlan::decode(&mut r)?;
     let hang_deadline_ticks = r.get_u64()?;
     let proc_faults = ProcFaultPlan::decode(&mut r)?;
+    let disk_faults = DiskFaultPlan::decode(&mut r)?;
+    let storage_retries = r.get_u32()?;
+    let storage_backoff_cycles = r.get_u64()?;
     let exec_restore = get_exec_state(&mut r)?;
     if !r.is_empty() {
         return Err(WireError::Malformed("trailing hello bytes"));
@@ -213,6 +228,9 @@ fn decode_hello(bytes: &[u8]) -> Result<Hello, WireError> {
         faults,
         hang_deadline_ticks,
         proc_faults,
+        disk_faults,
+        storage_retries,
+        storage_backoff_cycles,
         exec_restore,
     })
 }
@@ -362,6 +380,9 @@ struct BarrierMsg {
     killed: bool,
     state: SnapshotState,
     report: ResilienceReport,
+    /// The child's storage-plane accounting since the previous barrier
+    /// (drained per epoch, so the supervisor's absorb never double-counts).
+    storage: StorageCounters,
 }
 
 fn encode_barrier(b: &BarrierMsg) -> Vec<u8> {
@@ -369,6 +390,7 @@ fn encode_barrier(b: &BarrierMsg) -> Vec<u8> {
     w.put_bool(b.killed);
     w.put_bytes(&b.state.encode());
     b.report.encode(&mut w);
+    b.storage.encode(&mut w);
     w.into_bytes()
 }
 
@@ -377,6 +399,7 @@ fn decode_barrier(bytes: &[u8]) -> Result<BarrierMsg, WireError> {
     let killed = r.get_bool()?;
     let state = SnapshotState::decode(&r.get_bytes()?)?;
     let report = ResilienceReport::decode(&mut r)?;
+    let storage = StorageCounters::decode(&mut r)?;
     if !r.is_empty() {
         return Err(WireError::Malformed("trailing barrier bytes"));
     }
@@ -384,6 +407,7 @@ fn decode_barrier(bytes: &[u8]) -> Result<BarrierMsg, WireError> {
         killed,
         state,
         report,
+        storage,
     })
 }
 
@@ -518,6 +542,16 @@ where
     let mut cfg = hello.cfg.clone();
     let lane_idx = hello.lane;
     let dir = Path::new(&hello.dir);
+    // The child's storage plane, bound to this lane's stream. A respawned
+    // child starts a fresh plane (op indices reset), so `RunEpoch.attempt`
+    // offsets the fault coordinates — faults consumed by a crashed attempt
+    // do not re-fire on the supervisor's re-run.
+    let storage = Storage::new(
+        hello.disk_faults.clone(),
+        hello.storage_retries,
+        hello.storage_backoff_cycles,
+    )
+    .stream(1 + hello.lane);
 
     loop {
         let (kind, payload) = match read_frame(&mut stdin, MAX_FRAME_LEN) {
@@ -537,27 +571,27 @@ where
                     }
                 };
                 cfg.budget_cycles = msg.budget_cycles;
+                let epoch_storage = storage.with_base_attempt(msg.attempt);
                 let journal = match msg.journal {
                     JournalMode::Off => None,
                     JournalMode::Create { base } => {
                         let path = shard_journal_path(dir, msg.epoch, lane_idx as usize);
-                        match Journal::create_at(&path, base, hello.fsync) {
-                            Ok(j) => Some(j),
-                            Err(e) => {
-                                send_fatal(&mut stdout, &format!("journal create failed: {e}"));
-                                continue;
-                            }
+                        let (j, o) = Journal::create_at(&epoch_storage, &path, base, hello.fsync);
+                        if o.crashed() {
+                            // An injected crash boundary: die the way the
+                            // machine would — the supervisor contains it as
+                            // a signal fault and re-runs the epoch.
+                            std::process::abort();
                         }
+                        Some(j)
                     }
                     JournalMode::Reopen { valid_len } => {
                         let path = shard_journal_path(dir, msg.epoch, lane_idx as usize);
-                        match Journal::reopen(&path, valid_len, hello.fsync) {
-                            Ok(j) => Some(j),
-                            Err(e) => {
-                                send_fatal(&mut stdout, &format!("journal reopen failed: {e}"));
-                                continue;
-                            }
+                        let (j, o) = Journal::reopen(&epoch_storage, &path, valid_len, hello.fsync);
+                        if o.crashed() {
+                            std::process::abort();
                         }
+                        Some(j)
                     }
                 };
 
@@ -624,6 +658,11 @@ where
                         }
                     }
                     Ok(Ok(None)) => {
+                        if epoch_storage.crashed() {
+                            // A journal append hit an injected crash
+                            // boundary mid-epoch: no barrier — die here.
+                            std::process::abort();
+                        }
                         if let Some(kind) = self_fault {
                             perform_self_fault(kind, &mut stdout);
                         }
@@ -634,6 +673,7 @@ where
                             killed,
                             state: st,
                             report: executor.resilience(),
+                            storage: epoch_storage.take_counters(),
                         };
                         if write_frame(&mut stdout, K_BARRIER, &encode_barrier(&b)).is_err() {
                             return 0;
@@ -842,6 +882,10 @@ struct ProcCtx<'a> {
     epochs: u64,
     executor_name: String,
     fingerprint: u64,
+    /// The supervisor's storage plane (stream 0: shard snapshots, rotation,
+    /// sweeps). Children run their own planes and ship the counters back in
+    /// each barrier, absorbed here.
+    storage: Option<Storage>,
 }
 
 impl ProcCtx<'_> {
@@ -867,6 +911,11 @@ impl ProcCtx<'_> {
             faults: sup_cfg.faults.clone(),
             hang_deadline_ticks: sup_cfg.hang_deadline_ticks,
             proc_faults: sup_cfg.proc_faults.clone(),
+            disk_faults: self
+                .ck
+                .map_or_else(DiskFaultPlan::none, |c| c.disk_faults.clone()),
+            storage_retries: self.ck.map_or(3, |c| c.storage_retries),
+            storage_backoff_cycles: self.ck.map_or(0, |c| c.storage_backoff_cycles),
             exec_restore,
         }
     }
@@ -1126,6 +1175,9 @@ fn recover_proc_lane(
         };
         match outcome {
             Ok(barrier) => {
+                if let Some(st) = &ctx.storage {
+                    st.absorb(&barrier.storage);
+                }
                 lanes[idx].state = barrier.state;
                 lanes[idx].report = barrier.report;
                 sup.counters.recovered += 1;
@@ -1143,13 +1195,19 @@ fn recover_proc_lane(
 /// the on-disk epoch layout identical to the in-process engine's, which
 /// opens a journal for every lane — dead or alive.
 fn touch_dead_lane_journal(
+    storage: &Storage,
     ck: &CheckpointConfig,
     epoch: u64,
     lane: usize,
     base: u64,
-) -> Result<(), CheckpointError> {
-    Journal::create_at(&shard_journal_path(&ck.dir, epoch, lane), base, ck.fsync)?;
-    Ok(())
+) -> OpOutcome {
+    let (_, o) = Journal::create_at(
+        &storage.stream(1 + lane as u64),
+        &shard_journal_path(&ck.dir, epoch, lane),
+        base,
+        ck.fsync,
+    );
+    o
 }
 
 /// The epoch loop shared by fresh runs and resumes — the out-of-process
@@ -1235,6 +1293,9 @@ fn run_proc_epochs(
             match reply {
                 Ok(barrier) => {
                     any_killed |= barrier.killed;
+                    if let Some(st) = &ctx.storage {
+                        st.absorb(&barrier.storage);
+                    }
                     lanes[idx].state = barrier.state;
                     lanes[idx].report = barrier.report;
                 }
@@ -1262,20 +1323,36 @@ fn run_proc_epochs(
         let mut states: Vec<&mut SnapshotState> = lanes.iter_mut().map(|l| &mut l.state).collect();
         global.merge_epoch_states(&mut states);
 
-        if let Some(ck) = ctx.ck {
+        if let (Some(ck), Some(st)) = (ctx.ck, ctx.storage.as_ref()) {
             let snap_states: Vec<SnapshotState> = lanes.iter().map(|l| l.state.clone()).collect();
-            write_shard_snapshot_states(ck, epoch + 1, &snap_states, ctx.fingerprint)
-                .map_err(CheckpointError::Io)?;
-            rotate_shards(&ck.dir, ck.keep_snapshots).map_err(CheckpointError::Io)?;
-            if epoch + 1 < ctx.epochs {
+            let mut crashed = write_shard_snapshot_states(
+                st,
+                ck,
+                epoch + 1,
+                &snap_states,
+                ctx.fingerprint,
+            )
+            .crashed()
+                || rotate_shards(st, ck).crashed();
+            if !crashed && epoch + 1 < ctx.epochs {
                 // Live workers create their own journals when the next
                 // `RunEpoch` arrives; retired lanes get theirs here for
                 // on-disk parity with the in-process engine.
                 for (i, lane) in lanes.iter().enumerate() {
-                    if sup.dead[i] {
-                        touch_dead_lane_journal(ck, epoch + 1, i, lane.state.scalars.execs)?;
+                    if sup.dead[i]
+                        && touch_dead_lane_journal(st, ck, epoch + 1, i, lane.state.scalars.execs)
+                            .crashed()
+                    {
+                        crashed = true;
+                        break;
                     }
                 }
+            }
+            if crashed {
+                // A supervisor-side storage crash boundary: the machine is
+                // dead. Resume replays whatever reached the disk.
+                let total: u64 = lanes.iter().map(|l| l.state.scalars.execs).sum();
+                return Ok(CampaignOutcome::Killed { execs: total });
             }
         }
         if ctx.cfg.stop_after_crashes > 0 && global.crashes.len() >= ctx.cfg.stop_after_crashes {
@@ -1298,6 +1375,10 @@ fn run_proc_epochs(
         &ctx.executor_name,
         global,
         sup,
+        ctx.storage
+            .as_ref()
+            .map(Storage::counters)
+            .unwrap_or_default(),
     )))
 }
 
@@ -1359,6 +1440,7 @@ pub(crate) fn run_proc(
         epochs,
         executor_name: String::new(),
         fingerprint: 0,
+        storage: ck.map(storage_for),
     };
     let mut sup = Supervisor::new(sup_cfg.clone(), lanes_n);
     for (i, lane) in lanes.iter_mut().enumerate() {
@@ -1372,12 +1454,14 @@ pub(crate) fn run_proc(
         lane.state.exec_state = ack.exec_state;
     }
 
-    if let Some(ck) = ck {
-        std::fs::create_dir_all(&ck.dir).map_err(CheckpointError::Io)?;
-        sweep_orphan_tmp(&ck.dir).map_err(CheckpointError::Io)?;
+    if let (Some(ck), Some(st)) = (ck, ctx.storage.as_ref()) {
         let snap_states: Vec<SnapshotState> = lanes.iter().map(|l| l.state.clone()).collect();
-        write_shard_snapshot_states(ck, 0, &snap_states, ctx.fingerprint)
-            .map_err(CheckpointError::Io)?;
+        if st.op(false, |_| std::fs::create_dir_all(&ck.dir)).crashed()
+            || sweep_orphan_tmp(st, &ck.dir).crashed()
+            || write_shard_snapshot_states(st, ck, 0, &snap_states, ctx.fingerprint).crashed()
+        {
+            return Ok(CampaignOutcome::Killed { execs: 0 });
+        }
     }
 
     let mut global = Global::new();
@@ -1413,7 +1497,10 @@ pub(crate) fn resume_proc(
     let lanes_n = plan.lanes.max(1);
     let epochs = plan.sync_epochs.max(1);
     let mut info = ResumeInfo::default();
-    sweep_orphan_tmp(&ck.dir).map_err(CheckpointError::Io)?;
+    let storage = storage_for(ck);
+    if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
+        return Ok((CampaignOutcome::Killed { execs: 0 }, info));
+    }
     let snaps = list_shard_snapshots(&ck.dir).map_err(CheckpointError::Io)?;
     let mut chosen = None;
     for (epoch, path) in snaps.iter().rev() {
@@ -1422,7 +1509,10 @@ pub(crate) fn resume_proc(
                 chosen = Some((e, states, fp));
                 break;
             }
-            _ => info.corrupt_snapshots_skipped += 1,
+            _ => {
+                info.corrupt_snapshots_skipped += 1;
+                storage.note_corrupt_snapshot();
+            }
         }
     }
     let Some((epoch, states, fp)) = chosen else {
@@ -1462,7 +1552,7 @@ pub(crate) fn resume_proc(
         stripped(&st).apply(&mut d).map_err(CampaignError::Checkpoint)?;
         let mode = if epoch < epochs {
             match read_journal(&jpath, base) {
-                Some((records, valid_len, torn)) => {
+                Some((records, valid_len, dropped)) => {
                     for rec in &records {
                         rec.apply(&mut d);
                         if rec.exec_state.is_some() {
@@ -1470,8 +1560,9 @@ pub(crate) fn resume_proc(
                         }
                         info.records_applied += 1;
                     }
-                    if torn {
-                        info.torn_tail = true;
+                    if dropped > 0 {
+                        info.torn_records += dropped;
+                        storage.note_torn_records(dropped);
                     }
                     JournalMode::Reopen { valid_len }
                 }
@@ -1502,6 +1593,7 @@ pub(crate) fn resume_proc(
         epochs,
         executor_name: String::new(),
         fingerprint: fp,
+        storage: Some(storage),
     };
     // Supervision state is in-memory only: a resume starts every lane live
     // with fresh counters, exactly like the in-process engine.
@@ -1550,6 +1642,9 @@ mod tests {
             faults: OrchFaultPlan::none(),
             hang_deadline_ticks: 2048,
             proc_faults: ProcFaultPlan::at(1, 2, ProcFaultKind::Abort),
+            disk_faults: DiskFaultPlan::at(1, 4, vmos::DiskFaultKind::ShortWrite),
+            storage_retries: 5,
+            storage_backoff_cycles: 1234,
             exec_restore: Some(ExecutorState {
                 respawns: 7,
                 ..ExecutorState::default()
@@ -1575,6 +1670,9 @@ mod tests {
         assert_eq!(d.faults, h.faults);
         assert_eq!(d.hang_deadline_ticks, h.hang_deadline_ticks);
         assert_eq!(d.proc_faults, h.proc_faults);
+        assert_eq!(d.disk_faults, h.disk_faults);
+        assert_eq!(d.storage_retries, h.storage_retries);
+        assert_eq!(d.storage_backoff_cycles, h.storage_backoff_cycles);
         assert_eq!(d.exec_restore, h.exec_restore);
     }
 

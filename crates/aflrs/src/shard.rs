@@ -69,11 +69,12 @@ use vmos::{OrchFaultKind, OrchFaultPlan, Reader, WireError, Writer};
 use crate::builder::CampaignError;
 use crate::campaign::{CampaignConfig, Driver, Stage, StepOutcome};
 use crate::checkpoint::{
-    check_target, open_sealed, read_journal, seal_snapshot, sweep_orphan_tmp, write_sealed,
-    CampaignOutcome, CheckpointConfig, CheckpointError, DeltaRecord, Journal, ResumeInfo, Scalars,
-    SnapshotState,
+    check_target, open_sealed, read_journal, seal_snapshot, storage_for, sweep_orphan_tmp,
+    write_sealed, CampaignOutcome, CheckpointConfig, CheckpointError, DeltaRecord, Journal,
+    ResumeInfo, Scalars, SnapshotState,
 };
 use crate::queue::QueueEntry;
+use crate::storage::{fsync_dir, OpOutcome, Storage, StorageCounters};
 use crate::supervise::{
     self, LaneDegradation, LaneFault, Supervisor, SupervisorConfig, INJECTED_PANIC_MARKER,
 };
@@ -257,7 +258,14 @@ pub(crate) fn run_lane_epoch(
             steps += 1;
             if track {
                 if let Some(j) = lane.journal.as_mut() {
-                    j.append(&DeltaRecord::take(&mut d))?;
+                    if j.append(&DeltaRecord::take(&mut d)).crashed() {
+                        // An injected crash boundary in this lane's journal
+                        // stream: the machine is dead. Stop stepping; the
+                        // coordinator sees the plane-wide crash flag after
+                        // the epoch and kills the campaign.
+                        killed = true;
+                        break;
+                    }
                 }
             }
             if kill.is_some_and(|k| k.record_exec()) {
@@ -402,6 +410,7 @@ fn recover_lane(
     first_fault: LaneFault,
     factory: &dyn ExecutorFactory,
     ck: Option<&CheckpointConfig>,
+    storage: Option<&Storage>,
     kill: Option<&KillSwitch>,
     sup: &mut Supervisor,
 ) -> Result<(), CampaignError> {
@@ -462,15 +471,20 @@ fn recover_lane(
         lanes[idx].executor = executor;
         lanes[idx].revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
         lanes[idx].state = stripped(snap);
-        if let Some(ck) = ck {
-            lanes[idx].journal = Some(
-                Journal::create_at(
-                    &shard_journal_path(&ck.dir, epoch, idx),
-                    snap.scalars.execs,
-                    ck.fsync,
-                )
-                .map_err(CheckpointError::Io)?,
+        if let (Some(ck), Some(st)) = (ck, storage) {
+            let (j, o) = Journal::create_at(
+                &st.stream(1 + idx as u64),
+                &shard_journal_path(&ck.dir, epoch, idx),
+                snap.scalars.execs,
+                ck.fsync,
             );
+            lanes[idx].journal = Some(j);
+            if o.crashed() {
+                // The recreate hit an injected crash boundary: the machine
+                // is dead. Leave the lane at its barrier state; the epoch
+                // loop sees the plane-wide flag and kills the campaign.
+                return Ok(());
+            }
         }
         sup.counters.lane_rebuilds += 1;
         let outcome = {
@@ -641,11 +655,17 @@ impl Global {
 /// Assemble the final result: per-lane accounting summed, merged
 /// collections taken from the global state. Retired lanes still count —
 /// their barrier-state scalars record the work done before retirement.
-fn assemble(lanes: &mut [Lane], global: &Global, sup: &Supervisor) -> CampaignResult {
+fn assemble(
+    lanes: &mut [Lane],
+    global: &Global,
+    sup: &Supervisor,
+    storage: Option<&Storage>,
+) -> CampaignResult {
     let states: Vec<&SnapshotState> = lanes.iter().map(|l| &l.state).collect();
     let reports: Vec<_> = lanes.iter().map(|l| l.executor.resilience()).collect();
     let name = lanes.first().map_or("sharded", |l| l.executor.name());
-    assemble_parts(&states, &reports, name, global, sup)
+    let st = storage.map(Storage::counters).unwrap_or_default();
+    assemble_parts(&states, &reports, name, global, sup, st)
 }
 
 /// [`assemble`] on bare parts: barrier states plus each lane's lifetime
@@ -657,6 +677,7 @@ pub(crate) fn assemble_parts(
     executor_name: &str,
     global: &Global,
     sup: &Supervisor,
+    storage: StorageCounters,
 ) -> CampaignResult {
     let mut execs = 0;
     let mut clock = 0;
@@ -678,9 +699,11 @@ pub(crate) fn assemble_parts(
             dropped_inputs: s.dropped_inputs,
             watchdog_trips: s.watchdog_trips,
             supervision: Default::default(),
+            storage: Default::default(),
         });
     }
     resilience.supervision = sup.counters.clone();
+    resilience.storage = storage;
     CampaignResult {
         executor: executor_name.to_string(),
         execs,
@@ -741,10 +764,11 @@ pub(crate) fn list_shard_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, Path
 /// Write the barrier snapshot for `epoch`: every lane's state with its
 /// executor exported, sealed under the target fingerprint.
 fn write_shard_snapshot(
+    storage: &Storage,
     ck: &CheckpointConfig,
     epoch: u64,
     lanes: &mut [Lane],
-) -> std::io::Result<()> {
+) -> OpOutcome {
     let states: Vec<SnapshotState> = lanes
         .iter_mut()
         .map(|lane| {
@@ -757,18 +781,19 @@ fn write_shard_snapshot(
         .first()
         .and_then(|l| l.executor.module_fingerprint())
         .unwrap_or(0);
-    write_shard_snapshot_states(ck, epoch, &states, fp)
+    write_shard_snapshot_states(storage, ck, epoch, &states, fp)
 }
 
 /// [`write_shard_snapshot`] on pre-exported states — lane-per-process
 /// campaigns receive each lane's state (executor export included) over the
 /// wire and persist it from the supervisor side.
 pub(crate) fn write_shard_snapshot_states(
+    storage: &Storage,
     ck: &CheckpointConfig,
     epoch: u64,
     states: &[SnapshotState],
     fp: u64,
-) -> std::io::Result<()> {
+) -> OpOutcome {
     let mut w = Writer::new();
     w.put_u64(epoch);
     w.put_usize(states.len());
@@ -776,7 +801,7 @@ pub(crate) fn write_shard_snapshot_states(
         w.put_bytes(&st.encode());
     }
     let bytes = seal_snapshot(&w.into_bytes(), fp);
-    write_sealed(&shard_snapshot_path(&ck.dir, epoch), &bytes, ck.fsync)
+    write_sealed(storage, &shard_snapshot_path(&ck.dir, epoch), &bytes, ck.fsync)
 }
 
 /// Load and validate one shard snapshot: `(epoch, per-lane states, target
@@ -805,44 +830,79 @@ pub(crate) fn load_shard_snapshot(
 }
 
 /// Keep the newest `keep` shard snapshots; drop older ones and the
-/// journals of epochs nothing can resume from anymore.
-pub(crate) fn rotate_shards(dir: &Path, keep: usize) -> std::io::Result<()> {
-    sweep_orphan_tmp(dir)?;
-    let snaps = list_shard_snapshots(dir)?;
-    let keep = keep.max(1);
-    if snaps.len() <= keep {
-        return Ok(());
+/// journals of epochs nothing can resume from anymore. Unlink failures
+/// are counted warnings; successful unlinks are made durable with a
+/// directory fsync (mirroring the single-driver rotation).
+pub(crate) fn rotate_shards(storage: &Storage, ck: &CheckpointConfig) -> OpOutcome {
+    let dir = &ck.dir;
+    let o = sweep_orphan_tmp(storage, dir);
+    if o.crashed() {
+        return o;
     }
-    let cutoff = snaps[snaps.len() - keep].0;
-    for (_, path) in &snaps[..snaps.len() - keep] {
-        let _ = fs::remove_file(path);
-    }
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some((e, _)) = entry.file_name().to_str().and_then(parse_shard_journal) {
-            if e < cutoff {
-                let _ = fs::remove_file(entry.path());
+    let mut failed = 0u64;
+    let mut removed = false;
+    let o = storage.cleanup_op(|_| {
+        let snaps = list_shard_snapshots(dir)?;
+        let keep = ck.keep_snapshots.max(1);
+        if snaps.len() <= keep {
+            return Ok(());
+        }
+        let cutoff = snaps[snaps.len() - keep].0;
+        for (_, path) in &snaps[..snaps.len() - keep] {
+            match fs::remove_file(path) {
+                Ok(()) => removed = true,
+                Err(_) => failed += 1,
             }
         }
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some((e, _)) = entry.file_name().to_str().and_then(parse_shard_journal) {
+                if e < cutoff {
+                    match fs::remove_file(entry.path()) {
+                        Ok(()) => removed = true,
+                        Err(_) => failed += 1,
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+    if failed > 0 {
+        storage.note_sweep_warnings(failed);
     }
-    Ok(())
+    if o.crashed() {
+        return o;
+    }
+    if removed && ck.fsync != crate::checkpoint::FsyncPolicy::Never {
+        // Op: unlinks are directory mutations too — make them durable.
+        return storage.op(false, |_| fsync_dir(dir));
+    }
+    o
 }
 
 /// Open each lane's journal for `epoch`, based at the lane's current exec
-/// count.
+/// count. Each lane gets its own storage stream (`1 + lane`), so one
+/// lane's fault history or degradation never perturbs a sibling's.
+/// Returns `true` when an injected crash boundary fired mid-create.
 fn open_journals(
+    storage: &Storage,
     ck: &CheckpointConfig,
     epoch: u64,
     lanes: &mut [Lane],
-) -> Result<(), CheckpointError> {
+) -> bool {
     for (i, lane) in lanes.iter_mut().enumerate() {
-        lane.journal = Some(Journal::create_at(
+        let (j, o) = Journal::create_at(
+            &storage.stream(1 + i as u64),
             &shard_journal_path(&ck.dir, epoch, i),
             lane.state.scalars.execs,
             ck.fsync,
-        )?);
+        );
+        lane.journal = Some(j);
+        if o.crashed() {
+            return true;
+        }
     }
-    Ok(())
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -903,11 +963,16 @@ fn run_epochs(
     cfg: &CampaignConfig,
     plan: &ShardPlan,
     ck: Option<&CheckpointConfig>,
+    storage: Option<&Storage>,
     kill: Option<&KillSwitch>,
     factory: &dyn ExecutorFactory,
     sup: &mut Supervisor,
 ) -> Result<CampaignOutcome, CampaignError> {
     let track = ck.is_some();
+    // What the harness reports as "killed at N execs" when a storage crash
+    // boundary fires: the sum of the lanes' journaled exec counters.
+    let lanes_execs =
+        |lanes: &[Lane]| lanes.iter().map(|l| l.state.scalars.execs).sum::<u64>();
     for epoch in start_epoch..epochs {
         // Recovery snapshots for this epoch: barrier state + executor
         // export, per live lane. Dead lanes have nothing to recover.
@@ -931,22 +996,32 @@ fn run_epochs(
                 return Ok(CampaignOutcome::Killed { execs: k.execs() });
             }
         }
+        if storage.is_some_and(Storage::crashed) {
+            // A lane's journal stream hit an injected crash boundary: the
+            // machine died mid-epoch. No recovery, no barrier — resume
+            // replays whatever prefix reached the disk.
+            return Ok(CampaignOutcome::Killed { execs: lanes_execs(lanes) });
+        }
         for (idx, fault) in faults.into_iter().enumerate() {
             let Some(fault) = fault else { continue };
             let Some(snap) = &recovery[idx] else { continue };
             recover_lane(
-                lanes, idx, epoch, epochs, snap, fault, factory, ck, kill, sup,
+                lanes, idx, epoch, epochs, snap, fault, factory, ck, storage, kill, sup,
             )?;
+            if storage.is_some_and(Storage::crashed) {
+                return Ok(CampaignOutcome::Killed { execs: lanes_execs(lanes) });
+            }
         }
         global.merge_epoch(lanes);
-        if let Some(ck) = ck {
+        if let (Some(ck), Some(st)) = (ck, storage) {
             for lane in lanes.iter_mut() {
                 lane.journal = None; // close the finished epoch's journals
             }
-            write_shard_snapshot(ck, epoch + 1, lanes).map_err(CheckpointError::Io)?;
-            rotate_shards(&ck.dir, ck.keep_snapshots).map_err(CheckpointError::Io)?;
-            if epoch + 1 < epochs {
-                open_journals(ck, epoch + 1, lanes)?;
+            if write_shard_snapshot(st, ck, epoch + 1, lanes).crashed()
+                || rotate_shards(st, ck).crashed()
+                || (epoch + 1 < epochs && open_journals(st, ck, epoch + 1, lanes))
+            {
+                return Ok(CampaignOutcome::Killed { execs: lanes_execs(lanes) });
             }
         }
         // The global early-stop predicate, evaluated on merged crashes.
@@ -954,7 +1029,7 @@ fn run_epochs(
             break;
         }
     }
-    Ok(CampaignOutcome::Finished(assemble(lanes, global, sup)))
+    Ok(CampaignOutcome::Finished(assemble(lanes, global, sup, storage)))
 }
 
 /// Run a sharded campaign (see module docs). `ck` arms barrier
@@ -978,11 +1053,15 @@ pub(crate) fn run_sharded(
     let kill = ck
         .and_then(|c| c.kill_after_execs)
         .map(|k| KillSwitch::new(k, 0));
-    if let Some(ck) = ck {
-        fs::create_dir_all(&ck.dir).map_err(CheckpointError::Io)?;
-        sweep_orphan_tmp(&ck.dir).map_err(CheckpointError::Io)?;
-        write_shard_snapshot(ck, 0, &mut lanes).map_err(CheckpointError::Io)?;
-        open_journals(ck, 0, &mut lanes)?;
+    let storage = ck.map(storage_for);
+    if let (Some(ck), Some(st)) = (ck, storage.as_ref()) {
+        if st.op(false, |_| fs::create_dir_all(&ck.dir)).crashed()
+            || sweep_orphan_tmp(st, &ck.dir).crashed()
+            || write_shard_snapshot(st, ck, 0, &mut lanes).crashed()
+            || open_journals(st, ck, 0, &mut lanes)
+        {
+            return Ok(CampaignOutcome::Killed { execs: 0 });
+        }
     }
     run_epochs(
         &mut lanes,
@@ -992,6 +1071,7 @@ pub(crate) fn run_sharded(
         cfg,
         plan,
         ck,
+        storage.as_ref(),
         kill.as_ref(),
         factory,
         &mut sup,
@@ -1012,7 +1092,10 @@ pub(crate) fn resume_sharded(
     let lanes_n = plan.lanes.max(1);
     let epochs = plan.sync_epochs.max(1);
     let mut info = ResumeInfo::default();
-    sweep_orphan_tmp(&ck.dir).map_err(CheckpointError::Io)?;
+    let storage = storage_for(ck);
+    if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
+        return Ok((CampaignOutcome::Killed { execs: 0 }, info));
+    }
     let snaps = list_shard_snapshots(&ck.dir).map_err(CheckpointError::Io)?;
     let mut chosen = None;
     for (epoch, path) in snaps.iter().rev() {
@@ -1021,7 +1104,10 @@ pub(crate) fn resume_sharded(
                 chosen = Some((e, states, fp));
                 break;
             }
-            _ => info.corrupt_snapshots_skipped += 1,
+            _ => {
+                info.corrupt_snapshots_skipped += 1;
+                storage.note_corrupt_snapshot();
+            }
         }
     }
     let Some((epoch, states, fp)) = chosen else {
@@ -1060,8 +1146,9 @@ pub(crate) fn resume_sharded(
         let mut d = Driver::new(executor.as_mut(), rv, &lane_seeds, &lane_cfg, true);
         st.apply(&mut d).map_err(CampaignError::Checkpoint)?;
         let journal = if epoch < epochs {
-            match read_journal(&jpath, base) {
-                Some((records, valid_len, torn)) => {
+            let lane_storage = storage.stream(1 + i as u64);
+            let (j, o) = match read_journal(&jpath, base) {
+                Some((records, valid_len, dropped)) => {
                     for rec in &records {
                         rec.apply(&mut d);
                         if rec.exec_state.is_some() {
@@ -1069,17 +1156,21 @@ pub(crate) fn resume_sharded(
                         }
                         info.records_applied += 1;
                     }
-                    if torn {
-                        info.torn_tail = true;
+                    if dropped > 0 {
+                        info.torn_records += dropped;
+                        storage.note_torn_records(dropped);
                     }
-                    Some(Journal::reopen(&jpath, valid_len, ck.fsync).map_err(CheckpointError::Io)?)
+                    Journal::reopen(&lane_storage, &jpath, valid_len, ck.fsync)
                 }
                 // Killed before this lane's journal reached the disk:
                 // start it fresh from the snapshot base.
-                None => {
-                    Some(Journal::create_at(&jpath, base, ck.fsync).map_err(CheckpointError::Io)?)
-                }
+                None => Journal::create_at(&lane_storage, &jpath, base, ck.fsync),
+            };
+            if o.crashed() {
+                let execs = total_execs + d.execs;
+                return Ok((CampaignOutcome::Killed { execs }, info));
             }
+            Some(j)
         } else {
             None
         };
@@ -1116,6 +1207,7 @@ pub(crate) fn resume_sharded(
         cfg,
         plan,
         Some(ck),
+        Some(&storage),
         kill.as_ref(),
         factory,
         &mut sup,

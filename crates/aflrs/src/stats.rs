@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vmos::Crash;
 
+use crate::storage::StorageCounters;
 use crate::supervise::SupervisionCounters;
 use crate::CYCLES_PER_SECOND;
 
@@ -58,6 +59,11 @@ pub struct ResilienceCounters {
     /// recovered campaign matches its unfaulted twin everywhere except
     /// this block (see [`CampaignResult::sans_supervision`]).
     pub supervision: SupervisionCounters,
+    /// Storage-plane accounting: transient-error retries, crash boundaries
+    /// hit, scrub-and-repair work, and typed degradations to in-memory
+    /// checkpointing. Like `supervision`, this describes recovery, not the
+    /// fuzzing outcome (see [`CampaignResult::sans_storage`]).
+    pub storage: StorageCounters,
 }
 
 impl ResilienceCounters {
@@ -84,6 +90,7 @@ impl ResilienceCounters {
         self.dropped_inputs += other.dropped_inputs;
         self.watchdog_trips += other.watchdog_trips;
         self.supervision.absorb(&other.supervision);
+        self.storage.absorb(&other.storage);
     }
 }
 
@@ -145,6 +152,16 @@ impl CampaignResult {
     pub fn sans_supervision(&self) -> CampaignResult {
         let mut r = self.clone();
         r.resilience.supervision = SupervisionCounters::default();
+        r
+    }
+
+    /// This result with the storage block zeroed — the comparison key for
+    /// storage-fault equivalence, mirroring [`Self::sans_supervision`]: a
+    /// campaign that retried, repaired, or degraded necessarily *reports*
+    /// that work, and is otherwise identical to an unfaulted twin.
+    pub fn sans_storage(&self) -> CampaignResult {
+        let mut r = self.clone();
+        r.resilience.storage = StorageCounters::default();
         r
     }
 

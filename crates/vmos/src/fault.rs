@@ -732,6 +732,311 @@ impl ProcFaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Storage (disk) faults.
+// ---------------------------------------------------------------------------
+
+/// Faults injected at checkpoint-storage I/O boundaries: the hazards a
+/// long campaign's filesystem actually develops. Transient kinds
+/// ([`NoSpace`](DiskFaultKind::NoSpace), [`Io`](DiskFaultKind::Io),
+/// [`ShortWrite`](DiskFaultKind::ShortWrite)) fail the operation and are
+/// retried; crash kinds ([`CrashAtBoundary`](DiskFaultKind::CrashAtBoundary),
+/// [`RenameLost`](DiskFaultKind::RenameLost)) stop the campaign at that
+/// exact boundary, leaving the partial on-disk state a power loss would;
+/// [`Bitrot`](DiskFaultKind::Bitrot) corrupts a committed file silently,
+/// to be caught (or missed) by the resume-time scrub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFaultKind {
+    /// The write fails with `ENOSPC` before any byte lands.
+    NoSpace,
+    /// The operation fails with `EIO` before any byte lands.
+    Io,
+    /// A prefix of the bytes lands, then the write fails (`EIO`).
+    ShortWrite,
+    /// The machine "dies" at this I/O boundary: a prefix of the bytes may
+    /// have landed, and nothing after this operation runs.
+    CrashAtBoundary,
+    /// Power loss between `rename` and the directory fsync: the rename is
+    /// lost (the file stays at its temp name) and the machine dies. On
+    /// operations that are not renames this degenerates to
+    /// [`CrashAtBoundary`].
+    RenameLost,
+    /// The operation *succeeds*, then one committed bit flips on the
+    /// platter. No error is returned — only a checksum scrub can see it.
+    Bitrot,
+}
+
+impl DiskFaultKind {
+    /// Every kind, in salt order.
+    pub const ALL: [DiskFaultKind; 6] = [
+        DiskFaultKind::NoSpace,
+        DiskFaultKind::Io,
+        DiskFaultKind::ShortWrite,
+        DiskFaultKind::CrashAtBoundary,
+        DiskFaultKind::RenameLost,
+        DiskFaultKind::Bitrot,
+    ];
+
+    /// Stable short name for logs and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskFaultKind::NoSpace => "no_space",
+            DiskFaultKind::Io => "io_error",
+            DiskFaultKind::ShortWrite => "short_write",
+            DiskFaultKind::CrashAtBoundary => "crash_at_boundary",
+            DiskFaultKind::RenameLost => "rename_lost",
+            DiskFaultKind::Bitrot => "bitrot",
+        }
+    }
+
+    /// Does this kind fail the operation with a retryable error (as
+    /// opposed to crashing the machine or corrupting silently)?
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            DiskFaultKind::NoSpace | DiskFaultKind::Io | DiskFaultKind::ShortWrite
+        )
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            DiskFaultKind::NoSpace => 21,
+            DiskFaultKind::Io => 22,
+            DiskFaultKind::ShortWrite => 23,
+            DiskFaultKind::CrashAtBoundary => 24,
+            DiskFaultKind::RenameLost => 25,
+            DiskFaultKind::Bitrot => 26,
+        }
+    }
+
+    /// Stable wire tag for plan transfer.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            DiskFaultKind::NoSpace => 0,
+            DiskFaultKind::Io => 1,
+            DiskFaultKind::ShortWrite => 2,
+            DiskFaultKind::CrashAtBoundary => 3,
+            DiskFaultKind::RenameLost => 4,
+            DiskFaultKind::Bitrot => 5,
+        }
+    }
+
+    /// Inverse of [`DiskFaultKind::wire_tag`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError::Malformed`] on an unknown tag.
+    pub fn from_wire_tag(tag: u8) -> Result<Self, crate::wire::WireError> {
+        Ok(match tag {
+            0 => DiskFaultKind::NoSpace,
+            1 => DiskFaultKind::Io,
+            2 => DiskFaultKind::ShortWrite,
+            3 => DiskFaultKind::CrashAtBoundary,
+            4 => DiskFaultKind::RenameLost,
+            5 => DiskFaultKind::Bitrot,
+            _ => return Err(crate::wire::WireError::Malformed("disk fault tag")),
+        })
+    }
+}
+
+/// One targeted disk fault: fire `kind` at operation `op` of I/O `stream`
+/// on the first `fires` consecutive attempts of that operation. `fires`
+/// larger than the storage retry budget models permanently-broken storage
+/// — the degradation ladder is exercised by exactly this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFault {
+    /// I/O stream the fault targets (0 = the campaign's coordinator
+    /// control plane; `1 + lane` = that lane's journal stream).
+    pub stream: u64,
+    /// Zero-based operation index within the stream.
+    pub op: u64,
+    /// What goes wrong.
+    pub kind: DiskFaultKind,
+    /// Consecutive attempts (starting at 0) that fail before the
+    /// operation succeeds.
+    pub fires: u32,
+}
+
+/// A deterministic plan of storage faults: targeted `(stream, op)` hits
+/// plus per-kind probabilities rolled position-wise.
+///
+/// Decisions are pure in `(stream, op, attempt)` for the same
+/// scheduling-independence reasons as [`OrchFaultPlan`]: per-lane journal
+/// streams run on concurrent worker threads, so a shared roll counter
+/// would make injection depend on thread scheduling. Each stream numbers
+/// its own operations sequentially, so the same plan hits the same
+/// operation no matter how the streams interleave.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiskFaultPlan {
+    /// Seed for the probabilistic rolls.
+    pub seed: u64,
+    /// P(ENOSPC) per operation attempt.
+    pub no_space: f64,
+    /// P(EIO) per operation attempt.
+    pub io_error: f64,
+    /// P(short write) per operation attempt.
+    pub short_write: f64,
+    /// P(crash at the boundary) per operation attempt.
+    pub crash_at_boundary: f64,
+    /// P(lost rename + crash) per operation attempt.
+    pub rename_lost: f64,
+    /// P(silent post-commit bit flip) per operation attempt.
+    pub bitrot: f64,
+    /// Targeted faults, checked before the probabilistic rolls (first
+    /// match wins).
+    pub targeted: Vec<DiskFault>,
+}
+
+impl DiskFaultPlan {
+    /// No disk faults (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single targeted fault firing once at `(stream, op)`.
+    pub fn at(stream: u64, op: u64, kind: DiskFaultKind) -> Self {
+        DiskFaultPlan {
+            targeted: vec![DiskFault {
+                stream,
+                op,
+                kind,
+                fires: 1,
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// Every *transient* kind at the same probabilistic `rate` (crash and
+    /// bitrot kinds stay off — a uniform rain of machine deaths is rarely
+    /// what an evaluation wants; target those explicitly).
+    pub fn uniform_transient(seed: u64, rate: f64) -> Self {
+        DiskFaultPlan {
+            seed,
+            no_space: rate,
+            io_error: rate,
+            short_write: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Probability configured for `kind`.
+    pub fn rate(&self, kind: DiskFaultKind) -> f64 {
+        match kind {
+            DiskFaultKind::NoSpace => self.no_space,
+            DiskFaultKind::Io => self.io_error,
+            DiskFaultKind::ShortWrite => self.short_write,
+            DiskFaultKind::CrashAtBoundary => self.crash_at_boundary,
+            DiskFaultKind::RenameLost => self.rename_lost,
+            DiskFaultKind::Bitrot => self.bitrot,
+        }
+    }
+
+    /// Does this plan never inject anything?
+    pub fn is_none(&self) -> bool {
+        self.targeted.is_empty() && DiskFaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+
+    fn position_bits(&self, stream: u64, op: u64, attempt: u32, salt: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ op.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ u64::from(attempt).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                ^ salt.wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+        )
+    }
+
+    /// Should a disk fault hit attempt `attempt` of operation
+    /// `(stream, op)`? Targeted faults win over probabilistic rolls; kinds
+    /// roll in [`DiskFaultKind::ALL`] order. Pure in the plan and the
+    /// position — re-deciding the same position always answers the same.
+    pub fn decide(&self, stream: u64, op: u64, attempt: u32) -> Option<DiskFaultKind> {
+        for t in &self.targeted {
+            if t.stream == stream && t.op == op && attempt < t.fires {
+                return Some(t.kind);
+            }
+        }
+        for &k in &DiskFaultKind::ALL {
+            let p = self.rate(k);
+            if p <= 0.0 {
+                continue;
+            }
+            let bits = self.position_bits(stream, op, attempt, k.salt());
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < p {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Deterministic auxiliary bits for a decided fault — how many bytes
+    /// of a short write land, which bit rots. Salted differently from the
+    /// decision rolls so the two draws are independent.
+    pub fn aux_bits(&self, stream: u64, op: u64, attempt: u32) -> u64 {
+        self.position_bits(stream, op, attempt, 0x6D6D)
+    }
+
+    /// Encode the plan for transfer to a worker process (stable wire
+    /// format; a worker must inject exactly the faults its in-process twin
+    /// would).
+    pub fn encode(&self, w: &mut crate::wire::Writer) {
+        w.put_u64(self.seed);
+        w.put_u64(self.no_space.to_bits());
+        w.put_u64(self.io_error.to_bits());
+        w.put_u64(self.short_write.to_bits());
+        w.put_u64(self.crash_at_boundary.to_bits());
+        w.put_u64(self.rename_lost.to_bits());
+        w.put_u64(self.bitrot.to_bits());
+        w.put_usize(self.targeted.len());
+        for t in &self.targeted {
+            w.put_u64(t.stream);
+            w.put_u64(t.op);
+            w.put_u8(t.kind.wire_tag());
+            w.put_u32(t.fires);
+        }
+    }
+
+    /// Decode a plan written by [`DiskFaultPlan::encode`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError`] on truncated or malformed bytes.
+    pub fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let seed = r.get_u64()?;
+        let no_space = f64::from_bits(r.get_u64()?);
+        let io_error = f64::from_bits(r.get_u64()?);
+        let short_write = f64::from_bits(r.get_u64()?);
+        let crash_at_boundary = f64::from_bits(r.get_u64()?);
+        let rename_lost = f64::from_bits(r.get_u64()?);
+        let bitrot = f64::from_bits(r.get_u64()?);
+        let n = r.get_count()?;
+        // Each targeted fault is 21 bytes on the wire.
+        if n > r.remaining() / 21 {
+            return Err(crate::wire::WireError::Truncated);
+        }
+        let mut targeted = Vec::with_capacity(n);
+        for _ in 0..n {
+            targeted.push(DiskFault {
+                stream: r.get_u64()?,
+                op: r.get_u64()?,
+                kind: DiskFaultKind::from_wire_tag(r.get_u8()?)?,
+                fires: r.get_u32()?,
+            });
+        }
+        Ok(DiskFaultPlan {
+            seed,
+            no_space,
+            io_error,
+            short_write,
+            crash_at_boundary,
+            rename_lost,
+            bitrot,
+            targeted,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,5 +1282,93 @@ mod tests {
             assert_eq!(OrchFaultKind::from_wire_tag(kind.wire_tag()).unwrap(), kind);
         }
         assert!(OrchFaultKind::from_wire_tag(99).is_err());
+    }
+
+    #[test]
+    fn disk_targeted_fault_fires_then_clears() {
+        let p = DiskFaultPlan::at(0, 3, DiskFaultKind::NoSpace);
+        assert!(!p.is_none());
+        assert_eq!(p.decide(0, 3, 0), Some(DiskFaultKind::NoSpace));
+        assert_eq!(p.decide(0, 3, 1), None, "retry runs clean");
+        assert_eq!(p.decide(0, 2, 0), None, "other ops untouched");
+        assert_eq!(p.decide(1, 3, 0), None, "other streams untouched");
+        assert!(DiskFaultPlan::none().is_none());
+        let stubborn = DiskFaultPlan {
+            targeted: vec![DiskFault {
+                stream: 2,
+                op: 0,
+                kind: DiskFaultKind::Io,
+                fires: 3,
+            }],
+            ..DiskFaultPlan::default()
+        };
+        for attempt in 0..3 {
+            assert_eq!(stubborn.decide(2, 0, attempt), Some(DiskFaultKind::Io));
+        }
+        assert_eq!(stubborn.decide(2, 0, 3), None, "past `fires` runs clean");
+    }
+
+    #[test]
+    fn disk_decisions_are_position_pure_and_seeded() {
+        let p = DiskFaultPlan::uniform_transient(0xD15C, 0.3);
+        let sweep = || {
+            let mut v = Vec::new();
+            for stream in 0..4 {
+                for op in 0..16 {
+                    for attempt in 0..2 {
+                        v.push(p.decide(stream, op, attempt));
+                    }
+                }
+            }
+            v
+        };
+        assert_eq!(sweep(), sweep(), "same plan, same positions, same answer");
+        let decisions = sweep();
+        assert!(decisions.iter().any(Option::is_some));
+        assert!(
+            decisions
+                .iter()
+                .flatten()
+                .all(|k| k.is_transient()),
+            "uniform_transient must never decide a crash or bitrot kind"
+        );
+        let other = DiskFaultPlan::uniform_transient(0xC5D1, 0.3);
+        assert!(
+            (0..4).any(|s| (0..16).any(|op| p.decide(s, op, 0) != other.decide(s, op, 0))),
+            "the seed must matter"
+        );
+        assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(0, 1, 0));
+        assert_eq!(p.aux_bits(3, 2, 1), p.aux_bits(3, 2, 1));
+    }
+
+    #[test]
+    fn disk_plan_round_trips_on_the_wire() {
+        let mut p = DiskFaultPlan::uniform_transient(0xABCD, 0.125);
+        p.bitrot = 0.01;
+        p.targeted.push(DiskFault {
+            stream: 2,
+            op: 17,
+            kind: DiskFaultKind::RenameLost,
+            fires: 2,
+        });
+        let mut w = crate::wire::Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::wire::Reader::new(&bytes);
+        assert_eq!(DiskFaultPlan::decode(&mut r).unwrap(), p);
+        assert!(r.is_empty());
+        for cut in 0..bytes.len() {
+            let mut r = crate::wire::Reader::new(&bytes[..cut]);
+            assert!(DiskFaultPlan::decode(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn disk_fault_tags_round_trip() {
+        for kind in DiskFaultKind::ALL {
+            assert_eq!(DiskFaultKind::from_wire_tag(kind.wire_tag()).unwrap(), kind);
+            assert!(!kind.name().is_empty());
+        }
+        assert!(DiskFaultKind::from_wire_tag(99).is_err());
     }
 }

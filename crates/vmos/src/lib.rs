@@ -52,8 +52,8 @@ pub use crash::{Crash, CrashKind};
 pub use decoded::DecodedImage;
 pub use engine::{reference_engine, set_reference_engine, ReferenceEngineGuard};
 pub use fault::{
-    FaultKind, FaultPlan, FaultPlane, OrchFault, OrchFaultKind, OrchFaultPlan, ProcFault,
-    ProcFaultKind, ProcFaultPlan,
+    DiskFault, DiskFaultKind, DiskFaultPlan, FaultKind, FaultPlan, FaultPlane, OrchFault,
+    OrchFaultKind, OrchFaultPlan, ProcFault, ProcFaultKind, ProcFaultPlan,
 };
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
 pub use os::{Os, OsError};
