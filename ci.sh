@@ -5,6 +5,11 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+# Optimizer escape hatch: with the pre-decode FIR optimizer compiled out
+# (`no-fir-opt`), the three-way reference/decoded/decoded+opt equivalence
+# gate must still hold — the unoptimized decoded lowering is the fallback
+# story, so it gets its own pass of the gate.
+cargo test -q --features no-fir-opt --test engine_equivalence
 # Checkpoint/resume correctness gate: kill-and-resume must be byte-identical.
 cargo run --release -p bench --bin checkpoint_eval -- --smoke
 # Engine determinism + throughput gate: the decoded engine must match the

@@ -1,0 +1,90 @@
+//! Decode-optimizer bisection tool: times one target's campaign on each
+//! engine configuration (reference / plain decoded / optimized decoded)
+//! and reports best-of-N execs/sec, so individual passes can be bisected
+//! with `CLOSUREX_OPT_SKIP=pass1,pass2,...` (see `vmos::decoded`).
+//!
+//! Usage: `opt_bisect [target ...]` (default: giftext gpmf-parser
+//! c-blosc2). Budget via `CLOSUREX_BUDGET` (default 20M cycles).
+
+use aflrs::{Campaign, CampaignConfig};
+use bench::Mechanism;
+use std::time::Instant;
+use vmos::{DecodeOptGuard, ReferenceEngineGuard};
+
+const ROUNDS: usize = 3;
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        budget_cycles: bench::budget(),
+        seed: 0xC0FFEE,
+        deterministic_stage: true,
+        stop_after_crashes: 0,
+        ..CampaignConfig::default()
+    }
+}
+
+/// One timed campaign run; returns (wall seconds, exec count).
+fn run_once(target: &targets::TargetSpec) -> (f64, u64) {
+    let cfg = cfg();
+    let seeds = (target.seeds)();
+    let mut ex = Mechanism::ClosureX.executor(target);
+    let start = Instant::now();
+    let r = Campaign::new(&seeds, &cfg)
+        .executor(ex.as_mut())
+        .run()
+        .expect("campaign")
+        .finished()
+        .expect("no kill configured");
+    (start.elapsed().as_secs_f64(), r.execs)
+}
+
+/// Best-of-N for all three engine configurations, with the rounds
+/// *interleaved* (ref, plain, opt, ref, plain, opt, ...) so slow drift in
+/// machine throughput hits every configuration equally instead of
+/// penalizing whichever leg runs last. Round 0 is a discarded warm-up.
+fn best3(target: &targets::TargetSpec) -> ([f64; 3], [u64; 3]) {
+    let mut best = [f64::INFINITY; 3];
+    let mut execs = [0u64; 3];
+    for round in 0..=ROUNDS {
+        for (i, s) in best.iter_mut().enumerate() {
+            let guards = match i {
+                0 => (Some(ReferenceEngineGuard::new()), None),
+                1 => (None, Some(DecodeOptGuard::new())),
+                _ => (None, None),
+            };
+            let (secs, e) = run_once(target);
+            drop(guards);
+            if round > 0 {
+                *s = s.min(secs);
+            }
+            execs[i] = e;
+        }
+    }
+    (best, execs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["giftext", "gpmf-parser", "c-blosc2"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let skip = std::env::var("CLOSUREX_OPT_SKIP").unwrap_or_default();
+    println!("opt_bisect: budget {} cycles, skip=[{skip}]", bench::budget());
+    for name in names {
+        let t = targets::by_name(name).expect("bundled target");
+        let ([ref_s, plain_s, opt_s], [execs, pe, oe]) = best3(t);
+        assert_eq!(execs, pe, "{name}: plain engine diverged");
+        assert_eq!(execs, oe, "{name}: optimized engine diverged");
+        println!(
+            "  {name}: {execs} execs | ref {:.0}/s | plain {:.0}/s ({:.2}x) | opt {:.0}/s ({:.2}x, {:+.1}% vs plain)",
+            execs as f64 / ref_s,
+            execs as f64 / plain_s,
+            ref_s / plain_s,
+            execs as f64 / opt_s,
+            ref_s / opt_s,
+            (plain_s / opt_s - 1.0) * 100.0,
+        );
+    }
+}

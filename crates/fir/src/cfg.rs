@@ -57,6 +57,39 @@ pub fn edges(f: &Function) -> Vec<(BlockId, BlockId)> {
     es
 }
 
+/// Blocks that sit on a CFG cycle (i.e. can reach themselves). These are
+/// the "hot" blocks for decode-time optimization heuristics: anything on a
+/// cycle may execute an unbounded number of times per call.
+pub fn loop_blocks(f: &Function) -> HashSet<BlockId> {
+    let n = f.blocks.len();
+    // reach[b] = set of blocks reachable from b, computed by BFS per block.
+    // Quadratic in the worst case but cheap at the CFG sizes MinC emits,
+    // and only run once per module at decode time.
+    let mut on_cycle = HashSet::new();
+    for start in 0..n as u32 {
+        let start = BlockId(start);
+        let mut seen = HashSet::new();
+        let mut q = VecDeque::new();
+        for s in f.blocks[start.0 as usize].term.successors() {
+            if seen.insert(s) {
+                q.push_back(s);
+            }
+        }
+        while let Some(b) = q.pop_front() {
+            if b == start {
+                on_cycle.insert(start);
+                break;
+            }
+            for s in f.blocks[b.0 as usize].term.successors() {
+                if seen.insert(s) {
+                    q.push_back(s);
+                }
+            }
+        }
+    }
+    on_cycle
+}
+
 /// Reverse-post-order over reachable blocks (classic pass iteration order).
 pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
     let mut visited = HashSet::new();

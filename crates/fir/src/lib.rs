@@ -36,6 +36,7 @@ pub mod cfg;
 pub mod global;
 pub mod image;
 pub mod inst;
+pub mod liveness;
 pub mod module;
 pub mod parser;
 pub mod printer;

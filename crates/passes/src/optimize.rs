@@ -18,7 +18,14 @@ use crate::manager::{ModulePass, PassError, PassReport};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ConstFoldPass;
 
-fn fold_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+/// Fold one binary op over constant operands, or `None` when folding
+/// would change behavior (division by zero, `i64::MIN / -1` overflow —
+/// both must stay in the program so the interpreter reports the crash).
+///
+/// This is the compile-time twin of `vmos::interp::eval_bin`; the
+/// differential proptest in this module pins the two together on the
+/// edge cases (shift-amount masking, signed-overflow division).
+pub fn fold_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -161,6 +168,136 @@ impl ModulePass for DeadBlockPass {
             changes: stubbed,
             summary: format!("stubbed {stubbed} unreachable blocks"),
         })
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    //! `fold_bin` vs. the reference interpreter's `eval_bin`: wherever the
+    //! fold produces a value, the interpreter must produce the **same**
+    //! value; wherever the interpreter traps, the fold must decline.
+    //! Divergence in either direction is a miscompile (a folded-in wrong
+    //! constant, or a fold that hides a crash site).
+
+    use super::fold_bin;
+    use fir::BinOp;
+    use proptest::prelude::*;
+    use vmos::interp::eval_bin;
+
+    const OPS: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::UDiv,
+        BinOp::SDiv,
+        BinOp::URem,
+        BinOp::SRem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::LShr,
+        BinOp::AShr,
+    ];
+
+    /// Values with every edge the semantics care about: signed-overflow
+    /// division pairs, zero divisors, shift counts at/past the 63 mask.
+    fn operand() -> impl Strategy<Value = i64> {
+        prop_oneof![
+            any::<i64>(),
+            prop_oneof![
+                Just(0i64),
+                Just(1),
+                Just(-1),
+                Just(2),
+                Just(i64::MIN),
+                Just(i64::MIN + 1),
+                Just(i64::MAX),
+                Just(62),
+                Just(63),
+                Just(64),
+                Just(65),
+                Just(127),
+                Just(-63),
+            ],
+        ]
+    }
+
+    fn bin_op() -> impl Strategy<Value = BinOp> {
+        (0usize..OPS.len()).prop_map(|i| OPS[i])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4096))]
+
+        #[test]
+        fn fold_agrees_with_the_reference_interpreter(
+            op in bin_op(),
+            a in operand(),
+            b in operand(),
+        ) {
+            let folded = fold_bin(op, a, b);
+            let executed = eval_bin(op, a, b);
+            match (folded, executed) {
+                (Some(f), Ok(e)) => prop_assert_eq!(
+                    f, e,
+                    "fold_bin({:?}, {}, {}) folded a different value than \
+                     the interpreter computes", op, a, b
+                ),
+                (Some(f), Err(detail)) => prop_assert!(
+                    false,
+                    "fold_bin({:?}, {}, {}) folded {} but the interpreter \
+                     traps with {:?}", op, a, b, f, detail
+                ),
+                // Declining to fold a computable op is allowed (it only
+                // costs optimization); folding a trapping op is not.
+                (None, _) => {}
+            }
+        }
+
+        /// Shift amounts are masked to the low 6 bits in both worlds:
+        /// folds of oversized shift counts must match execution exactly
+        /// (x86-style masking, not UB, not saturation).
+        #[test]
+        fn shift_masking_is_identical(a in operand(), b in operand()) {
+            for op in [BinOp::Shl, BinOp::LShr, BinOp::AShr] {
+                let folded = fold_bin(op, a, b).expect("shifts always fold");
+                let executed = eval_bin(op, a, b).expect("shifts never trap");
+                prop_assert_eq!(folded, executed);
+                // The mask really is mod-64: an oversized count behaves
+                // like its low bits in both implementations.
+                let masked = b & 63;
+                prop_assert_eq!(folded, fold_bin(op, a, masked).unwrap());
+            }
+        }
+    }
+
+    /// The four signed-overflow / zero-divisor corners, pinned exactly:
+    /// the fold must decline and the interpreter must trap.
+    #[test]
+    fn division_corners_never_fold_and_always_trap() {
+        let corners = [
+            (BinOp::UDiv, 7i64, 0i64),
+            (BinOp::URem, 7, 0),
+            (BinOp::SDiv, 7, 0),
+            (BinOp::SRem, 7, 0),
+            (BinOp::SDiv, i64::MIN, -1),
+            (BinOp::SRem, i64::MIN, -1),
+        ];
+        for (op, a, b) in corners {
+            assert_eq!(fold_bin(op, a, b), None, "{op:?} {a} {b} must not fold");
+            assert!(eval_bin(op, a, b).is_err(), "{op:?} {a} {b} must trap");
+        }
+        // ...and the near-misses both compute, identically.
+        for (op, a, b) in [
+            (BinOp::SDiv, i64::MIN, 1),
+            (BinOp::SDiv, i64::MIN + 1, -1),
+            (BinOp::SRem, i64::MIN, 1),
+            (BinOp::UDiv, i64::MIN, -1),
+            (BinOp::URem, i64::MIN, -1),
+        ] {
+            assert_eq!(fold_bin(op, a, b), Some(eval_bin(op, a, b).unwrap()));
+        }
     }
 }
 

@@ -10,6 +10,13 @@
 use serde::{Deserialize, Serialize};
 
 /// Cycle charges for every simulated OS and runtime operation.
+///
+/// The decoded engine and its pre-decode optimizer (DESIGN.md §17) are
+/// bound to this model by the equivalence contract: a fused
+/// superinstruction or `Chain` component charges exactly the `inst`-cycle
+/// sum of the source instructions it stands for, and eliminated
+/// instructions still charge via bulk `pre` counters. The optimizer
+/// removes host dispatches, never simulated cycles.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Cycles per interpreted FIR instruction.
@@ -118,7 +125,9 @@ impl CostModel {
             + init_fd_rewinds * self.restore_per_init_fd_rewind
     }
 
-    /// Cost of a bulk operation over `len` bytes.
+    /// Cost of a bulk operation over `len` bytes. Charged once per
+    /// hostcall on the interpreter's hot path.
+    #[inline]
     pub fn bulk(&self, base: u64, len: u64) -> u64 {
         base + len / self.host_bulk_div.max(1)
     }

@@ -368,6 +368,12 @@ pub struct CovState {
 impl CovState {
     /// Apply the AFL edge transform for a block with id `cur`, updating the
     /// map and returning the folded edge index.
+    ///
+    /// This is the single coverage entry point for every engine form: the
+    /// reference interpreter's `CovEdge` hostcall, the decoded `CovEdgeK`
+    /// op, the fused `CovCmpBr` superinstruction, and `Cov` components
+    /// inside a `DOp::Chain` all funnel here — coverage equivalence across
+    /// engines is by construction, not by parallel implementations.
     #[inline]
     pub fn edge(&mut self, cur: u16, map: &mut CovMap) -> u16 {
         let idx = cur ^ self.prev;

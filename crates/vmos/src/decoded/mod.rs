@@ -1,0 +1,795 @@
+//! Pre-decoded FIR bytecode: the host-throughput execution engine.
+//!
+//! The reference interpreter ([`crate::interp::Machine::run`]) re-walks the
+//! `fir` AST on every instruction: nested `functions[f].blocks[b].insts[i]`
+//! indexing, callee resolution by *string name* at every call site, and
+//! hostcall dispatch through a string match. None of that work depends on
+//! run-time state, so this module does it **once per module**. It produces
+//! two op streams per function:
+//!
+//! * a **plain** stream ([`lower`]) — strictly 1:1 with the source, one
+//!   [`DOp`] per instruction plus one per terminator, with block targets
+//!   pre-resolved to flat pcs and callees pre-bound;
+//! * an **optimized** stream ([`opt`], [`fuse`], [`inline`]) — the same
+//!   program after a decode-time pass stack: operand pre-resolution
+//!   (`addr_of`/const forwarding), dead decoded-temp elimination,
+//!   superinstruction fusion (`cmp`+branch, `bin`+load, load+`bin`,
+//!   counter-update+branch, coverage-probe+compare+branch), block
+//!   linearization with fallthrough merging, and small leaf-callee
+//!   inlining.
+//!
+//! **The equivalence contract.** Both streams perform the *same sequence
+//! of simulated state transitions* as the reference interpreter: identical
+//! cycle charges, instruction counts (fuel), coverage-map updates, crash
+//! sites, and `setjmp`/checkpoint coordinates. Fused ops charge each
+//! component exactly where the reference would, with an inline fuel check
+//! between components; eliminated host-only work (dead register writes,
+//! folded jumps) is bulk-charged through per-pc `pre` counters, which is
+//! observationally identical because eliminated ops have no effect beyond
+//! the charge and frame registers are never observable at an
+//! `OutOfFuel`/crash boundary (frames are truncated by `Machine::call`).
+//! `tests/engine_equivalence.rs` enforces all of this end-to-end, three
+//! ways (reference / decoded / decoded+opt).
+//!
+//! Images are immutable and cached per module fingerprint **and optimizer
+//! discriminant** (version + compiled-in feature flags — see
+//! [`DecodedImage::cached`]), so toggling optimization can never serve a
+//! stale image and every executor in a campaign — including respawned and
+//! restored processes — shares one decode.
+
+mod fuse;
+mod inline;
+mod lower;
+mod opt;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use fir::{BinOp, CmpPred, FunctionId, GlobalId, Module, Operand};
+use serde::{Deserialize, Serialize};
+
+use crate::hostcalls::HostId;
+
+/// One pre-decoded operation. Branch operands are flat pcs into the owning
+/// function's `ops`; register/immediate operands keep the (Copy) `fir`
+/// representation since reading them is already a single array index.
+///
+/// The variants after [`DOp::Unreachable`] only appear in optimized
+/// streams: pre-resolved forms and fused superinstructions. Each fused op
+/// executes its components in source order, charging one instruction per
+/// component with an inline fuel check between components, so the fuel
+/// boundary and every observable effect land exactly where the reference
+/// interpreter puts them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DOp {
+    /// `dst = value`
+    Const { dst: u32, value: i64 },
+    /// `dst = src`
+    Mov { dst: u32, src: Operand },
+    /// `dst = op lhs, rhs`
+    Bin {
+        op: BinOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = cmp pred lhs, rhs`
+    Cmp {
+        pred: CmpPred,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = cond ? if_true : if_false`
+    Select {
+        dst: u32,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    },
+    /// `dst = load bytes, [addr]` — width pre-resolved to a byte count.
+    Load { dst: u32, addr: Operand, bytes: u64 },
+    /// `store bytes value, [addr]`
+    Store {
+        addr: Operand,
+        value: Operand,
+        bytes: u64,
+    },
+    /// `dst = &global`
+    AddrOf { dst: u32, global: GlobalId },
+    /// `dst = alloca size` with the 16-byte rounding pre-computed
+    /// (`size` is kept for the crash message).
+    Alloca { dst: u32, size: u32, rounded: u64 },
+    /// `__cov_edge(id)` — the coverage probe intrinsic.
+    CovEdge { id: Operand },
+    /// `setjmp(buf)`. `ret_block`/`ret_ip` are the *source* coordinates of
+    /// the next instruction — what the `JmpCtx` must record regardless of
+    /// how this stream is laid out.
+    Setjmp {
+        dst: Option<fir::Reg>,
+        buf: Operand,
+        ret_block: u32,
+        ret_ip: u32,
+    },
+    /// `longjmp(buf, val)` — missing `val` defaults to `Imm(1)` exactly
+    /// like the reference's `argv.get(1).unwrap_or(&1)`.
+    Longjmp { buf: Operand, val: Operand },
+    /// Call to a module-defined function, pre-bound by id. `ret_block`/
+    /// `ret_ip` are the source coordinates the caller frame resumes at.
+    CallFn {
+        dst: Option<fir::Reg>,
+        callee: FunctionId,
+        args: Box<[Operand]>,
+        ret_block: u32,
+        ret_ip: u32,
+    },
+    /// Call to the simulated libc, pre-bound to a [`HostId`].
+    CallHost {
+        dst: Option<fir::Reg>,
+        host: HostId,
+        args: Box<[Operand]>,
+    },
+    /// Call to a name nothing resolves — executing it is the
+    /// unresolved-symbol crash.
+    CallUnknown { name: Box<str> },
+    /// Return, optionally with a value.
+    Ret(Option<Operand>),
+    /// Unconditional jump to a flat pc.
+    Br(u32),
+    /// Conditional jump on `cond != 0`.
+    CondBr {
+        cond: Operand,
+        if_true: u32,
+        if_false: u32,
+    },
+    /// Multi-way dispatch; first matching case wins, like the reference.
+    Switch {
+        value: Operand,
+        cases: Box<[(i64, u32)]>,
+        default: u32,
+    },
+    /// Executing this is an `UnreachableExecuted` crash.
+    Unreachable,
+
+    // ----- optimized streams only -----
+    /// `__cov_edge` with the edge id pre-resolved to a constant.
+    CovEdgeK { id: u16 },
+    /// Fused coverage probe + compare + conditional branch — the loop
+    /// header superinstruction. Charges 3 instructions.
+    CovCmpBr {
+        id: u16,
+        pred: CmpPred,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+        if_true: u32,
+        if_false: u32,
+    },
+    /// Fused compare + conditional branch on the compared value.
+    /// Charges 2 instructions.
+    CmpBr {
+        pred: CmpPred,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+        if_true: u32,
+        if_false: u32,
+    },
+    /// Fused binop + unconditional branch (loop latch counter update).
+    /// Charges 2 instructions.
+    BinBr {
+        op: BinOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+        target: u32,
+    },
+    /// Fused move + unconditional branch. Charges 2 instructions.
+    MovBr { dst: u32, src: Operand, target: u32 },
+    /// Fused store + unconditional branch. Charges 2 instructions.
+    StoreBr {
+        addr: Operand,
+        value: Operand,
+        bytes: u64,
+        target: u32,
+    },
+    /// Fused address-compute + load. Charges 2 instructions.
+    BinLoad {
+        op: BinOp,
+        bdst: u32,
+        lhs: Operand,
+        rhs: Operand,
+        ldst: u32,
+        addr: Operand,
+        bytes: u64,
+    },
+    /// Fused load + binop over the loaded value. Charges 2 instructions.
+    LoadBin {
+        ldst: u32,
+        addr: Operand,
+        bytes: u64,
+        op: BinOp,
+        bdst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// Unconditional jump with `skipped` folded jump-only blocks
+    /// bulk-charged (1 + `skipped` instructions total).
+    BrChain { target: u32, skipped: u16 },
+    /// Dense jump-table form of `Switch`: `pc = table[value - base]`, out
+    /// of range → `default`. First-match-wins duplicates were resolved at
+    /// decode time.
+    SwitchTable {
+        value: Operand,
+        base: i64,
+        table: Box<[u32]>,
+        default: u32,
+    },
+    /// Inlined-call prologue: the decode-time splice of a small leaf
+    /// callee. Performs exactly what the reference `Call` does (depth
+    /// check, +2 cycles, zeroed callee registers at `base..base+nregs`,
+    /// parameter copy) except that the callee's registers live in the
+    /// *caller's* extended register file and the stack pointer is saved in
+    /// scratch slot `sp_slot` instead of a new frame.
+    InlineEnter {
+        callee: FunctionId,
+        args: Box<[Operand]>,
+        base: u32,
+        nregs: u32,
+        sp_slot: u32,
+        entry: u32,
+    },
+    /// Inlined-call epilogue: restores the stack pointer, writes the
+    /// return value to the caller's destination register, and jumps to the
+    /// continuation. Charges 1 instruction, exactly like the `Ret` it
+    /// replaces.
+    InlineRet {
+        val: Option<Operand>,
+        dst: Option<u32>,
+        sp_slot: u32,
+        resume: u32,
+    },
+    /// Fused straight-line run: a whole sequence of simple ops executed
+    /// under **one** dispatch, in a tight loop over an out-of-line
+    /// component array. Each component charges 1 instruction behind its
+    /// own fuel check (plus its `pre` worth of absorbed eliminated
+    /// instructions), so every coverage update, memory effect, and crash
+    /// lands at exactly the fuel position the reference interpreter gives
+    /// it. Every crash-capable component (`Bin`/`Load`/`Store`) shares the
+    /// head's `(site_fn, site_block)`, so `crash_here!` at the head pc
+    /// reports the right source location; pure register and coverage
+    /// components may cross merge seams because their site is never
+    /// observable.
+    Chain {
+        comps: Box<[ChainComp]>,
+        tail: ChainTail,
+    },
+}
+
+/// One component of a [`DOp::Chain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainComp {
+    /// Eliminated-instruction charge owed immediately before this
+    /// component executes (interior dead temps / folded branches the
+    /// chain absorbed). Always 0 on the first component — the head's
+    /// charge lives in the stream-level [`DFunc::pre`] array.
+    pub pre: u16,
+    pub op: ChainOp,
+}
+
+/// The simple op forms a [`DOp::Chain`] may carry: everything that stays
+/// within one frame and one pc run — register arithmetic, coverage
+/// probes, and straight-line memory traffic. Control flow, calls, and
+/// `setjmp`/`longjmp` machinery never chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainOp {
+    /// `dst = value`
+    Const { dst: u32, value: i64 },
+    /// `dst = src`
+    Mov { dst: u32, src: Operand },
+    /// `dst = op lhs, rhs` (may crash: division traps).
+    Bin {
+        op: BinOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = cmp pred lhs, rhs`
+    Cmp {
+        pred: CmpPred,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = cond ? if_true : if_false`
+    Select {
+        dst: u32,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    },
+    /// Coverage probe with a pre-resolved edge id.
+    Cov { id: u16 },
+    /// `dst = load bytes, [addr]` (may crash: invalid memory).
+    Load { dst: u32, addr: Operand, bytes: u64 },
+    /// `store bytes value, [addr]` (may crash: invalid memory).
+    Store {
+        addr: Operand,
+        value: Operand,
+        bytes: u64,
+    },
+    /// `dst = &global`
+    AddrOf { dst: u32, global: GlobalId },
+}
+
+/// How a [`DOp::Chain`] hands control back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChainTail {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Absorbed unconditional branch: bulk-charge `pre` eliminated
+    /// instructions, charge 1 for the branch itself, jump to `target`.
+    Br { pre: u16, target: u32 },
+    /// Absorbed conditional branch (from a `CondBr`, or the branch half of
+    /// a decomposed `CmpBr`/`CovCmpBr`, whose compare became the last
+    /// component): bulk-charge `pre`, charge 1, branch on `cond != 0`.
+    CondBr {
+        pre: u16,
+        cond: Operand,
+        if_true: u32,
+        if_false: u32,
+    },
+}
+
+impl DOp {
+    /// Rewrite every flat-pc (or, inside the optimizer, block-index)
+    /// branch-target field through `f`. This is the single source of truth
+    /// for "which `u32`s are control-flow targets" — the optimizer uses it
+    /// to remap block indices when splicing, and emission uses it to
+    /// resolve block indices to final pcs.
+    pub(crate) fn retarget(&mut self, mut f: impl FnMut(u32) -> u32) {
+        match self {
+            DOp::Br(t)
+            | DOp::BinBr { target: t, .. }
+            | DOp::MovBr { target: t, .. }
+            | DOp::StoreBr { target: t, .. }
+            | DOp::BrChain { target: t, .. }
+            | DOp::InlineEnter { entry: t, .. }
+            | DOp::InlineRet { resume: t, .. } => *t = f(*t),
+            DOp::CondBr {
+                if_true, if_false, ..
+            }
+            | DOp::CmpBr {
+                if_true, if_false, ..
+            }
+            | DOp::CovCmpBr {
+                if_true, if_false, ..
+            } => {
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            DOp::Switch { cases, default, .. } => {
+                for (_, t) in cases.iter_mut() {
+                    *t = f(*t);
+                }
+                *default = f(*default);
+            }
+            DOp::SwitchTable { table, default, .. } => {
+                for t in table.iter_mut() {
+                    *t = f(*t);
+                }
+                *default = f(*default);
+            }
+            DOp::Chain { tail, .. } => match tail {
+                ChainTail::Next => {}
+                ChainTail::Br { target, .. } => *target = f(*target),
+                ChainTail::CondBr {
+                    if_true, if_false, ..
+                } => {
+                    *if_true = f(*if_true);
+                    *if_false = f(*if_false);
+                }
+            },
+            _ => {}
+        }
+    }
+
+    /// The branch targets this op can transfer control to (same fields as
+    /// [`DOp::retarget`]).
+    pub(crate) fn targets(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut probe = self.clone();
+        probe.retarget(|t| {
+            out.push(t);
+            t
+        });
+        out
+    }
+
+    /// Apply `f` to every *read* operand (not destinations). Used by the
+    /// operand pre-resolution pass.
+    pub(crate) fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            DOp::Mov { src, .. } | DOp::MovBr { src, .. } => f(src),
+            DOp::Bin { lhs, rhs, .. }
+            | DOp::Cmp { lhs, rhs, .. }
+            | DOp::CmpBr { lhs, rhs, .. }
+            | DOp::CovCmpBr { lhs, rhs, .. }
+            | DOp::BinBr { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            DOp::BinLoad { lhs, rhs, addr, .. } | DOp::LoadBin { lhs, rhs, addr, .. } => {
+                f(lhs);
+                f(rhs);
+                f(addr);
+            }
+            DOp::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                f(cond);
+                f(if_true);
+                f(if_false);
+            }
+            DOp::Load { addr, .. } => f(addr),
+            DOp::Store { addr, value, .. } | DOp::StoreBr { addr, value, .. } => {
+                f(addr);
+                f(value);
+            }
+            DOp::CovEdge { id } => f(id),
+            DOp::Setjmp { buf, .. } => f(buf),
+            DOp::Longjmp { buf, val } => {
+                f(buf);
+                f(val);
+            }
+            DOp::CallFn { args, .. }
+            | DOp::CallHost { args, .. }
+            | DOp::InlineEnter { args, .. } => {
+                for a in args.iter_mut() {
+                    f(a);
+                }
+            }
+            DOp::Ret(Some(v)) | DOp::InlineRet { val: Some(v), .. } => f(v),
+            DOp::CondBr { cond, .. } => f(cond),
+            DOp::Switch { value, .. } | DOp::SwitchTable { value, .. } => f(value),
+            DOp::Chain { comps, tail } => {
+                if let ChainTail::CondBr { cond, .. } = tail {
+                    f(cond);
+                }
+                for c in comps.iter_mut() {
+                    match &mut c.op {
+                        ChainOp::Mov { src, .. } => f(src),
+                        ChainOp::Bin { lhs, rhs, .. } | ChainOp::Cmp { lhs, rhs, .. } => {
+                            f(lhs);
+                            f(rhs);
+                        }
+                        ChainOp::Select {
+                            cond,
+                            if_true,
+                            if_false,
+                            ..
+                        } => {
+                            f(cond);
+                            f(if_true);
+                            f(if_false);
+                        }
+                        ChainOp::Load { addr, .. } => f(addr),
+                        ChainOp::Store { addr, value, .. } => {
+                            f(addr);
+                            f(value);
+                        }
+                        ChainOp::Const { .. } | ChainOp::Cov { .. } | ChainOp::AddrOf { .. } => {}
+                    }
+                }
+            }
+            DOp::Const { .. }
+            | DOp::AddrOf { .. }
+            | DOp::Alloca { .. }
+            | DOp::CallUnknown { .. }
+            | DOp::Ret(None)
+            | DOp::InlineRet { val: None, .. }
+            | DOp::Br(_)
+            | DOp::BrChain { .. }
+            | DOp::CovEdgeK { .. }
+            | DOp::Unreachable => {}
+        }
+    }
+
+    /// Registers this op *reads* (same coverage as
+    /// [`DOp::for_each_use_mut`], collected).
+    pub(crate) fn use_regs(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut probe = self.clone();
+        probe.for_each_use_mut(|o| {
+            if let Operand::Reg(r) = o {
+                out.push(r.0);
+            }
+        });
+        out
+    }
+
+    /// The plain register this op defines, when that write is its *only*
+    /// register effect (used by coalescing/DCE; call-style dsts are
+    /// handled separately).
+    pub(crate) fn def_reg(&self) -> Option<u32> {
+        match self {
+            DOp::Const { dst, .. }
+            | DOp::Mov { dst, .. }
+            | DOp::Bin { dst, .. }
+            | DOp::Cmp { dst, .. }
+            | DOp::Select { dst, .. }
+            | DOp::Load { dst, .. }
+            | DOp::AddrOf { dst, .. }
+            | DOp::Alloca { dst, .. } => Some(*dst),
+            DOp::CallFn { dst, .. } | DOp::CallHost { dst, .. } => dst.map(|r| r.0),
+            _ => None,
+        }
+    }
+
+    /// Redirect this op's destination register (coalescing). Must only be
+    /// called on ops for which [`DOp::def_reg`] returns `Some`.
+    pub(crate) fn set_def_reg(&mut self, r: u32) {
+        match self {
+            DOp::Const { dst, .. }
+            | DOp::Mov { dst, .. }
+            | DOp::Bin { dst, .. }
+            | DOp::Cmp { dst, .. }
+            | DOp::Select { dst, .. }
+            | DOp::Load { dst, .. }
+            | DOp::AddrOf { dst, .. }
+            | DOp::Alloca { dst, .. } => *dst = r,
+            DOp::CallFn { dst, .. } | DOp::CallHost { dst, .. } => *dst = Some(fir::Reg(r)),
+            _ => unreachable!("set_def_reg on a non-defining op"),
+        }
+    }
+}
+
+/// One lowered function (plain or optimized stream — same representation,
+/// one execution loop).
+#[derive(Debug, Clone)]
+pub struct DFunc {
+    /// Symbol name (crash sites and hostcall sites report it).
+    pub name: String,
+    /// Number of parameters.
+    pub num_params: u32,
+    /// Register file size. Optimized streams may extend this beyond the
+    /// source function's file for inline scratch space (host-only state;
+    /// the decoded loop grows the entry frame on the way in).
+    pub num_regs: u32,
+    /// Flat op stream.
+    pub ops: Vec<DOp>,
+    /// `pre[pc]` = number of *eliminated* source instructions charged
+    /// immediately before the op at `pc` executes (0 almost everywhere;
+    /// identically 0 in plain streams).
+    pub pre: Vec<u16>,
+    /// `block_of[pc]` = source block of the op at `pc` (crash sites;
+    /// for inlined ops this is the **callee's** block).
+    pub block_of: Vec<u32>,
+    /// `fname_of[pc]` = `FunctionId` index whose *name* sites at `pc`
+    /// report (differs from the owning function only inside inlined
+    /// regions).
+    pub fname_of: Vec<u32>,
+    /// `block_start[b]` = flat pc a branch to source block `b` lands on.
+    pub block_start: Vec<u32>,
+    /// `orig_start[b]` = base of block `b` in *source* flat coordinates
+    /// (`insts.len() + 1` per block) — the index space of `pc_of_src`.
+    pub orig_start: Vec<u32>,
+    /// Source-coordinate → pc map: `pc_of_src[orig_start[b] + ip]` is the
+    /// pc to resume at for reference coordinates `(b, ip)`. Identity for
+    /// plain streams.
+    pub pc_of_src: Vec<u32>,
+}
+
+impl DFunc {
+    /// Convert a flat pc back to the reference engine's `(block, ip)`
+    /// coordinates. Only meaningful for **plain** (1:1) streams, where the
+    /// op layout matches the source layout.
+    #[inline]
+    pub fn coords(&self, pc: u32) -> (u32, usize) {
+        let block = self.block_of[pc as usize];
+        (block, (pc - self.block_start[block as usize]) as usize)
+    }
+
+    /// Convert reference `(block, ip)` coordinates to a flat pc. Only
+    /// meaningful for plain streams; optimized streams resume through
+    /// [`DFunc::src_pc`].
+    #[inline]
+    pub fn flat_pc(&self, block: u32, ip: usize) -> u32 {
+        self.block_start[block as usize] + ip as u32
+    }
+
+    /// The pc at which execution of reference coordinates `(block, ip)`
+    /// resumes in this stream. Valid for every resume point the engine can
+    /// produce (function entry, post-call, post-`setjmp`); total over all
+    /// source coordinates.
+    #[inline]
+    pub fn src_pc(&self, block: u32, ip: usize) -> u32 {
+        self.pc_of_src[(self.orig_start[block as usize] + ip as u32) as usize]
+    }
+}
+
+/// Decode-time optimization statistics for one module image, surfaced by
+/// `exec_throughput` so pass regressions are visible next to throughput.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptStats {
+    /// Optimizer version baked into the cache key.
+    pub version: u32,
+    /// Fused coverage-probe + compare + branch triples.
+    pub fused_cov_cmp_br: u64,
+    /// Fused compare + conditional-branch pairs.
+    pub fused_cmp_br: u64,
+    /// Fused binop + unconditional-branch pairs (loop latches).
+    pub fused_bin_br: u64,
+    /// Fused move + unconditional-branch pairs.
+    pub fused_mov_br: u64,
+    /// Fused store + unconditional-branch pairs.
+    pub fused_store_br: u64,
+    /// Fused address-compute + load pairs.
+    pub fused_bin_load: u64,
+    /// Fused load + binop pairs.
+    pub fused_load_bin: u64,
+    /// Fused straight-line chains (one dispatch each).
+    pub chains: u64,
+    /// Total ops absorbed into chains as components (incl. heads and
+    /// absorbed tail branches).
+    pub chain_comps: u64,
+    /// `Switch` terminators converted to dense jump tables.
+    pub switch_tables: u64,
+    /// Jump-only blocks folded out of unconditional branch chains.
+    pub br_chains_folded: u64,
+    /// Blocks merged into their unique predecessor's pc range.
+    pub blocks_merged: u64,
+    /// Dead decoded temps eliminated (charges preserved via `pre`).
+    pub insts_eliminated: u64,
+    /// `mov` destinations coalesced into their defining op.
+    pub movs_coalesced: u64,
+    /// Operands rewritten to immediates (const/`addr_of` forwarding).
+    pub operands_resolved: u64,
+    /// Coverage probes with pre-resolved constant edge ids.
+    pub cov_edges_resolved: u64,
+    /// Call sites inlined at decode time.
+    pub inline_sites: u64,
+    /// Distinct leaf callees that were inlined somewhere.
+    pub inlined_callees: u64,
+    /// Wall-clock time of the whole decode (lower + optimize), in
+    /// microseconds.
+    pub decode_micros: u64,
+}
+
+impl OptStats {
+    /// Total fused superinstructions across all kinds.
+    pub fn fused_total(&self) -> u64 {
+        self.fused_cov_cmp_br
+            + self.fused_cmp_br
+            + self.fused_bin_br
+            + self.fused_mov_br
+            + self.fused_store_br
+            + self.fused_bin_load
+            + self.fused_load_bin
+            + self.chains
+    }
+}
+
+/// A fully lowered module image, shared (behind `Arc`) by every executor
+/// running the module.
+#[derive(Debug, Clone)]
+pub struct DecodedImage {
+    /// Plain 1:1 lowered functions, indexed by [`FunctionId`]. This is the
+    /// stream the escape hatches (`Campaign::decode_opt(false)`, the
+    /// `no-fir-opt` feature) pin.
+    pub funcs: Vec<DFunc>,
+    /// Optimized streams, same indexing. `None` when the `no-fir-opt`
+    /// feature compiled the optimizer out.
+    pub opt_funcs: Option<Vec<DFunc>>,
+    /// Fingerprint of the module this image was lowered from.
+    pub fingerprint: u64,
+    /// What the optimizer did (all zeros when it didn't run).
+    pub stats: OptStats,
+}
+
+/// Bump when a pass changes in any observable-layout way: the value is
+/// folded into the image cache key, so stale images can never be served
+/// across optimizer revisions.
+pub const OPT_VERSION: u32 = 1;
+
+impl DecodedImage {
+    /// Lower every function of `module` and, unless compiled out, run the
+    /// decode-time optimizer stack over it.
+    pub fn new(module: &Module) -> Self {
+        let started = std::time::Instant::now();
+        let funcs: Vec<DFunc> = module
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| lower::lower(module, i as u32, f))
+            .collect();
+        let mut stats = OptStats {
+            version: OPT_VERSION,
+            ..OptStats::default()
+        };
+        let opt_funcs = if cfg!(feature = "no-fir-opt") {
+            None
+        } else {
+            Some(opt::optimize_module(module, &mut stats))
+        };
+        stats.decode_micros = started.elapsed().as_micros() as u64;
+        DecodedImage {
+            funcs,
+            opt_funcs,
+            fingerprint: module.fingerprint(),
+            stats,
+        }
+    }
+
+    /// Does this image carry an optimized stream?
+    pub fn has_opt(&self) -> bool {
+        self.opt_funcs.is_some()
+    }
+
+    /// The discriminant mixed into the cache key: optimizer version plus
+    /// the compiled-in feature set that changes what `new` produces.
+    fn opt_discriminant() -> u64 {
+        let flags =
+            u64::from(cfg!(feature = "no-fir-opt")) | u64::from(cfg!(feature = "slow-interp")) << 1;
+        (u64::from(OPT_VERSION) << 8 | flags).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The process-wide cache key for a module fingerprint: the
+    /// fingerprint alone is **not** enough, because what an image contains
+    /// depends on the optimizer version and flag set (the historical bug
+    /// this fixes: toggling optimization could serve a stale image keyed
+    /// only by fingerprint).
+    pub fn cache_key(fingerprint: u64) -> u64 {
+        fingerprint ^ Self::opt_discriminant()
+    }
+
+    /// Lower `module`, or return the image another executor already
+    /// lowered for a structurally identical module. The cache is global
+    /// and keyed by [`DecodedImage::cache_key`] — [`Module::fingerprint`]
+    /// plus the optimizer version+flag discriminant — so a campaign's
+    /// respawn / restore churn — and parallel bench trials over the same
+    /// target — decode each module exactly once per process, and no
+    /// configuration change can alias another configuration's image.
+    pub fn cached(module: &Module) -> Arc<DecodedImage> {
+        let mut map = Self::cache().lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            map.entry(Self::cache_key(module.fingerprint()))
+                .or_insert_with(|| Arc::new(DecodedImage::new(module))),
+        )
+    }
+
+    /// Is an image for `fingerprint` (under the current optimizer
+    /// discriminant) already in the process-wide cache? Checkpoint resume
+    /// uses this to report whether the decoded image was ready before
+    /// replay began.
+    pub fn cache_contains(fingerprint: u64) -> bool {
+        Self::cache()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(&Self::cache_key(fingerprint))
+    }
+
+    /// Ensure `module`'s decoded image is in the process-wide cache,
+    /// lowering it now if absent. Returns `true` when the image was
+    /// already present (a warm hit) and `false` when this call paid for
+    /// the lowering — resume paths call this eagerly so no campaign step
+    /// ever re-lowers lazily.
+    pub fn warm(module: &Module) -> bool {
+        let hit = Self::cache_contains(module.fingerprint());
+        if !hit {
+            let _ = Self::cached(module);
+        }
+        hit
+    }
+
+    fn cache() -> &'static Mutex<HashMap<u64, Arc<DecodedImage>>> {
+        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DecodedImage>>>> = OnceLock::new();
+        CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -21,6 +21,7 @@ use std::cell::Cell;
 
 thread_local! {
     static FORCE_REFERENCE: Cell<bool> = const { Cell::new(false) };
+    static DISABLE_DECODE_OPT: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Force (or stop forcing) the reference interpreter and the pre-change
@@ -66,9 +67,80 @@ impl Drop for ReferenceEngineGuard {
     }
 }
 
+/// Enable (default) or disable the decode-time-optimized op streams on
+/// the **current thread**. With optimization off, the decoded engine runs
+/// the plain 1:1 streams — still the fast engine, just unoptimized. The
+/// escape hatch behind `Campaign::decode_opt(false)`.
+pub fn set_decode_opt(on: bool) {
+    DISABLE_DECODE_OPT.with(|c| c.set(!on));
+}
+
+/// Should the decoded engine use optimized streams on this thread? False
+/// when the `no-fir-opt` feature compiled the optimizer out or
+/// [`set_decode_opt`] turned it off here.
+#[inline]
+pub fn decode_opt() -> bool {
+    !cfg!(feature = "no-fir-opt") && !DISABLE_DECODE_OPT.with(Cell::get)
+}
+
+/// RAII guard: decode-time optimization **off** while alive, previous
+/// state restored on drop. The three-way equivalence tests use this to
+/// pin the plain decoded stream the way [`ReferenceEngineGuard`] pins the
+/// reference interpreter.
+#[derive(Debug)]
+pub struct DecodeOptGuard {
+    prev: bool,
+}
+
+impl DecodeOptGuard {
+    /// Disable optimized streams on the current thread until drop.
+    pub fn new() -> Self {
+        let prev = DISABLE_DECODE_OPT.with(Cell::get);
+        DISABLE_DECODE_OPT.with(|c| c.set(true));
+        DecodeOptGuard { prev }
+    }
+}
+
+impl Default for DecodeOptGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for DecodeOptGuard {
+    fn drop(&mut self) {
+        DISABLE_DECODE_OPT.with(|c| c.set(self.prev));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decode_opt_guard_pins_plain_streams_and_restores() {
+        assert!(decode_opt() || cfg!(feature = "no-fir-opt"));
+        {
+            let _g = DecodeOptGuard::new();
+            assert!(!decode_opt());
+            {
+                let _inner = DecodeOptGuard::new();
+                assert!(!decode_opt());
+            }
+            assert!(!decode_opt(), "outer guard still active");
+        }
+        assert!(decode_opt() || cfg!(feature = "no-fir-opt"));
+    }
+
+    #[test]
+    fn decode_opt_switch_is_thread_local() {
+        let _g = DecodeOptGuard::new();
+        let other = std::thread::spawn(decode_opt).join().unwrap();
+        assert!(
+            other || cfg!(feature = "no-fir-opt"),
+            "other threads keep optimization on"
+        );
+    }
 
     #[test]
     fn guard_restores_previous_state() {

@@ -6,7 +6,7 @@ use fir::{BinOp, Inst, Module, Operand, Terminator};
 use crate::cost::CostModel;
 use crate::cov::CovMap;
 use crate::crash::{Crash, CrashKind};
-use crate::decoded::{DOp, DecodedImage};
+use crate::decoded::{ChainOp, ChainTail, DFunc, DOp, DecodedImage};
 use crate::hostcalls::{self, HostRet};
 use crate::os::Os;
 use crate::process::{Frame, JmpCtx, Process, MAX_CALL_DEPTH, STACK_MAX_BYTES, STACK_TOP};
@@ -515,10 +515,26 @@ impl<'m> Machine<'m> {
             };
         }
 
+        // Stream select: the optimized stream when the image carries one
+        // and the thread/feature switches allow it, else the plain 1:1
+        // stream. Both resume from the same source coordinates.
+        let funcs: &[DFunc] = match &img.opt_funcs {
+            Some(opt) if crate::engine::decode_opt() => opt,
+            _ => &img.funcs,
+        };
+
         let (mut fidx, mut pc) = {
-            let fr = p.frames.last().expect("non-empty frame stack");
-            let df = &img.funcs[fr.func.0 as usize];
-            (fr.func.0 as usize, df.flat_pc(fr.block, fr.ip))
+            let fr = p.frames.last_mut().expect("non-empty frame stack");
+            let df = &funcs[fr.func.0 as usize];
+            // Optimized streams may use scratch registers beyond the
+            // source file (inline windows); grow the entry frame to fit.
+            // Registers are host-only state, and every frame this call
+            // touches is popped or truncated before `call` returns, so
+            // the growth never reaches a checkpoint.
+            if fr.regs.len() < df.num_regs as usize {
+                fr.regs.resize(df.num_regs as usize, 0);
+            }
+            (fr.func.0 as usize, df.src_pc(fr.block, fr.ip))
         };
 
         loop {
@@ -526,7 +542,21 @@ impl<'m> Machine<'m> {
                 finish!(CallResult::OutOfFuel);
             }
             debug_assert!(p.frames.len() > base_depth);
-            let df = &img.funcs[fidx];
+            let df = &funcs[fidx];
+            // Bulk-charge the eliminated instructions owed before this op
+            // (dead decoded temps, folded fallthrough branches), clamped
+            // so an OutOfFuel exec reports insts == fuel exactly like the
+            // reference stopping mid-run. Eliminated work is register- or
+            // layout-only, so charging is its entire observable effect.
+            let pre = df.pre[pc as usize];
+            if pre != 0 {
+                let take = (fuel - insts).min(u64::from(pre));
+                insts += take;
+                cycles += take * inst_cost;
+                if insts >= fuel {
+                    finish!(CallResult::OutOfFuel);
+                }
+            }
             insts += 1;
             cycles += inst_cost;
 
@@ -534,10 +564,22 @@ impl<'m> Machine<'m> {
                 ($kind:expr, $detail:expr) => {
                     finish!(CallResult::Crashed(Crash {
                         kind: $kind,
-                        function: df.name.clone(),
+                        function: funcs[df.fname_of[pc as usize] as usize].name.clone(),
                         block: df.block_of[pc as usize],
                         detail: $detail,
                     }))
+                };
+            }
+            // Per-component charge inside fused superinstructions — the
+            // same loop-top fuel check the reference engine performs
+            // between the component instructions.
+            macro_rules! charge {
+                () => {
+                    if insts >= fuel {
+                        finish!(CallResult::OutOfFuel);
+                    }
+                    insts += 1;
+                    cycles += inst_cost;
                 };
             }
             macro_rules! set_reg {
@@ -594,8 +636,9 @@ impl<'m> Machine<'m> {
                 }
                 DOp::Load { dst, addr, bytes } => {
                     let a = read_op(p, *addr) as u64;
+                    let fname = &funcs[df.fname_of[pc as usize] as usize].name;
                     if let Err(c) =
-                        p.check_access(a, *bytes, false, &df.name, df.block_of[pc as usize])
+                        p.check_access(a, *bytes, false, fname, df.block_of[pc as usize])
                     {
                         finish!(CallResult::Crashed(c));
                     }
@@ -607,8 +650,9 @@ impl<'m> Machine<'m> {
                     let fr = p.frames.last().expect("frame");
                     let a = reg_read(&fr.regs, *addr) as u64;
                     let v = reg_read(&fr.regs, *value);
+                    let fname = &funcs[df.fname_of[pc as usize] as usize].name;
                     if let Err(c) =
-                        p.check_access(a, *bytes, true, &df.name, df.block_of[pc as usize])
+                        p.check_access(a, *bytes, true, fname, df.block_of[pc as usize])
                     {
                         finish!(CallResult::Crashed(c));
                     }
@@ -639,15 +683,23 @@ impl<'m> Machine<'m> {
                     }
                     pc += 1;
                 }
-                DOp::Setjmp { dst, buf } => {
+                DOp::Setjmp {
+                    dst,
+                    buf,
+                    ret_block,
+                    ret_ip,
+                } => {
                     let buf = read_op(p, *buf) as u64;
-                    let (block, ip) = df.coords(pc + 1);
+                    // The decode-time-embedded *source* coordinates of the
+                    // next instruction — valid whatever this stream's
+                    // layout is, and identical to what the reference
+                    // engine records.
                     p.jmpbufs.insert(
                         buf,
                         JmpCtx {
                             depth: p.frames.len(),
-                            block,
-                            ip,
+                            block: *ret_block,
+                            ip: *ret_ip as usize,
                             sp: p.sp,
                             dst: *dst,
                         },
@@ -680,26 +732,40 @@ impl<'m> Machine<'m> {
                     p.sp = jc.sp;
                     cycles += 8;
                     fidx = fr.func.0 as usize;
-                    pc = img.funcs[fidx].flat_pc(jc.block, jc.ip);
+                    pc = funcs[fidx].src_pc(jc.block, jc.ip);
                 }
-                DOp::CallFn { dst, callee, args } => {
+                DOp::CallFn {
+                    dst,
+                    callee,
+                    args,
+                    ret_block,
+                    ret_ip,
+                } => {
                     if p.frames.len() >= MAX_CALL_DEPTH {
                         crash_here!(
                             CrashKind::StackOverflow,
                             format!("call depth {}", p.frames.len())
                         );
                     }
-                    let cf = &img.funcs[callee.0 as usize];
-                    let mut regs = vec![0i64; cf.num_regs as usize];
+                    let cf = &funcs[callee.0 as usize];
+                    // Recycled register file: a heap allocation per call is
+                    // pure dispatch overhead on call-heavy targets. The
+                    // clear+resize zeroes every slot, so the frame is
+                    // indistinguishable from a fresh `vec![0; n]`.
+                    let mut regs = REG_POOL
+                        .with(|pool| pool.borrow_mut().pop())
+                        .unwrap_or_default();
+                    regs.clear();
+                    regs.resize(cf.num_regs as usize, 0);
                     for (i, a) in args.iter().take(cf.num_params as usize).enumerate() {
                         regs[i] = read_op(p, *a);
                     }
                     cycles += 2; // call/ret overhead
-                    // Sync the caller's resume coordinates before pushing.
-                    let (block, ip) = df.coords(pc + 1);
+                    // Sync the caller's resume coordinates (decode-time
+                    // embedded source coordinates) before pushing.
                     let fr = p.frames.last_mut().expect("frame");
-                    fr.block = block;
-                    fr.ip = ip;
+                    fr.block = *ret_block;
+                    fr.ip = *ret_ip as usize;
                     p.frames.push(Frame {
                         func: *callee,
                         block: 0,
@@ -709,12 +775,29 @@ impl<'m> Machine<'m> {
                         ret_dst: *dst,
                     });
                     fidx = callee.0 as usize;
-                    pc = 0;
+                    pc = cf.src_pc(0, 0);
                 }
                 DOp::CallHost { dst, host, args } => {
-                    let argv: Vec<i64> = args.iter().map(|a| read_op(p, *a)).collect();
-                    let site = (df.name.as_str(), df.block_of[pc as usize]);
-                    match hostcalls::dispatch_id(*host, &argv, p, ctx, site, &mut cycles) {
+                    // Hostcall argv lives on the stack: simulated-libc
+                    // arities are tiny, and a heap Vec per call is the
+                    // single biggest non-dispatch cost in string/memory
+                    // heavy targets.
+                    let mut buf = [0i64; 8];
+                    let heap: Vec<i64>;
+                    let argv: &[i64] = if args.len() <= buf.len() {
+                        for (i, a) in args.iter().enumerate() {
+                            buf[i] = read_op(p, *a);
+                        }
+                        &buf[..args.len()]
+                    } else {
+                        heap = args.iter().map(|a| read_op(p, *a)).collect();
+                        &heap
+                    };
+                    let site = (
+                        funcs[df.fname_of[pc as usize] as usize].name.as_str(),
+                        df.block_of[pc as usize],
+                    );
+                    match hostcalls::dispatch_id(*host, argv, p, ctx, site, &mut cycles) {
                         Ok(Some(HostRet::Val(v))) => {
                             if let Some(d) = dst {
                                 set_reg!(d.0, v);
@@ -737,15 +820,22 @@ impl<'m> Machine<'m> {
                     let val = v.map(|o| read_op(p, o)).unwrap_or(0);
                     let fr = p.frames.pop().expect("frame");
                     p.sp = fr.saved_sp;
+                    let ret_dst = fr.ret_dst;
+                    REG_POOL.with(|pool| {
+                        let mut pool = pool.borrow_mut();
+                        if pool.len() < REG_POOL_CAP {
+                            pool.push(fr.regs);
+                        }
+                    });
                     if p.frames.len() == base_depth {
                         finish!(CallResult::Return(val));
                     }
-                    if let Some(d) = fr.ret_dst {
+                    if let Some(d) = ret_dst {
                         set_reg!(d.0, val);
                     }
                     let top = p.frames.last().expect("frame");
                     fidx = top.func.0 as usize;
-                    pc = img.funcs[fidx].flat_pc(top.block, top.ip);
+                    pc = funcs[fidx].src_pc(top.block, top.ip);
                 }
                 DOp::Br(t) => pc = *t,
                 DOp::CondBr {
@@ -774,12 +864,377 @@ impl<'m> Machine<'m> {
                 DOp::Unreachable => {
                     crash_here!(CrashKind::UnreachableExecuted, String::new());
                 }
+
+                // ----- optimized-stream ops -----
+                DOp::CovEdgeK { id } => {
+                    let idx = p.cov_state.edge(*id, ctx.cov);
+                    if let Some(tr) = ctx.trace.as_deref_mut() {
+                        tr.push(idx);
+                    }
+                    pc += 1;
+                }
+                DOp::CovCmpBr {
+                    id,
+                    pred,
+                    dst,
+                    lhs,
+                    rhs,
+                    if_true,
+                    if_false,
+                } => {
+                    // Component 1 (charged at loop top): coverage probe.
+                    let idx = p.cov_state.edge(*id, ctx.cov);
+                    if let Some(tr) = ctx.trace.as_deref_mut() {
+                        tr.push(idx);
+                    }
+                    // Component 2: compare.
+                    charge!();
+                    let fr = p.frames.last_mut().expect("frame");
+                    let v =
+                        i64::from(pred.eval(reg_read(&fr.regs, *lhs), reg_read(&fr.regs, *rhs)));
+                    fr.regs[*dst as usize] = v;
+                    // Component 3: conditional branch.
+                    charge!();
+                    pc = if v != 0 { *if_true } else { *if_false };
+                }
+                DOp::CmpBr {
+                    pred,
+                    dst,
+                    lhs,
+                    rhs,
+                    if_true,
+                    if_false,
+                } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let v =
+                        i64::from(pred.eval(reg_read(&fr.regs, *lhs), reg_read(&fr.regs, *rhs)));
+                    fr.regs[*dst as usize] = v;
+                    charge!();
+                    pc = if v != 0 { *if_true } else { *if_false };
+                }
+                DOp::BinBr {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let a = reg_read(&fr.regs, *lhs);
+                    let b = reg_read(&fr.regs, *rhs);
+                    match eval_bin(*op, a, b) {
+                        Ok(v) => fr.regs[*dst as usize] = v,
+                        Err(detail) => crash_here!(CrashKind::DivisionByZero, detail),
+                    }
+                    charge!();
+                    pc = *target;
+                }
+                DOp::MovBr { dst, src, target } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    fr.regs[*dst as usize] = reg_read(&fr.regs, *src);
+                    charge!();
+                    pc = *target;
+                }
+                DOp::StoreBr {
+                    addr,
+                    value,
+                    bytes,
+                    target,
+                } => {
+                    let fr = p.frames.last().expect("frame");
+                    let a = reg_read(&fr.regs, *addr) as u64;
+                    let v = reg_read(&fr.regs, *value);
+                    let fname = &funcs[df.fname_of[pc as usize] as usize].name;
+                    if let Err(c) = p.check_access(a, *bytes, true, fname, df.block_of[pc as usize])
+                    {
+                        finish!(CallResult::Crashed(c));
+                    }
+                    p.mem.write_uint(a, v as u64, *bytes);
+                    charge!();
+                    pc = *target;
+                }
+                DOp::BinLoad {
+                    op,
+                    bdst,
+                    lhs,
+                    rhs,
+                    ldst,
+                    addr,
+                    bytes,
+                } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let a = reg_read(&fr.regs, *lhs);
+                    let b = reg_read(&fr.regs, *rhs);
+                    match eval_bin(*op, a, b) {
+                        Ok(v) => fr.regs[*bdst as usize] = v,
+                        Err(detail) => crash_here!(CrashKind::DivisionByZero, detail),
+                    }
+                    charge!();
+                    // The address reads the just-written register when the
+                    // fusion was an addr-compute + load pair.
+                    let a = read_op(p, *addr) as u64;
+                    let fname = &funcs[df.fname_of[pc as usize] as usize].name;
+                    if let Err(c) =
+                        p.check_access(a, *bytes, false, fname, df.block_of[pc as usize])
+                    {
+                        finish!(CallResult::Crashed(c));
+                    }
+                    let v = p.mem.read_uint(a, *bytes) as i64;
+                    set_reg!(*ldst, v);
+                    pc += 1;
+                }
+                DOp::LoadBin {
+                    ldst,
+                    addr,
+                    bytes,
+                    op,
+                    bdst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = read_op(p, *addr) as u64;
+                    let fname = &funcs[df.fname_of[pc as usize] as usize].name;
+                    if let Err(c) =
+                        p.check_access(a, *bytes, false, fname, df.block_of[pc as usize])
+                    {
+                        finish!(CallResult::Crashed(c));
+                    }
+                    let v = p.mem.read_uint(a, *bytes) as i64;
+                    set_reg!(*ldst, v);
+                    charge!();
+                    let fr = p.frames.last_mut().expect("frame");
+                    let a = reg_read(&fr.regs, *lhs);
+                    let b = reg_read(&fr.regs, *rhs);
+                    match eval_bin(*op, a, b) {
+                        Ok(v) => fr.regs[*bdst as usize] = v,
+                        Err(detail) => crash_here!(CrashKind::DivisionByZero, detail),
+                    }
+                    pc += 1;
+                }
+                DOp::BrChain { target, skipped } => {
+                    // Bulk-charge the folded jump-only blocks, clamped at
+                    // the fuel boundary: the reference engine would stop
+                    // inside the chain with nothing else observable.
+                    let take = (fuel - insts).min(u64::from(*skipped));
+                    insts += take;
+                    cycles += take * inst_cost;
+                    if take < u64::from(*skipped) {
+                        finish!(CallResult::OutOfFuel);
+                    }
+                    pc = *target;
+                }
+                DOp::SwitchTable {
+                    value,
+                    base,
+                    table,
+                    default,
+                } => {
+                    let v = read_op(p, *value);
+                    let off = v.wrapping_sub(*base) as u64;
+                    pc = if off < table.len() as u64 {
+                        table[off as usize]
+                    } else {
+                        *default
+                    };
+                }
+                DOp::InlineEnter {
+                    callee: _,
+                    args,
+                    base,
+                    nregs,
+                    sp_slot,
+                    entry,
+                } => {
+                    // Same order as the reference `Call` path: depth check
+                    // (and its crash detail) before the 2-cycle overhead.
+                    if p.frames.len() >= MAX_CALL_DEPTH {
+                        crash_here!(
+                            CrashKind::StackOverflow,
+                            format!("call depth {}", p.frames.len())
+                        );
+                    }
+                    cycles += 2; // call/ret overhead
+                    let sp = p.sp as i64;
+                    let fr = p.frames.last_mut().expect("frame");
+                    let b = *base as usize;
+                    fr.regs[b..b + *nregs as usize].fill(0);
+                    // Argument operands index below `base`, so reading
+                    // after the zeroing matches the reference's fresh
+                    // callee frame.
+                    for (i, a) in args.iter().enumerate() {
+                        let v = reg_read(&fr.regs, *a);
+                        fr.regs[b + i] = v;
+                    }
+                    fr.regs[*sp_slot as usize] = sp;
+                    pc = *entry;
+                }
+                DOp::InlineRet {
+                    val,
+                    dst,
+                    sp_slot,
+                    resume,
+                } => {
+                    let fr = p.frames.last_mut().expect("frame");
+                    let v = val.map(|o| reg_read(&fr.regs, o)).unwrap_or(0);
+                    let sp = fr.regs[*sp_slot as usize] as u64;
+                    if let Some(d) = dst {
+                        fr.regs[*d as usize] = v;
+                    }
+                    p.sp = sp;
+                    pc = *resume;
+                }
+                DOp::Chain { comps, tail } => {
+                    // Component 0's charge is the loop-top charge already
+                    // applied; later components bulk-charge their absorbed
+                    // `pre` (clamped) and then themselves, so the fuel
+                    // position of every effect matches the reference.
+                    for (k, comp) in comps.iter().enumerate() {
+                        if k > 0 {
+                            if comp.pre != 0 {
+                                let take = (fuel - insts).min(u64::from(comp.pre));
+                                insts += take;
+                                cycles += take * inst_cost;
+                                if take < u64::from(comp.pre) {
+                                    finish!(CallResult::OutOfFuel);
+                                }
+                            }
+                            charge!();
+                        }
+                        match &comp.op {
+                            ChainOp::Const { dst, value } => set_reg!(*dst, *value),
+                            ChainOp::Mov { dst, src } => {
+                                let fr = p.frames.last_mut().expect("frame");
+                                fr.regs[*dst as usize] = reg_read(&fr.regs, *src);
+                            }
+                            ChainOp::Bin { op, dst, lhs, rhs } => {
+                                let fr = p.frames.last_mut().expect("frame");
+                                let a = reg_read(&fr.regs, *lhs);
+                                let b = reg_read(&fr.regs, *rhs);
+                                match eval_bin(*op, a, b) {
+                                    Ok(v) => fr.regs[*dst as usize] = v,
+                                    Err(detail) => {
+                                        crash_here!(CrashKind::DivisionByZero, detail)
+                                    }
+                                }
+                            }
+                            ChainOp::Cmp {
+                                pred,
+                                dst,
+                                lhs,
+                                rhs,
+                            } => {
+                                let fr = p.frames.last_mut().expect("frame");
+                                let v = i64::from(
+                                    pred.eval(reg_read(&fr.regs, *lhs), reg_read(&fr.regs, *rhs)),
+                                );
+                                fr.regs[*dst as usize] = v;
+                            }
+                            ChainOp::Select {
+                                dst,
+                                cond,
+                                if_true,
+                                if_false,
+                            } => {
+                                let fr = p.frames.last_mut().expect("frame");
+                                let v = if reg_read(&fr.regs, *cond) != 0 {
+                                    reg_read(&fr.regs, *if_true)
+                                } else {
+                                    reg_read(&fr.regs, *if_false)
+                                };
+                                fr.regs[*dst as usize] = v;
+                            }
+                            ChainOp::Cov { id } => {
+                                let idx = p.cov_state.edge(*id, ctx.cov);
+                                if let Some(tr) = ctx.trace.as_deref_mut() {
+                                    tr.push(idx);
+                                }
+                            }
+                            ChainOp::Load { dst, addr, bytes } => {
+                                let a = read_op(p, *addr) as u64;
+                                let fname = &funcs[df.fname_of[pc as usize] as usize].name;
+                                if let Err(c) =
+                                    p.check_access(a, *bytes, false, fname, df.block_of[pc as usize])
+                                {
+                                    finish!(CallResult::Crashed(c));
+                                }
+                                let v = p.mem.read_uint(a, *bytes) as i64;
+                                set_reg!(*dst, v);
+                            }
+                            ChainOp::Store { addr, value, bytes } => {
+                                let fr = p.frames.last().expect("frame");
+                                let a = reg_read(&fr.regs, *addr) as u64;
+                                let v = reg_read(&fr.regs, *value);
+                                let fname = &funcs[df.fname_of[pc as usize] as usize].name;
+                                if let Err(c) =
+                                    p.check_access(a, *bytes, true, fname, df.block_of[pc as usize])
+                                {
+                                    finish!(CallResult::Crashed(c));
+                                }
+                                p.mem.write_uint(a, v as u64, *bytes);
+                            }
+                            ChainOp::AddrOf { dst, global } => {
+                                let a = p.globals.addr_of(*global).expect("verified global") as i64;
+                                set_reg!(*dst, a);
+                            }
+                        }
+                    }
+                    match tail {
+                        ChainTail::Next => pc += 1,
+                        ChainTail::Br { pre, target } => {
+                            // The absorbed branch: its own eliminated
+                            // predecessors first, then the branch charge.
+                            if *pre != 0 {
+                                let take = (fuel - insts).min(u64::from(*pre));
+                                insts += take;
+                                cycles += take * inst_cost;
+                                if take < u64::from(*pre) {
+                                    finish!(CallResult::OutOfFuel);
+                                }
+                            }
+                            charge!();
+                            pc = *target;
+                        }
+                        ChainTail::CondBr {
+                            pre,
+                            cond,
+                            if_true,
+                            if_false,
+                        } => {
+                            if *pre != 0 {
+                                let take = (fuel - insts).min(u64::from(*pre));
+                                insts += take;
+                                cycles += take * inst_cost;
+                                if take < u64::from(*pre) {
+                                    finish!(CallResult::OutOfFuel);
+                                }
+                            }
+                            charge!();
+                            pc = if read_op(p, *cond) != 0 {
+                                *if_true
+                            } else {
+                                *if_false
+                            };
+                        }
+                    }
+                }
             }
         }
     }
 }
 
-#[inline]
+/// Upper bound on retired register files kept for reuse per thread; deep
+/// recursion beyond this just falls back to fresh allocations.
+const REG_POOL_CAP: usize = 64;
+
+thread_local! {
+    /// Register-file recycling pool for the decoded engine's `CallFn`/
+    /// `Ret` pair. Host-only state: pooled buffers are fully zeroed before
+    /// reuse, so frames built from them are bit-identical to freshly
+    /// allocated ones and nothing here can reach a checkpoint.
+    static REG_POOL: std::cell::RefCell<Vec<Vec<i64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 fn read_op(p: &Process, o: Operand) -> i64 {
     match o {
         Operand::Reg(r) => p.frames.last().expect("frame").regs[r.0 as usize],
@@ -798,7 +1253,12 @@ fn reg_read(regs: &[i64], o: Operand) -> i64 {
     }
 }
 
-fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, String> {
+/// Evaluate one binary operation with the interpreter's exact semantics:
+/// wrapping arithmetic, shift counts masked to 6 bits, and division traps
+/// (`/ 0`, `i64::MIN / -1`) reported as crash detail strings. Public so
+/// compiler-side constant folding (`passes::optimize::fold_bin`) can be
+/// differentially tested against the engine it must agree with.
+pub fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, String> {
     Ok(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

@@ -49,8 +49,11 @@ mod proptests;
 pub use cost::CostModel;
 pub use cov::{CovMap, MAP_SIZE};
 pub use crash::{Crash, CrashKind};
-pub use decoded::DecodedImage;
-pub use engine::{reference_engine, set_reference_engine, ReferenceEngineGuard};
+pub use decoded::{DecodedImage, OptStats};
+pub use engine::{
+    decode_opt, reference_engine, set_decode_opt, set_reference_engine, DecodeOptGuard,
+    ReferenceEngineGuard,
+};
 pub use fault::{
     DiskFault, DiskFaultKind, DiskFaultPlan, FaultKind, FaultPlan, FaultPlane, OrchFault,
     OrchFaultKind, OrchFaultPlan, ProcFault, ProcFaultKind, ProcFaultPlan,
