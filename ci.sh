@@ -40,3 +40,10 @@ cargo run --release -p bench --bin proc_eval -- --smoke
 # bit-identically — and the clean-path checkpoint overhead must stay
 # within 2x of the blessed ceiling in results/BENCH_storage_floor.json.
 cargo run --release -p bench --bin storage_eval -- --smoke
+# Multi-tenant service gate: a service hosting several campaigns, killed
+# abruptly and restored, must resume every tenant bit-identically on both
+# engines and worker shapes; a 100-campaign same-target restore must pay
+# zero module lowerings (one sidecar load, the rest cache hits); and the
+# per-campaign scheduling overhead must stay within 2x of the blessed
+# ceiling in results/BENCH_service_floor.json.
+cargo run --release -p bench --bin service_eval -- --smoke

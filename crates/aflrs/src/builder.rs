@@ -1,8 +1,8 @@
 //! The unified campaign entry point.
 //!
-//! One builder replaces the four historical free functions
-//! (`run_campaign`, `run_campaign_with`, `run_campaign_checkpointed`,
-//! `resume_campaign`, all now deprecated thin wrappers):
+//! One builder is the whole single-campaign API (the historical
+//! `run_campaign*` free functions are gone; multi-tenant servers use
+//! [`crate::service`] on top of this):
 //!
 //! ```no_run
 //! # use aflrs::{Campaign, CampaignConfig, CheckpointConfig};
@@ -32,7 +32,7 @@ use closurex::resilience::HarnessError;
 use crate::campaign::{CampaignConfig, Driver, StepOutcome};
 use crate::checkpoint::{
     resume_impl, run_checkpointed_impl, CampaignOutcome, CheckpointConfig, CheckpointError,
-    ResumeInfo,
+    ResumeReport,
 };
 use crate::shard::{
     resume_sharded, run_sharded, ShardPlan, DEFAULT_LANES, DEFAULT_SYNC_EPOCHS,
@@ -328,7 +328,21 @@ impl<'a> Campaign<'a> {
     /// [`Campaign::checkpoint`] must name). The executor (or factory) must
     /// produce fresh instances over the same target module as the
     /// original run.
-    pub fn resume(self) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
+    ///
+    /// On a [`CampaignOutcome::Finished`] outcome the returned
+    /// [`ResumeReport`] is also embedded as
+    /// [`CampaignResult::resume`](crate::CampaignResult::resume) — compare
+    /// resumed results against never-killed ones with
+    /// [`sans_resume`](crate::CampaignResult::sans_resume).
+    pub fn resume(self) -> Result<(CampaignOutcome, ResumeReport), CampaignError> {
+        let (mut outcome, report) = self.resume_raw()?;
+        if let CampaignOutcome::Finished(result) = &mut outcome {
+            result.resume = Some(report.clone());
+        }
+        Ok((outcome, report))
+    }
+
+    fn resume_raw(self) -> Result<(CampaignOutcome, ResumeReport), CampaignError> {
         let plan = self.plan();
         let Campaign {
             seeds,

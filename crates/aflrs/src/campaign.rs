@@ -32,7 +32,7 @@ pub(crate) const HAVOC_ITERS: u32 = 32;
 const BACKOFF_SEED_SALT: u64 = 0x6261_636b_6f66_6621; // "backoff!"
 
 /// Campaign parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignConfig {
     /// Cycle budget (the "24 hours" analog).
     pub budget_cycles: u64,
@@ -57,8 +57,8 @@ pub struct CampaignConfig {
     /// 0 disables backoff.
     pub retry_backoff_cycles: u64,
     /// Replay each first-discovery crash in the revalidation executor (a
-    /// fresh process, see [`run_campaign_with`]); records whose crash does
-    /// not reproduce at the same site are tagged
+    /// fresh process, see [`crate::Campaign::revalidator`]); records whose
+    /// crash does not reproduce at the same site are tagged
     /// [`CrashRecord::flaky`] rather than dropped.
     pub revalidate_crashes: bool,
 }
@@ -526,42 +526,9 @@ impl<'e> Driver<'e> {
                 supervision: Default::default(),
                 storage: Default::default(),
             },
+            resume: None,
         }
     }
-}
-
-/// Run one campaign trial. See module docs.
-#[deprecated(note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).run()`")]
-pub fn run_campaign(
-    executor: &mut dyn Executor,
-    seeds: &[Vec<u8>],
-    cfg: &CampaignConfig,
-) -> CampaignResult {
-    let mut d = Driver::new(executor, None, seeds, cfg, false);
-    while d.step() == StepOutcome::Ran {}
-    d.finish()
-}
-
-/// `run_campaign` with an optional crash-revalidation executor. When
-/// [`CampaignConfig::revalidate_crashes`] is set, every first-discovery
-/// crash is replayed in `revalidator` — by convention a
-/// `FreshProcessExecutor` over the same target, whose fresh-process
-/// semantics are the ground truth persistent-mode crashes are judged
-/// against. Crashes that do not reproduce there are tagged
-/// [`CrashRecord::flaky`] (stale persistent-mode state is the usual
-/// culprit) but kept: a flaky crash may still be a real stateful bug.
-#[deprecated(
-    note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).revalidator(rv).run()`"
-)]
-pub fn run_campaign_with<'e>(
-    executor: &'e mut dyn Executor,
-    revalidator: Option<&'e mut dyn Executor>,
-    seeds: &[Vec<u8>],
-    cfg: &CampaignConfig,
-) -> CampaignResult {
-    let mut d = Driver::new(executor, revalidator, seeds, cfg, false);
-    while d.step() == StepOutcome::Ran {}
-    d.finish()
 }
 
 #[cfg(test)]

@@ -27,7 +27,8 @@
 //!
 //! # Resume semantics
 //!
-//! [`resume_campaign`] loads the **newest snapshot that validates**; a
+//! Resume (via [`crate::Campaign::resume`]) loads the **newest snapshot
+//! that validates**; a
 //! corrupt or version-mismatched snapshot is skipped and the previous one
 //! used instead, with the journal *chain* (`journal-{S1}` covers
 //! `S1..S2`, …) replayed across the gap. Journal replay applies recorded
@@ -36,7 +37,7 @@
 //! charges **zero simulated cycles**: a checkpointed campaign's result is
 //! identical to an uncheckpointed one.
 //!
-//! The executor handed to `resume_campaign` must be freshly constructed
+//! The executor handed to a resume must be freshly constructed
 //! from the same module and configuration (construction is deterministic),
 //! with any fault plan re-armed *before* the call; the checkpoint then
 //! restores its mutable counters via
@@ -53,6 +54,7 @@ use closurex::checkpoint::ExecutorState;
 use closurex::executor::Executor;
 use closurex::resilience::HarnessError;
 use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
 use vmos::cov::VirginMap;
 use vmos::wire::fnv1a;
 use vmos::{Crash, DiskFaultPlan, Reader, WireError, Writer};
@@ -65,7 +67,10 @@ use crate::storage::{faulted_create, flip_bit, fsync_dir, Injected, OpOutcome, S
 /// Checkpoint format version; bump on any wire-layout change.
 /// v2: queue entries carry the `favored` bit and the snapshot header embeds
 /// the target module's fingerprint.
-pub(crate) const FORMAT_VERSION: u32 = 2;
+/// v3: `ExecutorState` carries the live process's CoW lineage
+/// (`proc_cow_faults` + `proc_private_pages`) so a resumed process's
+/// teardown charges match the killed run's.
+pub(crate) const FORMAT_VERSION: u32 = 3;
 /// Snapshot file magic.
 const SNAPSHOT_MAGIC: &[u8; 4] = b"CXCK";
 /// Journal file magic.
@@ -150,7 +155,7 @@ pub enum CampaignOutcome {
     /// Budget exhausted (or early-stop): the normal result.
     Finished(CampaignResult),
     /// The simulated kill fired after `execs` executions; resume with
-    /// [`resume_campaign`].
+    /// [`crate::Campaign::resume`].
     Killed {
         /// Executions completed (and journaled) before the kill.
         execs: u64,
@@ -167,9 +172,12 @@ impl CampaignOutcome {
     }
 }
 
-/// What [`resume_campaign`] found on disk.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ResumeInfo {
+/// What a resume found on disk — the one typed resume surface, shared by
+/// single-driver, sharded, lane-per-process, and service-restored
+/// campaigns, and nested into [`CampaignResult::resume`] so service status
+/// and single-campaign resume report through the same struct.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResumeReport {
     /// Execution count of the snapshot the resume started from.
     pub snapshot_execs: u64,
     /// Journal records replayed on top of the snapshot.
@@ -184,12 +192,27 @@ pub struct ResumeInfo {
     /// Corrupt snapshot generations rewritten during replay from an older
     /// good generation plus the journal chain (scrub-and-repair).
     pub snapshots_repaired: u64,
-    /// Whether the process-wide decoded-image cache already held the
-    /// target's lowered image when the resume validated it (`false` also
-    /// when the mechanism does not use the decoded engine). Resume warms
-    /// the cache either way, so the replayed campaign never pays a lazy
-    /// mid-run lowering the original did not.
+    /// Orphaned tmp files the pre-replay sweep could not remove (see
+    /// [`crate::StorageCounters::sweep_warnings`]).
+    pub sweep_warnings: u64,
+    /// Whether the target's lowered image was available without a
+    /// re-lower when the resume validated it (`false` also when the
+    /// mechanism does not use the decoded engine). Resume warms the cache
+    /// either way, so the replayed campaign never pays a lazy mid-run
+    /// lowering the original did not.
     pub decoded_image_ready: bool,
+    /// Where the decoded image came from: in-memory cache, sidecar file,
+    /// or a fresh lowering (`None` when the mechanism does not use the
+    /// decoded engine).
+    pub decoded_image_source: Option<vmos::WarmSource>,
+}
+
+impl ResumeReport {
+    /// Record where the decoded-image warm-up got its image from.
+    pub(crate) fn note_decoded_image(&mut self, source: Option<vmos::WarmSource>) {
+        self.decoded_image_source = source;
+        self.decoded_image_ready = source.is_some_and(vmos::WarmSource::was_warm);
+    }
 }
 
 /// Checkpointing failure.
@@ -1255,6 +1278,10 @@ pub(crate) fn run_checkpointed_impl<'e>(
     {
         return Ok(CampaignOutcome::Killed { execs: 0 });
     }
+    // Best-effort decoded-image sidecar next to the snapshots, so resume —
+    // possibly in another process — skips the re-lower. Outside the
+    // storage fault plane: it is a cache, never campaign state.
+    executor.save_decoded_sidecar(&ck.dir);
     let d = Driver::new(executor, revalidator, seeds, cfg, true);
     if write_snapshot(&storage, &ck.dir, &d, ck.fsync).crashed() {
         return Ok(CampaignOutcome::Killed { execs: 0 });
@@ -1266,58 +1293,28 @@ pub(crate) fn run_checkpointed_impl<'e>(
     drive(d, ck, &storage, journal)
 }
 
-/// Run a fresh campaign with crash-safe checkpointing. Parameters as the
-/// deprecated `run_campaign_with`, plus the [`CheckpointConfig`] naming the
-/// on-disk checkpoint directory.
-#[deprecated(
-    note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).checkpoint(ck).run()`"
-)]
-pub fn run_campaign_checkpointed<'e>(
-    executor: &'e mut dyn Executor,
-    revalidator: Option<&'e mut dyn Executor>,
-    seeds: &[Vec<u8>],
-    cfg: &CampaignConfig,
-    ck: &CheckpointConfig,
-) -> Result<CampaignOutcome, CheckpointError> {
-    run_checkpointed_impl(executor, revalidator, seeds, cfg, ck)
-}
-
-/// Resume a killed campaign from its checkpoint directory. See the module
-/// docs for the snapshot-fallback and journal-chaining semantics. The
-/// `executor` (and `revalidator`) must be freshly constructed over the
-/// same module and configuration as the original run, with any fault plan
-/// already re-armed.
+/// Resume a killed campaign from its checkpoint directory (the
+/// [`crate::Campaign`] builder dispatches here). See the module docs for
+/// the snapshot-fallback and journal-chaining semantics. The `executor`
+/// (and `revalidator`) must be freshly constructed over the same module
+/// and configuration as the original run, with any fault plan already
+/// re-armed.
 ///
 /// # Errors
 /// [`CheckpointError::NoUsableSnapshot`] when every snapshot fails
 /// validation; I/O and executor-restore failures otherwise. Corrupt
 /// snapshots and torn journal tails are *not* errors — they are skipped
-/// (counted in [`ResumeInfo`]) and the campaign falls back to the newest
+/// (counted in [`ResumeReport`]) and the campaign falls back to the newest
 /// state that validates.
-#[deprecated(
-    note = "use `aflrs::Campaign::new(seeds, cfg).executor(ex).checkpoint(ck).resume()`"
-)]
-pub fn resume_campaign<'e>(
-    executor: &'e mut dyn Executor,
-    revalidator: Option<&'e mut dyn Executor>,
-    seeds: &[Vec<u8>],
-    cfg: &CampaignConfig,
-    ck: &CheckpointConfig,
-) -> Result<(CampaignOutcome, ResumeInfo), CheckpointError> {
-    resume_impl(executor, revalidator, seeds, cfg, ck)
-}
-
-/// [`resume_campaign`]'s implementation (the [`crate::Campaign`] builder
-/// dispatches here).
 pub(crate) fn resume_impl<'e>(
     executor: &'e mut dyn Executor,
     revalidator: Option<&'e mut dyn Executor>,
     seeds: &[Vec<u8>],
     cfg: &CampaignConfig,
     ck: &CheckpointConfig,
-) -> Result<(CampaignOutcome, ResumeInfo), CheckpointError> {
+) -> Result<(CampaignOutcome, ResumeReport), CheckpointError> {
     let storage = storage_for(ck);
-    let mut info = ResumeInfo::default();
+    let mut info = ResumeReport::default();
     if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
         return Ok((CampaignOutcome::Killed { execs: 0 }, info));
     }
@@ -1347,9 +1344,11 @@ pub(crate) fn resume_impl<'e>(
     // snapshots in a directory share the module, so a mismatch is a
     // caller error (wrong target), not corruption to fall back from.
     check_target(snapshot_fp, &*executor)?;
-    // Warm the decoded-image cache up front: the replayed campaign should
-    // never pay a lazy mid-run lowering the original did not.
-    info.decoded_image_ready = executor.warm_decoded_image().unwrap_or(false);
+    // Warm the decoded-image cache up front — through the sidecar written
+    // next to the snapshots when one is usable — so the replayed campaign
+    // never pays a lazy mid-run lowering the original did not, and resume
+    // cost stays O(journal tail) rather than O(re-lower).
+    info.note_decoded_image(executor.warm_decoded_image(Some(&ck.dir)));
     info.snapshot_execs = snapshot_execs;
 
     let mut d = Driver::new(executor, revalidator, seeds, cfg, true);
@@ -1413,6 +1412,7 @@ pub(crate) fn resume_impl<'e>(
     if o.crashed() {
         return Ok((CampaignOutcome::Killed { execs: d.execs }, info));
     }
+    info.sweep_warnings = storage.counters().sweep_warnings;
     drive(d, ck, &storage, journal).map(|outcome| (outcome, info))
 }
 
@@ -1474,9 +1474,10 @@ mod tests {
         dir
     }
 
-    /// The JSON rendering compares every field at once.
+    /// The JSON rendering compares every field at once — minus the resume
+    /// report, the one legitimately resume-only field.
     fn fingerprint(r: &CampaignResult) -> String {
-        serde_json::to_string(r).unwrap()
+        serde_json::to_string(&r.sans_resume()).unwrap()
     }
 
     fn run_plain(m: &Module, seeds: &[Vec<u8>]) -> CampaignResult {
@@ -1496,7 +1497,7 @@ mod tests {
             .unwrap()
     }
 
-    fn resume(m: &Module, seeds: &[Vec<u8>], ck: &CheckpointConfig) -> (CampaignOutcome, ResumeInfo) {
+    fn resume(m: &Module, seeds: &[Vec<u8>], ck: &CheckpointConfig) -> (CampaignOutcome, ResumeReport) {
         Campaign::new(seeds, &cfg())
             .executor(&mut executor(m))
             .checkpoint(ck.clone())

@@ -23,6 +23,7 @@ pub mod mutate;
 pub mod mwu;
 pub mod proc;
 pub mod queue;
+pub mod service;
 pub mod shard;
 pub mod stats;
 pub mod storage;
@@ -33,14 +34,14 @@ mod proptests;
 
 pub use builder::{Campaign, CampaignError, Isolation};
 pub use campaign::CampaignConfig;
-#[allow(deprecated)]
-pub use campaign::{run_campaign, run_campaign_with};
 pub use checkpoint::{
-    CampaignOutcome, CheckpointConfig, CheckpointError, FsyncPolicy, ResumeInfo,
+    CampaignOutcome, CheckpointConfig, CheckpointError, FsyncPolicy, ResumeReport,
 };
-#[allow(deprecated)]
-pub use checkpoint::{resume_campaign, run_campaign_checkpointed};
 pub use proc::{worker_main_hook, WORKER_ENV};
+pub use service::{
+    AdmissionError, CampaignHandle, CampaignSpec, CampaignState, HealthReport, Service,
+    ServiceConfig, ServiceError, ServiceStats, SpecResolver,
+};
 pub use shard::{DEFAULT_LANES, DEFAULT_SYNC_EPOCHS};
 pub use stats::{CampaignResult, CrashRecord, ResilienceCounters};
 pub use storage::{StorageCounters, StorageDegradation};

@@ -59,7 +59,7 @@ use crate::builder::CampaignError;
 use crate::campaign::{CampaignConfig, Driver};
 use crate::checkpoint::{
     check_target, read_journal, storage_for, sweep_orphan_tmp, CampaignOutcome, CheckpointConfig,
-    CheckpointError, FsyncPolicy, Journal, ResumeInfo, SnapshotState,
+    CheckpointError, FsyncPolicy, Journal, ResumeReport, SnapshotState,
 };
 use crate::shard::{
     assemble_parts, barrier_state, lane_config, list_shard_snapshots, load_shard_snapshot,
@@ -1439,6 +1439,15 @@ pub(crate) fn run_proc(
             report: ResilienceReport::default(),
         });
     }
+    if let Some(ck) = ck {
+        // Best-effort decoded-image sidecar next to the snapshots, so a
+        // later resume warms without re-lowering. Plain fs, outside the
+        // storage fault plane: the sidecar is a cache, not campaign state,
+        // and must not consume deterministic fault-plan op numbers. (The
+        // idempotent create_dir_all below still runs as a storage op.)
+        let _ = std::fs::create_dir_all(&ck.dir);
+        scratch.save_decoded_sidecar(&ck.dir);
+    }
     drop(scratch);
 
     let mut ctx = ProcCtx {
@@ -1496,7 +1505,7 @@ pub(crate) fn resume_proc(
     plan: &ShardPlan,
     ck: &CheckpointConfig,
     sup_cfg: &SupervisorConfig,
-) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
+) -> Result<(CampaignOutcome, ResumeReport), CampaignError> {
     let Some(spec) = factory.worker_spec() else {
         return Err(CampaignError::Config(
             "process isolation needs ExecutorFactory::worker_spec so workers can rebuild the factory",
@@ -1504,7 +1513,7 @@ pub(crate) fn resume_proc(
     };
     let lanes_n = plan.lanes.max(1);
     let epochs = plan.sync_epochs.max(1);
-    let mut info = ResumeInfo::default();
+    let mut info = ResumeReport::default();
     let storage = storage_for(ck);
     if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
         return Ok((CampaignOutcome::Killed { execs: 0 }, info));
@@ -1536,9 +1545,12 @@ pub(crate) fn resume_proc(
     // The scratch executor validates the snapshot's target fingerprint and
     // hosts the journal replay (replay is a pure state patch; the executor
     // never runs an input). The real executors live in the workers.
+    // Warm the cache through the sidecar before the scratch build — a
+    // cold-cache construction would lower and waste the sidecar.
+    let warm = factory.warm_decoded_image(Some(&ck.dir));
     let mut scratch = factory.build().map_err(CampaignError::Build)?;
     check_target(fp, &*scratch).map_err(CampaignError::Checkpoint)?;
-    info.decoded_image_ready = scratch.warm_decoded_image().unwrap_or(false);
+    info.note_decoded_image(warm.or_else(|| scratch.warm_decoded_image(Some(&ck.dir))));
 
     let mut global = Global::from_state(&states[0]);
     let mut lanes: Vec<ProcLane> = Vec::with_capacity(lanes_n);
@@ -1593,6 +1605,7 @@ pub(crate) fn resume_proc(
         journal_modes.push(mode);
     }
     drop(scratch);
+    info.sweep_warnings = storage.counters().sweep_warnings;
 
     let mut ctx = ProcCtx {
         spec,

@@ -71,7 +71,7 @@ use crate::campaign::{CampaignConfig, Driver, Stage, StepOutcome};
 use crate::checkpoint::{
     check_target, open_sealed, read_journal, seal_snapshot, storage_for, sweep_orphan_tmp,
     write_sealed, CampaignOutcome, CheckpointConfig, CheckpointError, DeltaRecord, Journal,
-    ResumeInfo, Scalars, SnapshotState,
+    ResumeReport, Scalars, SnapshotState,
 };
 use crate::queue::QueueEntry;
 use crate::storage::{fsync_dir, OpOutcome, Storage, StorageCounters};
@@ -719,6 +719,7 @@ pub(crate) fn assemble_parts(
         exec_cycles,
         queue_inputs: global.entries.iter().map(|e| e.data.clone()).collect(),
         resilience,
+        resume: None,
     }
 }
 
@@ -948,7 +949,52 @@ fn build_lanes(
     Ok(lanes)
 }
 
-/// Epoch loop shared by fresh runs and resumes.
+/// How one [`EpochSession::step_epoch`] call left the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EpochStatus {
+    /// The epoch ran and merged at its barrier; more epochs remain.
+    Running,
+    /// Simulated SIGKILL or storage crash boundary: the campaign is dead
+    /// but resumable from what reached the disk.
+    Killed {
+        /// Executions completed (and journaled) before the kill.
+        execs: u64,
+    },
+    /// No epochs remain (budget spent or early-stop fired): call
+    /// [`EpochSession::finish`] for the result.
+    Finished,
+}
+
+/// Coarse progress observables at the last barrier, for live status
+/// reporting (the campaign service's per-tenant health stream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SessionProgress {
+    /// Barriers completed / total.
+    pub(crate) epoch: u64,
+    pub(crate) epochs: u64,
+    /// Executions across all lanes.
+    pub(crate) execs: u64,
+    /// Simulated cycles consumed across all lanes.
+    pub(crate) clock_cycles: u64,
+    /// Edges found in the merged virgin map.
+    pub(crate) edges_found: u64,
+    /// Merged queue length.
+    pub(crate) queue_len: usize,
+    /// Merged unique crash sites.
+    pub(crate) crashes: usize,
+}
+
+/// A sharded campaign in flight, drivable one epoch at a time.
+///
+/// This is the old closed `run_epochs` loop turned inside out: the owner
+/// calls [`EpochSession::step_epoch`] once per merge barrier and decides
+/// between steps whether to keep going. The barrier is the natural
+/// preemption point — lane state is merged and (when checkpointing)
+/// durable on disk, so pausing a session between steps costs nothing and
+/// changes nothing. A caller multiplexing many campaigns (the
+/// `aflrs::service` fair-share scheduler) interleaves sessions at exactly
+/// this granularity; [`run_sharded`]/[`resume_sharded`] below are the
+/// drive-to-completion wrappers the single-campaign API uses.
 ///
 /// Each epoch runs under supervision: before the lanes start, the
 /// coordinator captures a per-lane recovery snapshot (barrier state +
@@ -956,82 +1002,371 @@ fn build_lanes(
 /// lanes that come back faulted are rebuilt and re-run from it before the
 /// merge, so the barrier only ever sees lane states a clean run would have
 /// produced. Snapshot capture and recovery charge no simulated cycles.
-#[allow(clippy::too_many_arguments)]
-fn run_epochs(
-    lanes: &mut [Lane],
-    global: &mut Global,
-    start_epoch: u64,
+pub(crate) struct EpochSession {
+    lanes: Vec<Lane>,
+    global: Global,
+    /// Next epoch to run.
+    epoch: u64,
     epochs: u64,
-    cfg: &CampaignConfig,
-    plan: &ShardPlan,
-    ck: Option<&CheckpointConfig>,
-    storage: Option<&Storage>,
-    kill: Option<&KillSwitch>,
-    factory: &dyn ExecutorFactory,
-    sup: &mut Supervisor,
-) -> Result<CampaignOutcome, CampaignError> {
-    let track = ck.is_some();
-    // What the harness reports as "killed at N execs" when a storage crash
-    // boundary fires: the sum of the lanes' journaled exec counters.
-    let lanes_execs =
-        |lanes: &[Lane]| lanes.iter().map(|l| l.state.scalars.execs).sum::<u64>();
-    for epoch in start_epoch..epochs {
+    cfg: CampaignConfig,
+    plan: ShardPlan,
+    ck: Option<CheckpointConfig>,
+    storage: Option<Storage>,
+    kill: Option<KillSwitch>,
+    sup: Supervisor,
+}
+
+/// What starting (or resuming) a session produced: a live session, or a
+/// campaign already dead on disk because an injected storage crash
+/// boundary fired while laying down the initial snapshot/journals (or
+/// during resume replay).
+pub(crate) enum SessionStart {
+    Live(Box<EpochSession>),
+    Dead {
+        /// Executions journaled before the crash boundary.
+        execs: u64,
+    },
+}
+
+impl EpochSession {
+    /// Build the lanes and, when checkpointing, lay down the initial
+    /// snapshot, journals, and decoded-image sidecar.
+    pub(crate) fn start(
+        factory: &dyn ExecutorFactory,
+        seeds: &[Vec<u8>],
+        cfg: &CampaignConfig,
+        plan: &ShardPlan,
+        ck: Option<&CheckpointConfig>,
+        sup_cfg: &SupervisorConfig,
+    ) -> Result<SessionStart, CampaignError> {
+        let lanes_n = plan.lanes.max(1);
+        let epochs = plan.sync_epochs.max(1);
+        let track = ck.is_some();
+        let mut lanes = build_lanes(factory, seeds, cfg, lanes_n, track)?;
+        let sup = Supervisor::new(sup_cfg.clone(), lanes_n);
+        let kill = ck
+            .and_then(|c| c.kill_after_execs)
+            .map(|k| KillSwitch::new(k, 0));
+        let storage = ck.map(storage_for);
+        if let (Some(ck), Some(st)) = (ck, storage.as_ref()) {
+            if st.op(false, |_| fs::create_dir_all(&ck.dir)).crashed()
+                || sweep_orphan_tmp(st, &ck.dir).crashed()
+                || write_shard_snapshot(st, ck, 0, &mut lanes).crashed()
+                || open_journals(st, ck, 0, &mut lanes)
+            {
+                return Ok(SessionStart::Dead { execs: 0 });
+            }
+            // Best-effort decoded-image sidecar next to the snapshots, so
+            // resume — possibly in another process — skips the re-lower.
+            // Outside the storage fault plane: a cache, not campaign state.
+            if let Some(lane) = lanes.first() {
+                lane.executor.save_decoded_sidecar(&ck.dir);
+            }
+        }
+        Ok(SessionStart::Live(Box::new(EpochSession {
+            lanes,
+            global: Global::new(),
+            epoch: 0,
+            epochs,
+            cfg: cfg.clone(),
+            plan: plan.clone(),
+            ck: ck.cloned(),
+            storage,
+            kill,
+            sup,
+        })))
+    }
+
+    /// Resume a killed sharded campaign: newest valid shard snapshot,
+    /// lanes rebuilt from the factory (fingerprint-checked), per-lane
+    /// journal replay with torn tails truncated. The returned session
+    /// continues from the interrupted epoch.
+    pub(crate) fn resume(
+        factory: &dyn ExecutorFactory,
+        seeds: &[Vec<u8>],
+        cfg: &CampaignConfig,
+        plan: &ShardPlan,
+        ck: &CheckpointConfig,
+        sup_cfg: &SupervisorConfig,
+    ) -> Result<(SessionStart, ResumeReport), CampaignError> {
+        let lanes_n = plan.lanes.max(1);
+        let epochs = plan.sync_epochs.max(1);
+        let mut info = ResumeReport::default();
+        let storage = storage_for(ck);
+        if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
+            return Ok((SessionStart::Dead { execs: 0 }, info));
+        }
+        let snaps = list_shard_snapshots(&ck.dir).map_err(CheckpointError::Io)?;
+        let mut chosen = None;
+        for (epoch, path) in snaps.iter().rev() {
+            match load_shard_snapshot(path) {
+                Ok((e, states, fp)) if e == *epoch => {
+                    chosen = Some((e, states, fp));
+                    break;
+                }
+                _ => {
+                    info.corrupt_snapshots_skipped += 1;
+                    storage.note_corrupt_snapshot();
+                }
+            }
+        }
+        let Some((epoch, states, fp)) = chosen else {
+            return Err(CampaignError::Checkpoint(CheckpointError::NoUsableSnapshot));
+        };
+        if states.len() != lanes_n {
+            return Err(CampaignError::Config(
+                "shard snapshot lane count disagrees with the configured lanes",
+            ));
+        }
+        info.snapshot_execs = states.iter().map(|s| s.scalars.execs).sum();
+
+        let global = Global::from_state(&states[0]);
+        // Warm the process-wide decoded-image cache through the sidecar
+        // *before* any lane executor is built — construction lowers
+        // eagerly on a cold cache, which would waste the sidecar. Falls
+        // back to warming through lane 0 for factories without a
+        // factory-level warm.
+        let mut warm = factory.warm_decoded_image(Some(&ck.dir));
+        let mut lanes = Vec::with_capacity(lanes_n);
+        let mut total_execs = 0;
+        for (i, st) in states.into_iter().enumerate() {
+            let mut executor = factory.build().map_err(CampaignError::Build)?;
+            if i == 0 {
+                // All lanes share the module: checking one copy suffices.
+                check_target(fp, &*executor).map_err(CampaignError::Checkpoint)?;
+                if warm.is_none() {
+                    warm = executor.warm_decoded_image(Some(&ck.dir));
+                }
+                info.note_decoded_image(warm);
+            }
+            let mut revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
+            let lane_cfg = lane_config(cfg, i, lanes_n);
+            let lane_seeds: Vec<Vec<u8>> = seeds
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j % lanes_n == i)
+                .map(|(_, s)| s.clone())
+                .collect();
+            let jpath = shard_journal_path(&ck.dir, epoch, i);
+            let base = st.scalars.execs;
+            let mut last_exec_state = st.exec_state.clone();
+            let rv = revalidator.as_deref_mut().map(|r| r as &mut dyn Executor);
+            let mut d = Driver::new(executor.as_mut(), rv, &lane_seeds, &lane_cfg, true);
+            st.apply(&mut d).map_err(CampaignError::Checkpoint)?;
+            let journal = if epoch < epochs {
+                let lane_storage = storage.stream(1 + i as u64);
+                let (j, o) = match read_journal(&jpath, base) {
+                    Some((records, valid_len, dropped)) => {
+                        for rec in &records {
+                            rec.apply(&mut d);
+                            if rec.exec_state.is_some() {
+                                last_exec_state.clone_from(&rec.exec_state);
+                            }
+                            info.records_applied += 1;
+                        }
+                        if dropped > 0 {
+                            info.torn_records += dropped;
+                            storage.note_torn_records(dropped);
+                        }
+                        Journal::reopen(&lane_storage, &jpath, valid_len, ck.fsync)
+                    }
+                    // Killed before this lane's journal reached the disk:
+                    // start it fresh from the snapshot base.
+                    None => Journal::create_at(&lane_storage, &jpath, base, ck.fsync),
+                };
+                if o.crashed() {
+                    let execs = total_execs + d.execs;
+                    return Ok((SessionStart::Dead { execs }, info));
+                }
+                Some(j)
+            } else {
+                None
+            };
+            if let Some(es) = &last_exec_state {
+                d.executor
+                    .restore_state(es)
+                    .map_err(|e| CampaignError::Checkpoint(CheckpointError::Executor(e)))?;
+            }
+            total_execs += d.execs;
+            let state = barrier_state(&d);
+            drop(d);
+            lanes.push(Lane {
+                executor,
+                revalidator,
+                cfg: lane_cfg,
+                seeds: lane_seeds,
+                state,
+                journal,
+            });
+        }
+        info.sweep_warnings = storage.counters().sweep_warnings;
+
+        let kill = ck
+            .kill_after_execs
+            .map(|k| KillSwitch::new(k, total_execs));
+        // Supervision state is in-memory only: a resume starts every lane
+        // live with fresh counters (retirement and fault tallies are part
+        // of the recovery *report*, not the persisted campaign state).
+        let sup = Supervisor::new(sup_cfg.clone(), lanes_n);
+        Ok((
+            SessionStart::Live(Box::new(EpochSession {
+                lanes,
+                global,
+                epoch,
+                epochs,
+                cfg: cfg.clone(),
+                plan: plan.clone(),
+                ck: Some(ck.clone()),
+                storage: Some(storage),
+                kill,
+                sup,
+            })),
+            info,
+        ))
+    }
+
+    /// Sum of the lanes' journaled exec counters — what the harness
+    /// reports as "killed at N execs" when a storage crash boundary fires.
+    fn lanes_execs(&self) -> u64 {
+        self.lanes.iter().map(|l| l.state.scalars.execs).sum()
+    }
+
+    /// Run exactly one epoch to its merge barrier (including checkpoint
+    /// rotation when armed). Returns what to do next; a `Killed` session
+    /// must not be stepped again.
+    pub(crate) fn step_epoch(
+        &mut self,
+        factory: &dyn ExecutorFactory,
+    ) -> Result<EpochStatus, CampaignError> {
+        if self.epoch >= self.epochs {
+            return Ok(EpochStatus::Finished);
+        }
+        let epoch = self.epoch;
+        let track = self.ck.is_some();
         // Recovery snapshots for this epoch: barrier state + executor
         // export, per live lane. Dead lanes have nothing to recover.
-        let recovery: Vec<Option<SnapshotState>> = lanes
+        let recovery: Vec<Option<SnapshotState>> = self
+            .lanes
             .iter_mut()
             .enumerate()
             .map(|(i, l)| {
-                (!sup.dead[i]).then(|| {
+                (!self.sup.dead[i]).then(|| {
                     let mut st = l.state.clone();
                     st.exec_state = l.executor.export_state();
                     st
                 })
             })
             .collect();
-        let faults = run_epoch_parallel(lanes, epoch, epochs, plan.workers, track, kill, sup)?;
-        if let Some(k) = kill {
+        let faults = run_epoch_parallel(
+            &mut self.lanes,
+            epoch,
+            self.epochs,
+            self.plan.workers,
+            track,
+            self.kill.as_ref(),
+            &self.sup,
+        )?;
+        if let Some(k) = &self.kill {
             if k.stopped() {
                 // Simulated SIGKILL: stop right here — no barrier, no
                 // snapshot, no recovery (resume replays the journals
                 // whatever state the faulted lane left them in).
-                return Ok(CampaignOutcome::Killed { execs: k.execs() });
+                return Ok(EpochStatus::Killed { execs: k.execs() });
             }
         }
-        if storage.is_some_and(Storage::crashed) {
+        if self.storage.as_ref().is_some_and(Storage::crashed) {
             // A lane's journal stream hit an injected crash boundary: the
             // machine died mid-epoch. No recovery, no barrier — resume
             // replays whatever prefix reached the disk.
-            return Ok(CampaignOutcome::Killed { execs: lanes_execs(lanes) });
+            return Ok(EpochStatus::Killed { execs: self.lanes_execs() });
         }
         for (idx, fault) in faults.into_iter().enumerate() {
             let Some(fault) = fault else { continue };
             let Some(snap) = &recovery[idx] else { continue };
             recover_lane(
-                lanes, idx, epoch, epochs, snap, fault, factory, ck, storage, kill, sup,
+                &mut self.lanes,
+                idx,
+                epoch,
+                self.epochs,
+                snap,
+                fault,
+                factory,
+                self.ck.as_ref(),
+                self.storage.as_ref(),
+                self.kill.as_ref(),
+                &mut self.sup,
             )?;
-            if storage.is_some_and(Storage::crashed) {
-                return Ok(CampaignOutcome::Killed { execs: lanes_execs(lanes) });
+            if self.storage.as_ref().is_some_and(Storage::crashed) {
+                return Ok(EpochStatus::Killed { execs: self.lanes_execs() });
             }
         }
-        global.merge_epoch(lanes);
-        if let (Some(ck), Some(st)) = (ck, storage) {
-            for lane in lanes.iter_mut() {
+        self.global.merge_epoch(&mut self.lanes);
+        if let (Some(ck), Some(st)) = (self.ck.as_ref(), self.storage.as_ref()) {
+            for lane in self.lanes.iter_mut() {
                 lane.journal = None; // close the finished epoch's journals
             }
-            if write_shard_snapshot(st, ck, epoch + 1, lanes).crashed()
+            if write_shard_snapshot(st, ck, epoch + 1, &mut self.lanes).crashed()
                 || rotate_shards(st, ck).crashed()
-                || (epoch + 1 < epochs && open_journals(st, ck, epoch + 1, lanes))
+                || (epoch + 1 < self.epochs && open_journals(st, ck, epoch + 1, &mut self.lanes))
             {
-                return Ok(CampaignOutcome::Killed { execs: lanes_execs(lanes) });
+                return Ok(EpochStatus::Killed { execs: self.lanes_execs() });
             }
         }
+        self.epoch += 1;
         // The global early-stop predicate, evaluated on merged crashes.
-        if cfg.stop_after_crashes > 0 && global.crashes.len() >= cfg.stop_after_crashes {
-            break;
+        if self.cfg.stop_after_crashes > 0
+            && self.global.crashes.len() >= self.cfg.stop_after_crashes
+        {
+            self.epoch = self.epochs;
+        }
+        Ok(if self.epoch >= self.epochs {
+            EpochStatus::Finished
+        } else {
+            EpochStatus::Running
+        })
+    }
+
+    /// Assemble the final [`CampaignResult`] (call once `step_epoch`
+    /// reports `Finished`).
+    pub(crate) fn finish(&mut self) -> CampaignResult {
+        assemble(
+            &mut self.lanes,
+            &self.global,
+            &self.sup,
+            self.storage.as_ref(),
+        )
+    }
+
+    /// Progress observables at the last completed barrier.
+    pub(crate) fn progress(&self) -> SessionProgress {
+        SessionProgress {
+            epoch: self.epoch,
+            epochs: self.epochs,
+            execs: self.lanes_execs(),
+            clock_cycles: self.lanes.iter().map(|l| l.state.scalars.clock).sum(),
+            edges_found: self.global.virgin.edges_found() as u64,
+            queue_len: self.global.entries.len(),
+            crashes: self.global.crashes.len(),
         }
     }
-    Ok(CampaignOutcome::Finished(assemble(lanes, global, sup, storage)))
+
+    /// Drive the session to its end — the single-campaign code path.
+    pub(crate) fn run_to_completion(
+        &mut self,
+        factory: &dyn ExecutorFactory,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        loop {
+            match self.step_epoch(factory)? {
+                EpochStatus::Running => {}
+                EpochStatus::Killed { execs } => {
+                    return Ok(CampaignOutcome::Killed { execs })
+                }
+                EpochStatus::Finished => {
+                    return Ok(CampaignOutcome::Finished(self.finish()))
+                }
+            }
+        }
+    }
 }
 
 /// Run a sharded campaign (see module docs). `ck` arms barrier
@@ -1046,43 +1381,14 @@ pub(crate) fn run_sharded(
     ck: Option<&CheckpointConfig>,
     sup_cfg: &SupervisorConfig,
 ) -> Result<CampaignOutcome, CampaignError> {
-    let lanes_n = plan.lanes.max(1);
-    let epochs = plan.sync_epochs.max(1);
-    let track = ck.is_some();
-    let mut lanes = build_lanes(factory, seeds, cfg, lanes_n, track)?;
-    let mut global = Global::new();
-    let mut sup = Supervisor::new(sup_cfg.clone(), lanes_n);
-    let kill = ck
-        .and_then(|c| c.kill_after_execs)
-        .map(|k| KillSwitch::new(k, 0));
-    let storage = ck.map(storage_for);
-    if let (Some(ck), Some(st)) = (ck, storage.as_ref()) {
-        if st.op(false, |_| fs::create_dir_all(&ck.dir)).crashed()
-            || sweep_orphan_tmp(st, &ck.dir).crashed()
-            || write_shard_snapshot(st, ck, 0, &mut lanes).crashed()
-            || open_journals(st, ck, 0, &mut lanes)
-        {
-            return Ok(CampaignOutcome::Killed { execs: 0 });
-        }
+    match EpochSession::start(factory, seeds, cfg, plan, ck, sup_cfg)? {
+        SessionStart::Dead { execs } => Ok(CampaignOutcome::Killed { execs }),
+        SessionStart::Live(mut s) => s.run_to_completion(factory),
     }
-    run_epochs(
-        &mut lanes,
-        &mut global,
-        0,
-        epochs,
-        cfg,
-        plan,
-        ck,
-        storage.as_ref(),
-        kill.as_ref(),
-        factory,
-        &mut sup,
-    )
 }
 
-/// Resume a killed sharded campaign: newest valid shard snapshot, lanes
-/// rebuilt from the factory (fingerprint-checked), per-lane journal replay
-/// with torn tails truncated, then the remaining epochs.
+/// Resume a killed sharded campaign to completion (see
+/// [`EpochSession::resume`]).
 pub(crate) fn resume_sharded(
     factory: &dyn ExecutorFactory,
     seeds: &[Vec<u8>],
@@ -1090,131 +1396,12 @@ pub(crate) fn resume_sharded(
     plan: &ShardPlan,
     ck: &CheckpointConfig,
     sup_cfg: &SupervisorConfig,
-) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
-    let lanes_n = plan.lanes.max(1);
-    let epochs = plan.sync_epochs.max(1);
-    let mut info = ResumeInfo::default();
-    let storage = storage_for(ck);
-    if sweep_orphan_tmp(&storage, &ck.dir).crashed() {
-        return Ok((CampaignOutcome::Killed { execs: 0 }, info));
+) -> Result<(CampaignOutcome, ResumeReport), CampaignError> {
+    let (start, info) = EpochSession::resume(factory, seeds, cfg, plan, ck, sup_cfg)?;
+    match start {
+        SessionStart::Dead { execs } => Ok((CampaignOutcome::Killed { execs }, info)),
+        SessionStart::Live(mut s) => Ok((s.run_to_completion(factory)?, info)),
     }
-    let snaps = list_shard_snapshots(&ck.dir).map_err(CheckpointError::Io)?;
-    let mut chosen = None;
-    for (epoch, path) in snaps.iter().rev() {
-        match load_shard_snapshot(path) {
-            Ok((e, states, fp)) if e == *epoch => {
-                chosen = Some((e, states, fp));
-                break;
-            }
-            _ => {
-                info.corrupt_snapshots_skipped += 1;
-                storage.note_corrupt_snapshot();
-            }
-        }
-    }
-    let Some((epoch, states, fp)) = chosen else {
-        return Err(CampaignError::Checkpoint(CheckpointError::NoUsableSnapshot));
-    };
-    if states.len() != lanes_n {
-        return Err(CampaignError::Config(
-            "shard snapshot lane count disagrees with the configured lanes",
-        ));
-    }
-    info.snapshot_execs = states.iter().map(|s| s.scalars.execs).sum();
-
-    let mut global = Global::from_state(&states[0]);
-    let mut lanes = Vec::with_capacity(lanes_n);
-    let mut total_execs = 0;
-    for (i, st) in states.into_iter().enumerate() {
-        let mut executor = factory.build().map_err(CampaignError::Build)?;
-        if i == 0 {
-            // All lanes share the module: checking one copy suffices —
-            // and so does warming the process-wide decoded-image cache.
-            check_target(fp, &*executor).map_err(CampaignError::Checkpoint)?;
-            info.decoded_image_ready = executor.warm_decoded_image().unwrap_or(false);
-        }
-        let mut revalidator = factory.build_revalidator().map_err(CampaignError::Build)?;
-        let lane_cfg = lane_config(cfg, i, lanes_n);
-        let lane_seeds: Vec<Vec<u8>> = seeds
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| j % lanes_n == i)
-            .map(|(_, s)| s.clone())
-            .collect();
-        let jpath = shard_journal_path(&ck.dir, epoch, i);
-        let base = st.scalars.execs;
-        let mut last_exec_state = st.exec_state.clone();
-        let rv = revalidator.as_deref_mut().map(|r| r as &mut dyn Executor);
-        let mut d = Driver::new(executor.as_mut(), rv, &lane_seeds, &lane_cfg, true);
-        st.apply(&mut d).map_err(CampaignError::Checkpoint)?;
-        let journal = if epoch < epochs {
-            let lane_storage = storage.stream(1 + i as u64);
-            let (j, o) = match read_journal(&jpath, base) {
-                Some((records, valid_len, dropped)) => {
-                    for rec in &records {
-                        rec.apply(&mut d);
-                        if rec.exec_state.is_some() {
-                            last_exec_state.clone_from(&rec.exec_state);
-                        }
-                        info.records_applied += 1;
-                    }
-                    if dropped > 0 {
-                        info.torn_records += dropped;
-                        storage.note_torn_records(dropped);
-                    }
-                    Journal::reopen(&lane_storage, &jpath, valid_len, ck.fsync)
-                }
-                // Killed before this lane's journal reached the disk:
-                // start it fresh from the snapshot base.
-                None => Journal::create_at(&lane_storage, &jpath, base, ck.fsync),
-            };
-            if o.crashed() {
-                let execs = total_execs + d.execs;
-                return Ok((CampaignOutcome::Killed { execs }, info));
-            }
-            Some(j)
-        } else {
-            None
-        };
-        if let Some(es) = &last_exec_state {
-            d.executor
-                .restore_state(es)
-                .map_err(|e| CampaignError::Checkpoint(CheckpointError::Executor(e)))?;
-        }
-        total_execs += d.execs;
-        let state = barrier_state(&d);
-        drop(d);
-        lanes.push(Lane {
-            executor,
-            revalidator,
-            cfg: lane_cfg,
-            seeds: lane_seeds,
-            state,
-            journal,
-        });
-    }
-
-    let kill = ck
-        .kill_after_execs
-        .map(|k| KillSwitch::new(k, total_execs));
-    // Supervision state is in-memory only: a resume starts every lane live
-    // with fresh counters (retirement and fault tallies are part of the
-    // recovery *report*, not the persisted campaign state).
-    let mut sup = Supervisor::new(sup_cfg.clone(), lanes_n);
-    let outcome = run_epochs(
-        &mut lanes,
-        &mut global,
-        epoch,
-        epochs,
-        cfg,
-        plan,
-        Some(ck),
-        Some(&storage),
-        kill.as_ref(),
-        factory,
-        &mut sup,
-    )?;
-    Ok((outcome, info))
 }
 
 #[cfg(test)]

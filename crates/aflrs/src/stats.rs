@@ -123,6 +123,14 @@ pub struct CampaignResult {
     pub queue_inputs: Vec<Vec<u8>>,
     /// Recovery/fault accounting for this trial.
     pub resilience: ResilienceCounters,
+    /// Resume accounting, present only on results produced by
+    /// [`crate::Campaign::resume`] (or a service-managed resume): which
+    /// snapshot the campaign restarted from, how much journal tail was
+    /// replayed, what corruption was repaired, and whether the decoded
+    /// image was warm. `None` on a campaign that ran start-to-finish.
+    /// Describes the *resume process*, not the fuzzing outcome — the
+    /// bit-identity comparison key is [`CampaignResult::sans_resume`].
+    pub resume: Option<crate::checkpoint::ResumeReport>,
 }
 
 impl CampaignResult {
@@ -165,6 +173,16 @@ impl CampaignResult {
         r
     }
 
+    /// This result with the resume report stripped — the comparison key
+    /// for kill/resume bit-identity, mirroring [`Self::sans_supervision`]:
+    /// a resumed campaign necessarily *reports* how it resumed, and is
+    /// otherwise identical to a twin that never died.
+    pub fn sans_resume(&self) -> CampaignResult {
+        let mut r = self.clone();
+        r.resume = None;
+        r
+    }
+
     /// Crashes that are resource-exhaustion false positives.
     pub fn false_crashes(&self) -> usize {
         self.crashes
@@ -194,6 +212,7 @@ mod tests {
             exec_cycles: 75,
             queue_inputs: vec![],
             resilience: ResilienceCounters::default(),
+            resume: None,
         };
         assert!((r.execs_per_second() - 100.0).abs() < 1e-9);
         assert!((r.mgmt_fraction() - 0.25).abs() < 1e-9);
@@ -226,6 +245,7 @@ mod tests {
             exec_cycles: 0,
             queue_inputs: vec![],
             resilience: ResilienceCounters::default(),
+            resume: None,
         };
         assert_eq!(r.false_crashes(), 1);
         assert_eq!(r.crashes[0].found_at_seconds(), 3);

@@ -146,7 +146,7 @@ impl Lab {
 }
 
 fn fingerprint(r: &CampaignResult) -> String {
-    serde_json::to_string(&r.sans_storage()).expect("result serializes")
+    serde_json::to_string(&r.sans_storage().sans_resume()).expect("result serializes")
 }
 
 /// Crash kinds at every early I/O boundary of every stream, in-process

@@ -6,9 +6,9 @@
 //!
 //! Scenarios:
 //!
-//! 1. **Overhead check** — checkpointed-but-never-killed vs plain
-//!    `run_campaign`: identical (checkpoint I/O charges zero simulated
-//!    cycles).
+//! 1. **Overhead check** — checkpointed-but-never-killed vs a plain
+//!    un-checkpointed campaign: identical (checkpoint I/O charges zero
+//!    simulated cycles).
 //! 2. **Single kill** — K seeded-random kill points, each killed once and
 //!    resumed to completion.
 //! 3. **Gauntlet** — one campaign killed at *all* K points in sequence,
@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 
 use aflrs::{
     Campaign, CampaignConfig, CampaignError, CampaignOutcome, CampaignResult, CheckpointConfig,
-    ResumeInfo,
+    ResumeReport,
 };
 use closurex::fresh::FreshProcessExecutor;
 use closurex::harness::{ClosureXConfig, ClosureXExecutor};
@@ -87,7 +87,7 @@ fn fingerprint(r: &CampaignResult) -> String {
     // Storage counters record how the run was stored (snapshots scrubbed,
     // repaired, torn records dropped), not what it computed — a resume that
     // repaired a corrupt snapshot must still count as byte-identical.
-    serde_json::to_string(&r.sans_storage()).expect("result serializes")
+    serde_json::to_string(&r.sans_storage().sans_resume()).expect("result serializes")
 }
 
 struct Lab {
@@ -124,7 +124,7 @@ impl Lab {
     }
 
     /// One resume leg from the checkpoint directory.
-    fn resume(&self, ck: &CheckpointConfig) -> Result<(CampaignOutcome, ResumeInfo), CampaignError> {
+    fn resume(&self, ck: &CheckpointConfig) -> Result<(CampaignOutcome, ResumeReport), CampaignError> {
         let mut ex = self.executor();
         let mut rv = self.revalidator();
         Campaign::new(&self.seeds, &self.cfg)
@@ -142,9 +142,9 @@ impl Lab {
         &self,
         ck: &CheckpointConfig,
         kills: &[u64],
-    ) -> (Option<CampaignResult>, ResumeInfo, bool) {
+    ) -> (Option<CampaignResult>, ResumeReport, bool) {
         let mut ck = ck.clone();
-        let mut info = ResumeInfo::default();
+        let mut info = ResumeReport::default();
         let mut started = false;
         for &k in kills {
             ck.kill_after_execs = Some(k);
@@ -152,7 +152,7 @@ impl Lab {
                 if started {
                     self.resume(&ck)
                 } else {
-                    self.run_checkpointed(&ck).map(|o| (o, ResumeInfo::default()))
+                    self.run_checkpointed(&ck).map(|o| (o, ResumeReport::default()))
                 }
             }));
             started = true;
@@ -346,9 +346,9 @@ fn main() {
             Ok(Ok((outcome, i))) => (outcome.finished(), i, false),
             Ok(Err(e)) => {
                 eprintln!("  corrupt-{tag} resume failed: {e}");
-                (None, ResumeInfo::default(), false)
+                (None, ResumeReport::default(), false)
             }
-            Err(_) => (None, ResumeInfo::default(), true),
+            Err(_) => (None, ResumeReport::default(), true),
         };
         record(Trial {
             scenario: format!("corrupt newest snapshot ({tag})"),

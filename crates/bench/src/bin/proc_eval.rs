@@ -100,7 +100,7 @@ struct Report {
 }
 
 fn fingerprint(r: &CampaignResult) -> String {
-    serde_json::to_string(&r.sans_supervision()).expect("result serializes")
+    serde_json::to_string(&r.sans_supervision().sans_resume()).expect("result serializes")
 }
 
 fn campaign_cfg(budget: u64) -> CampaignConfig {

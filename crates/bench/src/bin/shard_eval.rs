@@ -94,7 +94,8 @@ struct Report {
 }
 
 fn fingerprint(r: &CampaignResult) -> String {
-    serde_json::to_string(r).expect("result serializes")
+    // Strip the resume report: it describes the revival, not the outcome.
+    serde_json::to_string(&r.sans_resume()).expect("result serializes")
 }
 
 fn campaign_cfg(budget: u64) -> CampaignConfig {
@@ -230,7 +231,7 @@ fn main() {
             }
             // The kill point fell past the campaign's end; the first leg
             // already finished and there is nothing to resume.
-            CampaignOutcome::Finished(r) => (Some(r), aflrs::ResumeInfo::default()),
+            CampaignOutcome::Finished(r) => (Some(r), aflrs::ResumeReport::default()),
         };
         let matched = resumed.as_ref().is_some_and(|r| fingerprint(r) == want);
         if !matched {

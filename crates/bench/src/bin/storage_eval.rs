@@ -87,7 +87,7 @@ struct Report {
 }
 
 fn fingerprint(r: &CampaignResult) -> String {
-    serde_json::to_string(&r.sans_supervision().sans_storage()).expect("result serializes")
+    serde_json::to_string(&r.sans_supervision().sans_storage().sans_resume()).expect("result serializes")
 }
 
 struct Lab {

@@ -129,6 +129,24 @@ impl ExecutorFactory for MechanismFactory {
         self.mechanism.build(&self.module)
     }
 
+    /// Warm over the module *as the executor will decode it*: every
+    /// executor runs its instrumentation pipeline on a clone before
+    /// lowering, so the cache/sidecar key is the **instrumented**
+    /// module's fingerprint — warming the raw module would prime a key
+    /// nothing ever reads.
+    fn warm_decoded_image(
+        &self,
+        sidecar_dir: Option<&std::path::Path>,
+    ) -> Option<vmos::WarmSource> {
+        let mut m = self.module.clone();
+        let mut pipeline = match self.mechanism {
+            Mechanism::ClosureX => passes::pipelines::closurex_pipeline(),
+            _ => passes::pipelines::baseline_pipeline(),
+        };
+        pipeline.run(&mut m).ok()?;
+        Some(vmos::DecodedImage::warm_with_sidecar(&m, sidecar_dir))
+    }
+
     /// Process-isolated campaigns ship `(mechanism tag, target name)` to
     /// each worker; the worker's [`factory_from_spec`] recompiles the
     /// bundled target by name — bit-identical modules on both sides.
@@ -161,6 +179,33 @@ pub fn factory_from_spec(spec: &[u8]) -> Result<Box<dyn ExecutorFactory>, String
     let target =
         targets::by_name(&name).ok_or_else(|| format!("unknown target {name:?} in worker spec"))?;
     Ok(Box::new(MechanismFactory::new(mechanism, target)))
+}
+
+/// [`aflrs::SpecResolver`] over the bundled targets: resolves the same
+/// `(mechanism tag, target name)` wire spec as [`factory_from_spec`], so a
+/// campaign service can be restarted by any binary that links this crate
+/// and get byte-identical factories back.
+pub struct MechanismResolver;
+
+impl aflrs::SpecResolver for MechanismResolver {
+    fn resolve(
+        &self,
+        spec: &[u8],
+    ) -> Result<Box<dyn ExecutorFactory + Send + Sync>, String> {
+        let mut r = vmos::Reader::new(spec);
+        let tag = r.get_u8().map_err(|e| format!("bad factory spec: {e:?}"))?;
+        let name = r
+            .get_str()
+            .map_err(|e| format!("bad factory spec: {e:?}"))?;
+        if !r.is_empty() {
+            return Err("bad factory spec: trailing bytes".to_string());
+        }
+        let mechanism = Mechanism::from_wire_tag(tag)
+            .ok_or_else(|| format!("unknown mechanism tag {tag}"))?;
+        let target = targets::by_name(&name)
+            .ok_or_else(|| format!("unknown target {name:?} in factory spec"))?;
+        Ok(Box::new(MechanismFactory::new(mechanism, target)))
+    }
 }
 
 /// Per-trial budget: `CLOSUREX_BUDGET` env var or [`DEFAULT_BUDGET`].

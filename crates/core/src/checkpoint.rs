@@ -23,7 +23,14 @@
 //! construction is deterministic (boot ≡ template fork for the pristine
 //! image), so a resumed executor reconstructs the process from the module
 //! and only the counters need restoring. That keeps checkpoints small and
-//! immune to memory-layout drift across versions.
+//! immune to memory-layout drift across versions. Page *contents* come for
+//! free that way, but page *ownership* does not: teardown charges the
+//! process's accumulated copy-on-write faults, so the pending fault count
+//! and the set of already-privatized pages travel with the checkpoint
+//! (`proc_cow_faults` / `proc_private_pages`) and are grafted back onto the
+//! rebuilt process — otherwise a resumed run's next teardown drifts by one
+//! `cow_fault` charge per page the killed run privatized but the resumed
+//! run never rewrote.
 
 use vmos::{Reader, WireError, Writer};
 
@@ -82,6 +89,16 @@ pub struct ExecutorState {
     pub fault_rolls: u64,
     /// Fault-plane per-kind injection tallies.
     pub fault_injected: [u64; 5],
+    /// Pending copy-on-write faults the live process had accumulated —
+    /// charged at its *eventual* teardown, so they must survive a resume.
+    pub proc_cow_faults: u64,
+    /// Pages the live process had already privatized against its pristine
+    /// template. A rebuilt boot process shares every page with the template,
+    /// so without this set the resumed process would re-fault (and the
+    /// teardown re-charge) pages whose faults the checkpoint already
+    /// carries — and never fault pages the killed run privatized but the
+    /// resumed run never rewrites.
+    pub proc_private_pages: Vec<u64>,
 }
 
 impl ExecutorState {
@@ -102,6 +119,11 @@ impl ExecutorState {
         w.put_u64(self.fault_rolls);
         for v in self.fault_injected {
             w.put_u64(v);
+        }
+        w.put_u64(self.proc_cow_faults);
+        w.put_usize(self.proc_private_pages.len());
+        for idx in &self.proc_private_pages {
+            w.put_u64(*idx);
         }
     }
 
@@ -133,6 +155,15 @@ impl ExecutorState {
         for v in &mut fault_injected {
             *v = r.get_u64()?;
         }
+        let proc_cow_faults = r.get_u64()?;
+        let pages = r.get_count()?;
+        if pages > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut proc_private_pages = Vec::with_capacity(pages);
+        for _ in 0..pages {
+            proc_private_pages.push(r.get_u64()?);
+        }
         Ok(ExecutorState {
             respawns,
             divergences,
@@ -145,6 +176,8 @@ impl ExecutorState {
             quarantine_dropped,
             fault_rolls,
             fault_injected,
+            proc_cow_faults,
+            proc_private_pages,
         })
     }
 }
@@ -197,6 +230,8 @@ mod tests {
             quarantine_dropped: 5,
             fault_rolls: 999,
             fault_injected: [1, 0, 2, 0, 4],
+            proc_cow_faults: 3,
+            proc_private_pages: vec![0, 7, 0x4_0000],
         }
     }
 

@@ -1,7 +1,9 @@
 //! The execution-mechanism interface shared by all four mechanisms on the
 //! paper's state-restoration continuum.
 
-use vmos::{CovMap, Crash, FaultPlan};
+use std::path::Path;
+
+use vmos::{CovMap, Crash, FaultPlan, WarmSource};
 
 use crate::checkpoint::ExecutorState;
 use crate::resilience::{HarnessError, ResilienceReport};
@@ -115,13 +117,23 @@ pub trait Executor {
     }
 
     /// Ensure the process-wide decoded-image cache holds this executor's
-    /// module, lowering it now if absent, and report whether it was
-    /// already present (`Some(true)` = warm hit, `Some(false)` = this call
-    /// paid for the lowering). Checkpoint resume calls this up front so
-    /// the replayed campaign never re-lowers lazily mid-run. Default:
-    /// `None` — the mechanism does not use the decoded engine.
-    fn warm_decoded_image(&self) -> Option<bool> {
+    /// module, and report where the image came from: already cached,
+    /// revived from a sidecar file under `sidecar_dir`, or lowered by this
+    /// call. Checkpoint resume calls this up front (passing the checkpoint
+    /// directory) so the replayed campaign never re-lowers lazily mid-run
+    /// and a warm sidecar makes resume O(journal tail). Default: `None` —
+    /// the mechanism does not use the decoded engine.
+    fn warm_decoded_image(&self, _sidecar_dir: Option<&Path>) -> Option<WarmSource> {
         None
+    }
+
+    /// Best-effort write of this executor's decoded image to a sidecar
+    /// cache file in `dir` (see `vmos::decoded::sidecar`), so later
+    /// resumes — possibly in another process — can skip the re-lower.
+    /// Returns whether a usable sidecar now exists there. Default: `false`
+    /// — the mechanism does not use the decoded engine.
+    fn save_decoded_sidecar(&self, _dir: &Path) -> bool {
+        false
     }
 }
 
@@ -145,6 +157,18 @@ pub trait ExecutorFactory: Sync {
     /// [`HarnessError`] when the revalidator cannot be booted.
     fn build_revalidator(&self) -> Result<Option<Box<dyn Executor + Send>>, HarnessError> {
         Ok(None)
+    }
+
+    /// Warm the process-wide decoded-image cache for this factory's
+    /// module — mirror of [`Executor::warm_decoded_image`], callable
+    /// *before* any executor exists. Executor construction lowers eagerly
+    /// on a cold cache, so a resume that only warmed through a built
+    /// executor would waste the sidecar sitting next to the checkpoint;
+    /// factory-level warming lets it load instead. Default: `None` — the
+    /// factory cannot warm ahead of construction, and callers fall back
+    /// to the first built executor.
+    fn warm_decoded_image(&self, _sidecar_dir: Option<&Path>) -> Option<WarmSource> {
+        None
     }
 
     /// A self-contained byte recipe from which a *worker process* can

@@ -701,6 +701,15 @@ impl Executor for ClosureXExecutor {
 
     fn export_state(&self) -> Option<ExecutorState> {
         let (fault_rolls, fault_injected) = self.os.fault.export_counters();
+        // CoW lineage: teardown charges the process's accumulated faults,
+        // and future faults depend on which pages are still shared with the
+        // template — both must survive a kill/resume or the resumed run's
+        // next teardown drifts.
+        let (proc_cow_faults, proc_private_pages) = match (&self.proc, &self.template) {
+            (Some(p), Some(t)) => (p.mem.cow_faults(), p.mem.private_pages_vs(&t.mem)),
+            (Some(p), None) => (p.mem.cow_faults(), Vec::new()),
+            _ => (0, Vec::new()),
+        };
         Some(ExecutorState {
             respawns: self.respawns,
             divergences: self.divergences,
@@ -713,6 +722,8 @@ impl Executor for ClosureXExecutor {
             quarantine_dropped: self.quarantine_dropped,
             fault_rolls,
             fault_injected,
+            proc_cow_faults,
+            proc_private_pages,
         })
     }
 
@@ -737,6 +748,17 @@ impl Executor for ClosureXExecutor {
             // The killed run's process was dead (crash/hang teardown); the
             // next run must pay the same template respawn it would have.
             self.proc = None;
+        } else if let Some(p) = self.proc.as_mut() {
+            // The rebuilt boot process shares every page with the template
+            // (the template is a clone of it), but the checkpointed process
+            // had already privatized some pages and accrued CoW faults that
+            // its eventual teardown will charge. Graft that lineage back on,
+            // or the resumed teardown under-charges by one fault per page
+            // the killed run privatized but the resumed run never rewrites.
+            for idx in &state.proc_private_pages {
+                p.mem.privatize(*idx);
+            }
+            p.mem.set_cow_faults(state.proc_cow_faults);
         }
         Ok(())
     }
@@ -745,8 +767,13 @@ impl Executor for ClosureXExecutor {
         Some(self.fingerprint)
     }
 
-    fn warm_decoded_image(&self) -> Option<bool> {
-        Some(vmos::DecodedImage::warm(&self.module))
+    fn warm_decoded_image(&self, sidecar_dir: Option<&std::path::Path>) -> Option<vmos::WarmSource> {
+        Some(vmos::DecodedImage::warm_with_sidecar(&self.module, sidecar_dir))
+    }
+
+    fn save_decoded_sidecar(&self, dir: &std::path::Path) -> bool {
+        let img = vmos::DecodedImage::cached(&self.module);
+        vmos::decoded::sidecar::save(dir, &img).unwrap_or(false)
     }
 }
 

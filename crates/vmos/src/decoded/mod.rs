@@ -41,6 +41,7 @@ mod fuse;
 mod inline;
 mod lower;
 mod opt;
+pub mod sidecar;
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -549,7 +550,7 @@ impl DOp {
 
 /// One lowered function (plain or optimized stream — same representation,
 /// one execution loop).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DFunc {
     /// Symbol name (crash sites and hostcall sites report it).
     pub name: String,
@@ -675,7 +676,7 @@ impl OptStats {
 
 /// A fully lowered module image, shared (behind `Arc`) by every executor
 /// running the module.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecodedImage {
     /// Plain 1:1 lowered functions, indexed by [`FunctionId`]. This is the
     /// stream the escape hatches (`Campaign::decode_opt(false)`, the
@@ -694,6 +695,62 @@ pub struct DecodedImage {
 /// folded into the image cache key, so stale images can never be served
 /// across optimizer revisions.
 pub const OPT_VERSION: u32 = 1;
+
+/// Where a decoded-image warm-up got its image from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarmSource {
+    /// Already in the process-wide cache — nothing was paid.
+    Cache,
+    /// Deserialized from a sidecar file next to the snapshots — no
+    /// re-lower; cost is O(file size).
+    Sidecar,
+    /// Nothing cached anywhere: this warm-up paid the full lower +
+    /// optimize.
+    Lowered,
+}
+
+impl WarmSource {
+    /// Did the warm-up avoid re-lowering the module?
+    pub fn was_warm(self) -> bool {
+        !matches!(self, WarmSource::Lowered)
+    }
+}
+
+/// Process-wide decode accounting: how many images were fully lowered,
+/// served from the in-memory cache, or revived from sidecar files. The
+/// service-restore correctness gate ("restoring 1000 campaigns of one
+/// target decodes once") is asserted against these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeCounters {
+    /// Full decodes paid (lower + optimizer stack).
+    pub lowered: u64,
+    /// [`DecodedImage::cached`] / warm-up calls answered by the in-memory
+    /// cache.
+    pub cache_hits: u64,
+    /// Images deserialized from a sidecar file.
+    pub sidecar_loads: u64,
+    /// Sidecar files written.
+    pub sidecar_saves: u64,
+}
+
+fn counters() -> &'static Mutex<DecodeCounters> {
+    static COUNTERS: OnceLock<Mutex<DecodeCounters>> = OnceLock::new();
+    COUNTERS.get_or_init(|| Mutex::new(DecodeCounters::default()))
+}
+
+/// Snapshot the process-wide decode counters.
+pub fn decode_counters() -> DecodeCounters {
+    *counters().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reset the process-wide decode counters to zero (bench/test hook).
+pub fn reset_decode_counters() {
+    *counters().lock().unwrap_or_else(PoisonError::into_inner) = DecodeCounters::default();
+}
+
+fn note(f: impl FnOnce(&mut DecodeCounters)) {
+    f(&mut counters().lock().unwrap_or_else(PoisonError::into_inner));
+}
 
 impl DecodedImage {
     /// Lower every function of `module` and, unless compiled out, run the
@@ -716,6 +773,7 @@ impl DecodedImage {
             Some(opt::optimize_module(module, &mut stats))
         };
         stats.decode_micros = started.elapsed().as_micros() as u64;
+        note(|c| c.lowered += 1);
         DecodedImage {
             funcs,
             opt_funcs,
@@ -729,12 +787,26 @@ impl DecodedImage {
         self.opt_funcs.is_some()
     }
 
-    /// The discriminant mixed into the cache key: optimizer version plus
-    /// the compiled-in feature set that changes what `new` produces.
+    /// The discriminant mixed into the cache key: optimizer version, the
+    /// compiled-in feature set that changes what `new` produces, **and**
+    /// the runtime pass-skip list. `CLOSUREX_OPT_SKIP` is consulted
+    /// per-decode by the optimizer, so two processes (or two points in
+    /// time in one process) with different skip lists produce different
+    /// images for the same module — the key must separate them or a
+    /// resume after toggling the env would warm up against a stale image.
+    /// Under `no-fir-opt` the optimizer never runs, the skip list cannot
+    /// change the image, and it is deliberately left out of the key.
     fn opt_discriminant() -> u64 {
         let flags =
             u64::from(cfg!(feature = "no-fir-opt")) | u64::from(cfg!(feature = "slow-interp")) << 1;
-        (u64::from(OPT_VERSION) << 8 | flags).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let mut d = (u64::from(OPT_VERSION) << 8 | flags).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if !cfg!(feature = "no-fir-opt") {
+            let skip = std::env::var("CLOSUREX_OPT_SKIP").unwrap_or_default();
+            if !skip.is_empty() {
+                d ^= crate::wire::fnv1a(skip.as_bytes());
+            }
+        }
+        d
     }
 
     /// The process-wide cache key for a module fingerprint: the
@@ -755,10 +827,15 @@ impl DecodedImage {
     /// configuration change can alias another configuration's image.
     pub fn cached(module: &Module) -> Arc<DecodedImage> {
         let mut map = Self::cache().lock().unwrap_or_else(PoisonError::into_inner);
-        Arc::clone(
-            map.entry(Self::cache_key(module.fingerprint()))
-                .or_insert_with(|| Arc::new(DecodedImage::new(module))),
-        )
+        match map.entry(Self::cache_key(module.fingerprint())) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                note(|c| c.cache_hits += 1);
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                Arc::clone(e.insert(Arc::new(DecodedImage::new(module))))
+            }
+        }
     }
 
     /// Is an image for `fingerprint` (under the current optimizer
@@ -783,6 +860,46 @@ impl DecodedImage {
             let _ = Self::cached(module);
         }
         hit
+    }
+
+    /// Like [`DecodedImage::warm`], but with a sidecar cache directory to
+    /// try before paying a lowering: cache hit → sidecar deserialize →
+    /// full lower, in that order. A sidecar that is missing, corrupt, or
+    /// does not match the module falls through to lowering silently — the
+    /// sidecar is a cache, never a source of truth.
+    pub fn warm_with_sidecar(module: &Module, dir: Option<&std::path::Path>) -> WarmSource {
+        let fp = module.fingerprint();
+        if Self::cache_contains(fp) {
+            note(|c| c.cache_hits += 1);
+            return WarmSource::Cache;
+        }
+        if let Some(dir) = dir {
+            if let Some(img) = sidecar::load(dir, Self::cache_key(fp)) {
+                // An optimized image is only valid for an optimizing build
+                // (and vice versa): opt-ness must disagree with `no-fir-opt`.
+                if img.fingerprint == fp && img.has_opt() != cfg!(feature = "no-fir-opt") {
+                    note(|c| c.sidecar_loads += 1);
+                    Self::cache()
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .entry(Self::cache_key(fp))
+                        .or_insert(img);
+                    return WarmSource::Sidecar;
+                }
+            }
+        }
+        let _ = Self::cached(module);
+        WarmSource::Lowered
+    }
+
+    /// Drop every image from the process-wide cache. Test/bench hook: lets
+    /// one process simulate a server restart (`service_eval` restores N
+    /// campaigns against a cold cache and asserts exactly one decode).
+    pub fn cache_evict_all() {
+        Self::cache()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     fn cache() -> &'static Mutex<HashMap<u64, Arc<DecodedImage>>> {

@@ -49,7 +49,9 @@ mod proptests;
 pub use cost::CostModel;
 pub use cov::{CovMap, MAP_SIZE};
 pub use crash::{Crash, CrashKind};
-pub use decoded::{DecodedImage, OptStats};
+pub use decoded::{
+    decode_counters, reset_decode_counters, DecodeCounters, DecodedImage, OptStats, WarmSource,
+};
 pub use engine::{
     decode_opt, reference_engine, set_decode_opt, set_reference_engine, DecodeOptGuard,
     ReferenceEngineGuard,

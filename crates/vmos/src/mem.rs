@@ -104,6 +104,46 @@ impl PageTable {
         self.cow_faults = 0;
     }
 
+    /// Restore the CoW fault counter to a checkpointed value (resume path).
+    pub fn set_cow_faults(&mut self, n: u64) {
+        self.cow_faults = n;
+    }
+
+    /// Page indices whose backing differs from `parent`'s: pages this table
+    /// privatized — or materialized outright — since it was forked/cloned
+    /// from `parent`. Sorted, so the result is deterministic.
+    pub fn private_pages_vs(&self, parent: &PageTable) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(idx, page)| match parent.pages.get(idx) {
+                Some(pp) => !Arc::ptr_eq(page, pp),
+                None => true,
+            })
+            .map(|(idx, _)| *idx)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Unshare (or materialize) `page_idx` without counting a CoW fault.
+    /// The resume path uses this to rebuild a checkpointed process's
+    /// page-ownership state: the fault was already taken before the kill
+    /// and travels in the restored counter, so counting it again here
+    /// would double-charge the eventual teardown.
+    pub fn privatize(&mut self, page_idx: u64) {
+        {
+            let mut tlb = self.tlb.borrow_mut();
+            if matches!(*tlb, Some((ci, _)) if ci == page_idx) {
+                *tlb = None;
+            }
+        }
+        let entry = self.pages.entry(page_idx).or_insert_with(zero_page);
+        if Arc::strong_count(entry) > 1 {
+            *entry = Arc::new(**entry);
+        }
+    }
+
     /// Duplicate the table the way `fork(2)` does: share all pages.
     /// The child starts with a cold TLB.
     pub fn fork(&self) -> PageTable {

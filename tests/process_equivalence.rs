@@ -39,7 +39,9 @@ fn cfg() -> CampaignConfig {
 
 /// Everything a campaign reports, as one comparable string.
 fn fingerprint(r: &CampaignResult) -> String {
-    format!("{r:?}")
+    // The resume report describes how a run was revived, not what it
+    // computed — strip it so resumed results compare against clean ones.
+    format!("{:?}", r.sans_resume())
 }
 
 fn corpus(t: &targets::TargetSpec, with_witnesses: bool) -> Vec<Vec<u8>> {

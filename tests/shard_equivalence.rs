@@ -53,7 +53,7 @@ impl ExecutorFactory for CxFactory {
 
 /// Everything a campaign reports, as one comparable string.
 fn fingerprint(r: &CampaignResult) -> String {
-    format!("{r:?}")
+    format!("{:?}", r.sans_resume())
 }
 
 /// The target's benign corpus, optionally spiked with its bug witnesses.

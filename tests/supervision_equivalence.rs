@@ -54,7 +54,7 @@ impl ExecutorFactory for CxFactory {
 
 /// Everything a campaign reports, as one comparable string.
 fn fingerprint(r: &CampaignResult) -> String {
-    format!("{r:?}")
+    format!("{:?}", r.sans_resume())
 }
 
 fn corpus(t: &targets::TargetSpec, with_witnesses: bool) -> Vec<Vec<u8>> {
