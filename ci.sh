@@ -47,3 +47,11 @@ cargo run --release -p bench --bin storage_eval -- --smoke
 # per-campaign scheduling overhead must stay within 2x of the blessed
 # ceiling in results/BENCH_service_floor.json.
 cargo run --release -p bench --bin service_eval -- --smoke
+# Network service-plane gate: every injected wire fault (drop, delay,
+# duplicate, corrupt, disconnect, partial frame) in either direction at any
+# early frame position, on both engines, must leave the remote campaign
+# bit-identical to the in-process service; a server killed mid-campaign and
+# restored must resume the same client session exactly; and the clean-path
+# RPC overhead must stay within 2x of the blessed ceiling in
+# results/BENCH_rpc_floor.json.
+cargo run --release -p bench --bin rpc_eval -- --smoke

@@ -333,7 +333,7 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<QueueEntry, WireError> {
     })
 }
 
-fn encode_crash_record(c: &CrashRecord, w: &mut Writer) {
+pub(crate) fn encode_crash_record(c: &CrashRecord, w: &mut Writer) {
     c.crash.encode(w);
     w.put_u64(c.found_at_cycles);
     w.put_bytes(&c.input);
@@ -341,7 +341,7 @@ fn encode_crash_record(c: &CrashRecord, w: &mut Writer) {
     w.put_bool(c.flaky);
 }
 
-fn decode_crash_record(r: &mut Reader<'_>) -> Result<CrashRecord, WireError> {
+pub(crate) fn decode_crash_record(r: &mut Reader<'_>) -> Result<CrashRecord, WireError> {
     Ok(CrashRecord {
         crash: Crash::decode(r)?,
         found_at_cycles: r.get_u64()?,

@@ -23,6 +23,7 @@ pub mod mutate;
 pub mod mwu;
 pub mod proc;
 pub mod queue;
+pub mod rpc;
 pub mod service;
 pub mod shard;
 pub mod stats;
@@ -38,6 +39,10 @@ pub use checkpoint::{
     CampaignOutcome, CheckpointConfig, CheckpointError, FsyncPolicy, ResumeReport,
 };
 pub use proc::{worker_main_hook, WORKER_ENV};
+pub use rpc::{
+    Degraded, MemNet, RemoteAdmissionError, RemoteError, RemoteHandle, RemoteOptions,
+    RemoteService, RpcCounters, RpcError, RpcServer, ServedBy, ServerOptions,
+};
 pub use service::{
     AdmissionError, CampaignHandle, CampaignSpec, CampaignState, HealthReport, Service,
     ServiceConfig, ServiceError, ServiceStats, SpecResolver,

@@ -692,3 +692,186 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// RPC plane: codec robustness and fault-plan-proof sessions.
+// ---------------------------------------------------------------------------
+
+use crate::rpc::{
+    decode_reply_body, decode_request, encode_request, MemNet, RemoteOptions, RemoteService,
+    RpcOp, RpcServer, ServerOptions,
+};
+use crate::service::{CampaignSpec, Service, ServiceConfig, SpecResolver};
+use std::sync::Arc;
+use vmos::{NetFaultKind, NetFaultPlan};
+
+fn arb_tenant_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..12)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b'a' + b)).collect())
+}
+
+fn arb_campaign_spec() -> impl Strategy<Value = CampaignSpec> {
+    (
+        (
+            arb_tenant_name(),
+            prop::collection::vec(any::<u8>(), 0..24),
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 1..4),
+            any::<u64>(),
+        ),
+        ((1usize..9, 1usize..5), (1u64..9, any::<bool>()), 1usize..4),
+    )
+        .prop_map(|((name, factory_spec, seeds, seed), ((lanes, shards), (epochs, opt), keep))| {
+            let mut s = CampaignSpec::new(
+                name,
+                factory_spec,
+                seeds,
+                CampaignConfig {
+                    seed,
+                    ..CampaignConfig::default()
+                },
+            );
+            s.lanes = lanes;
+            s.shards = shards;
+            s.sync_epochs = epochs;
+            s.decode_opt = opt;
+            s.keep_snapshots = keep;
+            s
+        })
+}
+
+fn arb_rpc_op() -> impl Strategy<Value = RpcOp> {
+    prop_oneof![
+        arb_campaign_spec().prop_map(RpcOp::Submit),
+        arb_tenant_name().prop_map(RpcOp::Status),
+        arb_tenant_name().prop_map(RpcOp::Health),
+        arb_tenant_name().prop_map(RpcOp::Pause),
+        arb_tenant_name().prop_map(RpcOp::Resume),
+        arb_tenant_name().prop_map(RpcOp::Kill),
+        arb_tenant_name().prop_map(RpcOp::Await),
+    ]
+}
+
+const NET_KINDS: [NetFaultKind; 6] = [
+    NetFaultKind::Drop,
+    NetFaultKind::Delay,
+    NetFaultKind::Duplicate,
+    NetFaultKind::Corrupt,
+    NetFaultKind::Disconnect,
+    NetFaultKind::PartialFrame,
+];
+
+fn arb_net_plan() -> impl Strategy<Value = NetFaultPlan> {
+    prop_oneof![
+        Just(NetFaultPlan::none()),
+        (any::<u64>(), 0u32..30)
+            .prop_map(|(seed, pct)| NetFaultPlan::uniform_lossy(seed, f64::from(pct) / 100.0)),
+        (0u64..3, 0u8..2, 0u64..5, 0usize..6)
+            .prop_map(|(conn, dir, frame, k)| NetFaultPlan::at(conn, dir, frame, NET_KINDS[k])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Adversarial bytes into the RPC decoders: never a panic, never an
+    /// unbounded allocation — every length is validated against the
+    /// remaining payload before anything is reserved.
+    #[test]
+    fn rpc_decoders_never_panic_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = decode_request(&bytes);
+        let _ = decode_reply_body(&bytes);
+    }
+
+    /// The request codec is canonical over arbitrary operations (arbitrary
+    /// specs included), and no truncation of a valid request decodes.
+    #[test]
+    fn rpc_request_codec_roundtrips_and_rejects_cuts(
+        req_id in any::<u64>(),
+        op in arb_rpc_op(),
+    ) {
+        let bytes = encode_request(req_id, &op);
+        let (rid, back) = decode_request(&bytes).expect("canonical encoding decodes");
+        prop_assert_eq!(rid, req_id);
+        prop_assert_eq!(&back, &op);
+        prop_assert_eq!(encode_request(rid, &back), bytes.clone(), "re-encode is bit-identical");
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_request(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte request must not decode",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Resolver for RPC session sweeps: the tests below never run a grant
+/// (they only probe unknown tenants), so admission just needs *a*
+/// factory value to exist.
+struct NullResolver;
+
+impl SpecResolver for NullResolver {
+    fn resolve(
+        &self,
+        _: &[u8],
+    ) -> Result<Box<dyn ExecutorFactory + Send + Sync>, String> {
+        Err("the session sweep never admits".to_string())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An RPC session under an arbitrary fault plan never panics and
+    /// never diverges: a status probe for a tenant that does not exist
+    /// must come back `None` — served over the wire, from the reply
+    /// journal, or degraded-local, but never as a wrong answer — and the
+    /// session survives an abrupt server replacement mid-stream.
+    #[test]
+    fn rpc_session_survives_arbitrary_fault_plans(
+        plan in arb_net_plan(),
+        probes in 1usize..4,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "cx-prop-rpc-{}-{probes}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            Service::new(ServiceConfig::new(&dir), Arc::new(NullResolver)).expect("service"),
+        );
+        let net = MemNet::new();
+        let server = RpcServer::start(
+            Arc::clone(&service),
+            &net,
+            ServerOptions { fault_plan: plan.clone(), ..ServerOptions::default() },
+        );
+        let opts = RemoteOptions {
+            fault_plan: plan,
+            read_timeout: std::time::Duration::from_millis(20),
+            await_timeout: std::time::Duration::from_millis(200),
+            max_attempts: 6,
+            fallback: Some(Arc::clone(&service)),
+            ..RemoteOptions::default()
+        };
+        let client = RemoteService::connect(&net, opts).expect("fallback makes connect total");
+        for _ in 0..probes {
+            let r = client.handle("nobody").expect("fallback makes calls total");
+            prop_assert!(r.is_none(), "an unknown tenant must never resolve");
+        }
+        // Abrupt server replacement: the client either resumes its
+        // session against the successor or is already (correctly)
+        // serving degraded — both answer identically.
+        server.kill();
+        let server2 =
+            RpcServer::start(Arc::clone(&service), &net, ServerOptions::default());
+        for _ in 0..probes {
+            let r = client.handle("nobody").expect("fallback makes calls total");
+            prop_assert!(r.is_none(), "divergence after server churn");
+        }
+        server2.stop();
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -53,7 +53,7 @@
 //! observables Görz et al. recommend watching instead of raw exec/s.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -334,10 +334,27 @@ pub struct ServiceConfig {
     pub fsync: FsyncPolicy,
     /// Lane supervision config for every tenant.
     pub supervision: SupervisorConfig,
+    /// Health-driven rotation: when `Some(n)`, a tenant whose
+    /// [`HealthReport::stalled_grants`] reaches `n` at park time is cooled
+    /// for [`ServiceConfig::stall_cooldown_grants`] scheduling grants, so
+    /// plateaued campaigns stop starving tenants that are still finding
+    /// coverage. Work-conserving: cooled tenants still run when nothing
+    /// hotter is runnable. `None` (the default) disables rotation.
+    pub stall_threshold: Option<u64>,
+    /// How many service-wide grants a rotated-out tenant sits out.
+    pub stall_cooldown_grants: u64,
+    /// Terminal-campaign retention budget: when `Some(n)` and more than
+    /// `n` terminal (killed / finished / failed) tenants exist, the oldest
+    /// beyond the budget are archived — checkpoint generations rotated
+    /// down to the single newest sealed snapshot (plus the journals that
+    /// resume it). Killed tenants stay resumable from that snapshot.
+    /// Sweep failures are warnings, never fatal. `None` disables.
+    pub retain_terminal: Option<usize>,
 }
 
 impl ServiceConfig {
-    /// Defaults: 2 workers, 8 campaigns, 1-epoch grants, no kill hook.
+    /// Defaults: 2 workers, 8 campaigns, 1-epoch grants, no kill hook,
+    /// no stall rotation, no terminal archival.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         ServiceConfig {
             dir: dir.into(),
@@ -347,6 +364,9 @@ impl ServiceConfig {
             kill_after_execs: None,
             fsync: FsyncPolicy::default(),
             supervision: SupervisorConfig::default(),
+            stall_threshold: None,
+            stall_cooldown_grants: 4,
+            retain_terminal: None,
         }
     }
 }
@@ -435,6 +455,15 @@ pub struct ServiceStats {
     pub cycles_granted: u64,
     /// Executions across all tenants.
     pub total_execs: u64,
+    /// Stall rotations: times a plateaued tenant was cooled out of the
+    /// scheduler (see [`ServiceConfig::stall_threshold`]).
+    pub stall_rotations: u64,
+    /// Terminal tenants archived down to one sealed snapshot (see
+    /// [`ServiceConfig::retain_terminal`]).
+    pub archived_tenants: u64,
+    /// Non-fatal failures during archival sweeps (files that could not be
+    /// listed or removed; the tenant stays archived, extra files linger).
+    pub archive_warnings: u64,
     /// Process-wide decoded-image counters — the restore-decodes-once
     /// story is asserted through this (see [`vmos::decode_counters`]).
     pub decode: vmos::DecodeCounters,
@@ -481,6 +510,12 @@ struct Tenant {
     resume_report: Option<ResumeReport>,
     result: Option<CampaignResult>,
     error: Option<String>,
+    /// Stall rotation: this tenant is deprioritised until the service-wide
+    /// grant counter passes this value (0 = never cooled).
+    cooldown_until_grant: u64,
+    /// The terminal-retention sweep already rotated this tenant's
+    /// checkpoints down to one sealed snapshot (once per tenant).
+    archived: bool,
 }
 
 impl Tenant {
@@ -510,6 +545,9 @@ struct State {
     admitted: u64,
     rejected: u64,
     epoch_grants: u64,
+    stall_rotations: u64,
+    archived_tenants: u64,
+    archive_warnings: u64,
 }
 
 struct Shared {
@@ -565,6 +603,9 @@ impl Service {
                 admitted: 0,
                 rejected: 0,
                 epoch_grants: 0,
+                stall_rotations: 0,
+                archived_tenants: 0,
+                archive_warnings: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -690,6 +731,8 @@ impl Service {
             resume_report: None,
             result: None,
             error: None,
+            cooldown_until_grant: 0,
+            archived: false,
         });
         st.admitted += 1;
         drop(st);
@@ -712,6 +755,23 @@ impl Service {
             })
     }
 
+    /// The admitted spec for a tenant, by name. The RPC front end uses
+    /// this to deduplicate retried `Submit`s against the durable
+    /// admission (`spec.bin` lands before any ack).
+    pub fn spec(&self, name: &str) -> Option<CampaignSpec> {
+        let st = self.shared.state.lock().expect("service state poisoned");
+        st.tenants
+            .iter()
+            .find(|t| t.spec.name == name)
+            .map(|t| t.spec.clone())
+    }
+
+    /// The service root directory (tenant state lives under it; the RPC
+    /// reply journal sits beside the tenant directories).
+    pub fn dir(&self) -> &Path {
+        &self.shared.cfg.dir
+    }
+
     /// Handles for every admitted campaign, in admission order.
     pub fn handles(&self) -> Vec<CampaignHandle> {
         let st = self.shared.state.lock().expect("service state poisoned");
@@ -730,6 +790,9 @@ impl Service {
             admitted: st.admitted,
             rejected: st.rejected,
             epoch_grants: st.epoch_grants,
+            stall_rotations: st.stall_rotations,
+            archived_tenants: st.archived_tenants,
+            archive_warnings: st.archive_warnings,
             decode: vmos::decode_counters(),
             ..ServiceStats::default()
         };
@@ -933,13 +996,25 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                let candidates: Vec<(usize, u64)> = st
-                    .tenants
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| matches!(t.phase, Phase::Ready))
-                    .map(|(id, t)| (id, t.granted_cycles))
-                    .collect();
+                // Stall rotation: tenants in cooldown only run when no
+                // hot (uncooled) tenant is runnable — deprioritised, not
+                // starved (the rotation is work-conserving).
+                let now = st.epoch_grants;
+                let collect = |st: &State, include_cooled: bool| -> Vec<(usize, u64)> {
+                    st.tenants
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            matches!(t.phase, Phase::Ready)
+                                && (include_cooled || t.cooldown_until_grant <= now)
+                        })
+                        .map(|(id, t)| (id, t.granted_cycles))
+                        .collect()
+                };
+                let mut candidates = collect(&st, false);
+                if candidates.is_empty() {
+                    candidates = collect(&st, true);
+                }
                 if let Some(id) = fair_pick(&candidates) {
                     let t = &mut st.tenants[id];
                     t.phase = Phase::Stepping;
@@ -959,8 +1034,10 @@ fn worker_loop(shared: &Shared) {
         };
         let id = grant.id;
         let (parked, factory, resume_report) = run_grant(shared, grant);
-        {
+        let archive: Vec<String> = {
             let mut st = shared.state.lock().expect("service state poisoned");
+            let now = st.epoch_grants;
+            let mut rotated = false;
             let t = &mut st.tenants[id];
             t.factory = Some(factory);
             t.grants += 1;
@@ -976,6 +1053,17 @@ fn worker_loop(shared: &Shared) {
                     t.session = Some(s);
                     t.needs_resume = false;
                     t.phase = if paused { Phase::Paused } else { Phase::Ready };
+                    // Health-driven rotation: a plateaued tenant parks
+                    // into a cooldown window instead of re-entering the
+                    // fair-share race immediately.
+                    if let Some(threshold) = shared.cfg.stall_threshold {
+                        let stalled = health_from(&t.history)
+                            .is_some_and(|h| h.stalled_grants >= threshold);
+                        if !paused && stalled && t.cooldown_until_grant <= now {
+                            t.cooldown_until_grant = now + shared.cfg.stall_cooldown_grants;
+                            rotated = true;
+                        }
+                    }
                 }
                 Parked::Killed { execs } => {
                     // The session died mid-epoch (simulated SIGKILL or
@@ -1008,6 +1096,10 @@ fn worker_loop(shared: &Shared) {
                     t.phase = Phase::Failed;
                 }
             }
+            if rotated {
+                st.stall_rotations += 1;
+            }
+            let archive = plan_archival(&shared.cfg, &mut st);
             let more = st
                 .tenants
                 .iter()
@@ -1017,8 +1109,52 @@ fn worker_loop(shared: &Shared) {
             if more {
                 shared.work.notify_one();
             }
+            archive
+        };
+        // Sweep outside the scheduler lock — directory pruning must not
+        // stall grant scheduling. The victims are already claimed
+        // (`archived = true`), so concurrent workers never double-sweep.
+        for name in archive {
+            let (_, warnings) = crate::shard::archive_shard_dir(&shared.cfg.dir.join(&name));
+            let mut st = shared.state.lock().expect("service state poisoned");
+            st.archived_tenants += 1;
+            st.archive_warnings += warnings;
         }
     }
+}
+
+/// Under the scheduler lock: claim terminal tenants beyond the
+/// [`ServiceConfig::retain_terminal`] budget for archival, oldest
+/// (smallest tenant id) first, and return their names. Each tenant is
+/// claimed at most once for the service's lifetime.
+fn plan_archival(cfg: &ServiceConfig, st: &mut State) -> Vec<String> {
+    let Some(budget) = cfg.retain_terminal else {
+        return Vec::new();
+    };
+    let terminal: Vec<usize> = st
+        .tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            matches!(
+                t.phase,
+                Phase::Killed { .. } | Phase::Finished | Phase::Failed
+            )
+        })
+        .map(|(id, _)| id)
+        .collect();
+    if terminal.len() <= budget {
+        return Vec::new();
+    }
+    let mut names = Vec::new();
+    for &id in &terminal[..terminal.len() - budget] {
+        let t = &mut st.tenants[id];
+        if !t.archived {
+            t.archived = true;
+            names.push(t.spec.name.clone());
+        }
+    }
+    names
 }
 
 /// Step one tenant for one grant, outside the scheduler lock. Returns how

@@ -832,6 +832,51 @@ pub(crate) fn load_shard_snapshot(
     Ok((epoch, states, fp))
 }
 
+/// Archival rotation for a terminal tenant: keep only the single newest
+/// shard snapshot (the sealed archive) plus the journals at or past its
+/// epoch — exactly what [`EpochSession::resume`] needs to revive a killed
+/// campaign — and delete every older generation. `spec.bin` and the
+/// decoded-image sidecar are untouched (the sweep only looks at
+/// `shard-ckpt-*` / `shard-journal-*` names). Returns `(files removed,
+/// warnings)`; failures are never fatal — callers surface the warning
+/// count and the extra files simply linger.
+pub(crate) fn archive_shard_dir(dir: &Path) -> (u64, u64) {
+    let mut removed = 0u64;
+    let mut warnings = 0u64;
+    let snaps = match list_shard_snapshots(dir) {
+        Ok(s) => s,
+        Err(_) => return (0, 1),
+    };
+    let Some(&(cutoff, _)) = snaps.last() else {
+        return (0, 0); // never snapshotted — nothing to seal
+    };
+    for (_, path) in &snaps[..snaps.len() - 1] {
+        match fs::remove_file(path) {
+            Ok(()) => removed += 1,
+            Err(_) => warnings += 1,
+        }
+    }
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return (removed, warnings + 1),
+    };
+    for entry in entries {
+        let Ok(entry) = entry else {
+            warnings += 1;
+            continue;
+        };
+        if let Some((e, _)) = entry.file_name().to_str().and_then(parse_shard_journal) {
+            if e < cutoff {
+                match fs::remove_file(entry.path()) {
+                    Ok(()) => removed += 1,
+                    Err(_) => warnings += 1,
+                }
+            }
+        }
+    }
+    (removed, warnings)
+}
+
 /// Keep the newest `keep` shard snapshots; drop older ones and the
 /// journals of epochs nothing can resume from anymore. Unlink failures
 /// are counted warnings; successful unlinks are made durable with a
@@ -1437,6 +1482,62 @@ mod tests {
             prev = lim;
         }
         assert_eq!(epoch_limit(budget, 7, 8), budget, "final epoch is exact");
+    }
+
+    #[test]
+    fn archive_keeps_newest_snapshot_and_its_journals() {
+        let dir = std::env::temp_dir()
+            .join(format!("cx-archive-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("tempdir");
+        for epoch in [1u64, 3, 7] {
+            fs::write(shard_snapshot_path(&dir, epoch), b"snap").expect("write");
+        }
+        for epoch in 0..9u64 {
+            fs::write(shard_journal_path(&dir, epoch, 0), b"jrnl").expect("write");
+        }
+        fs::write(dir.join("spec.bin"), b"spec").expect("write");
+        fs::write(dir.join("decoded-image.bin"), b"sidecar").expect("write");
+
+        let (removed, warnings) = archive_shard_dir(&dir);
+        assert_eq!(warnings, 0);
+        // 2 older snapshots + journals for epochs 0..=6.
+        assert_eq!(removed, 2 + 7);
+        let mut left: Vec<String> = fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        left.sort();
+        assert_eq!(
+            left,
+            vec![
+                "decoded-image.bin".to_string(),
+                "shard-ckpt-000007.bin".to_string(),
+                "shard-journal-000007-000.bin".to_string(),
+                "shard-journal-000008-000.bin".to_string(),
+                "spec.bin".to_string(),
+            ],
+            "only the sealed snapshot, its resume journals, and non-shard files survive"
+        );
+        // Idempotent: a second sweep finds nothing to remove.
+        assert_eq!(archive_shard_dir(&dir), (0, 0));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn archive_without_snapshots_is_a_no_op() {
+        let dir = std::env::temp_dir()
+            .join(format!("cx-archive-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("tempdir");
+        fs::write(shard_journal_path(&dir, 0, 0), b"jrnl").expect("write");
+        assert_eq!(
+            archive_shard_dir(&dir),
+            (0, 0),
+            "no sealed snapshot yet: journals must survive untouched"
+        );
+        assert!(shard_journal_path(&dir, 0, 0).is_file());
+        let _ = fs::remove_dir_all(dir);
     }
 
     #[test]

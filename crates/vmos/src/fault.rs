@@ -1037,6 +1037,334 @@ impl DiskFaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Network (RPC transport) faults.
+// ---------------------------------------------------------------------------
+
+/// Faults injected at the RPC frame boundary: the hazards a client ⇄
+/// service connection actually develops. All of them must be absorbed by
+/// the retry/reconnect/resume ladder — a faulted transport may cost
+/// retries and reconnects, never a diverged campaign result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFaultKind {
+    /// The frame silently never reaches the peer (packet loss past the
+    /// retransmit budget, a dead middlebox). The connection stays up.
+    Drop,
+    /// The frame arrives late: simulated latency is accounted against the
+    /// transport counters (never the campaign clock), then it is
+    /// delivered intact.
+    Delay,
+    /// The frame arrives twice back to back — the classic retransmit
+    /// duplicate idempotency keys exist to absorb.
+    Duplicate,
+    /// One bit of the frame flips in flight. The checksum rejects it; the
+    /// receiver must resynchronize by dropping the connection, never by
+    /// trusting the bytes.
+    Corrupt,
+    /// The connection dies cleanly before the frame is sent (peer reset,
+    /// NAT timeout). Nothing of the frame reaches the wire.
+    Disconnect,
+    /// The connection dies mid-frame: a strict prefix of the bytes lands
+    /// and then the stream closes — the torn-write case the frame codec's
+    /// `Truncated`/`Eof` split exists for.
+    PartialFrame,
+}
+
+impl NetFaultKind {
+    /// Every kind, in salt order.
+    pub const ALL: [NetFaultKind; 6] = [
+        NetFaultKind::Drop,
+        NetFaultKind::Delay,
+        NetFaultKind::Duplicate,
+        NetFaultKind::Corrupt,
+        NetFaultKind::Disconnect,
+        NetFaultKind::PartialFrame,
+    ];
+
+    /// Stable short name for logs and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Delay => "delay",
+            NetFaultKind::Duplicate => "duplicate",
+            NetFaultKind::Corrupt => "corrupt",
+            NetFaultKind::Disconnect => "disconnect",
+            NetFaultKind::PartialFrame => "partial_frame",
+        }
+    }
+
+    /// Does this kind end the connection (as opposed to mangling or
+    /// delaying one frame while the stream stays usable)?
+    pub fn kills_connection(self) -> bool {
+        matches!(self, NetFaultKind::Disconnect | NetFaultKind::PartialFrame)
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            NetFaultKind::Drop => 41,
+            NetFaultKind::Delay => 42,
+            NetFaultKind::Duplicate => 43,
+            NetFaultKind::Corrupt => 44,
+            NetFaultKind::Disconnect => 45,
+            NetFaultKind::PartialFrame => 46,
+        }
+    }
+
+    /// Stable wire tag for plan transfer.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            NetFaultKind::Drop => 0,
+            NetFaultKind::Delay => 1,
+            NetFaultKind::Duplicate => 2,
+            NetFaultKind::Corrupt => 3,
+            NetFaultKind::Disconnect => 4,
+            NetFaultKind::PartialFrame => 5,
+        }
+    }
+
+    /// Inverse of [`NetFaultKind::wire_tag`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError::Malformed`] on an unknown tag.
+    pub fn from_wire_tag(tag: u8) -> Result<Self, crate::wire::WireError> {
+        Ok(match tag {
+            0 => NetFaultKind::Drop,
+            1 => NetFaultKind::Delay,
+            2 => NetFaultKind::Duplicate,
+            3 => NetFaultKind::Corrupt,
+            4 => NetFaultKind::Disconnect,
+            5 => NetFaultKind::PartialFrame,
+            _ => return Err(crate::wire::WireError::Malformed("net fault tag")),
+        })
+    }
+}
+
+/// One targeted network fault: fire `kind` at frame `frame` of direction
+/// `direction` on connection `conn`, for the first `fires` times that
+/// exact position is sent. `fires` beyond the client's retry budget
+/// models a permanently-unreachable server — the typed
+/// `Degraded(Local)` fallback is exercised by exactly this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFault {
+    /// Connection index the fault targets (the Nth connection the
+    /// endpoint opened/accepted, starting at 0 — reconnects advance it).
+    pub conn: u64,
+    /// Direction on that connection: 0 = client → server (requests),
+    /// 1 = server → client (replies).
+    pub direction: u8,
+    /// Zero-based frame sequence number within `(conn, direction)`.
+    pub frame: u64,
+    /// What goes wrong.
+    pub kind: NetFaultKind,
+    /// Times (starting at 0) this position fires before going quiet.
+    pub fires: u32,
+}
+
+/// A deterministic plan of network faults: targeted
+/// `(conn, direction, frame)` hits plus per-kind probabilities rolled
+/// position-wise.
+///
+/// Decisions are pure in `(conn, direction, frame)` for the same
+/// scheduling-independence reasons as [`OrchFaultPlan`]: requests and
+/// replies flow on concurrent threads, so a shared roll counter would
+/// make injection depend on thread interleaving. Each direction of each
+/// connection numbers its own frames sequentially, so the same plan hits
+/// the same frame no matter how the two directions interleave.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetFaultPlan {
+    /// Seed for the probabilistic rolls.
+    pub seed: u64,
+    /// P(frame silently dropped) per frame.
+    pub drop: f64,
+    /// P(frame delayed) per frame.
+    pub delay: f64,
+    /// P(frame duplicated) per frame.
+    pub duplicate: f64,
+    /// P(one bit flipped in flight) per frame.
+    pub corrupt: f64,
+    /// P(connection dies before the frame) per frame.
+    pub disconnect: f64,
+    /// P(connection dies mid-frame) per frame.
+    pub partial_frame: f64,
+    /// Targeted faults, checked before the probabilistic rolls (first
+    /// match wins).
+    pub targeted: Vec<NetFault>,
+}
+
+impl NetFaultPlan {
+    /// No network faults (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single targeted fault firing once at `(conn, direction, frame)`.
+    pub fn at(conn: u64, direction: u8, frame: u64, kind: NetFaultKind) -> Self {
+        NetFaultPlan {
+            targeted: vec![NetFault {
+                conn,
+                direction,
+                frame,
+                kind,
+                fires: 1,
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// Every *non-lethal* kind at the same probabilistic `rate`
+    /// (disconnect kinds stay off — a uniform rain of dead connections is
+    /// rarely what an evaluation wants; target those explicitly).
+    pub fn uniform_lossy(seed: u64, rate: f64) -> Self {
+        NetFaultPlan {
+            seed,
+            drop: rate,
+            delay: rate,
+            duplicate: rate,
+            corrupt: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Probability configured for `kind`.
+    pub fn rate(&self, kind: NetFaultKind) -> f64 {
+        match kind {
+            NetFaultKind::Drop => self.drop,
+            NetFaultKind::Delay => self.delay,
+            NetFaultKind::Duplicate => self.duplicate,
+            NetFaultKind::Corrupt => self.corrupt,
+            NetFaultKind::Disconnect => self.disconnect,
+            NetFaultKind::PartialFrame => self.partial_frame,
+        }
+    }
+
+    /// Does this plan never inject anything?
+    pub fn is_none(&self) -> bool {
+        self.targeted.is_empty() && NetFaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+
+    fn position_bits(&self, conn: u64, direction: u8, frame: u64, salt: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(direction).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                ^ frame.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ salt.wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+        )
+    }
+
+    /// Should a network fault hit frame `(conn, direction, frame)`?
+    /// Targeted faults win over probabilistic rolls; kinds roll in
+    /// [`NetFaultKind::ALL`] order. Pure in the plan and the position —
+    /// re-deciding the same position always answers the same, no matter
+    /// which thread asks or when.
+    pub fn decide(&self, conn: u64, direction: u8, frame: u64) -> Option<NetFaultKind> {
+        for t in &self.targeted {
+            if t.conn == conn
+                && t.direction == direction
+                && t.frame == frame
+                && t.fires > 0
+            {
+                return Some(t.kind);
+            }
+        }
+        for &k in &NetFaultKind::ALL {
+            let p = self.rate(k);
+            if p <= 0.0 {
+                continue;
+            }
+            let bits = self.position_bits(conn, direction, frame, k.salt());
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < p {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Burn one firing of a targeted fault at this position (a position
+    /// that is *resent* — the same request retransmitted on the same
+    /// connection — must not re-fire a single-shot fault forever).
+    /// Probabilistic rolls are unaffected: they re-decide identically.
+    pub fn consume(&mut self, conn: u64, direction: u8, frame: u64) {
+        for t in &mut self.targeted {
+            if t.conn == conn && t.direction == direction && t.frame == frame && t.fires > 0 {
+                t.fires -= 1;
+                return;
+            }
+        }
+    }
+
+    /// Deterministic auxiliary bits for a decided fault — how many bytes
+    /// of a partial frame land, which bit corrupts, how long a delay
+    /// lasts. Salted differently from the decision rolls so the two draws
+    /// are independent.
+    pub fn aux_bits(&self, conn: u64, direction: u8, frame: u64) -> u64 {
+        self.position_bits(conn, direction, frame, 0x4E4E)
+    }
+
+    /// Encode the plan for transfer (stable wire format; a remote
+    /// endpoint must inject exactly the faults its in-process twin
+    /// would).
+    pub fn encode(&self, w: &mut crate::wire::Writer) {
+        w.put_u64(self.seed);
+        w.put_u64(self.drop.to_bits());
+        w.put_u64(self.delay.to_bits());
+        w.put_u64(self.duplicate.to_bits());
+        w.put_u64(self.corrupt.to_bits());
+        w.put_u64(self.disconnect.to_bits());
+        w.put_u64(self.partial_frame.to_bits());
+        w.put_usize(self.targeted.len());
+        for t in &self.targeted {
+            w.put_u64(t.conn);
+            w.put_u8(t.direction);
+            w.put_u64(t.frame);
+            w.put_u8(t.kind.wire_tag());
+            w.put_u32(t.fires);
+        }
+    }
+
+    /// Decode a plan written by [`NetFaultPlan::encode`].
+    ///
+    /// # Errors
+    /// [`crate::wire::WireError`] on truncated or malformed bytes.
+    pub fn decode(
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let seed = r.get_u64()?;
+        let drop = f64::from_bits(r.get_u64()?);
+        let delay = f64::from_bits(r.get_u64()?);
+        let duplicate = f64::from_bits(r.get_u64()?);
+        let corrupt = f64::from_bits(r.get_u64()?);
+        let disconnect = f64::from_bits(r.get_u64()?);
+        let partial_frame = f64::from_bits(r.get_u64()?);
+        let n = r.get_count()?;
+        // Each targeted fault is 22 bytes on the wire.
+        if n > r.remaining() / 22 {
+            return Err(crate::wire::WireError::Truncated);
+        }
+        let mut targeted = Vec::with_capacity(n);
+        for _ in 0..n {
+            targeted.push(NetFault {
+                conn: r.get_u64()?,
+                direction: r.get_u8()?,
+                frame: r.get_u64()?,
+                kind: NetFaultKind::from_wire_tag(r.get_u8()?)?,
+                fires: r.get_u32()?,
+            });
+        }
+        Ok(NetFaultPlan {
+            seed,
+            drop,
+            delay,
+            duplicate,
+            corrupt,
+            disconnect,
+            partial_frame,
+            targeted,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1370,5 +1698,103 @@ mod tests {
             assert!(!kind.name().is_empty());
         }
         assert!(DiskFaultKind::from_wire_tag(99).is_err());
+    }
+
+    #[test]
+    fn net_targeted_fault_fires_then_consumes() {
+        let mut p = NetFaultPlan::at(0, 1, 3, NetFaultKind::Corrupt);
+        assert!(!p.is_none());
+        assert_eq!(p.decide(0, 1, 3), Some(NetFaultKind::Corrupt));
+        assert_eq!(p.decide(0, 0, 3), None, "other direction untouched");
+        assert_eq!(p.decide(0, 1, 2), None, "other frames untouched");
+        assert_eq!(p.decide(1, 1, 3), None, "other connections untouched");
+        // Deciding does not burn the firing — only `consume` does, so a
+        // re-decided position answers the same until the send commits.
+        assert_eq!(p.decide(0, 1, 3), Some(NetFaultKind::Corrupt));
+        p.consume(0, 1, 3);
+        assert_eq!(p.decide(0, 1, 3), None, "single-shot fault is spent");
+        assert!(NetFaultPlan::none().is_none());
+
+        let mut stubborn = NetFaultPlan {
+            targeted: vec![NetFault {
+                conn: 2,
+                direction: 0,
+                frame: 0,
+                kind: NetFaultKind::Disconnect,
+                fires: 3,
+            }],
+            ..NetFaultPlan::default()
+        };
+        for round in 0..3 {
+            assert_eq!(
+                stubborn.decide(2, 0, 0),
+                Some(NetFaultKind::Disconnect),
+                "firing {round}"
+            );
+            stubborn.consume(2, 0, 0);
+        }
+        assert_eq!(stubborn.decide(2, 0, 0), None, "past `fires` runs clean");
+    }
+
+    #[test]
+    fn net_decisions_are_position_pure_and_seeded() {
+        let p = NetFaultPlan::uniform_lossy(0x4E7F, 0.3);
+        let sweep = || {
+            let mut v = Vec::new();
+            for conn in 0..4u64 {
+                for direction in 0..2u8 {
+                    for frame in 0..16u64 {
+                        v.push(p.decide(conn, direction, frame));
+                    }
+                }
+            }
+            v
+        };
+        assert_eq!(sweep(), sweep(), "same plan, same positions, same answer");
+        let decisions = sweep();
+        assert!(decisions.iter().any(Option::is_some));
+        assert!(
+            decisions.iter().flatten().all(|k| !k.kills_connection()),
+            "uniform_lossy must never decide a connection-killing kind"
+        );
+        let other = NetFaultPlan::uniform_lossy(0x7F4E, 0.3);
+        assert!(
+            (0..4).any(|c| (0..16).any(|f| p.decide(c, 0, f) != other.decide(c, 0, f))),
+            "the seed must matter"
+        );
+        assert_ne!(p.aux_bits(0, 0, 0), p.aux_bits(0, 1, 0));
+        assert_eq!(p.aux_bits(3, 1, 7), p.aux_bits(3, 1, 7));
+    }
+
+    #[test]
+    fn net_plan_round_trips_on_the_wire() {
+        let mut p = NetFaultPlan::uniform_lossy(0xBEEF, 0.0625);
+        p.disconnect = 0.01;
+        p.targeted.push(NetFault {
+            conn: 1,
+            direction: 1,
+            frame: 42,
+            kind: NetFaultKind::PartialFrame,
+            fires: 2,
+        });
+        let mut w = crate::wire::Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::wire::Reader::new(&bytes);
+        assert_eq!(NetFaultPlan::decode(&mut r).unwrap(), p);
+        assert!(r.is_empty());
+        for cut in 0..bytes.len() {
+            let mut r = crate::wire::Reader::new(&bytes[..cut]);
+            assert!(NetFaultPlan::decode(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn net_fault_tags_round_trip() {
+        for kind in NetFaultKind::ALL {
+            assert_eq!(NetFaultKind::from_wire_tag(kind.wire_tag()).unwrap(), kind);
+            assert!(!kind.name().is_empty());
+        }
+        assert!(NetFaultKind::from_wire_tag(99).is_err());
     }
 }

@@ -57,13 +57,14 @@ pub use engine::{
     ReferenceEngineGuard,
 };
 pub use fault::{
-    DiskFault, DiskFaultKind, DiskFaultPlan, FaultKind, FaultPlan, FaultPlane, OrchFault,
-    OrchFaultKind, OrchFaultPlan, ProcFault, ProcFaultKind, ProcFaultPlan,
+    DiskFault, DiskFaultKind, DiskFaultPlan, FaultKind, FaultPlan, FaultPlane, NetFault,
+    NetFaultKind, NetFaultPlan, OrchFault, OrchFaultKind, OrchFaultPlan, ProcFault,
+    ProcFaultKind, ProcFaultPlan,
 };
 pub use interp::{CallOutcome, CallResult, HostCtx, Machine};
 pub use os::{Os, OsError};
 pub use process::Process;
 pub use wire::{
     read_frame, write_frame, FrameError, Reader, WireError, Writer, FRAME_HEADER_LEN, FRAME_MAGIC,
-    MAX_FRAME_LEN,
+    FRAME_PREFIX_LEN, MAX_FRAME_LEN,
 };

@@ -368,6 +368,14 @@ pub const FRAME_MAGIC: [u8; 4] = *b"CXFR";
 /// FNV-1a checksum (8, LE).
 pub const FRAME_HEADER_LEN: usize = 17;
 
+/// The header's *length prefix* region: magic (4) + kind (1) + payload
+/// length (4). A peer that closes the stream before these 9 bytes
+/// complete never committed to a frame, so the reader reports a clean
+/// disconnect ([`FrameError::Eof`]) rather than a torn frame — the
+/// distinction supervisors use to tell "the peer went away" from "the
+/// peer died mid-write" (see [`read_frame`]).
+pub const FRAME_PREFIX_LEN: usize = 9;
+
 /// Default ceiling on a frame's payload length. A corrupted or hostile
 /// length field is rejected against this bound *before* any allocation
 /// happens, so garbage on the pipe can never become an allocation bomb.
@@ -475,8 +483,13 @@ pub fn write_frame(
 ///
 /// Validation order: magic, length ceiling (`max_len`, before any
 /// allocation), payload presence, checksum. A clean EOF on the frame
-/// boundary is [`FrameError::Eof`]; an EOF anywhere inside the frame is
-/// [`FrameError::Truncated`].
+/// boundary — or anywhere inside the first [`FRAME_PREFIX_LEN`] bytes,
+/// before the peer has committed a frame length — is
+/// [`FrameError::Eof`]: the peer disconnected, it did not tear a frame.
+/// An EOF after the length prefix completed (checksum region or payload)
+/// is [`FrameError::Truncated`]: a frame was promised and died mid-write.
+/// Supervisors rely on this split to classify clean disconnects as
+/// pipe-EOF instead of frame corruption.
 ///
 /// # Errors
 /// A typed [`FrameError`]; this function never panics on hostile input.
@@ -485,7 +498,19 @@ pub fn read_frame(
     max_len: usize,
 ) -> Result<(u8, Vec<u8>), FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
-    read_full(r, &mut header)?;
+    // The length prefix first: an EOF in here is a disconnect, not a torn
+    // frame — nothing was promised yet.
+    match read_full(r, &mut header[..FRAME_PREFIX_LEN]) {
+        Ok(()) => {}
+        Err(FrameError::Truncated) => return Err(FrameError::Eof),
+        Err(e) => return Err(e),
+    }
+    // From here on the peer owes us a full frame: any EOF is a tear.
+    match read_full(r, &mut header[FRAME_PREFIX_LEN..]) {
+        Ok(()) => {}
+        Err(FrameError::Eof) => return Err(FrameError::Truncated),
+        Err(e) => return Err(e),
+    }
     if header[..4] != FRAME_MAGIC {
         return Err(FrameError::BadMagic);
     }
@@ -706,12 +731,44 @@ mod tests {
         assert_eq!(read_frame(&mut empty, MAX_FRAME_LEN).unwrap_err(), FrameError::Eof);
         for cut in 1..buf.len() {
             let mut torn = &buf[..cut];
+            // Before the 9-byte length prefix completes, no frame was ever
+            // promised: the peer disconnected. From the checksum region on,
+            // the frame is torn.
+            let want = if cut < FRAME_PREFIX_LEN {
+                FrameError::Eof
+            } else {
+                FrameError::Truncated
+            };
             assert_eq!(
                 read_frame(&mut torn, MAX_FRAME_LEN).unwrap_err(),
-                FrameError::Truncated,
+                want,
                 "cut at {cut}"
             );
         }
+    }
+
+    /// Regression: a peer that dies mid-length-prefix used to surface as
+    /// `Truncated`, which supervisors classify as frame corruption. It
+    /// must read as a clean disconnect (`Eof` → `PipeEof` upstream) —
+    /// the peer never committed a frame.
+    #[test]
+    fn eof_mid_length_prefix_is_a_clean_disconnect() {
+        let buf = frame_bytes(3, b"never finished");
+        // Cut inside the length field itself (bytes 5..9 of the header).
+        for cut in 5..FRAME_PREFIX_LEN {
+            let mut torn = &buf[..cut];
+            assert_eq!(
+                read_frame(&mut torn, MAX_FRAME_LEN).unwrap_err(),
+                FrameError::Eof,
+                "EOF mid-length-prefix (cut {cut}) must classify as disconnect"
+            );
+        }
+        // One byte past the prefix the peer has committed: now it's a tear.
+        let mut torn = &buf[..FRAME_PREFIX_LEN];
+        assert_eq!(
+            read_frame(&mut torn, MAX_FRAME_LEN).unwrap_err(),
+            FrameError::Truncated
+        );
     }
 
     #[test]
@@ -804,20 +861,23 @@ mod tests {
                 prop_assert_eq!(decoded.unwrap(), (kind, payload));
             }
 
-            /// Torn frames (any strict prefix) are Truncated, never Ok and
-            /// never a panic.
+            /// Torn frames (any strict prefix) are typed, never Ok and
+            /// never a panic: a cut inside the length prefix is a clean
+            /// disconnect, a cut after it is Truncated.
             #[test]
-            fn torn_frames_are_truncated(
+            fn torn_frames_are_typed(
                 payload in prop::collection::vec(any::<u8>(), 1..128),
                 cut_seed in any::<u64>(),
             ) {
                 let buf = frame_bytes(1, &payload);
                 let cut = 1 + (cut_seed as usize % (buf.len() - 1));
                 let mut r = &buf[..cut];
-                prop_assert_eq!(
-                    read_frame(&mut r, MAX_FRAME_LEN).unwrap_err(),
+                let want = if cut < FRAME_PREFIX_LEN {
+                    FrameError::Eof
+                } else {
                     FrameError::Truncated
-                );
+                };
+                prop_assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap_err(), want);
             }
 
             /// A single flipped bit anywhere in a frame yields a typed

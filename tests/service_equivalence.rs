@@ -219,6 +219,107 @@ fn spec_survives_restore_before_first_grant() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Health-driven rotation (satellite of the RPC PR): plateaued tenants
+/// are cooled out of the fair-share race, but the rotation is pure
+/// scheduling — every campaign still finishes bit-identical to its
+/// uninterrupted single-campaign run, and the rotation counter proves the
+/// mechanism actually fired.
+#[test]
+fn stall_rotation_cools_plateaued_tenants_without_changing_results() {
+    let want = fingerprint(&builder_reference("giftext"));
+    let dir = tmp("stall");
+    let resolver: Arc<dyn aflrs::SpecResolver> = Arc::new(MechanismResolver);
+    let mut svc_cfg = ServiceConfig::new(&dir);
+    svc_cfg.workers = 1; // serialize grants: rotation must still be work-conserving
+    svc_cfg.stall_threshold = Some(1);
+    svc_cfg.stall_cooldown_grants = 3;
+    let service = Service::new(svc_cfg, resolver).expect("service starts");
+    let a = service.submit(spec("stall-a", "giftext", 1)).expect("admission");
+    let b = service.submit(spec("stall-b", "giftext", 1)).expect("admission");
+    for h in [&a, &b] {
+        let r = h.await_result().expect("campaign finishes under rotation");
+        assert_eq!(
+            fingerprint(&r),
+            want,
+            "{}: stall rotation is scheduling-only, results are untouched",
+            h.name()
+        );
+    }
+    let stats = service.stats();
+    assert!(
+        stats.stall_rotations > 0,
+        "coverage plateaus under a tiny budget, so rotation must fire: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Terminal-retention archival (satellite of the RPC PR): a killed tenant
+/// past the retention budget is rotated down to one sealed snapshot — and
+/// must still restore to the bit-identical uninterrupted result from it.
+#[test]
+fn archival_seals_killed_tenants_and_keeps_them_resumable() {
+    let want = fingerprint(&builder_reference("giftext"));
+    let dir = tmp("archive");
+    let resolver: Arc<dyn aflrs::SpecResolver> = Arc::new(MechanismResolver);
+
+    // Leg 1: the tenant dies mid-epoch (151 is off every barrier) and,
+    // being terminal past the zero-retention budget, is archived.
+    let mut churn_cfg = ServiceConfig::new(&dir);
+    churn_cfg.kill_after_execs = Some(151);
+    churn_cfg.retain_terminal = Some(0);
+    {
+        let service = Service::new(churn_cfg, Arc::clone(&resolver)).expect("service starts");
+        let h = service.submit(spec("sealed", "giftext", 2)).expect("admission");
+        match h.await_result() {
+            Err(ServiceError::Killed { execs }) => assert!(execs >= 151),
+            other => panic!("expected a killed campaign, got {other:?}"),
+        }
+        // The sweep runs on the worker thread after the terminal park
+        // parks; wait for the counter rather than racing it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = service.stats();
+            if stats.archived_tenants == 1 {
+                assert_eq!(stats.archive_warnings, 0, "clean sweep: {stats:?}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "archival sweep must fire for a terminal tenant past the budget: {stats:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Drop additionally joins the workers, so the file sweep is done.
+    }
+    let snapshots: Vec<String> = std::fs::read_dir(dir.join("sealed"))
+        .expect("tenant dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("shard-ckpt-"))
+        .collect();
+    assert_eq!(
+        snapshots.len(),
+        1,
+        "archival keeps exactly the one sealed snapshot, got {snapshots:?}"
+    );
+
+    // Leg 2: restore from the sealed snapshot with the kill disarmed.
+    let mut restore_cfg = ServiceConfig::new(&dir);
+    restore_cfg.retain_terminal = Some(0);
+    let service = Service::restore(restore_cfg, resolver).expect("service restores");
+    let h = service.handle("sealed").expect("restored tenant");
+    let r = h.await_result().expect("archived campaign resumes and finishes");
+    assert_eq!(
+        fingerprint(&r),
+        want,
+        "restore from the sealed snapshot must reproduce the uninterrupted result"
+    );
+    assert!(
+        r.resume.expect("resume report").records_applied > 0,
+        "the sealed snapshot's journal tail must be replayed"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 mod fair_share {
     use aflrs::service::fair_pick;
     use proptest::prelude::*;
